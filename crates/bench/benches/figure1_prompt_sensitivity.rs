@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 1 pipeline: the full prompt-sensitivity
+//! sweep (3 experiments x 5 prompt variants x 4 models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfspeak_bench::bench_benchmark;
+use wfspeak_core::{ExperimentKind, PromptVariant};
+
+fn bench_figure1(c: &mut Criterion) {
+    let benchmark = bench_benchmark();
+    let mut group = c.benchmark_group("figure1_prompt_sensitivity");
+    group.sample_size(10);
+    group.bench_function("configuration_all_variants", |b| {
+        b.iter(|| {
+            for variant in PromptVariant::ALL {
+                black_box(benchmark.run_experiment(ExperimentKind::Configuration, variant));
+            }
+        })
+    });
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(benchmark.run_prompt_sensitivity()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

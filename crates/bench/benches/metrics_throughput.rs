@@ -1,0 +1,31 @@
+//! Criterion bench for the metric substrate: BLEU and ChrF throughput on
+//! the benchmark's real artifacts (configs and annotated task codes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wfspeak_corpus::references::{annotated, configs};
+use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
+
+fn bench_metrics(c: &mut Criterion) {
+    let bleu = BleuScorer::default();
+    let chrf = ChrfScorer::default();
+    let pairs: Vec<(&str, &str, &str)> = vec![
+        ("wilkins_config", configs::WILKINS_3NODE, configs::WILKINS_2NODE),
+        ("adios2_code", annotated::ADIOS2_PRODUCER, annotated::HENSON_PRODUCER),
+        ("pycompss_code", annotated::PYCOMPSS_PRODUCER, annotated::PARSL_PRODUCER),
+    ];
+    let mut group = c.benchmark_group("metrics_throughput");
+    for (name, hyp, reference) in pairs {
+        group.throughput(Throughput::Bytes((hyp.len() + reference.len()) as u64));
+        group.bench_function(format!("bleu_{name}"), |b| {
+            b.iter(|| black_box(bleu.score(black_box(hyp), black_box(reference))))
+        });
+        group.bench_function(format!("chrf_{name}"), |b| {
+            b.iter(|| black_box(chrf.score(black_box(hyp), black_box(reference))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

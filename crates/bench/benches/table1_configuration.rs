@@ -1,0 +1,23 @@
+//! Criterion bench for the Table 1 pipeline: workflow-configuration
+//! generation and scoring across all models and systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfspeak_bench::bench_benchmark;
+use wfspeak_core::PromptVariant;
+
+fn bench_table1(c: &mut Criterion) {
+    let benchmark = bench_benchmark();
+    let mut group = c.benchmark_group("table1_configuration");
+    group.sample_size(10);
+    group.bench_function("zero_shot_full_grid", |b| {
+        b.iter(|| black_box(benchmark.run_configuration(PromptVariant::Original, false)))
+    });
+    group.bench_function("few_shot_full_grid", |b| {
+        b.iter(|| black_box(benchmark.run_configuration(PromptVariant::Original, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Table 2 pipeline: task-code annotation across all
+//! models and systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfspeak_bench::bench_benchmark;
+use wfspeak_core::PromptVariant;
+
+fn bench_table2(c: &mut Criterion) {
+    let benchmark = bench_benchmark();
+    let mut group = c.benchmark_group("table2_annotation");
+    group.sample_size(10);
+    group.bench_function("full_grid", |b| {
+        b.iter(|| black_box(benchmark.run_annotation(PromptVariant::Original)))
+    });
+    group.bench_function("detailed_prompt_grid", |b| {
+        b.iter(|| black_box(benchmark.run_annotation(PromptVariant::Detailed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

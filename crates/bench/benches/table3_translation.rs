@@ -1,0 +1,30 @@
+//! Criterion bench for the Table 3 pipeline: task-code translation across
+//! all models and system pairs, plus the rule-based translator baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfspeak_bench::bench_benchmark;
+use wfspeak_core::PromptVariant;
+use wfspeak_corpus::references::annotation_reference;
+use wfspeak_systems::translate::translate;
+
+fn bench_table3(c: &mut Criterion) {
+    let benchmark = bench_benchmark();
+    let mut group = c.benchmark_group("table3_translation");
+    group.sample_size(10);
+    group.bench_function("llm_full_grid", |b| {
+        b.iter(|| black_box(benchmark.run_translation(PromptVariant::Original)))
+    });
+    group.bench_function("rule_based_baseline_all_pairs", |b| {
+        b.iter(|| {
+            for (source, target) in wfspeak_corpus::translation_pairs() {
+                let code = annotation_reference(source).unwrap();
+                black_box(translate(code, source, target));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for the Table 5 pipeline: zero-shot vs few-shot
+//! configuration comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfspeak_bench::bench_benchmark;
+
+fn bench_table5(c: &mut Criterion) {
+    let benchmark = bench_benchmark();
+    let mut group = c.benchmark_group("table5_fewshot");
+    group.sample_size(10);
+    group.bench_function("zero_vs_few_shot_comparison", |b| {
+        b.iter(|| black_box(benchmark.run_few_shot_comparison()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

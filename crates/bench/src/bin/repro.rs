@@ -1,0 +1,136 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p wfspeak-bench --bin repro            # everything
+//! cargo run --release -p wfspeak-bench --bin repro -- table1  # one artifact
+//! cargo run --release -p wfspeak-bench --bin repro -- json    # full JSON report
+//! ```
+//!
+//! Artifacts: `table1` (configuration), `table2` (annotation), `table3`
+//! (translation), `table4` (qualitative translations), `table5` (few-shot),
+//! `table6` (qualitative configurations), `figure1` (prompt sensitivity),
+//! `json` (machine-readable full report).
+
+use wfspeak_bench::paper_benchmark;
+use wfspeak_core::report::{
+    qualitative_configurations, qualitative_translations, render_samples, FullReport,
+};
+use wfspeak_core::{Benchmark, ExperimentKind, PromptVariant};
+
+fn table1(benchmark: &Benchmark) {
+    let result = benchmark.run_configuration(PromptVariant::Original, false);
+    println!(
+        "{}",
+        result.render_table(
+            "Table 1: Evaluation of various LLMs using code similarity metrics for the workflow configuration experiment"
+        )
+    );
+    println!(
+        "Best model: {}    Best workflow system: {}\n",
+        result.best_model().unwrap_or_default(),
+        result.best_row().unwrap_or_default()
+    );
+}
+
+fn table2(benchmark: &Benchmark) {
+    let result = benchmark.run_annotation(PromptVariant::Original);
+    println!(
+        "{}",
+        result.render_table(
+            "Table 2: Evaluation of various LLMs using code similarity metrics for the task code annotation experiment"
+        )
+    );
+    println!(
+        "Best model: {}    Best workflow system: {}\n",
+        result.best_model().unwrap_or_default(),
+        result.best_row().unwrap_or_default()
+    );
+}
+
+fn table3(benchmark: &Benchmark) {
+    let result = benchmark.run_translation(PromptVariant::Original);
+    println!(
+        "{}",
+        result.render_table(
+            "Table 3: Evaluation of various LLMs using code similarity metrics for the task code translation experiment"
+        )
+    );
+}
+
+fn table4(benchmark: &Benchmark) {
+    let samples = qualitative_translations(benchmark.config().base_seed);
+    println!(
+        "{}",
+        render_samples(
+            "Table 4: Translated producer codes for the Henson workflow system (LLaMA-3.3-70B vs Gemini-2.5-Pro); validator findings mark nonexistent API calls",
+            &samples
+        )
+    );
+}
+
+fn table5(benchmark: &Benchmark) {
+    let comparison = benchmark.run_few_shot_comparison();
+    println!("{}", comparison.render_table());
+    println!(
+        "Few-shot improves every model: {}\n",
+        comparison.few_shot_improves_all_models()
+    );
+}
+
+fn table6(benchmark: &Benchmark) {
+    let samples = qualitative_configurations(benchmark.config().base_seed);
+    println!(
+        "{}",
+        render_samples(
+            "Table 6: Generated Wilkins configuration files with few-shot (left) and zero-shot (right) prompting using o3; validator findings mark nonexistent fields",
+            &samples
+        )
+    );
+}
+
+fn figure1(benchmark: &Benchmark) {
+    let sensitivity = benchmark.run_prompt_sensitivity();
+    println!("Figure 1: BLEU scores by prompt type and LLM\n");
+    for kind in ExperimentKind::ALL {
+        for row in kind.row_labels() {
+            println!("{}", sensitivity.render_heatmap(kind, &row));
+        }
+    }
+}
+
+fn json(benchmark: &Benchmark) {
+    let report = FullReport {
+        config: benchmark.config().clone(),
+        configuration: benchmark.run_configuration(PromptVariant::Original, false),
+        annotation: benchmark.run_annotation(PromptVariant::Original),
+        translation: benchmark.run_translation(PromptVariant::Original),
+        few_shot: benchmark.run_few_shot_comparison(),
+        prompt_sensitivity: benchmark.run_prompt_sensitivity(),
+    };
+    println!("{}", report.to_json());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmark = paper_benchmark();
+    let selections: Vec<&str> = if args.is_empty() {
+        vec!["table1", "table2", "table3", "table4", "table5", "table6", "figure1"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for selection in selections {
+        match selection {
+            "table1" => table1(&benchmark),
+            "table2" => table2(&benchmark),
+            "table3" => table3(&benchmark),
+            "table4" => table4(&benchmark),
+            "table5" => table5(&benchmark),
+            "table6" => table6(&benchmark),
+            "figure1" => figure1(&benchmark),
+            "json" => json(&benchmark),
+            other => eprintln!("unknown artifact `{other}` (expected table1..table6, figure1, json)"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared helpers for the criterion benches and the `repro` binary.
+
+use wfspeak_core::{Benchmark, BenchmarkConfig};
+
+/// The paper's full benchmark configuration (5 trials).
+pub fn paper_benchmark() -> Benchmark {
+    Benchmark::with_simulated_models(BenchmarkConfig::default())
+}
+
+/// A reduced configuration for criterion iterations (1 trial) so a bench
+/// sample stays fast while still exercising the full pipeline.
+pub fn bench_benchmark() -> Benchmark {
+    Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: 1,
+        ..BenchmarkConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_benchmarks_with_expected_trial_counts() {
+        assert_eq!(paper_benchmark().config().trials, 5);
+        assert_eq!(bench_benchmark().config().trials, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Function-call, decorator, include and import extraction.
+
+use crate::lexer::{tokenize, Language, Token, TokenKind};
+
+/// A function call found in source code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Called function name (the identifier immediately before `(`).
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Receiver for method-style calls (`engine.Put(...)` → `Some("engine")`).
+    pub receiver: Option<String>,
+}
+
+impl Call {
+    /// Fully qualified display name (`receiver.name` or just `name`).
+    pub fn qualified(&self) -> String {
+        match &self.receiver {
+            Some(r) => format!("{r}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A Python decorator (e.g. `@task(returns=1)` or `@python_app`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decorator {
+    /// Decorator name without the `@` (dotted names joined, e.g. `parsl.python_app`).
+    pub name: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Whether the decorator had an argument list.
+    pub has_args: bool,
+}
+
+/// Extract every function call from `source`.
+///
+/// Control-flow keywords (`if`, `while`, `for`, ...) followed by `(` are not
+/// reported as calls.
+pub fn extract_calls(source: &str, language: Language) -> Vec<Call> {
+    let tokens = tokenize(source, language);
+    let keywords: &[&str] = match language {
+        Language::C => &[
+            "if", "while", "for", "switch", "return", "sizeof", "int", "float", "double", "char",
+            "void", "size_t",
+        ],
+        Language::Python => &["if", "while", "for", "return", "print", "def", "class", "with", "lambda"],
+    };
+    let mut calls = Vec::new();
+    let significant: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Newline | TokenKind::Comment | TokenKind::Preprocessor
+            )
+        })
+        .collect();
+    for i in 0..significant.len() {
+        let t = significant[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = significant.get(i + 1);
+        let is_call = matches!(next, Some(n) if n.kind == TokenKind::Punct && n.text == "(");
+        if !is_call || keywords.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `def name(` and `class name(` are definitions, not calls.
+        if i >= 1 {
+            let prev = significant[i - 1];
+            if prev.kind == TokenKind::Ident && (prev.text == "def" || prev.text == "class") {
+                continue;
+            }
+            // A decorator name followed by `(` is reported by
+            // `extract_decorators`, not as a call.
+            if prev.kind == TokenKind::At {
+                continue;
+            }
+        }
+        let receiver = if i >= 2
+            && significant[i - 1].kind == TokenKind::Punct
+            && significant[i - 1].text == "."
+            && significant[i - 2].kind == TokenKind::Ident
+        {
+            Some(significant[i - 2].text.clone())
+        } else {
+            None
+        };
+        calls.push(Call {
+            name: t.text.clone(),
+            line: t.line,
+            receiver,
+        });
+    }
+    calls
+}
+
+/// Extract Python decorators from `source` (returns an empty list for C).
+pub fn extract_decorators(source: &str) -> Vec<Decorator> {
+    let tokens = tokenize(source, Language::Python);
+    let significant: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment))
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < significant.len() {
+        if significant[i].kind == TokenKind::At {
+            let line = significant[i].line;
+            let mut name_parts = Vec::new();
+            let mut j = i + 1;
+            while j < significant.len() {
+                match significant[j].kind {
+                    TokenKind::Ident => name_parts.push(significant[j].text.clone()),
+                    TokenKind::Punct if significant[j].text == "." => {}
+                    _ => break,
+                }
+                j += 1;
+            }
+            let has_args = significant
+                .get(j)
+                .map(|t| t.kind == TokenKind::Punct && t.text == "(")
+                .unwrap_or(false);
+            if !name_parts.is_empty() {
+                out.push(Decorator {
+                    name: name_parts.join("."),
+                    line,
+                    has_args,
+                });
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extract `#include` targets (C) or imported module names (Python).
+pub fn extract_imports(source: &str, language: Language) -> Vec<String> {
+    match language {
+        Language::C => source
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("#include").map(|rest| {
+                    rest.trim()
+                        .trim_matches(|c| c == '<' || c == '>' || c == '"')
+                        .to_owned()
+                })
+            })
+            .collect(),
+        Language::Python => {
+            let mut out = Vec::new();
+            for line in source.lines() {
+                let l = line.trim();
+                if let Some(rest) = l.strip_prefix("import ") {
+                    for part in rest.split(',') {
+                        let module = part.trim().split_whitespace().next().unwrap_or("");
+                        if !module.is_empty() {
+                            out.push(module.to_owned());
+                        }
+                    }
+                } else if let Some(rest) = l.strip_prefix("from ") {
+                    if let Some(module) = rest.split_whitespace().next() {
+                        out.push(module.to_owned());
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Unique call names in source order (convenience for validation).
+pub fn call_names(source: &str, language: Language) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    extract_calls(source, language)
+        .into_iter()
+        .filter(|c| seen.insert(c.name.clone()))
+        .map(|c| c.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C_SNIPPET: &str = r#"
+#include <mpi.h>
+#include "henson.h"
+
+int main(int argc, char** argv) {
+    MPI_Init(&argc, &argv);
+    if (rank == 0) printf("hello\n");
+    for (i = 0; i < n; ++i) array[i] = (float) rand() / (float) RAND_MAX;
+    henson_save_int("t", t);
+    henson_yield();
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+    const PY_SNIPPET: &str = r#"
+import numpy as np
+from pycompss.api.task import task
+from pycompss.api.api import compss_wait_on_file
+
+@task(returns=1)
+def producer(n):
+    data = np.random.rand(n)
+    save(data)
+    return data
+
+@python_app
+def consumer(x):
+    return sum(x)
+
+result = producer(50)
+compss_wait_on_file("out.txt")
+"#;
+
+    #[test]
+    fn extracts_c_calls_without_keywords() {
+        let names = call_names(C_SNIPPET, Language::C);
+        assert!(names.contains(&"MPI_Init".to_string()));
+        assert!(names.contains(&"henson_save_int".to_string()));
+        assert!(names.contains(&"henson_yield".to_string()));
+        assert!(names.contains(&"MPI_Finalize".to_string()));
+        assert!(!names.contains(&"if".to_string()));
+        assert!(!names.contains(&"for".to_string()));
+    }
+
+    #[test]
+    fn c_calls_report_lines() {
+        let calls = extract_calls("foo();\nbar();\n", Language::C);
+        assert_eq!(calls[0].line, 1);
+        assert_eq!(calls[1].line, 2);
+    }
+
+    #[test]
+    fn python_def_is_not_a_call() {
+        let names = call_names(PY_SNIPPET, Language::Python);
+        assert!(!names.contains(&"producer".to_string()) || names.contains(&"producer".to_string()));
+        // `def producer(` must not be reported; the later call `producer(50)` is.
+        let calls = extract_calls(PY_SNIPPET, Language::Python);
+        let producer_calls: Vec<&Call> = calls.iter().filter(|c| c.name == "producer").collect();
+        assert_eq!(producer_calls.len(), 1);
+    }
+
+    #[test]
+    fn python_detects_api_calls() {
+        let names = call_names(PY_SNIPPET, Language::Python);
+        assert!(names.contains(&"compss_wait_on_file".to_string()));
+        assert!(names.contains(&"save".to_string()));
+    }
+
+    #[test]
+    fn method_calls_capture_receiver() {
+        let calls = extract_calls("engine.Put(var, data);\nbpIO.DefineVariable(name);", Language::C);
+        assert_eq!(calls[0].receiver.as_deref(), Some("engine"));
+        assert_eq!(calls[0].qualified(), "engine.Put");
+        assert_eq!(calls[1].receiver.as_deref(), Some("bpIO"));
+    }
+
+    #[test]
+    fn decorators_extracted_with_args_flag() {
+        let decs = extract_decorators(PY_SNIPPET);
+        let names: Vec<&str> = decs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["task", "python_app"]);
+        assert!(decs[0].has_args);
+        assert!(!decs[1].has_args);
+    }
+
+    #[test]
+    fn dotted_decorator_name_joined() {
+        let decs = extract_decorators("@parsl.python_app\ndef f():\n    pass\n");
+        assert_eq!(decs[0].name, "parsl.python_app");
+    }
+
+    #[test]
+    fn decorator_not_reported_as_call() {
+        let calls = extract_calls("@task(returns=1)\ndef f():\n    pass\n", Language::Python);
+        assert!(calls.iter().all(|c| c.name != "task"));
+    }
+
+    #[test]
+    fn c_includes_extracted() {
+        let incs = extract_imports(C_SNIPPET, Language::C);
+        assert_eq!(incs, vec!["mpi.h", "henson.h"]);
+    }
+
+    #[test]
+    fn python_imports_extracted() {
+        let imports = extract_imports(PY_SNIPPET, Language::Python);
+        assert!(imports.contains(&"numpy".to_string()));
+        assert!(imports.contains(&"pycompss.api.task".to_string()));
+        assert!(imports.contains(&"pycompss.api.api".to_string()));
+    }
+
+    #[test]
+    fn calls_inside_comments_and_strings_ignored() {
+        let src = "// henson_yield();\nprintf(\"henson_save_int()\");\nreal_call();";
+        let names = call_names(src, Language::C);
+        assert!(!names.contains(&"henson_yield".to_string()));
+        assert!(!names.contains(&"henson_save_int".to_string()));
+        assert!(names.contains(&"real_call".to_string()));
+    }
+
+    #[test]
+    fn empty_source_no_calls() {
+        assert!(extract_calls("", Language::C).is_empty());
+        assert!(extract_decorators("").is_empty());
+        assert!(extract_imports("", Language::Python).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Extracting code from LLM responses.
+//!
+//! The paper notes that models sometimes wrap code in markdown fences,
+//! prepend explanations, or return configuration snippets inside prose.  The
+//! evaluation pipeline therefore extracts the code payload before scoring,
+//! exactly once, for every model identically.
+
+/// Remove markdown code fences, returning the concatenated contents of all
+/// fenced blocks.  If the response has no fences it is returned unchanged.
+pub fn strip_markdown_fences(response: &str) -> String {
+    if !response.contains("```") {
+        return response.to_owned();
+    }
+    let mut blocks: Vec<String> = Vec::new();
+    let mut in_block = false;
+    let mut current = String::new();
+    for line in response.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            if in_block {
+                blocks.push(std::mem::take(&mut current));
+                in_block = false;
+            } else {
+                in_block = true;
+            }
+            continue;
+        }
+        if in_block {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    // Unterminated final fence: keep what we collected.
+    if in_block && !current.is_empty() {
+        blocks.push(current);
+    }
+    if blocks.is_empty() {
+        response.to_owned()
+    } else {
+        blocks.join("\n").trim_end().to_owned() + "\n"
+    }
+}
+
+/// Extract the code payload from an LLM response: strips markdown fences and
+/// drops leading/trailing prose paragraphs that contain no code-like lines.
+pub fn extract_code(response: &str) -> String {
+    let fenced = strip_markdown_fences(response);
+    if fenced != response {
+        return fenced;
+    }
+    // No fences: drop obvious prose lines at the start and end (sentences
+    // ending with a period that contain no code punctuation).
+    let lines: Vec<&str> = response.lines().collect();
+    let is_prose = |line: &str| {
+        let t = line.trim();
+        if t.is_empty() {
+            return false;
+        }
+        let has_code_chars = t.contains(['{', '}', '(', ')', ';', '=', ':', '#', '@']);
+        let looks_like_sentence = t.ends_with('.') || t.ends_with('!');
+        let starts_capital_word = t
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(false)
+            && t.split_whitespace().count() > 4;
+        !has_code_chars && (looks_like_sentence || starts_capital_word)
+    };
+    let start = match lines.iter().position(|l| !is_prose(l) && !l.trim().is_empty()) {
+        Some(i) => i,
+        // Entirely prose: nothing to extract, return as-is.
+        None => return response.to_owned(),
+    };
+    let end = lines
+        .iter()
+        .rposition(|l| !is_prose(l) && !l.trim().is_empty())
+        .map(|i| i + 1)
+        .unwrap_or(lines.len());
+    if start >= end {
+        return response.to_owned();
+    }
+    let mut out = lines[start..end].join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fences_passthrough() {
+        let src = "tasks:\n  - func: producer\n";
+        assert_eq!(strip_markdown_fences(src), src);
+    }
+
+    #[test]
+    fn single_fenced_block_extracted() {
+        let resp = "Here is the configuration:\n```yaml\ntasks:\n  - func: producer\n```\nLet me know!";
+        let code = strip_markdown_fences(resp);
+        assert_eq!(code, "tasks:\n  - func: producer\n");
+    }
+
+    #[test]
+    fn multiple_fenced_blocks_concatenated() {
+        let resp = "```c\nint a;\n```\ntext\n```c\nint b;\n```";
+        let code = strip_markdown_fences(resp);
+        assert!(code.contains("int a;"));
+        assert!(code.contains("int b;"));
+        assert!(!code.contains("text"));
+    }
+
+    #[test]
+    fn unterminated_fence_still_extracts() {
+        let resp = "```yaml\ntasks:\n  - func: producer\n";
+        let code = strip_markdown_fences(resp);
+        assert!(code.contains("func: producer"));
+    }
+
+    #[test]
+    fn fence_with_language_tag_and_indent() {
+        let resp = "  ```python\n@task(returns=1)\ndef f():\n    pass\n  ```";
+        let code = strip_markdown_fences(resp);
+        assert!(code.starts_with("@task"));
+    }
+
+    #[test]
+    fn extract_code_drops_leading_and_trailing_prose() {
+        let resp = "Sure, I can help with that configuration request.\n\ntasks:\n  - func: producer\n    nprocs: 3\n\nThis file defines a three node workflow.";
+        let code = extract_code(resp);
+        assert!(code.starts_with("tasks:"), "got: {code}");
+        assert!(!code.contains("Sure, I can help"));
+        assert!(!code.contains("This file defines"));
+    }
+
+    #[test]
+    fn extract_code_keeps_pure_code_untouched() {
+        let src = "int main() {\n    return 0;\n}\n";
+        assert_eq!(extract_code(src), src);
+    }
+
+    #[test]
+    fn extract_code_prefers_fences_when_present() {
+        let resp = "Explanation first.\n```\nconfig: 1\n```";
+        assert_eq!(extract_code(resp), "config: 1\n");
+    }
+
+    #[test]
+    fn all_prose_response_returned_unchanged() {
+        let resp = "I could not generate a configuration for that system.";
+        assert_eq!(extract_code(resp), resp);
+    }
+}

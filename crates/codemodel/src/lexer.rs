@@ -1,0 +1,328 @@
+//! A small tokenizer good enough for the producer/consumer task codes used
+//! in the benchmark (C with MPI calls, Python with decorators).
+
+/// Source language of a task code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// C (the paper's producer code emulating an HPC simulation).
+    C,
+    /// Python (the equivalent producer used for Parsl / PyCOMPSs).
+    Python,
+}
+
+impl Language {
+    /// Guess the language from source text (crude but effective for the
+    /// benchmark's two shapes of task code).
+    pub fn detect(source: &str) -> Language {
+        let c_signals = ["#include", "int main(", "printf(", "MPI_Init(", "->", ";\n"];
+        let py_signals = ["def ", "import ", "print(", "@", "__main__", "self."];
+        let c_score: usize = c_signals.iter().filter(|s| source.contains(*s)).count();
+        let py_score: usize = py_signals.iter().filter(|s| source.contains(*s)).count();
+        if py_score > c_score {
+            Language::Python
+        } else {
+            Language::C
+        }
+    }
+
+    /// Comment prefix for single-line comments in this language.
+    pub fn line_comment(&self) -> &'static str {
+        match self {
+            Language::C => "//",
+            Language::Python => "#",
+        }
+    }
+}
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// String or char literal (quotes included).
+    Str,
+    /// Single punctuation/operator character (`(`, `)`, `;`, `=`, ...).
+    Punct,
+    /// Preprocessor directive line (C) — `#include <mpi.h>` etc.
+    Preprocessor,
+    /// Decorator line marker (Python `@`), emitted as its own token.
+    At,
+    /// Comment text (single-line or block), content included.
+    Comment,
+    /// Newline (significant for Python and for line-based heuristics).
+    Newline,
+}
+
+/// A lexed token with its text and 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token category.
+    pub kind: TokenKind,
+    /// Raw token text.
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenize `source` according to `language`.
+///
+/// The tokenizer is intentionally forgiving: unknown characters become
+/// punctuation tokens and unterminated strings extend to the end of the
+/// line, so LLM-generated (possibly malformed) code can still be analysed.
+pub fn tokenize(source: &str, language: Language) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                tokens.push(Token {
+                    kind: TokenKind::Newline,
+                    text: "\n".to_owned(),
+                    line,
+                });
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+            }
+            '#' if language == Language::C => {
+                // Preprocessor directive: consume to end of line.
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Preprocessor,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '#' if language == Language::Python => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '@' if language == Language::Python => {
+                tokens.push(Token {
+                    kind: TokenKind::At,
+                    text: "@".to_owned(),
+                    line,
+                });
+                i += 1;
+            }
+            '/' if language == Language::C && i + 1 < chars.len() && chars[i + 1] == '/' => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if language == Language::C && i + 1 < chars.len() && chars[i + 1] == '*' => {
+                let start = i;
+                let start_line = line;
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(chars.len());
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: chars[start..i.min(chars.len())].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                while i < chars.len() && chars[i] != quote && chars[i] != '\n' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                if i < chars.len() && chars[i] == quote {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: chars[start..i.min(chars.len())].iter().collect(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Identifiers appearing in the token stream, in order, without duplicates.
+pub fn identifiers(tokens: &[Token]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind == TokenKind::Ident && seen.insert(t.text.clone()) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_c_vs_python() {
+        assert_eq!(Language::detect("#include <mpi.h>\nint main() {}"), Language::C);
+        assert_eq!(
+            Language::detect("import numpy\ndef producer(n):\n    return n"),
+            Language::Python
+        );
+    }
+
+    #[test]
+    fn line_comment_prefixes() {
+        assert_eq!(Language::C.line_comment(), "//");
+        assert_eq!(Language::Python.line_comment(), "#");
+    }
+
+    #[test]
+    fn tokenizes_c_call_statement() {
+        let toks = tokenize("MPI_Init(&argc, &argv);", Language::C);
+        let kinds: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(toks[0].text, "MPI_Init");
+        assert_eq!(kinds[0], TokenKind::Ident);
+        assert!(kinds.contains(&TokenKind::Punct));
+    }
+
+    #[test]
+    fn c_preprocessor_lines_are_single_tokens() {
+        let toks = tokenize("#include <mpi.h>\nint x;", Language::C);
+        assert_eq!(toks[0].kind, TokenKind::Preprocessor);
+        assert_eq!(toks[0].text, "#include <mpi.h>");
+        assert_eq!(toks[0].line, 1);
+    }
+
+    #[test]
+    fn python_hash_is_comment_not_preprocessor() {
+        let toks = tokenize("# a comment\nx = 1", Language::Python);
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+    }
+
+    #[test]
+    fn python_decorator_at_token() {
+        let toks = tokenize("@task(returns=1)\ndef f():\n    pass", Language::Python);
+        assert_eq!(toks[0].kind, TokenKind::At);
+        assert_eq!(toks[1].text, "task");
+    }
+
+    #[test]
+    fn string_literals_keep_quotes_and_dont_leak() {
+        let toks = tokenize("printf(\"sum = %f\\n\", sum);", Language::C);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(s.text.starts_with('"') && s.text.ends_with('"'));
+        // Identifiers inside the string must not appear as Ident tokens.
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == "sum" && t.line != 1));
+    }
+
+    #[test]
+    fn c_line_and_block_comments() {
+        let toks = tokenize("// hello\n/* multi\nline */\nint x;", Language::C);
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        let block = toks.iter().filter(|t| t.kind == TokenKind::Comment).nth(1).unwrap();
+        assert!(block.text.contains("multi"));
+        let x = toks.iter().find(|t| t.text == "int").unwrap();
+        assert_eq!(x.line, 4);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\nc", Language::C);
+        let idents: Vec<(usize, &str)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text.as_str()))
+            .collect();
+        assert_eq!(idents, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn numbers_including_floats() {
+        let toks = tokenize("x = 3.5 + 42", Language::Python);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["3.5", "42"]);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = tokenize("printf(\"oops", Language::C);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn identifiers_deduplicated_in_order() {
+        let toks = tokenize("foo(bar); foo(baz);", Language::C);
+        assert_eq!(identifiers(&toks), vec!["foo", "bar", "baz"]);
+    }
+
+    #[test]
+    fn empty_source_gives_no_tokens() {
+        assert!(tokenize("", Language::C).is_empty());
+        assert!(tokenize("   ", Language::Python).is_empty());
+    }
+}

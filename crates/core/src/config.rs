@@ -1,0 +1,82 @@
+//! Benchmark configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs controlling a benchmark run, mirroring the paper's setup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkConfig {
+    /// Repeated trials per cell (the paper repeats every experiment 5
+    /// times to mitigate response variability).
+    pub trials: usize,
+    /// Sampling temperature (paper: 0.2; ignored by o3).
+    pub temperature: f64,
+    /// Nucleus-sampling top-p (paper: 0.95; ignored by o3).
+    pub top_p: f64,
+    /// Base seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            trials: 5,
+            temperature: 0.2,
+            top_p: 0.95,
+            base_seed: 2025,
+        }
+    }
+}
+
+impl BenchmarkConfig {
+    /// A faster configuration for smoke tests and doc examples (2 trials).
+    pub fn quick() -> Self {
+        BenchmarkConfig {
+            trials: 2,
+            ..BenchmarkConfig::default()
+        }
+    }
+
+    /// Seeds of the individual trials.
+    pub fn trial_seeds(&self) -> Vec<u64> {
+        (0..self.trials as u64).map(|i| self.base_seed + i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = BenchmarkConfig::default();
+        assert_eq!(c.trials, 5);
+        assert!((c.temperature - 0.2).abs() < f64::EPSILON);
+        assert!((c.top_p - 0.95).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn trial_seeds_are_sequential_and_distinct() {
+        let c = BenchmarkConfig {
+            trials: 3,
+            base_seed: 10,
+            ..BenchmarkConfig::default()
+        };
+        assert_eq!(c.trial_seeds(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn quick_config_reduces_trials_only() {
+        let q = BenchmarkConfig::quick();
+        assert_eq!(q.trials, 2);
+        assert!((q.temperature - 0.2).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = BenchmarkConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: BenchmarkConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trials, c.trials);
+        assert_eq!(back.base_seed, c.base_seed);
+    }
+}

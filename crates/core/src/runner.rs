@@ -1,0 +1,256 @@
+//! The benchmark runner: prompt assembly, model querying, response
+//! post-processing, scoring and aggregation.
+
+use std::collections::BTreeMap;
+
+use wfspeak_codemodel::extract_code;
+use wfspeak_corpus::prompts::{
+    annotation_prompt, configuration_prompt, translation_prompt, PromptVariant,
+};
+use wfspeak_corpus::references::{
+    annotation_reference, configuration_reference, translation_reference,
+};
+use wfspeak_corpus::{fewshot, translation_pair_label, translation_pairs, WorkflowSystemId};
+use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams, SimulatedLlm};
+use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
+
+use crate::config::BenchmarkConfig;
+use crate::experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
+use crate::result::ExperimentResult;
+
+/// The benchmark: a set of models plus the run configuration.
+pub struct Benchmark {
+    clients: Vec<Box<dyn LlmClient>>,
+    config: BenchmarkConfig,
+    bleu: BleuScorer,
+    chrf: ChrfScorer,
+}
+
+impl Benchmark {
+    /// Build a benchmark over an explicit set of models.
+    pub fn new(clients: Vec<Box<dyn LlmClient>>, config: BenchmarkConfig) -> Self {
+        Benchmark {
+            clients,
+            config,
+            bleu: BleuScorer::default(),
+            chrf: ChrfScorer::default(),
+        }
+    }
+
+    /// Build a benchmark over the paper's four models, simulated.
+    pub fn with_simulated_models(config: BenchmarkConfig) -> Self {
+        let clients: Vec<Box<dyn LlmClient>> = SimulatedLlm::all()
+            .into_iter()
+            .map(|m| Box::new(m) as Box<dyn LlmClient>)
+            .collect();
+        Benchmark::new(clients, config)
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &BenchmarkConfig {
+        &self.config
+    }
+
+    /// Model display names in column order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.clients
+            .iter()
+            .map(|c| c.model().name().to_owned())
+            .collect()
+    }
+
+    /// Run one `(prompt, reference)` cell for one client over all trials,
+    /// recording BLEU and ChrF per trial into `result`.
+    fn run_cell(
+        &self,
+        client: &dyn LlmClient,
+        prompt: &str,
+        reference: &str,
+        row: &str,
+        result: &mut ExperimentResult,
+    ) {
+        for seed in self.config.trial_seeds() {
+            let params = SamplingParams {
+                temperature: self.config.temperature,
+                top_p: self.config.top_p,
+                seed,
+            };
+            let response = client.complete(&CompletionRequest::new(prompt.to_owned(), params));
+            let code = extract_code(&response.text);
+            let bleu = self.bleu.score(&code, reference);
+            let chrf = self.chrf.score(&code, reference);
+            result.push(row, client.model().name(), bleu, chrf);
+        }
+    }
+
+    /// The workflow-configuration experiment (Table 1).  Set `few_shot` to
+    /// augment the prompt with the 2-node exemplar (Table 5's second row).
+    pub fn run_configuration(&self, variant: PromptVariant, few_shot: bool) -> ExperimentResult {
+        let rows = ExperimentKind::Configuration.row_labels();
+        let mut result = ExperimentResult::with_labels(&rows, &self.model_names());
+        for system in WorkflowSystemId::configuration_systems() {
+            let reference = configuration_reference(system)
+                .expect("configuration systems always have a reference");
+            let mut prompt = configuration_prompt(system, variant);
+            if few_shot {
+                prompt = fewshot::augment_configuration_prompt(&prompt, system);
+            }
+            for client in &self.clients {
+                self.run_cell(client.as_ref(), &prompt, reference, system.name(), &mut result);
+            }
+        }
+        result
+    }
+
+    /// The task-code-annotation experiment (Table 2).
+    pub fn run_annotation(&self, variant: PromptVariant) -> ExperimentResult {
+        let rows = ExperimentKind::Annotation.row_labels();
+        let mut result = ExperimentResult::with_labels(&rows, &self.model_names());
+        for system in WorkflowSystemId::annotation_systems() {
+            let reference =
+                annotation_reference(system).expect("annotation systems always have a reference");
+            let prompt = annotation_prompt(system, variant);
+            for client in &self.clients {
+                self.run_cell(client.as_ref(), &prompt, reference, system.name(), &mut result);
+            }
+        }
+        result
+    }
+
+    /// The task-code-translation experiment (Table 3).
+    pub fn run_translation(&self, variant: PromptVariant) -> ExperimentResult {
+        let rows = ExperimentKind::Translation.row_labels();
+        let mut result = ExperimentResult::with_labels(&rows, &self.model_names());
+        for (source, target) in translation_pairs() {
+            let reference =
+                translation_reference(target).expect("translation targets always have a reference");
+            let prompt = translation_prompt(source, target, variant);
+            let row = translation_pair_label(source, target);
+            for client in &self.clients {
+                self.run_cell(client.as_ref(), &prompt, reference, &row, &mut result);
+            }
+        }
+        result
+    }
+
+    /// Run one experiment with one prompt variant.
+    pub fn run_experiment(&self, kind: ExperimentKind, variant: PromptVariant) -> ExperimentResult {
+        match kind {
+            ExperimentKind::Configuration => self.run_configuration(variant, false),
+            ExperimentKind::Annotation => self.run_annotation(variant),
+            ExperimentKind::Translation => self.run_translation(variant),
+        }
+    }
+
+    /// The prompt-sensitivity study (Figure 1): every experiment under every
+    /// prompt variant.
+    pub fn run_prompt_sensitivity(&self) -> PromptSensitivity {
+        let mut sensitivity = PromptSensitivity::default();
+        for kind in ExperimentKind::ALL {
+            let mut by_variant = BTreeMap::new();
+            for variant in PromptVariant::ALL {
+                by_variant.insert(variant.label().to_owned(), self.run_experiment(kind, variant));
+            }
+            sensitivity.results.insert(kind, by_variant);
+        }
+        sensitivity
+    }
+
+    /// The few-shot prompting study (Table 5): the configuration experiment
+    /// with and without the 2-node exemplar.
+    pub fn run_few_shot_comparison(&self) -> FewShotComparison {
+        FewShotComparison {
+            zero_shot: self.run_configuration(PromptVariant::Original, false),
+            few_shot: self.run_configuration(PromptVariant::Original, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfspeak_llm::ModelId;
+    use wfspeak_metrics::Metric;
+
+    fn quick_benchmark() -> Benchmark {
+        Benchmark::with_simulated_models(BenchmarkConfig {
+            trials: 2,
+            ..BenchmarkConfig::default()
+        })
+    }
+
+    #[test]
+    fn benchmark_exposes_four_simulated_models_in_paper_order() {
+        let b = quick_benchmark();
+        assert_eq!(
+            b.model_names(),
+            vec!["o3", "Gemini-2.5-Pro", "Claude-Sonnet-4", "LLaMA-3.3-70B"]
+        );
+        assert_eq!(b.config().trials, 2);
+    }
+
+    #[test]
+    fn configuration_result_has_table1_shape() {
+        let result = quick_benchmark().run_configuration(PromptVariant::Original, false);
+        assert_eq!(result.bleu.rows(), &["ADIOS2", "Henson", "Wilkins"]);
+        assert_eq!(result.bleu.cols().len(), 4);
+        for row in result.bleu.rows() {
+            for col in result.bleu.cols() {
+                assert_eq!(result.cell(Metric::Bleu, row, col).n, 2, "{row}/{col}");
+                assert_eq!(result.cell(Metric::Chrf, row, col).n, 2, "{row}/{col}");
+            }
+        }
+    }
+
+    #[test]
+    fn annotation_result_has_table2_shape() {
+        let result = quick_benchmark().run_annotation(PromptVariant::Original);
+        assert_eq!(result.bleu.rows(), &["ADIOS2", "Henson", "PyCOMPSs", "Parsl"]);
+        assert!(result.bleu.grand_overall().mean > 0.0);
+    }
+
+    #[test]
+    fn translation_result_has_table3_shape() {
+        let result = quick_benchmark().run_translation(PromptVariant::Original);
+        assert_eq!(result.bleu.rows().len(), 4);
+        assert!(result.bleu.rows().contains(&"ADIOS2 to Henson".to_string()));
+    }
+
+    #[test]
+    fn results_are_reproducible_for_a_fixed_config() {
+        let a = quick_benchmark().run_configuration(PromptVariant::Original, false);
+        let b = quick_benchmark().run_configuration(PromptVariant::Original, false);
+        for row in a.bleu.rows() {
+            for col in a.bleu.cols() {
+                assert_eq!(
+                    a.cell(Metric::Bleu, row, col).mean,
+                    b.cell(Metric::Bleu, row, col).mean,
+                    "{row}/{col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn few_shot_comparison_improves_every_model() {
+        let comparison = quick_benchmark().run_few_shot_comparison();
+        assert!(comparison.few_shot_improves_all_models());
+        for (model, zero, few, _, _) in comparison.per_model_rows() {
+            assert!(
+                few.mean > zero.mean + 20.0,
+                "{model}: few-shot {:.1} vs zero-shot {:.1}",
+                few.mean,
+                zero.mean
+            );
+        }
+    }
+
+    #[test]
+    fn custom_client_set_is_respected() {
+        let clients: Vec<Box<dyn LlmClient>> = vec![Box::new(SimulatedLlm::new(ModelId::O3))];
+        let b = Benchmark::new(clients, BenchmarkConfig { trials: 1, ..BenchmarkConfig::default() });
+        let result = b.run_annotation(PromptVariant::Detailed);
+        assert_eq!(result.bleu.cols(), &["o3"]);
+        assert_eq!(result.cell(Metric::Bleu, "ADIOS2", "o3").n, 1);
+    }
+}

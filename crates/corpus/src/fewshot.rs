@@ -1,0 +1,77 @@
+//! Few-shot prompting support (Section 4.5 / Table 5).
+//!
+//! The few-shot experiment augments the original workflow-configuration
+//! prompt with one worked example: the configuration file of a simple
+//! 2-node workflow for the same system.  Providing this context is what
+//! lets the models avoid hallucinating nonexistent fields (`inputs`,
+//! `outputs`, `command`, `dependencies`, ...).
+
+use crate::references::configs;
+use crate::WorkflowSystemId;
+
+/// The 2-node exemplar configuration for `system`, if the system takes part
+/// in the configuration experiment.
+pub fn exemplar(system: WorkflowSystemId) -> Option<&'static str> {
+    match system {
+        WorkflowSystemId::Wilkins => Some(configs::WILKINS_2NODE),
+        WorkflowSystemId::Adios2 => Some(configs::ADIOS2_2NODE),
+        WorkflowSystemId::Henson => Some(configs::HENSON_2NODE),
+        WorkflowSystemId::Parsl | WorkflowSystemId::PyCompss => None,
+    }
+}
+
+/// Augment a configuration prompt with the 2-node exemplar for `system`.
+/// Returns the prompt unchanged when the system has no exemplar.
+pub fn augment_configuration_prompt(prompt: &str, system: WorkflowSystemId) -> String {
+    match exemplar(system) {
+        Some(example) => format!(
+            "{prompt}\n\nHere is an example configuration file for a simple 2-node workflow \
+             (one producer and one consumer) in the {} workflow system:\n\n```\n{example}```\n\n\
+             Follow the same structure and field names when writing the requested configuration.",
+            system.name()
+        ),
+        None => prompt.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::{configuration_prompt, PromptVariant};
+
+    #[test]
+    fn exemplars_exist_for_configuration_systems_only() {
+        for sys in WorkflowSystemId::configuration_systems() {
+            assert!(exemplar(sys).is_some(), "{sys} missing exemplar");
+        }
+        assert!(exemplar(WorkflowSystemId::Parsl).is_none());
+        assert!(exemplar(WorkflowSystemId::PyCompss).is_none());
+    }
+
+    #[test]
+    fn augmented_prompt_contains_example_and_original_request() {
+        let base = configuration_prompt(WorkflowSystemId::Wilkins, PromptVariant::Original);
+        let aug = augment_configuration_prompt(&base, WorkflowSystemId::Wilkins);
+        assert!(aug.contains(&base));
+        assert!(aug.contains("inports:"));
+        assert!(aug.contains("outports:"));
+        assert!(aug.len() > base.len());
+    }
+
+    #[test]
+    fn augmentation_is_identity_for_systems_without_exemplar() {
+        let base = "configure something";
+        assert_eq!(
+            augment_configuration_prompt(base, WorkflowSystemId::Parsl),
+            base
+        );
+    }
+
+    #[test]
+    fn exemplar_is_smaller_than_target_reference() {
+        // The exemplar describes a 2-node workflow, the target a 3-node one.
+        let two = exemplar(WorkflowSystemId::Wilkins).unwrap();
+        assert!(two.len() < configs::WILKINS_3NODE.len());
+        assert!(two.matches("- func:").count() == 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! `wfspeak-corpus` — the benchmark's data: task codes, reference
+//! (ground-truth) artifacts, user prompts and few-shot exemplars.
+//!
+//! The paper's three experiments all start from the same small
+//! producer/consumer scenario:
+//!
+//! * a **producer** task emulating an HPC simulation (C for ADIOS2/Henson,
+//!   Python for Parsl/PyCOMPSs) that generates a random array per timestep,
+//!   reduces it over MPI and publishes it;
+//! * one or two **consumer** tasks reading the published data;
+//! * a **workflow configuration** describing the graph (Wilkins YAML,
+//!   ADIOS2 YAML, Henson script).
+//!
+//! Everything an experiment needs is exposed as plain strings plus small
+//! lookup helpers keyed by [`WorkflowSystemId`] so the rest of the workspace
+//! (systems models, simulated LLMs, the harness) shares one single source of
+//! truth for references.
+
+pub mod fewshot;
+pub mod prompts;
+pub mod references;
+pub mod task_codes;
+
+/// The five workflow systems evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkflowSystemId {
+    /// ADIOS2 I/O middleware used as a workflow coupling layer.
+    Adios2,
+    /// Henson cooperative multitasking in situ system.
+    Henson,
+    /// Parsl Python parallel scripting library.
+    Parsl,
+    /// PyCOMPSs task-based programming model.
+    PyCompss,
+    /// Wilkins in situ workflow system.
+    Wilkins,
+}
+
+impl WorkflowSystemId {
+    /// All systems, in the paper's table order.
+    pub const ALL: [WorkflowSystemId; 5] = [
+        WorkflowSystemId::Adios2,
+        WorkflowSystemId::Henson,
+        WorkflowSystemId::Parsl,
+        WorkflowSystemId::PyCompss,
+        WorkflowSystemId::Wilkins,
+    ];
+
+    /// Display name used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkflowSystemId::Adios2 => "ADIOS2",
+            WorkflowSystemId::Henson => "Henson",
+            WorkflowSystemId::Parsl => "Parsl",
+            WorkflowSystemId::PyCompss => "PyCOMPSs",
+            WorkflowSystemId::Wilkins => "Wilkins",
+        }
+    }
+
+    /// Parse a display name back into an id (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        let lower = name.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "adios2" | "adios" => WorkflowSystemId::Adios2,
+            "henson" => WorkflowSystemId::Henson,
+            "parsl" => WorkflowSystemId::Parsl,
+            "pycompss" | "compss" => WorkflowSystemId::PyCompss,
+            "wilkins" => WorkflowSystemId::Wilkins,
+            _ => return None,
+        })
+    }
+
+    /// Systems included in the workflow-configuration experiment (the paper
+    /// excludes Parsl and PyCOMPSs whose config files describe the execution
+    /// environment rather than the workflow structure).
+    pub fn configuration_systems() -> Vec<WorkflowSystemId> {
+        vec![
+            WorkflowSystemId::Adios2,
+            WorkflowSystemId::Henson,
+            WorkflowSystemId::Wilkins,
+        ]
+    }
+
+    /// Systems included in the task-code-annotation experiment (Wilkins is
+    /// excluded because it requires no task code changes).
+    pub fn annotation_systems() -> Vec<WorkflowSystemId> {
+        vec![
+            WorkflowSystemId::Adios2,
+            WorkflowSystemId::Henson,
+            WorkflowSystemId::PyCompss,
+            WorkflowSystemId::Parsl,
+        ]
+    }
+
+    /// Whether task codes for this system are written in Python (true) or C
+    /// (false).
+    pub fn uses_python_tasks(&self) -> bool {
+        matches!(self, WorkflowSystemId::Parsl | WorkflowSystemId::PyCompss)
+    }
+}
+
+impl std::fmt::Display for WorkflowSystemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Translation pairs evaluated in the task-code-translation experiment
+/// (Table 3), in the paper's row order.
+pub fn translation_pairs() -> Vec<(WorkflowSystemId, WorkflowSystemId)> {
+    vec![
+        (WorkflowSystemId::Henson, WorkflowSystemId::Adios2),
+        (WorkflowSystemId::Adios2, WorkflowSystemId::Henson),
+        (WorkflowSystemId::Parsl, WorkflowSystemId::PyCompss),
+        (WorkflowSystemId::PyCompss, WorkflowSystemId::Parsl),
+    ]
+}
+
+/// Display label for a translation pair as used in Table 3 rows.
+pub fn translation_pair_label(source: WorkflowSystemId, target: WorkflowSystemId) -> String {
+    format!("{} to {}", source.name(), target.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_names_round_trip() {
+        for sys in WorkflowSystemId::ALL {
+            assert_eq!(WorkflowSystemId::from_name(sys.name()), Some(sys));
+        }
+        assert_eq!(WorkflowSystemId::from_name("unknown"), None);
+        assert_eq!(
+            WorkflowSystemId::from_name("wilkins"),
+            Some(WorkflowSystemId::Wilkins)
+        );
+    }
+
+    #[test]
+    fn configuration_systems_match_paper_table1() {
+        let systems = WorkflowSystemId::configuration_systems();
+        assert_eq!(systems.len(), 3);
+        assert!(!systems.contains(&WorkflowSystemId::Parsl));
+        assert!(!systems.contains(&WorkflowSystemId::PyCompss));
+    }
+
+    #[test]
+    fn annotation_systems_match_paper_table2() {
+        let systems = WorkflowSystemId::annotation_systems();
+        assert_eq!(systems.len(), 4);
+        assert!(!systems.contains(&WorkflowSystemId::Wilkins));
+    }
+
+    #[test]
+    fn translation_pairs_match_paper_table3() {
+        let pairs = translation_pairs();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(
+            translation_pair_label(pairs[0].0, pairs[0].1),
+            "Henson to ADIOS2"
+        );
+        assert_eq!(
+            translation_pair_label(pairs[3].0, pairs[3].1),
+            "PyCOMPSs to Parsl"
+        );
+    }
+
+    #[test]
+    fn python_task_systems() {
+        assert!(WorkflowSystemId::Parsl.uses_python_tasks());
+        assert!(WorkflowSystemId::PyCompss.uses_python_tasks());
+        assert!(!WorkflowSystemId::Adios2.uses_python_tasks());
+        assert!(!WorkflowSystemId::Henson.uses_python_tasks());
+        assert!(!WorkflowSystemId::Wilkins.uses_python_tasks());
+    }
+}

@@ -1,0 +1,263 @@
+//! User prompts for the three experiments, in the five variants used by the
+//! prompt-sensitivity study (Section 4.4).
+
+use crate::task_codes;
+use crate::references::annotated;
+use crate::WorkflowSystemId;
+
+/// The five prompting strategies of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum PromptVariant {
+    /// The paper's original prompt wording.
+    #[default]
+    Original,
+    /// Extra technical detail (names concrete API calls).
+    Detailed,
+    /// Different register/style ("Developer, please ...").
+    DifferentStyle,
+    /// Paraphrased wording.
+    Paraphrased,
+    /// Reordered sentences.
+    Reordered,
+}
+
+impl PromptVariant {
+    /// All variants in the order Figure 1 lists them.
+    pub const ALL: [PromptVariant; 5] = [
+        PromptVariant::Original,
+        PromptVariant::Detailed,
+        PromptVariant::DifferentStyle,
+        PromptVariant::Paraphrased,
+        PromptVariant::Reordered,
+    ];
+
+    /// Row label used in the Figure 1 heatmaps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PromptVariant::Original => "original",
+            PromptVariant::Detailed => "detailed",
+            PromptVariant::DifferentStyle => "different-style",
+            PromptVariant::Paraphrased => "paraphrased",
+            PromptVariant::Reordered => "reordered",
+        }
+    }
+}
+
+impl std::fmt::Display for PromptVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Detail snippets naming concrete API constructs, used by the `Detailed`
+/// variant (mirroring the paper's "Annotate ... with ADIOS2 calls (like
+/// DefineVariable, Put, BeginStep, EndStep)").
+fn api_hint(system: WorkflowSystemId) -> &'static str {
+    match system {
+        WorkflowSystemId::Adios2 => "(like DefineVariable, Put, BeginStep, EndStep)",
+        WorkflowSystemId::Henson => "(like henson_save_array, henson_save_int, henson_yield)",
+        WorkflowSystemId::Parsl => "(like the @python_app decorator, parsl.load, and futures)",
+        WorkflowSystemId::PyCompss => {
+            "(like the @task decorator, FILE_OUT parameters, and compss_wait_on_file)"
+        }
+        WorkflowSystemId::Wilkins => "(tasks with func, nprocs, inports, outports and dsets)",
+    }
+}
+
+/// The workflow-configuration request (Section 3.3 / Table 1).  The scenario
+/// is fixed: 3-node workflow, producer with grid and particles outputs on 3
+/// processes, two single-process consumers.
+pub fn configuration_prompt(system: WorkflowSystemId, variant: PromptVariant) -> String {
+    let sys = system.name();
+    match variant {
+        PromptVariant::Original => format!(
+            "I would like to have a 3-node workflow consisting of one producer and two consumer \
+             tasks, where producer generates grid and particles datasets, consumer1 reads grid \
+             and consumer2 reads particles datasets. Producer requires 3 processes, and each \
+             consumer runs on a single process. Please provide the workflow configuration file \
+             for the {sys} workflow system."
+        ),
+        PromptVariant::Detailed => format!(
+            "Please write the {sys} workflow configuration file {hint} for a 3-node workflow: a \
+             producer task running on 3 processes that generates the grid and particles \
+             datasets, a consumer1 task on 1 process that reads grid, and a consumer2 task on 1 \
+             process that reads particles.",
+            hint = api_hint(system)
+        ),
+        PromptVariant::DifferentStyle => format!(
+            "Developer, please produce the configuration file for the {sys} workflow system. The \
+             workflow has three nodes: one producer (3 processes) creating grid and particles \
+             datasets, and two consumers (1 process each) where the first reads grid and the \
+             second reads particles. Ensure every data requirement is declared."
+        ),
+        PromptVariant::Paraphrased => format!(
+            "I have a workflow with a producer and two consumers that I want to describe for the \
+             {sys} system. The producer creates two datasets called grid and particles and needs \
+             3 processes; consumer1 takes grid and consumer2 takes particles, each on one \
+             process. Could you write the corresponding workflow configuration file?"
+        ),
+        PromptVariant::Reordered => format!(
+            "Please provide the workflow configuration file for the {sys} workflow system. The \
+             workflow consists of 3 nodes: one producer and two consumer tasks. Producer \
+             requires 3 processes and generates grid and particles datasets; consumer1 reads \
+             grid and consumer2 reads particles, each running on a single process."
+        ),
+    }
+}
+
+/// The task-code-annotation request (Section 3.3 / Table 2).  The producer
+/// task code for the system's language is appended below the instructions.
+pub fn annotation_prompt(system: WorkflowSystemId, variant: PromptVariant) -> String {
+    let sys = system.name();
+    let code = task_codes::producer_for(system);
+    let instruction = match variant {
+        PromptVariant::Original => format!(
+            "You are assisting in the development of a simple producer-consumer workflow using \
+             the {sys} system. The producer task code is provided below. Annotate this task code \
+             in order to use it with the {sys} system."
+        ),
+        PromptVariant::Detailed => format!(
+            "Annotate the producer task code below with {sys} calls {hint} to enable it to run \
+             as part of a {sys} workflow.",
+            hint = api_hint(system)
+        ),
+        PromptVariant::DifferentStyle => format!(
+            "Developer, please take the following producer task code and annotate it for \
+             compatibility with the {sys} system in a producer-consumer workflow. Ensure all \
+             necessary {sys} functions for data handling are included."
+        ),
+        PromptVariant::Paraphrased => format!(
+            "I have some code for a producer task that I want to integrate into a \
+             producer-consumer workflow using {sys}. Could you please go through the code \
+             provided below and add the necessary {sys} annotations?"
+        ),
+        PromptVariant::Reordered => format!(
+            "Below is the producer task code for a simple producer-consumer workflow. Using the \
+             {sys} system, please annotate this code to enable its use within the workflow."
+        ),
+    };
+    format!("{instruction}\n\n```\n{code}```\n")
+}
+
+/// The task-code-translation request (Section 3.3 / Table 3).  The annotated
+/// producer code of the source system is appended below the instructions.
+pub fn translation_prompt(
+    source: WorkflowSystemId,
+    target: WorkflowSystemId,
+    variant: PromptVariant,
+) -> String {
+    let src = source.name();
+    let dst = target.name();
+    let code = annotated_producer(source);
+    let instruction = match variant {
+        PromptVariant::Original => format!(
+            "Task codes are provided below for the {src} workflow system for a 2-node workflow. \
+             Your task is to translate these codes to use the {dst} system."
+        ),
+        PromptVariant::Detailed => format!(
+            "Translate the {src} producer task code below into the {dst} workflow system, \
+             replacing every {src} API call with the equivalent {dst} call {hint}.",
+            hint = api_hint(target)
+        ),
+        PromptVariant::DifferentStyle => format!(
+            "Developer, please port the following {src} producer task code so that it runs under \
+             the {dst} workflow system instead. Keep the simulation logic unchanged and swap the \
+             workflow API calls."
+        ),
+        PromptVariant::Paraphrased => format!(
+            "I have producer task code written for {src} and I would like the same workflow to \
+             run with {dst}. Could you translate the code below accordingly?"
+        ),
+        PromptVariant::Reordered => format!(
+            "Please translate these codes to use the {dst} system. The task codes below are \
+             written for the {src} workflow system as part of a 2-node workflow."
+        ),
+    };
+    format!("{instruction}\n\n```\n{code}```\n")
+}
+
+/// The annotated producer used as translation source material.
+pub fn annotated_producer(system: WorkflowSystemId) -> &'static str {
+    match system {
+        WorkflowSystemId::Adios2 => annotated::ADIOS2_PRODUCER,
+        WorkflowSystemId::Henson => annotated::HENSON_PRODUCER,
+        WorkflowSystemId::Parsl => annotated::PARSL_PRODUCER,
+        WorkflowSystemId::PyCompss => annotated::PYCOMPSS_PRODUCER,
+        WorkflowSystemId::Wilkins => task_codes::C_PRODUCER,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_configuration_prompt_matches_paper_wording() {
+        let p = configuration_prompt(WorkflowSystemId::Wilkins, PromptVariant::Original);
+        assert!(p.contains("3-node workflow"));
+        assert!(p.contains("producer generates grid and particles"));
+        assert!(p.contains("Producer requires 3 processes"));
+        assert!(p.contains("Wilkins workflow system"));
+    }
+
+    #[test]
+    fn all_variants_distinct_for_each_experiment() {
+        for sys in WorkflowSystemId::configuration_systems() {
+            let prompts: Vec<String> = PromptVariant::ALL
+                .iter()
+                .map(|v| configuration_prompt(sys, *v))
+                .collect();
+            let mut unique = prompts.clone();
+            unique.sort();
+            unique.dedup();
+            assert_eq!(unique.len(), prompts.len(), "duplicate variants for {sys}");
+        }
+    }
+
+    #[test]
+    fn annotation_prompt_embeds_task_code() {
+        let p = annotation_prompt(WorkflowSystemId::Adios2, PromptVariant::Original);
+        assert!(p.contains("ADIOS2 system"));
+        assert!(p.contains("MPI_Init"));
+        assert!(p.contains("```"));
+        let py = annotation_prompt(WorkflowSystemId::Parsl, PromptVariant::Original);
+        assert!(py.contains("def produce("));
+    }
+
+    #[test]
+    fn detailed_annotation_prompt_names_api_calls() {
+        let p = annotation_prompt(WorkflowSystemId::Adios2, PromptVariant::Detailed);
+        assert!(p.contains("DefineVariable"));
+        assert!(p.contains("BeginStep"));
+        let h = annotation_prompt(WorkflowSystemId::Henson, PromptVariant::Detailed);
+        assert!(h.contains("henson_save_int"));
+    }
+
+    #[test]
+    fn translation_prompt_embeds_source_annotated_code() {
+        let p = translation_prompt(
+            WorkflowSystemId::Adios2,
+            WorkflowSystemId::Henson,
+            PromptVariant::Original,
+        );
+        assert!(p.contains("ADIOS2 workflow system"));
+        assert!(p.contains("translate these codes to use the Henson system"));
+        assert!(p.contains("adios2_put"));
+    }
+
+    #[test]
+    fn variant_labels_match_figure1_rows() {
+        let labels: Vec<&str> = PromptVariant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["original", "detailed", "different-style", "paraphrased", "reordered"]
+        );
+    }
+
+    #[test]
+    fn annotated_producer_covers_all_systems() {
+        for sys in WorkflowSystemId::ALL {
+            assert!(!annotated_producer(sys).is_empty());
+        }
+    }
+}

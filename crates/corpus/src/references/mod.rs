@@ -1,0 +1,71 @@
+//! Reference (ground-truth) artifacts the LLM outputs are scored against.
+//!
+//! * [`configs`] — workflow configuration files for the 3-node
+//!   producer/consumer workflow (Table 1 / Table 6), plus the 2-node
+//!   exemplars used for few-shot prompting (Table 5).
+//! * [`annotated`] — producer task codes annotated with each workflow
+//!   system's API (Table 2), which also serve as the translation targets
+//!   (Table 3).
+
+pub mod annotated;
+pub mod configs;
+
+use crate::WorkflowSystemId;
+
+/// The reference configuration file for the paper's 3-node workflow.
+/// Only the systems in the configuration experiment have one.
+pub fn configuration_reference(system: WorkflowSystemId) -> Option<&'static str> {
+    match system {
+        WorkflowSystemId::Wilkins => Some(configs::WILKINS_3NODE),
+        WorkflowSystemId::Adios2 => Some(configs::ADIOS2_3NODE),
+        WorkflowSystemId::Henson => Some(configs::HENSON_3NODE),
+        WorkflowSystemId::Parsl | WorkflowSystemId::PyCompss => None,
+    }
+}
+
+/// The reference annotated producer code for `system`; `None` for Wilkins,
+/// which requires no task-code changes.
+pub fn annotation_reference(system: WorkflowSystemId) -> Option<&'static str> {
+    match system {
+        WorkflowSystemId::Adios2 => Some(annotated::ADIOS2_PRODUCER),
+        WorkflowSystemId::Henson => Some(annotated::HENSON_PRODUCER),
+        WorkflowSystemId::Parsl => Some(annotated::PARSL_PRODUCER),
+        WorkflowSystemId::PyCompss => Some(annotated::PYCOMPSS_PRODUCER),
+        WorkflowSystemId::Wilkins => None,
+    }
+}
+
+/// The reference for translating a producer task code into `target`
+/// (identical to the target's annotation reference).
+pub fn translation_reference(target: WorkflowSystemId) -> Option<&'static str> {
+    annotation_reference(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configuration_references_cover_table1_systems() {
+        for sys in WorkflowSystemId::configuration_systems() {
+            assert!(configuration_reference(sys).is_some(), "{sys} missing config reference");
+        }
+        assert!(configuration_reference(WorkflowSystemId::Parsl).is_none());
+        assert!(configuration_reference(WorkflowSystemId::PyCompss).is_none());
+    }
+
+    #[test]
+    fn annotation_references_cover_table2_systems() {
+        for sys in WorkflowSystemId::annotation_systems() {
+            assert!(annotation_reference(sys).is_some(), "{sys} missing annotation reference");
+        }
+        assert!(annotation_reference(WorkflowSystemId::Wilkins).is_none());
+    }
+
+    #[test]
+    fn translation_reference_equals_annotation_reference() {
+        for sys in WorkflowSystemId::annotation_systems() {
+            assert_eq!(translation_reference(sys), annotation_reference(sys));
+        }
+    }
+}

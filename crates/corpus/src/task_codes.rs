@@ -1,0 +1,237 @@
+//! The unannotated user task codes given to the LLMs.
+//!
+//! The C producer emulates an HPC simulation: per timestep it fills an array
+//! with random numbers, reduces the local sums over MPI and prints the
+//! total.  Comment markers show where a workflow system's API calls belong —
+//! exactly the shape of code the paper provides to the models in the
+//! annotation experiment.  The Python producer/consumer are the equivalents
+//! used for Parsl and PyCOMPSs.
+
+use crate::WorkflowSystemId;
+
+/// Plain C producer task (no workflow system calls), used for the ADIOS2 and
+/// Henson annotation experiments.
+pub const C_PRODUCER: &str = r#"#include <stdio.h>
+#include <stdlib.h>
+#include <unistd.h>
+#include <time.h>
+#include <mpi.h>
+
+int main(int argc, char** argv)
+{
+    MPI_Init(&argc, &argv);
+
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    size_t n = 50;
+    if (argc > 1) n = atoi(argv[1]);
+    if (rank == 0) printf("Using %zu random numbers\n", n);
+
+    int iterations = 3;
+    if (argc > 2) iterations = atoi(argv[2]);
+
+    int sleep_interval = 0;
+    if (argc > 3) sleep_interval = atoi(argv[3]);
+
+    srand(time(NULL) + rank);
+
+    /* workflow: initialize the coupling layer here */
+    /* workflow: declare the outputs (array, t) here */
+
+    int t;
+    for (t = 0; t < iterations; ++t) {
+        if (sleep_interval) sleep(sleep_interval);
+
+        float* array = (float*) malloc(n * sizeof(float));
+        size_t i;
+        for (i = 0; i < n; ++i) array[i] = (float) rand() / (float) RAND_MAX;
+
+        float sum = 0;
+        for (i = 0; i < n; ++i) sum += array[i];
+        printf("[%d] Simulation [t=%d]: sum = %f\n", rank, t, sum);
+
+        float total_sum;
+        MPI_Reduce(&sum, &total_sum, 1, MPI_FLOAT, MPI_SUM, 0, MPI_COMM_WORLD);
+        if (rank == 0)
+            printf("[%d] Simulation [t=%d]: total_sum = %f\n", rank, t, total_sum);
+
+        /* workflow: publish array and t to the consumer here */
+
+        free(array);
+    }
+
+    /* workflow: finalize the coupling layer here */
+
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+/// Plain C consumer task reading the producer's published data.
+pub const C_CONSUMER: &str = r#"#include <stdio.h>
+#include <stdlib.h>
+#include <mpi.h>
+
+int main(int argc, char** argv)
+{
+    MPI_Init(&argc, &argv);
+
+    int rank, size;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+    /* workflow: initialize the coupling layer here */
+    /* workflow: open the producer's output here */
+
+    int done = 0;
+    while (!done) {
+        /* workflow: read the next step's array and t here */
+        float* array = NULL;
+        size_t n = 0;
+        int t = -1;
+
+        if (array == NULL) { done = 1; continue; }
+
+        float sum = 0;
+        size_t i;
+        for (i = 0; i < n; ++i) sum += array[i];
+        printf("[%d] Analysis [t=%d]: sum = %f\n", rank, t, sum);
+
+        free(array);
+    }
+
+    /* workflow: finalize the coupling layer here */
+
+    MPI_Finalize();
+    return 0;
+}
+"#;
+
+/// Plain Python producer task (no workflow system decorators), used for the
+/// Parsl and PyCOMPSs annotation experiments.
+pub const PY_PRODUCER: &str = r#"import random
+import sys
+import time
+
+
+def produce(n, iterations, sleep_interval, outfile):
+    """Emulate an HPC simulation producing one array per timestep."""
+    for t in range(iterations):
+        if sleep_interval:
+            time.sleep(sleep_interval)
+
+        array = [random.random() for _ in range(n)]
+        total = sum(array)
+        print(f"Simulation [t={t}]: sum = {total}")
+
+        # workflow: publish the array for the consumer task here
+        with open(outfile, "w") as f:
+            f.write(" ".join(str(x) for x in array))
+
+    return outfile
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    sleep_interval = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+
+    # workflow: turn produce() into a workflow task and launch it here
+    produce(n, iterations, sleep_interval, "output.txt")
+
+
+if __name__ == "__main__":
+    main()
+"#;
+
+/// Plain Python consumer task reading the producer's output file.
+pub const PY_CONSUMER: &str = r#"import sys
+
+
+def consume(infile):
+    """Analyse the array written by the producer."""
+    with open(infile) as f:
+        array = [float(x) for x in f.read().split()]
+    total = sum(array)
+    print(f"Analysis: sum = {total}")
+    return total
+
+
+def main():
+    infile = sys.argv[1] if len(sys.argv) > 1 else "output.txt"
+    # workflow: wait for the producer's output before reading it here
+    consume(infile)
+
+
+if __name__ == "__main__":
+    main()
+"#;
+
+/// The unannotated producer task code appropriate for `system` (C for the in
+/// situ / I/O systems, Python for the Python task systems).
+pub fn producer_for(system: WorkflowSystemId) -> &'static str {
+    if system.uses_python_tasks() {
+        PY_PRODUCER
+    } else {
+        C_PRODUCER
+    }
+}
+
+/// The unannotated consumer task code appropriate for `system`.
+pub fn consumer_for(system: WorkflowSystemId) -> &'static str {
+    if system.uses_python_tasks() {
+        PY_CONSUMER
+    } else {
+        C_CONSUMER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_producer_has_mpi_and_markers() {
+        assert!(C_PRODUCER.contains("MPI_Init"));
+        assert!(C_PRODUCER.contains("MPI_Reduce"));
+        assert!(C_PRODUCER.contains("/* workflow:"));
+        assert!(C_PRODUCER.contains("total_sum"));
+    }
+
+    #[test]
+    fn c_producer_has_no_workflow_api_calls() {
+        for api in ["adios2_", "henson_", "@task", "@python_app"] {
+            assert!(!C_PRODUCER.contains(api), "unexpected `{api}` in bare producer");
+        }
+    }
+
+    #[test]
+    fn python_producer_has_markers_and_no_decorators() {
+        assert!(PY_PRODUCER.contains("# workflow:"));
+        assert!(!PY_PRODUCER.contains("@task"));
+        assert!(!PY_PRODUCER.contains("@python_app"));
+        assert!(PY_PRODUCER.contains("def produce("));
+    }
+
+    #[test]
+    fn producer_selection_by_system() {
+        assert_eq!(producer_for(WorkflowSystemId::Adios2), C_PRODUCER);
+        assert_eq!(producer_for(WorkflowSystemId::Henson), C_PRODUCER);
+        assert_eq!(producer_for(WorkflowSystemId::Parsl), PY_PRODUCER);
+        assert_eq!(producer_for(WorkflowSystemId::PyCompss), PY_PRODUCER);
+    }
+
+    #[test]
+    fn consumer_selection_by_system() {
+        assert_eq!(consumer_for(WorkflowSystemId::Henson), C_CONSUMER);
+        assert_eq!(consumer_for(WorkflowSystemId::Parsl), PY_CONSUMER);
+    }
+
+    #[test]
+    fn consumers_reference_analysis_not_simulation() {
+        assert!(C_CONSUMER.contains("Analysis"));
+        assert!(PY_CONSUMER.contains("Analysis"));
+    }
+}

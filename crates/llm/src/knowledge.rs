@@ -1,0 +1,342 @@
+//! Calibrated knowledge profiles of the simulated models.
+//!
+//! Each `(model, task, system)` cell carries a *degradation level* in
+//! `[0, 1]`: 0 means the model reliably produces the reference artifact,
+//! 1 means it produces something structurally wrong.  The values below are
+//! calibrated against the paper's Tables 1–3 so that, once the degradation
+//! operators of [`crate::degrade`] are applied and the result is scored with
+//! BLEU/ChrF, the benchmark reproduces the paper's orderings: ADIOS2 and
+//! PyCOMPSs artifacts come out best, Henson and Wilkins worst, Gemini-2.5-Pro
+//! and Claude-Sonnet-4 lead the configuration experiment, LLaMA-3.3-70B
+//! collapses on PyCOMPSs annotation, and so on.
+//!
+//! The profiles also carry per-model *prompt sensitivity* (how much the
+//! wording of the prompt shifts the level — Figure 1) and *sampling noise*
+//! (trial-to-trial variance — the ± standard errors in every table).
+
+use wfspeak_corpus::WorkflowSystemId;
+
+use crate::request::TaskKind;
+use crate::ModelId;
+
+/// How strongly a model reacts to prompt wording and sampling noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorProfile {
+    /// Maximum shift of the degradation level due to prompt wording.
+    pub prompt_sensitivity: f64,
+    /// Maximum shift of the degradation level due to per-trial sampling.
+    pub sampling_noise: f64,
+    /// Residual degradation under few-shot prompting (how well the model
+    /// exploits the provided example).
+    pub few_shot_floor: f64,
+    /// Probability of wrapping the answer in markdown fences with prose.
+    pub verbosity: f64,
+}
+
+/// Per-model behavioural profile.
+pub fn behavior(model: ModelId) -> BehaviorProfile {
+    match model {
+        ModelId::O3 => BehaviorProfile {
+            prompt_sensitivity: 0.08,
+            sampling_noise: 0.05,
+            few_shot_floor: 0.05,
+            verbosity: 0.6,
+        },
+        ModelId::Gemini25Pro => BehaviorProfile {
+            prompt_sensitivity: 0.09,
+            sampling_noise: 0.05,
+            few_shot_floor: 0.07,
+            verbosity: 0.7,
+        },
+        ModelId::ClaudeSonnet4 => BehaviorProfile {
+            prompt_sensitivity: 0.10,
+            sampling_noise: 0.01,
+            few_shot_floor: 0.03,
+            verbosity: 0.8,
+        },
+        ModelId::Llama33_70B => BehaviorProfile {
+            prompt_sensitivity: 0.12,
+            sampling_noise: 0.03,
+            few_shot_floor: 0.09,
+            verbosity: 0.4,
+        },
+    }
+}
+
+/// Degradation level for a `(model, task)` cell, calibrated against the
+/// paper's Tables 1–3.  Lower is better.
+pub fn degradation_level(model: ModelId, task: &TaskKind) -> f64 {
+    use ModelId::*;
+    use WorkflowSystemId::*;
+    match task {
+        TaskKind::Configuration { system } => match (model, system) {
+            // Table 1: ADIOS2 well known, Henson barely, Wilkins in between.
+            (O3, Adios2) => 0.38,
+            (Gemini25Pro, Adios2) => 0.24,
+            (ClaudeSonnet4, Adios2) => 0.25,
+            (Llama33_70B, Adios2) => 0.58,
+            (O3, Henson) => 0.80,
+            (Gemini25Pro, Henson) => 0.74,
+            (ClaudeSonnet4, Henson) => 0.76,
+            (Llama33_70B, Henson) => 0.73,
+            (O3, Wilkins) => 0.68,
+            (Gemini25Pro, Wilkins) => 0.66,
+            (ClaudeSonnet4, Wilkins) => 0.62,
+            (Llama33_70B, Wilkins) => 0.60,
+            // Parsl / PyCOMPSs are excluded from the experiment; a request
+            // would still be answered, poorly.
+            (_, Parsl) | (_, PyCompss) => 0.7,
+        },
+        TaskKind::Annotation { system } => match (model, system) {
+            // Table 2.
+            (O3, Adios2) => 0.37,
+            (Gemini25Pro, Adios2) => 0.46,
+            (ClaudeSonnet4, Adios2) => 0.68,
+            (Llama33_70B, Adios2) => 0.44,
+            (O3, Henson) => 0.60,
+            (Gemini25Pro, Henson) => 0.55,
+            (ClaudeSonnet4, Henson) => 0.58,
+            (Llama33_70B, Henson) => 0.90,
+            (O3, PyCompss) => 0.26,
+            (Gemini25Pro, PyCompss) => 0.10,
+            (ClaudeSonnet4, PyCompss) => 0.34,
+            (Llama33_70B, PyCompss) => 0.97,
+            (O3, Parsl) => 0.58,
+            (Gemini25Pro, Parsl) => 0.62,
+            (ClaudeSonnet4, Parsl) => 0.61,
+            (Llama33_70B, Parsl) => 0.56,
+            (_, Wilkins) => 0.2, // no annotation needed; nearly trivial
+        },
+        TaskKind::Translation { target, source } => {
+            // Table 3: translation tracks the target-system annotation but is
+            // slightly harder because two systems are involved.
+            let base = degradation_level(
+                model,
+                &TaskKind::Annotation { system: *target },
+            );
+            let cross_penalty = match (model, source, target) {
+                // o3 is notably strong at Henson→ADIOS2 and weak at
+                // ADIOS2→Henson (Table 3).
+                (O3, Henson, Adios2) => -0.02,
+                (O3, Adios2, Henson) => 0.20,
+                (Gemini25Pro, Adios2, Henson) => 0.08,
+                (Gemini25Pro, Parsl, PyCompss) => 0.04,
+                (Llama33_70B, Adios2, Henson) => 0.10,
+                (Llama33_70B, Parsl, PyCompss) => 0.02,
+                (ClaudeSonnet4, Henson, Adios2) => 0.10,
+                (ClaudeSonnet4, Adios2, Henson) => 0.08,
+                _ => 0.16,
+            };
+            (base + cross_penalty).clamp(0.02, 0.97)
+        }
+        TaskKind::Unknown => 0.9,
+    }
+}
+
+/// Adjust a base level for prompt wording, few-shot context and sampling
+/// noise.  `wording_fingerprint` comes from the request analysis; `seed`
+/// identifies the trial.
+pub fn effective_level(
+    model: ModelId,
+    base: f64,
+    wording_fingerprint: u64,
+    few_shot: bool,
+    seed: u64,
+    temperature: f64,
+) -> f64 {
+    let profile = behavior(model);
+    // Prompt-wording shift: a deterministic value in [-1, 1] derived from the
+    // fingerprint and the model (different models prefer different wordings —
+    // the paper finds no universally best prompt).
+    let mix = wording_fingerprint ^ (model as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    let wording_unit = ((splitmix(mix) >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+    let wording_shift = wording_unit * profile.prompt_sensitivity;
+
+    // Sampling noise per trial, scaled by temperature (o3 ignores it).
+    let noise_scale = if model.supports_sampling_params() {
+        profile.sampling_noise * (temperature / 0.2).clamp(0.0, 5.0)
+    } else {
+        profile.sampling_noise
+    };
+    let trial_mix = splitmix(seed ^ mix.rotate_left(17));
+    let trial_unit = ((trial_mix >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+    let trial_shift = trial_unit * noise_scale;
+
+    let mut level = base + wording_shift + trial_shift;
+    if few_shot {
+        // The worked example collapses the level towards the model's
+        // few-shot floor (Table 5's large uplift).
+        level = profile.few_shot_floor + trial_unit.abs() * 0.04;
+    }
+    level.clamp(0.0, 1.0)
+}
+
+/// SplitMix64 — cheap deterministic hash used for the shifts above.
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(system: WorkflowSystemId) -> TaskKind {
+        TaskKind::Configuration { system }
+    }
+
+    fn annotation(system: WorkflowSystemId) -> TaskKind {
+        TaskKind::Annotation { system }
+    }
+
+    #[test]
+    fn configuration_adios2_is_best_known_and_henson_worst() {
+        // Per model, ADIOS2 configuration is always better known than Henson
+        // (true for every column of Table 1).
+        for model in ModelId::ALL {
+            let adios2 = degradation_level(model, &config(WorkflowSystemId::Adios2));
+            let henson = degradation_level(model, &config(WorkflowSystemId::Henson));
+            assert!(adios2 < henson, "{model}: ADIOS2 should beat Henson");
+        }
+        // Averaged over models (the paper's Overall column): ADIOS2 best,
+        // Henson worst, Wilkins in between.
+        let mean = |system| {
+            ModelId::ALL
+                .iter()
+                .map(|m| degradation_level(*m, &config(system)))
+                .sum::<f64>()
+                / 4.0
+        };
+        assert!(mean(WorkflowSystemId::Adios2) < mean(WorkflowSystemId::Wilkins));
+        assert!(mean(WorkflowSystemId::Wilkins) < mean(WorkflowSystemId::Henson));
+    }
+
+    #[test]
+    fn gemini_and_claude_lead_configuration() {
+        // Overall (mean over the three systems), Gemini/Claude < o3 and LLaMA.
+        let overall = |model| {
+            [
+                WorkflowSystemId::Adios2,
+                WorkflowSystemId::Henson,
+                WorkflowSystemId::Wilkins,
+            ]
+            .iter()
+            .map(|s| degradation_level(model, &config(*s)))
+            .sum::<f64>()
+                / 3.0
+        };
+        assert!(overall(ModelId::Gemini25Pro) < overall(ModelId::O3));
+        assert!(overall(ModelId::ClaudeSonnet4) < overall(ModelId::O3));
+        assert!(overall(ModelId::Gemini25Pro) < overall(ModelId::Llama33_70B));
+    }
+
+    #[test]
+    fn pycompss_annotation_is_geminis_best_and_llamas_worst() {
+        let gem = degradation_level(ModelId::Gemini25Pro, &annotation(WorkflowSystemId::PyCompss));
+        let llama = degradation_level(ModelId::Llama33_70B, &annotation(WorkflowSystemId::PyCompss));
+        assert!(gem < 0.2);
+        assert!(llama > 0.8);
+    }
+
+    #[test]
+    fn translation_is_harder_than_annotation_on_average() {
+        let mut annotation_sum = 0.0;
+        let mut translation_sum = 0.0;
+        let mut n = 0.0;
+        for model in ModelId::ALL {
+            for (source, target) in wfspeak_corpus::translation_pairs() {
+                annotation_sum += degradation_level(model, &annotation(target));
+                translation_sum +=
+                    degradation_level(model, &TaskKind::Translation { source, target });
+                n += 1.0;
+            }
+        }
+        assert!(translation_sum / n > annotation_sum / n);
+    }
+
+    #[test]
+    fn o3_translation_asymmetry_matches_paper() {
+        let henson_to_adios2 = degradation_level(
+            ModelId::O3,
+            &TaskKind::Translation {
+                source: WorkflowSystemId::Henson,
+                target: WorkflowSystemId::Adios2,
+            },
+        );
+        let adios2_to_henson = degradation_level(
+            ModelId::O3,
+            &TaskKind::Translation {
+                source: WorkflowSystemId::Adios2,
+                target: WorkflowSystemId::Henson,
+            },
+        );
+        assert!(henson_to_adios2 < adios2_to_henson);
+    }
+
+    #[test]
+    fn few_shot_collapses_level_for_every_model() {
+        for model in ModelId::ALL {
+            for system in WorkflowSystemId::configuration_systems() {
+                let base = degradation_level(model, &config(system));
+                for seed in 0..5 {
+                    let zero_shot = effective_level(model, base, 12345, false, seed, 0.2);
+                    let few_shot = effective_level(model, base, 12345, true, seed, 0.2);
+                    assert!(
+                        few_shot < zero_shot.min(0.3),
+                        "{model}/{system}: few-shot {few_shot} should beat zero-shot {zero_shot}"
+                    );
+                    assert!(few_shot < 0.2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_level_is_deterministic() {
+        let a = effective_level(ModelId::O3, 0.5, 42, false, 3, 0.2);
+        let b = effective_level(ModelId::O3, 0.5, 42, false, 3, 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_level_varies_with_wording_and_seed() {
+        let base = 0.5;
+        let by_wording: Vec<f64> = (0..6)
+            .map(|w| effective_level(ModelId::ClaudeSonnet4, base, w * 7919, false, 0, 0.2))
+            .collect();
+        let distinct = by_wording
+            .iter()
+            .map(|v| (v * 1e6) as i64)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "wording should shift the level");
+
+        let by_seed: Vec<f64> = (0..6)
+            .map(|s| effective_level(ModelId::Gemini25Pro, base, 1, false, s, 0.2))
+            .collect();
+        let distinct_seeds = by_seed
+            .iter()
+            .map(|v| (v * 1e6) as i64)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct_seeds.len() > 1, "seed should shift the level");
+    }
+
+    #[test]
+    fn effective_level_stays_in_unit_interval() {
+        for model in ModelId::ALL {
+            for base in [0.0, 0.3, 0.7, 1.0] {
+                for seed in 0..10 {
+                    let level = effective_level(model, base, seed * 31, false, seed, 0.2);
+                    assert!((0.0..=1.0).contains(&level));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_task_is_heavily_degraded() {
+        assert!(degradation_level(ModelId::O3, &TaskKind::Unknown) > 0.8);
+    }
+}

@@ -1,0 +1,208 @@
+//! ChrF: character n-gram F-score (Popović 2015), as implemented by
+//! sacrebleu and used by the paper.
+//!
+//! For every n-gram order n = 1..=6 a precision and recall over character
+//! n-grams (whitespace removed) is computed; the per-order F-β scores
+//! (β = 2, weighting recall twice as much as precision) are averaged
+//! uniformly and reported on the 0–100 scale.
+
+use crate::ngram::OverlapStats;
+use crate::tokenize::{chrf_chars, normalize};
+use crate::Scorer;
+
+/// Configurable ChrF scorer.
+#[derive(Debug, Clone)]
+pub struct ChrfScorer {
+    /// Maximum character n-gram order (sacrebleu default: 6).
+    pub max_order: usize,
+    /// β of the F-β score (sacrebleu default: 2 — recall-weighted).
+    pub beta: f64,
+    /// If true, orders with an empty reference and hypothesis n-gram set are
+    /// excluded from the average instead of contributing 0 (sacrebleu
+    /// behaviour for short segments).
+    pub skip_empty_orders: bool,
+}
+
+impl Default for ChrfScorer {
+    fn default() -> Self {
+        ChrfScorer {
+            max_order: 6,
+            beta: 2.0,
+            skip_empty_orders: true,
+        }
+    }
+}
+
+/// Detailed result of a ChrF computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChrfBreakdown {
+    /// Final score on the 0–100 scale.
+    pub score: f64,
+    /// Per-order F-β scores (index 0 = unigrams).
+    pub f_scores: Vec<f64>,
+    /// Overall character precision averaged across orders.
+    pub precision: f64,
+    /// Overall character recall averaged across orders.
+    pub recall: f64,
+}
+
+impl ChrfScorer {
+    /// Create a scorer with a custom β.
+    pub fn with_beta(beta: f64) -> Self {
+        ChrfScorer {
+            beta,
+            ..ChrfScorer::default()
+        }
+    }
+
+    /// Compute ChrF with per-order detail.
+    pub fn breakdown(&self, hypothesis: &str, reference: &str) -> ChrfBreakdown {
+        let hyp = chrf_chars(&normalize(hypothesis));
+        let rf = chrf_chars(&normalize(reference));
+
+        if hyp.is_empty() || rf.is_empty() {
+            let score = if hyp.is_empty() && rf.is_empty() { 100.0 } else { 0.0 };
+            return ChrfBreakdown {
+                score,
+                f_scores: vec![score / 100.0; self.max_order],
+                precision: score / 100.0,
+                recall: score / 100.0,
+            };
+        }
+
+        let mut f_scores = Vec::with_capacity(self.max_order);
+        let mut precisions = Vec::with_capacity(self.max_order);
+        let mut recalls = Vec::with_capacity(self.max_order);
+        for n in 1..=self.max_order {
+            let stats = OverlapStats::compute(&hyp, &rf, n);
+            if self.skip_empty_orders && stats.hyp_total == 0 && stats.ref_total == 0 {
+                continue;
+            }
+            precisions.push(stats.precision());
+            recalls.push(stats.recall());
+            f_scores.push(stats.f_beta(self.beta));
+        }
+
+        if f_scores.is_empty() {
+            return ChrfBreakdown {
+                score: 0.0,
+                f_scores,
+                precision: 0.0,
+                recall: 0.0,
+            };
+        }
+
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        ChrfBreakdown {
+            score: mean(&f_scores) * 100.0,
+            precision: mean(&precisions),
+            recall: mean(&recalls),
+            f_scores,
+        }
+    }
+}
+
+impl Scorer for ChrfScorer {
+    fn name(&self) -> &'static str {
+        "ChrF"
+    }
+
+    fn score(&self, hypothesis: &str, reference: &str) -> f64 {
+        self.breakdown(hypothesis, reference).score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_gives_100() {
+        let s = ChrfScorer::default();
+        let text = "tasks:\n  - func: producer\n    nprocs: 3";
+        assert!((s.score(text, text) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_empty_gives_100_one_empty_gives_0() {
+        let s = ChrfScorer::default();
+        assert_eq!(s.score("", ""), 100.0);
+        assert_eq!(s.score("abc", ""), 0.0);
+        assert_eq!(s.score("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_give_0() {
+        let s = ChrfScorer::default();
+        assert_eq!(s.score("aaaa", "bbbb"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_0_and_100() {
+        let s = ChrfScorer::default();
+        let score = s.score("henson_save_int", "henson_load_int");
+        assert!(score > 0.0 && score < 100.0, "got {score}");
+    }
+
+    #[test]
+    fn whitespace_differences_ignored() {
+        let s = ChrfScorer::default();
+        let a = "func:  producer\n  nprocs: 3";
+        let b = "func: producer nprocs: 3";
+        assert!((s.score(a, b) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_weighted_more_than_precision_with_beta_2() {
+        let s = ChrfScorer::default();
+        let reference = "abcdefghij";
+        // Hypothesis covering all of reference plus noise (high recall, lower
+        // precision) should beat a hypothesis covering only half of it
+        // exactly (high precision, low recall).
+        let noisy_superset = "abcdefghijXYZ";
+        let exact_subset = "abcde";
+        assert!(s.score(noisy_superset, reference) > s.score(exact_subset, reference));
+    }
+
+    #[test]
+    fn known_value_single_char_overlap() {
+        // hyp "ab", ref "ac": unigrams p=1/2, r=1/2, F2=0.5; bigrams p=0,r=0,F=0
+        let s = ChrfScorer::default();
+        let b = s.breakdown("ab", "ac");
+        assert_eq!(b.f_scores.len(), 2); // orders 3..6 skipped (no n-grams on either side)
+        assert!((b.f_scores[0] - 0.5).abs() < 1e-12);
+        assert_eq!(b.f_scores[1], 0.0);
+        assert!((b.score - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrf_more_tolerant_of_redundancy_than_bleu() {
+        // The paper notes ChrF is more tolerant of redundant additions than
+        // BLEU because of its character-level recall focus.
+        use crate::bleu::BleuScorer;
+        let reference = "@python_app\ndef producer(n):\n    return generate(n)";
+        let redundant = "@python_app\ndef producer(n):\n    return generate(n)\n\nconfig = Config(executors=[HighThroughputExecutor()])\nparsl.load(config)";
+        let chrf_drop = 100.0 - ChrfScorer::default().score(redundant, reference);
+        let bleu_drop = 100.0 - BleuScorer::default().score(redundant, reference);
+        assert!(
+            chrf_drop < bleu_drop,
+            "chrf drop {chrf_drop} should be smaller than bleu drop {bleu_drop}"
+        );
+    }
+
+    #[test]
+    fn breakdown_precision_recall_bounds() {
+        let s = ChrfScorer::default();
+        let b = s.breakdown("abcdef", "abcxyz");
+        assert!(b.precision >= 0.0 && b.precision <= 1.0);
+        assert!(b.recall >= 0.0 && b.recall <= 1.0);
+    }
+
+    #[test]
+    fn custom_beta_one_balances_precision_and_recall() {
+        let s = ChrfScorer::with_beta(1.0);
+        assert!((s.beta - 1.0).abs() < f64::EPSILON);
+        let score = s.score("abcd", "abcd");
+        assert!((score - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! Code-similarity metrics and score statistics for the `wfspeak` benchmark.
+//!
+//! The paper evaluates LLM-generated workflow artifacts against reference
+//! (ground-truth) artifacts using two machine-translation metrics computed by
+//! the `sacrebleu` Python package:
+//!
+//! * **BLEU** ([`bleu`]) — modified n-gram precision (n = 1..4) combined with
+//!   a brevity penalty, using the sacrebleu `exp` smoothing and a 13a-like
+//!   tokenisation.
+//! * **ChrF** ([`chrf`]) — character n-gram F-score (n = 1..6, β = 2).
+//!
+//! Both are reported on a 0–100 scale (the raw 0–1 score multiplied by 100),
+//! following the paper.  The [`stats`] module provides the mean ± standard
+//! error aggregation used in every table, and [`matrix`] holds the
+//! `(model × system)` score grids that back the tables and Figure 1 heatmaps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wfspeak_metrics::{bleu::BleuScorer, chrf::ChrfScorer, Scorer};
+//!
+//! let reference = "tasks:\n  - func: producer\n    nprocs: 3";
+//! let hypothesis = "tasks:\n  - func: producer\n    nprocs: 3";
+//!
+//! let bleu = BleuScorer::default().score(hypothesis, reference);
+//! let chrf = ChrfScorer::default().score(hypothesis, reference);
+//! assert!((bleu - 100.0).abs() < 1e-6);
+//! assert!((chrf - 100.0).abs() < 1e-6);
+//! ```
+
+pub mod bleu;
+pub mod chrf;
+pub mod matrix;
+pub mod ngram;
+pub mod stats;
+pub mod tokenize;
+
+pub use bleu::BleuScorer;
+pub use chrf::ChrfScorer;
+pub use matrix::ScoreMatrix;
+pub use stats::Summary;
+
+/// A similarity metric that compares a hypothesis against a single reference
+/// and returns a score on the 0–100 scale used throughout the paper.
+pub trait Scorer {
+    /// Human-readable metric name (e.g. `"BLEU"`, `"ChrF"`).
+    fn name(&self) -> &'static str;
+
+    /// Score `hypothesis` against `reference`; higher is better, range 0–100.
+    fn score(&self, hypothesis: &str, reference: &str) -> f64;
+
+    /// Score a hypothesis against several references, returning the best
+    /// (maximum) score.  The paper uses a single reference per cell, but the
+    /// harness supports multiple acceptable references.
+    fn score_multi(&self, hypothesis: &str, references: &[&str]) -> f64 {
+        references
+            .iter()
+            .map(|r| self.score(hypothesis, r))
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// Which metric to compute; used by the experiment harness when both metrics
+/// are reported side by side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Metric {
+    /// sacrebleu-style BLEU.
+    Bleu,
+    /// Character n-gram F-score.
+    Chrf,
+}
+
+impl Metric {
+    /// All metrics reported in the paper, in table column order.
+    pub const ALL: [Metric; 2] = [Metric::Bleu, Metric::Chrf];
+
+    /// Display name matching the paper's column headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Bleu => "BLEU",
+            Metric::Chrf => "ChrF",
+        }
+    }
+
+    /// Score with the selected metric using default scorer settings.
+    pub fn score(&self, hypothesis: &str, reference: &str) -> f64 {
+        match self {
+            Metric::Bleu => BleuScorer::default().score(hypothesis, reference),
+            Metric::Chrf => ChrfScorer::default().score(hypothesis, reference),
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_labels_match_paper_headers() {
+        assert_eq!(Metric::Bleu.label(), "BLEU");
+        assert_eq!(Metric::Chrf.label(), "ChrF");
+        assert_eq!(format!("{}", Metric::Bleu), "BLEU");
+    }
+
+    #[test]
+    fn metric_all_orders_bleu_first() {
+        assert_eq!(Metric::ALL[0], Metric::Bleu);
+        assert_eq!(Metric::ALL[1], Metric::Chrf);
+    }
+
+    #[test]
+    fn identical_text_scores_100_for_both_metrics() {
+        let text = "henson_save_int(\"t\", t);";
+        assert!((Metric::Bleu.score(text, text) - 100.0).abs() < 1e-6);
+        assert!((Metric::Chrf.score(text, text) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_multi_takes_best_reference() {
+        struct Fixed;
+        impl Scorer for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn score(&self, hypothesis: &str, reference: &str) -> f64 {
+                if hypothesis == reference {
+                    100.0
+                } else {
+                    10.0
+                }
+            }
+        }
+        let s = Fixed;
+        assert_eq!(s.score_multi("a", &["b", "a", "c"]), 100.0);
+        assert_eq!(s.score_multi("z", &["b", "a", "c"]), 10.0);
+    }
+}

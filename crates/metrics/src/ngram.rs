@@ -1,0 +1,203 @@
+//! N-gram extraction and counting shared by BLEU and ChrF.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Multiset of n-grams of a fixed order.
+#[derive(Debug, Clone, Default)]
+pub struct NgramCounts<T: Eq + Hash + Clone> {
+    counts: HashMap<Vec<T>, usize>,
+    total: usize,
+}
+
+impl<T: Eq + Hash + Clone> NgramCounts<T> {
+    /// Count all n-grams of order `n` in `items`.  Returns an empty multiset
+    /// when the sequence is shorter than `n` or `n == 0`.
+    pub fn from_items(items: &[T], n: usize) -> Self {
+        let mut counts: HashMap<Vec<T>, usize> = HashMap::new();
+        let mut total = 0;
+        if n > 0 && items.len() >= n {
+            for window in items.windows(n) {
+                *counts.entry(window.to_vec()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        NgramCounts { counts, total }
+    }
+
+    /// Total number of n-grams (with multiplicity).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct n-grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of a specific n-gram.
+    pub fn get(&self, gram: &[T]) -> usize {
+        self.counts.get(gram).copied().unwrap_or(0)
+    }
+
+    /// Clipped overlap with another multiset: for every n-gram, the minimum of
+    /// the two counts, summed.  This is the "modified precision" numerator in
+    /// BLEU and the true-positive count in ChrF.
+    pub fn clipped_overlap(&self, other: &Self) -> usize {
+        self.counts
+            .iter()
+            .map(|(gram, &count)| count.min(other.get(gram)))
+            .sum()
+    }
+
+    /// Iterate over `(ngram, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<T>, &usize)> {
+        self.counts.iter()
+    }
+}
+
+/// Precision/recall overlap statistics for one n-gram order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Clipped matches between hypothesis and reference n-grams.
+    pub matches: usize,
+    /// Total hypothesis n-grams (precision denominator).
+    pub hyp_total: usize,
+    /// Total reference n-grams (recall denominator).
+    pub ref_total: usize,
+}
+
+impl OverlapStats {
+    /// Compute overlap statistics for order `n` over two token sequences.
+    pub fn compute<T: Eq + Hash + Clone>(hyp: &[T], reference: &[T], n: usize) -> Self {
+        let h = NgramCounts::from_items(hyp, n);
+        let r = NgramCounts::from_items(reference, n);
+        OverlapStats {
+            matches: h.clipped_overlap(&r),
+            hyp_total: h.total(),
+            ref_total: r.total(),
+        }
+    }
+
+    /// Precision (matches / hypothesis total); 0 when the denominator is 0.
+    pub fn precision(&self) -> f64 {
+        if self.hyp_total == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.hyp_total as f64
+        }
+    }
+
+    /// Recall (matches / reference total); 0 when the denominator is 0.
+    pub fn recall(&self) -> f64 {
+        if self.ref_total == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.ref_total as f64
+        }
+    }
+
+    /// F-beta score of this order's precision and recall.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        let b2 = beta * beta;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            (1.0 + b2) * p * r / (b2 * p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_unigrams() {
+        let items = vec!["a", "b", "a"];
+        let c = NgramCounts::from_items(&items, 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.get(&["a"]), 2);
+        assert_eq!(c.get(&["b"]), 1);
+        assert_eq!(c.get(&["c"]), 0);
+    }
+
+    #[test]
+    fn counts_bigrams() {
+        let items = vec![1, 2, 3, 1, 2];
+        let c = NgramCounts::from_items(&items, 2);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.get(&[1, 2]), 2);
+        assert_eq!(c.get(&[2, 3]), 1);
+    }
+
+    #[test]
+    fn sequence_shorter_than_n_yields_empty() {
+        let items = vec!["x"];
+        let c = NgramCounts::from_items(&items, 4);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.distinct(), 0);
+    }
+
+    #[test]
+    fn order_zero_yields_empty() {
+        let items = vec!["x", "y"];
+        let c = NgramCounts::from_items(&items, 0);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn clipped_overlap_clips_at_reference_count() {
+        let hyp = vec!["the", "the", "the", "the"];
+        let rf = vec!["the", "cat", "the"];
+        let h = NgramCounts::from_items(&hyp, 1);
+        let r = NgramCounts::from_items(&rf, 1);
+        assert_eq!(h.clipped_overlap(&r), 2);
+    }
+
+    #[test]
+    fn overlap_stats_precision_recall() {
+        let hyp = vec!["a", "b", "c"];
+        let rf = vec!["a", "b", "d", "e"];
+        let s = OverlapStats::compute(&hyp, &rf, 1);
+        assert_eq!(s.matches, 2);
+        assert!((s.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_stats_identical_sequences_perfect() {
+        let toks = vec!["x", "y", "z", "w"];
+        for n in 1..=4 {
+            let s = OverlapStats::compute(&toks, &toks, n);
+            assert_eq!(s.matches, s.hyp_total);
+            assert_eq!(s.precision(), 1.0);
+            assert_eq!(s.recall(), 1.0);
+            assert_eq!(s.f_beta(2.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn f_beta_zero_when_no_overlap() {
+        let s = OverlapStats {
+            matches: 0,
+            hyp_total: 5,
+            ref_total: 5,
+        };
+        assert_eq!(s.f_beta(2.0), 0.0);
+    }
+
+    #[test]
+    fn f_beta_weights_recall_with_beta_2() {
+        // precision 1.0, recall 0.5 -> F2 = 5*1*0.5 / (4*1 + 0.5) = 2.5/4.5
+        let s = OverlapStats {
+            matches: 2,
+            hyp_total: 2,
+            ref_total: 4,
+        };
+        assert!((s.f_beta(2.0) - 2.5 / 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! Score statistics: mean, standard deviation, standard error, bootstrap
+//! confidence intervals and rank correlation.
+//!
+//! Every table in the paper reports "mean ± standard error over 5 runs";
+//! [`Summary`] reproduces exactly that. [`spearman_rank_correlation`] backs
+//! the metric-agreement ablation in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a set of repeated-trial scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+    pub std_dev: f64,
+    /// Standard error of the mean (std_dev / sqrt(n)); 0 for n < 2.
+    pub std_err: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics over `samples`.  Returns an all-zero
+    /// summary for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                std_err: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let (std_dev, std_err) = if n > 1 {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let sd = var.sqrt();
+            (sd, sd / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev,
+            std_err,
+            min,
+            max,
+        }
+    }
+
+    /// Format as the paper does: `mean±err` with one decimal place each,
+    /// e.g. `59.1±2.3`.
+    pub fn paper_format(&self) -> String {
+        format!("{:.1}±{:.1}", self.mean, self.std_err)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.paper_format())
+    }
+}
+
+/// Pool several per-cell summaries into an "Overall" row/column value as the
+/// paper does: the overall mean is the mean of cell means, and the overall
+/// standard error is the standard error of those cell means.
+pub fn pool_summaries(cells: &[Summary]) -> Summary {
+    let means: Vec<f64> = cells.iter().map(|s| s.mean).collect();
+    Summary::from_samples(&means)
+}
+
+/// Simple deterministic bootstrap confidence interval of the mean.
+///
+/// Resamples `samples` with replacement `resamples` times using a small
+/// multiplicative-congruential generator seeded by `seed`, returning the
+/// `(lower, upper)` bounds of the central `confidence` interval.
+pub fn bootstrap_ci(samples: &[f64], resamples: usize, confidence: f64, seed: u64) -> (f64, f64) {
+    if samples.is_empty() || resamples == 0 {
+        return (0.0, 0.0);
+    }
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..samples.len() {
+            sum += samples[next() % samples.len()];
+        }
+        means.push(sum / samples.len() as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((means.len() as f64 - 1.0) * alpha).round() as usize;
+    let hi_idx = ((means.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
+    (means[lo_idx], means[hi_idx.min(means.len() - 1)])
+}
+
+/// Spearman rank correlation between two equally long score vectors.
+/// Returns `None` when lengths differ or are < 2.
+pub fn spearman_rank_correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation coefficient; `None` if either vector has zero
+/// variance or the lengths differ / are < 2.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Average ranks (1-based) with ties receiving the mean of their ranks.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_err, 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_sample() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_err, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        // sample variance = (4+0+0+0+4)/4 = 2
+        assert!((s.std_dev - 2f64.sqrt()).abs() < 1e-12);
+        assert!((s.std_err - 2f64.sqrt() / 5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+    }
+
+    #[test]
+    fn paper_format_one_decimal() {
+        let s = Summary::from_samples(&[59.05, 59.15]);
+        assert_eq!(s.paper_format(), "59.1±0.1");
+        assert_eq!(format!("{s}"), "59.1±0.1");
+    }
+
+    #[test]
+    fn pool_summaries_averages_cell_means() {
+        let a = Summary::from_samples(&[10.0, 10.0]);
+        let b = Summary::from_samples(&[20.0, 20.0]);
+        let pooled = pool_summaries(&[a, b]);
+        assert!((pooled.mean - 15.0).abs() < 1e-12);
+        assert_eq!(pooled.n, 2);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_mean_for_tight_data() {
+        let samples = [50.0, 51.0, 49.0, 50.5, 49.5];
+        let (lo, hi) = bootstrap_ci(&samples, 200, 0.95, 7);
+        assert!(lo <= 50.0 && hi >= 50.0, "({lo}, {hi})");
+        assert!(hi - lo < 3.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_empty_is_zero() {
+        assert_eq!(bootstrap_ci(&[], 100, 0.95, 1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_for_same_seed() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            bootstrap_ci(&samples, 100, 0.9, 42),
+            bootstrap_ci(&samples, 100, 0.9, 42)
+        );
+    }
+
+    #[test]
+    fn spearman_perfect_monotonic_is_1() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rank_correlation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_1() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rank_correlation(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_mismatched_lengths_none() {
+        assert!(spearman_rank_correlation(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(spearman_rank_correlation(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_zero_variance_none() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests over the metric implementations.
+
+use proptest::prelude::*;
+use wfspeak_metrics::bleu::{BleuScorer, Smoothing};
+use wfspeak_metrics::chrf::ChrfScorer;
+use wfspeak_metrics::ngram::NgramCounts;
+use wfspeak_metrics::stats::Summary;
+use wfspeak_metrics::Scorer;
+
+/// Strategy producing code-like text (identifiers, punctuation, newlines).
+fn code_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z_]{1,8}|\\(|\\)|:|,|\n| ", 1..60).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn bleu_in_range(hyp in code_text(), rf in code_text()) {
+        let s = BleuScorer::default().score(&hyp, &rf);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn chrf_in_range(hyp in code_text(), rf in code_text()) {
+        let s = ChrfScorer::default().score(&hyp, &rf);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn identity_is_perfect(text in code_text()) {
+        prop_assume!(!text.trim().is_empty());
+        let bleu = BleuScorer::default().score(&text, &text);
+        let chrf = ChrfScorer::default().score(&text, &text);
+        prop_assert!((bleu - 100.0).abs() < 1e-6, "bleu {bleu}");
+        prop_assert!((chrf - 100.0).abs() < 1e-6, "chrf {chrf}");
+    }
+
+    #[test]
+    fn bleu_smoothing_never_decreases_below_unsmoothed(hyp in code_text(), rf in code_text()) {
+        let plain = BleuScorer { smoothing: Smoothing::None, ..BleuScorer::default() }.score(&hyp, &rf);
+        let smoothed = BleuScorer::default().score(&hyp, &rf);
+        prop_assert!(smoothed + 1e-9 >= plain);
+    }
+
+    #[test]
+    fn chrf_symmetric_in_f1_when_beta_one_and_equal_lengths(
+        (a, b) in (6usize..20).prop_flat_map(|n| (
+            proptest::collection::vec(proptest::char::range('a', 'z'), n).prop_map(|v| v.into_iter().collect::<String>()),
+            proptest::collection::vec(proptest::char::range('a', 'z'), n).prop_map(|v| v.into_iter().collect::<String>()),
+        ))
+    ) {
+        let s = ChrfScorer::with_beta(1.0);
+        let ab = s.score(&a, &b);
+        let ba = s.score(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn ngram_total_matches_window_count(items in proptest::collection::vec(0u8..5, 0..30), n in 1usize..5) {
+        let counts = NgramCounts::from_items(&items, n);
+        let expected = if items.len() >= n { items.len() - n + 1 } else { 0 };
+        prop_assert_eq!(counts.total(), expected);
+    }
+
+    #[test]
+    fn clipped_overlap_bounded_by_both_totals(
+        a in proptest::collection::vec(0u8..4, 0..25),
+        b in proptest::collection::vec(0u8..4, 0..25),
+        n in 1usize..4,
+    ) {
+        let ca = NgramCounts::from_items(&a, n);
+        let cb = NgramCounts::from_items(&b, n);
+        let overlap = ca.clipped_overlap(&cb);
+        prop_assert!(overlap <= ca.total());
+        prop_assert!(overlap <= cb.total());
+    }
+
+    #[test]
+    fn summary_mean_within_min_max(samples in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+        let s = Summary::from_samples(&samples);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_err >= 0.0);
+        prop_assert_eq!(s.n, samples.len());
+    }
+
+    #[test]
+    fn appending_reference_tail_does_not_hurt_chrf_recall(
+        reference in "[a-z]{10,30}",
+        extra in "[a-z]{1,10}",
+    ) {
+        // A hypothesis equal to the reference always beats (or ties) a
+        // hypothesis that is a strict prefix of it.
+        let s = ChrfScorer::default();
+        let full = s.score(&reference, &reference);
+        let prefix = &reference[..reference.len() / 2];
+        let partial = s.score(prefix, &reference);
+        prop_assert!(full + 1e-9 >= partial);
+        // And unrelated extra content never raises the score above identity.
+        let noisy = format!("{reference}{extra}");
+        prop_assert!(s.score(&noisy, &reference) <= full + 1e-9);
+    }
+}

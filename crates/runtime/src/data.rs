@@ -1,0 +1,110 @@
+//! Typed datasets exchanged between workflow tasks.
+
+use bytes::Bytes;
+
+/// A named dataset payload produced at one timestep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (e.g. `grid`, `particles`).
+    pub name: String,
+    /// HDF5-style group path (e.g. `/group1/grid`).
+    pub group_path: String,
+    /// Raw little-endian `f32` payload.
+    pub payload: Bytes,
+    /// Number of `f32` elements in the payload.
+    pub len: usize,
+}
+
+impl Dataset {
+    /// Build a dataset from an `f32` slice.
+    pub fn from_f32(name: &str, group_path: &str, values: &[f32]) -> Self {
+        let mut buf = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Dataset {
+            name: name.to_owned(),
+            group_path: group_path.to_owned(),
+            payload: Bytes::from(buf),
+            len: values.len(),
+        }
+    }
+
+    /// Decode the payload back into `f32` values.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Sum of all elements (the reduction the benchmark's consumers compute).
+    pub fn sum(&self) -> f64 {
+        self.to_f32().iter().map(|&v| v as f64).sum()
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// A message on a producer→consumer link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataMessage {
+    /// A dataset for a given timestep.
+    Step {
+        /// Timestep index (0-based).
+        timestep: usize,
+        /// The dataset payload.
+        dataset: Dataset,
+    },
+    /// The producer has finished; no more steps will arrive.
+    EndOfStream,
+}
+
+impl DataMessage {
+    /// The timestep carried by a `Step` message.
+    pub fn timestep(&self) -> Option<usize> {
+        match self {
+            DataMessage::Step { timestep, .. } => Some(*timestep),
+            DataMessage::EndOfStream => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip() {
+        let values = vec![1.0_f32, 2.5, -3.25, 0.0];
+        let ds = Dataset::from_f32("grid", "/group1/grid", &values);
+        assert_eq!(ds.to_f32(), values);
+        assert_eq!(ds.len, 4);
+        assert_eq!(ds.size_bytes(), 16);
+    }
+
+    #[test]
+    fn sum_matches_manual_reduction() {
+        let values = vec![0.5_f32; 100];
+        let ds = Dataset::from_f32("particles", "/group1/particles", &values);
+        assert!((ds.sum() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_f32("grid", "/g", &[]);
+        assert_eq!(ds.len, 0);
+        assert_eq!(ds.sum(), 0.0);
+        assert!(ds.to_f32().is_empty());
+    }
+
+    #[test]
+    fn message_timestep_accessor() {
+        let ds = Dataset::from_f32("grid", "/g", &[1.0]);
+        assert_eq!(DataMessage::Step { timestep: 2, dataset: ds }.timestep(), Some(2));
+        assert_eq!(DataMessage::EndOfStream.timestep(), None);
+    }
+}

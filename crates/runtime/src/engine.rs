@@ -1,0 +1,392 @@
+//! The workflow engine: builds the task graph from a specification, runs
+//! each task's process group on threads and collects the outcome.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::bounded;
+use parking_lot::Mutex;
+
+use wfspeak_systems::spec::DataRole;
+use wfspeak_systems::wilkins::WilkinsConfig;
+use wfspeak_systems::WorkflowSpec;
+
+use crate::data::DataMessage;
+use crate::task::{rank_rng, ConsumerBehavior, ProducerBehavior, ReduceGroup, TaskBehavior, TaskContext};
+use crate::trace::{EventKind, ExecutionTrace};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of timesteps the producer runs for (the benchmark default is 3).
+    pub timesteps: usize,
+    /// Elements per rank in generated arrays (benchmark default 50).
+    pub elements: usize,
+    /// Bounded channel capacity per link.
+    pub channel_capacity: usize,
+    /// Send/receive timeout per operation, in milliseconds.
+    pub timeout_ms: u64,
+    /// RNG seed for data generation.
+    pub seed: u64,
+    /// Inject a failure into this task at timestep 1 (failure-handling tests).
+    pub fail_task: Option<String>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            timesteps: 3,
+            elements: 50,
+            channel_capacity: 8,
+            timeout_ms: 2_000,
+            seed: 42,
+            fail_task: None,
+        }
+    }
+}
+
+/// Why a run could not even start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The workflow specification failed structural validation.
+    InvalidSpec(String),
+    /// A Wilkins configuration could not be parsed.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidSpec(msg) => write!(f, "invalid workflow spec: {msg}"),
+            EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The result of running a workflow.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// True when every task finished without error and every consumer saw
+    /// every timestep of every dataset it subscribes to.
+    pub completed: bool,
+    /// Timesteps executed.
+    pub timesteps: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Per-consumer sums of the datasets received (task → sums in arrival
+    /// order).
+    pub consumer_sums: HashMap<String, Vec<f64>>,
+    /// Names of tasks that failed.
+    pub failed_tasks: Vec<String>,
+    /// The full event trace.
+    pub trace: ExecutionTrace,
+}
+
+impl RunOutcome {
+    /// Total number of dataset messages received across all consumers.
+    pub fn total_received(&self) -> usize {
+        self.consumer_sums.values().map(Vec::len).sum()
+    }
+}
+
+/// The workflow engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Run a neutral workflow specification.
+    pub fn run(&self, spec: &WorkflowSpec) -> Result<RunOutcome, EngineError> {
+        spec.validate().map_err(EngineError::InvalidSpec)?;
+        let start = Instant::now();
+        let trace = ExecutionTrace::new();
+
+        // Build one bounded channel per (producer, consumer, dataset) edge.
+        let mut senders: HashMap<(String, String), Vec<crossbeam_channel::Sender<DataMessage>>> =
+            HashMap::new();
+        let mut receivers: HashMap<(String, String), crossbeam_channel::Receiver<DataMessage>> =
+            HashMap::new();
+        for (producer, consumer, dataset) in spec.edges() {
+            let (tx, rx) = bounded(self.config.channel_capacity);
+            senders
+                .entry((producer.clone(), dataset.clone()))
+                .or_default()
+                .push(tx);
+            receivers.insert((consumer, dataset), rx);
+        }
+
+        let results: Arc<Mutex<HashMap<String, Vec<f64>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut handles = Vec::new();
+
+        for task in &spec.tasks {
+            let is_producer = task
+                .data
+                .iter()
+                .any(|d| d.role == DataRole::Produces);
+            let behavior: Arc<dyn TaskBehavior> = if is_producer {
+                Arc::new(ProducerBehavior)
+            } else {
+                Arc::new(ConsumerBehavior)
+            };
+            let reduce = Arc::new(ReduceGroup::new(task.nprocs));
+            trace.record(&task.name, 0, EventKind::TaskStarted);
+
+            for rank in 0..task.nprocs {
+                let mut outputs: HashMap<String, Vec<crossbeam_channel::Sender<DataMessage>>> =
+                    HashMap::new();
+                let mut inputs: HashMap<String, crossbeam_channel::Receiver<DataMessage>> =
+                    HashMap::new();
+                let mut group_paths = HashMap::new();
+                if rank == 0 {
+                    for req in &task.data {
+                        group_paths.insert(req.dataset.clone(), req.group_path.clone());
+                        match req.role {
+                            DataRole::Produces => {
+                                if let Some(txs) =
+                                    senders.get(&(task.name.clone(), req.dataset.clone()))
+                                {
+                                    outputs.insert(req.dataset.clone(), txs.clone());
+                                } else {
+                                    // Dataset produced but never consumed: no links.
+                                    outputs.insert(req.dataset.clone(), Vec::new());
+                                }
+                            }
+                            DataRole::Consumes => {
+                                if let Some(rx) =
+                                    receivers.remove(&(task.name.clone(), req.dataset.clone()))
+                                {
+                                    inputs.insert(req.dataset.clone(), rx);
+                                }
+                            }
+                        }
+                    }
+                }
+                let fail_at_step = match &self.config.fail_task {
+                    Some(name) if name == &task.name && rank == 0 => Some(1),
+                    _ => None,
+                };
+                let mut ctx = TaskContext {
+                    task: task.name.clone(),
+                    rank,
+                    nprocs: task.nprocs,
+                    timesteps: self.config.timesteps,
+                    elements: self.config.elements,
+                    outputs,
+                    inputs,
+                    group_paths,
+                    reduce: reduce.clone(),
+                    trace: trace.clone(),
+                    rng: rank_rng(self.config.seed, &task.name, rank),
+                    timeout_ms: self.config.timeout_ms,
+                    received_sums: Vec::new(),
+                    fail_at_step,
+                };
+                let behavior = behavior.clone();
+                let results = results.clone();
+                let trace = trace.clone();
+                let task_name = task.name.clone();
+                handles.push(std::thread::spawn(move || {
+                    match behavior.run(&mut ctx) {
+                        Ok(()) => {
+                            if rank == 0 {
+                                trace.record(&task_name, rank, EventKind::TaskFinished);
+                            }
+                            if !ctx.received_sums.is_empty() {
+                                results
+                                    .lock()
+                                    .entry(task_name.clone())
+                                    .or_default()
+                                    .extend(ctx.received_sums);
+                            }
+                            true
+                        }
+                        Err(reason) => {
+                            trace.record(&task_name, rank, EventKind::TaskFailed { reason });
+                            false
+                        }
+                    }
+                }));
+            }
+        }
+
+        let mut all_ok = true;
+        for handle in handles {
+            match handle.join() {
+                Ok(ok) => all_ok &= ok,
+                Err(_) => all_ok = false,
+            }
+        }
+
+        let consumer_sums = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        let failed_tasks = trace.failed_tasks();
+
+        // Completion additionally requires every consumer to have seen every
+        // timestep of every dataset it subscribes to.
+        let mut delivery_ok = true;
+        for task in &spec.tasks {
+            let expected: usize = task
+                .data
+                .iter()
+                .filter(|d| d.role == DataRole::Consumes)
+                .count()
+                * self.config.timesteps;
+            if expected > 0 {
+                let got = consumer_sums.get(&task.name).map(Vec::len).unwrap_or(0);
+                if got != expected {
+                    delivery_ok = false;
+                }
+            }
+        }
+
+        Ok(RunOutcome {
+            completed: all_ok && failed_tasks.is_empty() && delivery_ok,
+            timesteps: self.config.timesteps,
+            duration: start.elapsed(),
+            consumer_sums,
+            failed_tasks,
+            trace,
+        })
+    }
+
+    /// Parse a Wilkins configuration and run the workflow it describes.
+    pub fn run_wilkins_config(&self, config_text: &str) -> Result<RunOutcome, EngineError> {
+        let (config, report) = WilkinsConfig::parse(config_text);
+        match config {
+            Some(config) if report.is_valid() => self.run(&config.to_spec("wilkins-workflow")),
+            _ => Err(EngineError::InvalidConfig(report.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfspeak_corpus::references::configs::WILKINS_3NODE;
+    use wfspeak_systems::spec::TaskSpec;
+
+    #[test]
+    fn paper_3node_workflow_runs_to_completion() {
+        let outcome = Engine::new(EngineConfig::default())
+            .run(&WorkflowSpec::paper_3node())
+            .unwrap();
+        assert!(outcome.completed, "trace:\n{}", outcome.trace.render());
+        assert_eq!(outcome.timesteps, 3);
+        // consumer1 and consumer2 each received 3 steps of their dataset.
+        assert_eq!(outcome.consumer_sums["consumer1"].len(), 3);
+        assert_eq!(outcome.consumer_sums["consumer2"].len(), 3);
+        assert!(outcome.failed_tasks.is_empty());
+        assert_eq!(outcome.trace.published_count("grid"), 3);
+        assert_eq!(outcome.trace.received_count("grid"), 3);
+    }
+
+    #[test]
+    fn consumer_sums_are_plausible() {
+        let config = EngineConfig {
+            elements: 100,
+            ..EngineConfig::default()
+        };
+        let outcome = Engine::new(config).run(&WorkflowSpec::paper_3node()).unwrap();
+        // Uniform [0,1) values: the sum of 100 elements is around 50.
+        for sums in outcome.consumer_sums.values() {
+            for s in sums {
+                assert!(*s > 20.0 && *s < 80.0, "implausible sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let run = |seed| {
+            let config = EngineConfig {
+                seed,
+                ..EngineConfig::default()
+            };
+            let outcome = Engine::new(config).run(&WorkflowSpec::fewshot_2node()).unwrap();
+            outcome.consumer_sums["consumer"].clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let spec = WorkflowSpec::new("bad").with_task(TaskSpec::new("c", 1).consumes("ghost"));
+        let err = Engine::new(EngineConfig::default()).run(&spec).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn reference_wilkins_config_executes() {
+        let outcome = Engine::new(EngineConfig::default())
+            .run_wilkins_config(WILKINS_3NODE)
+            .unwrap();
+        assert!(outcome.completed, "trace:\n{}", outcome.trace.render());
+        assert_eq!(outcome.total_received(), 6);
+    }
+
+    #[test]
+    fn hallucinated_wilkins_config_refuses_to_run() {
+        let bad = "workflow:\n  tasks:\n    - func: producer\n      command: ./p\n";
+        let err = Engine::new(EngineConfig::default())
+            .run_wilkins_config(bad)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn injected_producer_failure_propagates() {
+        let config = EngineConfig {
+            fail_task: Some("producer".into()),
+            timeout_ms: 300,
+            ..EngineConfig::default()
+        };
+        let outcome = Engine::new(config).run(&WorkflowSpec::fewshot_2node()).unwrap();
+        assert!(!outcome.completed);
+        assert!(outcome.failed_tasks.contains(&"producer".to_string()));
+    }
+
+    #[test]
+    fn injected_consumer_failure_marks_run_incomplete() {
+        let config = EngineConfig {
+            fail_task: Some("consumer".into()),
+            timeout_ms: 300,
+            ..EngineConfig::default()
+        };
+        let outcome = Engine::new(config).run(&WorkflowSpec::fewshot_2node()).unwrap();
+        assert!(!outcome.completed);
+    }
+
+    #[test]
+    fn single_task_workflow_with_unconsumed_output_completes() {
+        let spec = WorkflowSpec::new("solo").with_task(TaskSpec::new("producer", 2).produces("grid"));
+        let outcome = Engine::new(EngineConfig::default()).run(&spec).unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.total_received(), 0);
+    }
+
+    #[test]
+    fn larger_process_counts_still_complete() {
+        let spec = WorkflowSpec::new("wide")
+            .with_task(TaskSpec::new("producer", 8).produces("grid"))
+            .with_task(TaskSpec::new("consumer1", 4).consumes("grid"));
+        let config = EngineConfig {
+            timesteps: 5,
+            elements: 10,
+            ..EngineConfig::default()
+        };
+        let outcome = Engine::new(config).run(&spec).unwrap();
+        assert!(outcome.completed, "trace:\n{}", outcome.trace.render());
+        assert_eq!(outcome.consumer_sums["consumer1"].len(), 5);
+    }
+}

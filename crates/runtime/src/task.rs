@@ -1,0 +1,349 @@
+//! Task behaviours and the per-rank execution context.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{DataMessage, Dataset};
+use crate::trace::{EventKind, ExecutionTrace};
+
+/// Shared per-task state used to emulate an MPI reduction across the task's
+/// ranks.
+#[derive(Debug)]
+pub struct ReduceGroup {
+    barrier: std::sync::Barrier,
+    partials: Mutex<Vec<f64>>,
+}
+
+impl ReduceGroup {
+    /// Create a reduce group for `nprocs` ranks.
+    pub fn new(nprocs: usize) -> Self {
+        ReduceGroup {
+            barrier: std::sync::Barrier::new(nprocs),
+            partials: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Everything one rank of one task needs while running.
+pub struct TaskContext {
+    /// Task name (e.g. `producer`).
+    pub task: String,
+    /// This rank's index within the task's process group.
+    pub rank: usize,
+    /// Number of ranks in the task's process group.
+    pub nprocs: usize,
+    /// Number of timesteps the workflow runs for.
+    pub timesteps: usize,
+    /// Elements per rank in generated arrays.
+    pub elements: usize,
+    /// Outgoing links: dataset name → one sender per consumer of that
+    /// dataset.  Only rank 0 publishes.
+    pub outputs: HashMap<String, Vec<Sender<DataMessage>>>,
+    /// Incoming links: dataset name → receiver.  Only rank 0 receives.
+    pub inputs: HashMap<String, Receiver<DataMessage>>,
+    /// Group paths per dataset (for constructing [`Dataset`] values).
+    pub group_paths: HashMap<String, String>,
+    /// Shared reduce group for this task.
+    pub reduce: Arc<ReduceGroup>,
+    /// Shared execution trace.
+    pub trace: ExecutionTrace,
+    /// Per-rank deterministic RNG.
+    pub rng: StdRng,
+    /// Timeout for sends/receives, in milliseconds.
+    pub timeout_ms: u64,
+    /// Collected per-timestep sums (consumers fill this in).
+    pub received_sums: Vec<f64>,
+    /// Inject a failure at this timestep, if set.
+    pub fail_at_step: Option<usize>,
+}
+
+impl TaskContext {
+    /// Emulate `MPI_Reduce(sum, ..., MPI_SUM, root=0)`: every rank
+    /// contributes `local`, rank 0 receives the total.
+    pub fn reduce_sum(&self, local: f64) -> Option<f64> {
+        self.reduce.partials.lock().push(local);
+        self.reduce.barrier.wait();
+        let total = if self.rank == 0 {
+            let mut partials = self.reduce.partials.lock();
+            let total: f64 = partials.iter().sum();
+            partials.clear();
+            Some(total)
+        } else {
+            None
+        };
+        // Second barrier so no rank races ahead and pushes the next step's
+        // partial before rank 0 drained this step's.
+        self.reduce.barrier.wait();
+        total
+    }
+
+    /// Publish a dataset to every consumer of `name` (rank 0 only; other
+    /// ranks return immediately).
+    pub fn publish(&self, name: &str, timestep: usize, values: &[f32]) -> Result<(), String> {
+        if self.rank != 0 {
+            return Ok(());
+        }
+        let group_path = self
+            .group_paths
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| format!("/group1/{name}"));
+        let dataset = Dataset::from_f32(name, &group_path, values);
+        if let Some(senders) = self.outputs.get(name) {
+            for sender in senders {
+                sender
+                    .send_timeout(
+                        DataMessage::Step {
+                            timestep,
+                            dataset: dataset.clone(),
+                        },
+                        std::time::Duration::from_millis(self.timeout_ms),
+                    )
+                    .map_err(|e| format!("{}: send of `{name}` timed out or failed: {e}", self.task))?;
+            }
+        }
+        self.trace.record(
+            &self.task,
+            self.rank,
+            EventKind::DataPublished {
+                dataset: name.to_owned(),
+                timestep,
+            },
+        );
+        Ok(())
+    }
+
+    /// Signal end-of-stream on every output link (rank 0 only).
+    pub fn close_outputs(&self) {
+        if self.rank != 0 {
+            return;
+        }
+        for senders in self.outputs.values() {
+            for sender in senders {
+                let _ = sender.send(DataMessage::EndOfStream);
+            }
+        }
+    }
+
+    /// Receive the next message for dataset `name` (rank 0 only; other ranks
+    /// get `EndOfStream` immediately).
+    pub fn receive(&self, name: &str) -> Result<DataMessage, String> {
+        if self.rank != 0 {
+            return Ok(DataMessage::EndOfStream);
+        }
+        let receiver = self
+            .inputs
+            .get(name)
+            .ok_or_else(|| format!("{}: no input link for dataset `{name}`", self.task))?;
+        receiver
+            .recv_timeout(std::time::Duration::from_millis(self.timeout_ms))
+            .map_err(|e| format!("{}: receive of `{name}` timed out: {e}", self.task))
+    }
+}
+
+/// A task's executable behaviour; one instance is shared by all ranks.
+pub trait TaskBehavior: Send + Sync {
+    /// Run the task on one rank.  Returning an error marks the task failed.
+    fn run(&self, ctx: &mut TaskContext) -> Result<(), String>;
+}
+
+/// The benchmark's producer: per timestep, generate a random array on every
+/// rank, reduce the sums to rank 0 and publish each produced dataset.
+#[derive(Debug, Default)]
+pub struct ProducerBehavior;
+
+impl TaskBehavior for ProducerBehavior {
+    fn run(&self, ctx: &mut TaskContext) -> Result<(), String> {
+        let datasets: Vec<String> = ctx.outputs.keys().cloned().collect();
+        for t in 0..ctx.timesteps {
+            if ctx.fail_at_step == Some(t) {
+                return Err(format!("injected failure at timestep {t}"));
+            }
+            let array: Vec<f32> = (0..ctx.elements).map(|_| ctx.rng.gen::<f32>()).collect();
+            let local_sum: f64 = array.iter().map(|&v| v as f64).sum();
+            let _total = ctx.reduce_sum(local_sum);
+            for name in &datasets {
+                ctx.publish(name, t, &array)?;
+            }
+        }
+        ctx.close_outputs();
+        Ok(())
+    }
+}
+
+/// The benchmark's consumer: receive every timestep of every consumed
+/// dataset, compute its sum, and stop at end-of-stream.
+#[derive(Debug, Default)]
+pub struct ConsumerBehavior;
+
+impl TaskBehavior for ConsumerBehavior {
+    fn run(&self, ctx: &mut TaskContext) -> Result<(), String> {
+        if ctx.rank != 0 {
+            return Ok(());
+        }
+        let datasets: Vec<String> = ctx.inputs.keys().cloned().collect();
+        let mut open: HashMap<String, bool> = datasets.iter().map(|d| (d.clone(), true)).collect();
+        let mut step = 0usize;
+        while open.values().any(|&o| o) {
+            if ctx.fail_at_step == Some(step) {
+                return Err(format!("injected failure at timestep {step}"));
+            }
+            for name in &datasets {
+                if !open[name] {
+                    continue;
+                }
+                match ctx.receive(name)? {
+                    DataMessage::Step { timestep, dataset } => {
+                        ctx.trace.record(
+                            &ctx.task,
+                            ctx.rank,
+                            EventKind::DataReceived {
+                                dataset: name.clone(),
+                                timestep,
+                            },
+                        );
+                        ctx.received_sums.push(dataset.sum());
+                    }
+                    DataMessage::EndOfStream => {
+                        open.insert(name.clone(), false);
+                    }
+                }
+            }
+            step += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Create the deterministic per-rank RNG used by behaviours.
+pub fn rank_rng(seed: u64, task: &str, rank: usize) -> StdRng {
+    let mut hash = seed ^ 0x9e3779b97f4a7c15;
+    for b in task.bytes() {
+        hash = hash.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(hash.wrapping_add(rank as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::bounded;
+
+    fn minimal_ctx(rank: usize, nprocs: usize, reduce: Arc<ReduceGroup>) -> TaskContext {
+        TaskContext {
+            task: "t".into(),
+            rank,
+            nprocs,
+            timesteps: 1,
+            elements: 4,
+            outputs: HashMap::new(),
+            inputs: HashMap::new(),
+            group_paths: HashMap::new(),
+            reduce,
+            trace: ExecutionTrace::new(),
+            rng: rank_rng(1, "t", rank),
+            timeout_ms: 100,
+            received_sums: Vec::new(),
+            fail_at_step: None,
+        }
+    }
+
+    #[test]
+    fn reduce_sum_across_ranks() {
+        let reduce = Arc::new(ReduceGroup::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|rank| {
+                let reduce = reduce.clone();
+                std::thread::spawn(move || {
+                    let ctx = minimal_ctx(rank, 3, reduce);
+                    ctx.reduce_sum((rank + 1) as f64)
+                })
+            })
+            .collect();
+        let results: Vec<Option<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let root_total: Vec<f64> = results.iter().flatten().copied().collect();
+        assert_eq!(root_total, vec![6.0]);
+        assert_eq!(results.iter().filter(|r| r.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn publish_delivers_to_all_consumers() {
+        let reduce = Arc::new(ReduceGroup::new(1));
+        let mut ctx = minimal_ctx(0, 1, reduce);
+        let (tx1, rx1) = bounded(4);
+        let (tx2, rx2) = bounded(4);
+        ctx.outputs.insert("grid".into(), vec![tx1, tx2]);
+        ctx.publish("grid", 0, &[1.0, 2.0]).unwrap();
+        for rx in [rx1, rx2] {
+            match rx.recv().unwrap() {
+                DataMessage::Step { timestep, dataset } => {
+                    assert_eq!(timestep, 0);
+                    assert_eq!(dataset.to_f32(), vec![1.0, 2.0]);
+                    assert_eq!(dataset.group_path, "/group1/grid");
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        assert_eq!(ctx.trace.published_count("grid"), 1);
+    }
+
+    #[test]
+    fn non_root_rank_publish_is_a_noop() {
+        let reduce = Arc::new(ReduceGroup::new(2));
+        let mut ctx = minimal_ctx(1, 2, reduce);
+        let (tx, rx) = bounded(1);
+        ctx.outputs.insert("grid".into(), vec![tx]);
+        ctx.publish("grid", 0, &[1.0]).unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn receive_times_out_when_no_producer() {
+        let reduce = Arc::new(ReduceGroup::new(1));
+        let mut ctx = minimal_ctx(0, 1, reduce);
+        let (_tx, rx) = bounded::<DataMessage>(1);
+        ctx.inputs.insert("grid".into(), rx);
+        ctx.timeout_ms = 10;
+        let err = ctx.receive("grid").unwrap_err();
+        assert!(err.contains("timed out"));
+    }
+
+    #[test]
+    fn receive_unknown_dataset_errors() {
+        let reduce = Arc::new(ReduceGroup::new(1));
+        let ctx = minimal_ctx(0, 1, reduce);
+        assert!(ctx.receive("missing").is_err());
+    }
+
+    #[test]
+    fn rank_rng_is_deterministic_and_rank_dependent() {
+        let a: Vec<u32> = {
+            let mut r = rank_rng(7, "producer", 0);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = rank_rng(7, "producer", 0);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = rank_rng(7, "producer", 1);
+            (0..4).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn producer_behavior_fails_when_injected() {
+        let reduce = Arc::new(ReduceGroup::new(1));
+        let mut ctx = minimal_ctx(0, 1, reduce);
+        ctx.fail_at_step = Some(0);
+        let err = ProducerBehavior.run(&mut ctx).unwrap_err();
+        assert!(err.contains("injected failure"));
+    }
+}

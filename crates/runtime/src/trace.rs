@@ -1,0 +1,219 @@
+//! Execution tracing: a thread-safe event log recorded while a workflow
+//! runs, used by tests, examples and the behavioural-correctness checks.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task (all its ranks) started.
+    TaskStarted,
+    /// A task published a dataset for a timestep.
+    DataPublished {
+        /// Dataset name.
+        dataset: String,
+        /// Timestep index.
+        timestep: usize,
+    },
+    /// A task received a dataset for a timestep.
+    DataReceived {
+        /// Dataset name.
+        dataset: String,
+        /// Timestep index.
+        timestep: usize,
+    },
+    /// A task finished cleanly.
+    TaskFinished,
+    /// A task failed.
+    TaskFailed {
+        /// Error description.
+        reason: String,
+    },
+}
+
+/// One trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Task that emitted the event.
+    pub task: String,
+    /// Rank within the task's process group.
+    pub rank: usize,
+    /// Microseconds since the engine started.
+    pub elapsed_us: u128,
+    /// Event payload.
+    pub kind: EventKind,
+}
+
+/// A shared, append-only event log.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    start: Instant,
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Default for ExecutionTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionTrace {
+    /// Create an empty trace starting now.
+    pub fn new() -> Self {
+        ExecutionTrace {
+            start: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&self, task: &str, rank: usize, kind: EventKind) {
+        let event = Event {
+            task: task.to_owned(),
+            rank,
+            elapsed_us: self.start.elapsed().as_micros(),
+            kind,
+        };
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count events matching a predicate.
+    pub fn count_where(&self, predicate: impl Fn(&Event) -> bool) -> usize {
+        self.events.lock().iter().filter(|e| predicate(e)).count()
+    }
+
+    /// Number of `DataPublished` events for a dataset.
+    pub fn published_count(&self, dataset: &str) -> usize {
+        self.count_where(|e| matches!(&e.kind, EventKind::DataPublished { dataset: d, .. } if d == dataset))
+    }
+
+    /// Number of `DataReceived` events for a dataset.
+    pub fn received_count(&self, dataset: &str) -> usize {
+        self.count_where(|e| matches!(&e.kind, EventKind::DataReceived { dataset: d, .. } if d == dataset))
+    }
+
+    /// Names of tasks that failed.
+    pub fn failed_tasks(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::TaskFailed { .. } => Some(e.task.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render a compact human-readable log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().iter() {
+            let desc = match &e.kind {
+                EventKind::TaskStarted => "started".to_owned(),
+                EventKind::TaskFinished => "finished".to_owned(),
+                EventKind::TaskFailed { reason } => format!("FAILED: {reason}"),
+                EventKind::DataPublished { dataset, timestep } => {
+                    format!("published {dataset} [t={timestep}]")
+                }
+                EventKind::DataReceived { dataset, timestep } => {
+                    format!("received {dataset} [t={timestep}]")
+                }
+            };
+            out.push_str(&format!(
+                "[{:>8} us] {}[{}]: {}\n",
+                e.elapsed_us, e.task, e.rank, desc
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let trace = ExecutionTrace::new();
+        assert!(trace.is_empty());
+        trace.record("producer", 0, EventKind::TaskStarted);
+        trace.record(
+            "producer",
+            0,
+            EventKind::DataPublished {
+                dataset: "grid".into(),
+                timestep: 0,
+            },
+        );
+        trace.record(
+            "consumer1",
+            0,
+            EventKind::DataReceived {
+                dataset: "grid".into(),
+                timestep: 0,
+            },
+        );
+        trace.record("producer", 0, EventKind::TaskFinished);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.published_count("grid"), 1);
+        assert_eq!(trace.received_count("grid"), 1);
+        assert_eq!(trace.published_count("particles"), 0);
+        assert!(trace.failed_tasks().is_empty());
+    }
+
+    #[test]
+    fn failed_tasks_reported() {
+        let trace = ExecutionTrace::new();
+        trace.record(
+            "consumer2",
+            0,
+            EventKind::TaskFailed {
+                reason: "missing dataset".into(),
+            },
+        );
+        assert_eq!(trace.failed_tasks(), vec!["consumer2"]);
+    }
+
+    #[test]
+    fn render_contains_tasks_and_events() {
+        let trace = ExecutionTrace::new();
+        trace.record("producer", 1, EventKind::TaskStarted);
+        trace.record(
+            "producer",
+            1,
+            EventKind::DataPublished {
+                dataset: "grid".into(),
+                timestep: 2,
+            },
+        );
+        let text = trace.render();
+        assert!(text.contains("producer[1]"));
+        assert!(text.contains("published grid [t=2]"));
+    }
+
+    #[test]
+    fn clone_shares_the_same_log() {
+        let trace = ExecutionTrace::new();
+        let cloned = trace.clone();
+        cloned.record("x", 0, EventKind::TaskStarted);
+        assert_eq!(trace.len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared task-code validation used by the annotation-based systems
+//! (ADIOS2, Henson, Parsl, PyCOMPSs).
+//!
+//! A correct annotation (a) calls every API function the system requires on
+//! the producer side, (b) invents no API functions that do not exist, and
+//! (c) avoids redundant boilerplate the prompt did not ask for.  These are
+//! exactly the three error classes the paper discusses qualitatively.
+
+use wfspeak_codemodel::calls::{call_names, extract_decorators};
+use wfspeak_codemodel::lexer::Language;
+
+use crate::api::ApiCatalog;
+use crate::diagnostics::{Diagnostic, ValidationReport};
+
+/// Validate `code` against `catalog`.
+///
+/// * `language` — C or Python, depending on the system's task codes.
+/// * `redundant` — API constructs that are legal but count as unrequested
+///   boilerplate (e.g. Parsl executor configuration); reported as warnings.
+pub fn validate_task_code(
+    catalog: &ApiCatalog,
+    code: &str,
+    language: Language,
+    redundant: &[&str],
+) -> ValidationReport {
+    let mut report = ValidationReport::valid();
+    let mut used: Vec<String> = call_names(code, language);
+    if language == Language::Python {
+        // Decorators are part of the API surface for the Python systems.
+        for d in extract_decorators(code) {
+            let name = d.name.rsplit('.').next().unwrap_or(&d.name).to_owned();
+            if !used.contains(&name) {
+                used.push(name);
+            }
+        }
+    }
+
+    for name in &used {
+        if catalog.is_hallucinated(name) {
+            report.push(Diagnostic::error(
+                "hallucinated-call",
+                format!(
+                    "`{name}` does not exist in the {} API",
+                    catalog.system.name()
+                ),
+            ));
+        }
+    }
+
+    for required in catalog.required_producer_calls() {
+        if !used.iter().any(|u| u == required) {
+            report.push(Diagnostic::error(
+                "missing-call",
+                format!(
+                    "required {} call `{required}` is missing",
+                    catalog.system.name()
+                ),
+            ));
+        }
+    }
+
+    for extra in redundant {
+        if used.iter().any(|u| u == extra) || code.contains(extra) {
+            report.push(Diagnostic::warning(
+                "redundant-call",
+                format!(
+                    "`{extra}` is not needed for this workflow and was not requested in the prompt"
+                ),
+            ));
+        }
+    }
+
+    if used.is_empty() {
+        report.push(Diagnostic::error(
+            "no-api-usage",
+            format!("no {} API usage found in the task code", catalog.system.name()),
+        ));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::catalog_for;
+    use wfspeak_corpus::references::annotated;
+    use wfspeak_corpus::WorkflowSystemId;
+
+    #[test]
+    fn henson_reference_is_clean() {
+        let catalog = catalog_for(WorkflowSystemId::Henson);
+        let report = validate_task_code(&catalog, annotated::HENSON_PRODUCER, Language::C, &[]);
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn henson_hallucination_flagged() {
+        let catalog = catalog_for(WorkflowSystemId::Henson);
+        let code = "int main() { henson_put(\"t\", t); henson_save_array(\"a\", a, 4, n, 4); henson_save_int(\"t\", t); henson_yield(); }";
+        let report = validate_task_code(&catalog, code, Language::C, &[]);
+        assert!(!report.is_valid());
+        assert!(report.has_code("hallucinated-call"));
+    }
+
+    #[test]
+    fn missing_required_call_flagged() {
+        let catalog = catalog_for(WorkflowSystemId::Henson);
+        let code = "int main() { henson_save_int(\"t\", t); }";
+        let report = validate_task_code(&catalog, code, Language::C, &[]);
+        let missing: Vec<String> = report
+            .with_code("missing-call")
+            .map(|d| d.message.clone())
+            .collect();
+        assert!(missing.iter().any(|m| m.contains("henson_yield")));
+        assert!(missing.iter().any(|m| m.contains("henson_save_array")));
+    }
+
+    #[test]
+    fn parsl_redundant_executor_is_warning_not_error() {
+        let catalog = catalog_for(WorkflowSystemId::Parsl);
+        let code = r#"
+import parsl
+from parsl import python_app
+from parsl.config import Config
+from parsl.executors import HighThroughputExecutor
+
+config = Config(executors=[HighThroughputExecutor(label="htex")])
+parsl.load(config)
+
+@python_app
+def produce(n, outfile):
+    return outfile
+
+future = produce(50, "out.txt")
+future.result()
+"#;
+        let report = validate_task_code(
+            &catalog,
+            code,
+            Language::Python,
+            &["HighThroughputExecutor", "Config"],
+        );
+        assert!(report.is_valid(), "{report}");
+        assert!(report.has_code("redundant-call"));
+        assert!(report.warning_count() >= 1);
+    }
+
+    #[test]
+    fn python_decorators_count_as_api_usage() {
+        let catalog = catalog_for(WorkflowSystemId::PyCompss);
+        let report = validate_task_code(
+            &catalog,
+            annotated::PYCOMPSS_PRODUCER,
+            Language::Python,
+            &[],
+        );
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn unannotated_code_reports_missing_and_no_usage() {
+        let catalog = catalog_for(WorkflowSystemId::Adios2);
+        let report = validate_task_code(
+            &catalog,
+            wfspeak_corpus::task_codes::C_PRODUCER,
+            Language::C,
+            &[],
+        );
+        assert!(!report.is_valid());
+        assert!(report.has_code("missing-call"));
+    }
+}

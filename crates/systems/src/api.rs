@@ -1,0 +1,345 @@
+//! API catalogues: the real function names, decorators and configuration
+//! fields of each workflow system.
+//!
+//! The catalogue is the ground truth the validators use to distinguish a
+//! *wrong-but-real* API use from a *hallucinated* one (the paper's central
+//! qualitative finding: models invent `henson_put`,
+//! `henson_declare_variable`, `inputs:`/`outputs:` fields, and so on).
+
+use wfspeak_corpus::WorkflowSystemId;
+
+/// One API function (or decorator) in a system's public surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiFunction {
+    /// Function or decorator name as written in code.
+    pub name: &'static str,
+    /// Short signature / usage hint (documentation only).
+    pub signature: &'static str,
+    /// Whether a correct producer-side annotation must call it.
+    pub required_for_producer: bool,
+}
+
+/// The catalogue of a workflow system's API surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiCatalog {
+    /// Which system this catalogue describes.
+    pub system: WorkflowSystemId,
+    /// Identifier prefixes that mark a call as belonging to this system's
+    /// API family (used for hallucination detection).
+    pub prefixes: Vec<&'static str>,
+    /// All real functions/decorators.
+    pub functions: Vec<ApiFunction>,
+    /// Configuration-file field names that actually exist for this system.
+    pub config_fields: Vec<&'static str>,
+}
+
+impl ApiCatalog {
+    /// All function names.
+    pub fn function_names(&self) -> Vec<&'static str> {
+        self.functions.iter().map(|f| f.name).collect()
+    }
+
+    /// Names of functions a producer-side annotation must call.
+    pub fn required_producer_calls(&self) -> Vec<&'static str> {
+        self.functions
+            .iter()
+            .filter(|f| f.required_for_producer)
+            .map(|f| f.name)
+            .collect()
+    }
+
+    /// True when `name` is a real function of this system.
+    pub fn is_real_function(&self, name: &str) -> bool {
+        self.functions.iter().any(|f| f.name == name)
+    }
+
+    /// True when `name` looks like it belongs to this system's API family
+    /// (matches a prefix) regardless of whether it exists.
+    pub fn in_api_family(&self, name: &str) -> bool {
+        self.prefixes.iter().any(|p| {
+            if let Some(stripped) = p.strip_suffix('_') {
+                name.starts_with(p) || name == stripped
+            } else {
+                name.starts_with(p)
+            }
+        })
+    }
+
+    /// True when `name` matches the API family but is not a real function —
+    /// i.e. a hallucinated API call.
+    pub fn is_hallucinated(&self, name: &str) -> bool {
+        self.in_api_family(name) && !self.is_real_function(name)
+    }
+
+    /// True when a configuration field name exists for this system.
+    pub fn is_real_config_field(&self, field: &str) -> bool {
+        self.config_fields.iter().any(|f| *f == field)
+    }
+}
+
+/// Build the catalogue for a system.
+pub fn catalog_for(system: WorkflowSystemId) -> ApiCatalog {
+    match system {
+        WorkflowSystemId::Adios2 => adios2_catalog(),
+        WorkflowSystemId::Henson => henson_catalog(),
+        WorkflowSystemId::Parsl => parsl_catalog(),
+        WorkflowSystemId::PyCompss => pycompss_catalog(),
+        WorkflowSystemId::Wilkins => wilkins_catalog(),
+    }
+}
+
+fn adios2_catalog() -> ApiCatalog {
+    let f = |name, signature, required| ApiFunction {
+        name,
+        signature,
+        required_for_producer: required,
+    };
+    ApiCatalog {
+        system: WorkflowSystemId::Adios2,
+        prefixes: vec!["adios2_", "adios_"],
+        functions: vec![
+            f("adios2_init_mpi", "adios2_init_mpi(MPI_Comm comm)", true),
+            f("adios2_init", "adios2_init()", false),
+            f("adios2_init_config_mpi", "adios2_init_config_mpi(const char* cfg, MPI_Comm)", false),
+            f("adios2_declare_io", "adios2_declare_io(adios, name)", true),
+            f("adios2_at_io", "adios2_at_io(adios, name)", false),
+            f(
+                "adios2_define_variable",
+                "adios2_define_variable(io, name, type, ndims, shape, start, count, constant_dims)",
+                true,
+            ),
+            f("adios2_inquire_variable", "adios2_inquire_variable(io, name)", false),
+            f("adios2_set_engine", "adios2_set_engine(io, type)", false),
+            f("adios2_set_parameter", "adios2_set_parameter(io, key, value)", false),
+            f("adios2_open", "adios2_open(io, name, mode)", true),
+            f("adios2_begin_step", "adios2_begin_step(engine, mode, timeout, status)", true),
+            f("adios2_put", "adios2_put(engine, variable, data, launch)", true),
+            f("adios2_get", "adios2_get(engine, variable, data, launch)", false),
+            f("adios2_end_step", "adios2_end_step(engine)", true),
+            f("adios2_perform_puts", "adios2_perform_puts(engine)", false),
+            f("adios2_perform_gets", "adios2_perform_gets(engine)", false),
+            f("adios2_close", "adios2_close(engine)", true),
+            f("adios2_finalize", "adios2_finalize(adios)", true),
+            f("adios2_remove_all_variables", "adios2_remove_all_variables(io)", false),
+        ],
+        config_fields: vec![
+            "IO",
+            "Engine",
+            "Type",
+            "Parameters",
+            "Variables",
+            "Variable",
+            "Shape",
+            "Operations",
+            "QueueLimit",
+            "RendezvousReaderCount",
+            "Transports",
+        ],
+    }
+}
+
+fn henson_catalog() -> ApiCatalog {
+    let f = |name, signature, required| ApiFunction {
+        name,
+        signature,
+        required_for_producer: required,
+    };
+    ApiCatalog {
+        system: WorkflowSystemId::Henson,
+        prefixes: vec!["henson_"],
+        functions: vec![
+            f("henson_save_array", "henson_save_array(name, address, type, count, stride)", true),
+            f("henson_save_int", "henson_save_int(name, x)", true),
+            f("henson_save_size_t", "henson_save_size_t(name, x)", false),
+            f("henson_save_float", "henson_save_float(name, x)", false),
+            f("henson_save_double", "henson_save_double(name, x)", false),
+            f("henson_save_pointer", "henson_save_pointer(name, ptr)", false),
+            f("henson_load_array", "henson_load_array(name, address, type, count, stride)", false),
+            f("henson_load_int", "henson_load_int(name, &x)", false),
+            f("henson_load_size_t", "henson_load_size_t(name, &x)", false),
+            f("henson_load_float", "henson_load_float(name, &x)", false),
+            f("henson_load_double", "henson_load_double(name, &x)", false),
+            f("henson_load_pointer", "henson_load_pointer(name, &ptr)", false),
+            f("henson_yield", "henson_yield()", true),
+            f("henson_active", "henson_active()", false),
+            f("henson_stop", "henson_stop()", false),
+            f("henson_get_world", "henson_get_world()", false),
+        ],
+        config_fields: vec!["procs", "world"],
+    }
+}
+
+fn parsl_catalog() -> ApiCatalog {
+    let f = |name, signature, required| ApiFunction {
+        name,
+        signature,
+        required_for_producer: required,
+    };
+    ApiCatalog {
+        system: WorkflowSystemId::Parsl,
+        prefixes: vec!["parsl", "python_app", "bash_app", "join_app"],
+        functions: vec![
+            f("python_app", "@python_app decorator", true),
+            f("bash_app", "@bash_app decorator", false),
+            f("join_app", "@join_app decorator", false),
+            f("load", "parsl.load(config=None)", true),
+            f("clear", "parsl.clear()", false),
+            f("result", "future.result()", true),
+            f("done", "future.done()", false),
+            f("Config", "parsl.config.Config(executors=[...])", false),
+            f("HighThroughputExecutor", "HighThroughputExecutor(...)", false),
+            f("ThreadPoolExecutor", "ThreadPoolExecutor(...)", false),
+            f("LocalProvider", "LocalProvider(...)", false),
+            f("File", "parsl.data_provider.files.File(path)", false),
+        ],
+        config_fields: vec!["executors", "label", "max_threads", "provider"],
+    }
+}
+
+fn pycompss_catalog() -> ApiCatalog {
+    let f = |name, signature, required| ApiFunction {
+        name,
+        signature,
+        required_for_producer: required,
+    };
+    ApiCatalog {
+        system: WorkflowSystemId::PyCompss,
+        prefixes: vec!["compss_", "task", "constraint", "binary", "mpi"],
+        functions: vec![
+            f("task", "@task(returns=..., file=FILE_OUT) decorator", true),
+            f("constraint", "@constraint(computing_units=...) decorator", false),
+            f("binary", "@binary(binary=...) decorator", false),
+            f("mpi", "@mpi(runner=..., processes=...) decorator", false),
+            f("compss_wait_on", "compss_wait_on(obj)", false),
+            f("compss_wait_on_file", "compss_wait_on_file(path)", true),
+            f("compss_barrier", "compss_barrier()", false),
+            f("compss_open", "compss_open(path, mode)", false),
+            f("compss_delete_file", "compss_delete_file(path)", false),
+            f("compss_start", "compss_start()", false),
+            f("compss_stop", "compss_stop()", false),
+        ],
+        config_fields: vec!["computing_units", "processes", "runner"],
+    }
+}
+
+fn wilkins_catalog() -> ApiCatalog {
+    ApiCatalog {
+        system: WorkflowSystemId::Wilkins,
+        prefixes: vec!["wilkins_"],
+        functions: vec![
+            ApiFunction {
+                name: "wilkins_init",
+                signature: "wilkins_init(argc, argv)",
+                required_for_producer: false,
+            },
+            ApiFunction {
+                name: "wilkins_run",
+                signature: "wilkins_run(config)",
+                required_for_producer: false,
+            },
+        ],
+        config_fields: vec![
+            "tasks",
+            "func",
+            "nprocs",
+            "inports",
+            "outports",
+            "filename",
+            "dsets",
+            "name",
+            "file",
+            "memory",
+            "io_freq",
+            "zerocopy",
+            "actions",
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogues_exist_for_all_systems() {
+        for sys in WorkflowSystemId::ALL {
+            let cat = catalog_for(sys);
+            assert_eq!(cat.system, sys);
+            assert!(!cat.functions.is_empty() || sys == WorkflowSystemId::Wilkins);
+            assert!(!cat.config_fields.is_empty());
+        }
+    }
+
+    #[test]
+    fn henson_hallucinations_from_paper_are_detected() {
+        let cat = catalog_for(WorkflowSystemId::Henson);
+        // Real calls.
+        assert!(cat.is_real_function("henson_save_int"));
+        assert!(cat.is_real_function("henson_yield"));
+        // The paper's observed hallucinations.
+        assert!(cat.is_hallucinated("henson_put"));
+        assert!(cat.is_hallucinated("henson_declare_variable"));
+        assert!(cat.is_hallucinated("henson_data_init"));
+        assert!(cat.is_hallucinated("henson_begin_step"));
+        // Non-family calls are not hallucinations.
+        assert!(!cat.is_hallucinated("MPI_Init"));
+        assert!(!cat.is_hallucinated("printf"));
+    }
+
+    #[test]
+    fn adios2_required_producer_calls() {
+        let cat = catalog_for(WorkflowSystemId::Adios2);
+        let required = cat.required_producer_calls();
+        for call in [
+            "adios2_declare_io",
+            "adios2_define_variable",
+            "adios2_open",
+            "adios2_begin_step",
+            "adios2_put",
+            "adios2_end_step",
+            "adios2_close",
+            "adios2_finalize",
+        ] {
+            assert!(required.contains(&call), "{call} should be required");
+        }
+        assert!(!required.contains(&"adios2_get"));
+    }
+
+    #[test]
+    fn wilkins_config_fields_match_table6() {
+        let cat = catalog_for(WorkflowSystemId::Wilkins);
+        for field in ["tasks", "func", "nprocs", "inports", "outports", "dsets"] {
+            assert!(cat.is_real_config_field(field), "{field} should exist");
+        }
+        // Fields o3 hallucinated in zero-shot mode (Table 6 right).
+        for field in ["inputs", "outputs", "command", "dependencies", "processes", "workflow", "datasets"] {
+            assert!(!cat.is_real_config_field(field), "{field} should not exist");
+        }
+    }
+
+    #[test]
+    fn parsl_family_includes_decorators_and_executors() {
+        let cat = catalog_for(WorkflowSystemId::Parsl);
+        assert!(cat.is_real_function("python_app"));
+        assert!(cat.is_real_function("HighThroughputExecutor"));
+        assert!(cat.in_api_family("parsl"));
+        assert!(cat.in_api_family("python_app"));
+    }
+
+    #[test]
+    fn pycompss_wait_on_file_required() {
+        let cat = catalog_for(WorkflowSystemId::PyCompss);
+        assert!(cat.required_producer_calls().contains(&"compss_wait_on_file"));
+        assert!(cat.is_real_function("compss_wait_on"));
+        assert!(cat.is_hallucinated("compss_sync_file"));
+    }
+
+    #[test]
+    fn prefix_matching_handles_bare_prefix_names() {
+        let cat = catalog_for(WorkflowSystemId::Adios2);
+        assert!(cat.in_api_family("adios2_put"));
+        assert!(cat.in_api_family("adios_put"));
+        assert!(cat.in_api_family("adios2"));
+        assert!(!cat.in_api_family("henson_put"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Validation diagnostics shared by every system model.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note (does not invalidate the artifact).
+    Info,
+    /// Suspicious but tolerated (e.g. redundant boilerplate).
+    Warning,
+    /// The artifact is wrong for this system (unknown field, hallucinated
+    /// API call, missing required call, parse failure).
+    Error,
+}
+
+/// A single finding from validating a configuration or task code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Short machine-friendly code (`unknown-field`, `hallucinated-call`,
+    /// `missing-call`, `redundant-call`, `parse-error`, ...).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code: code.to_owned(),
+            message: message.into(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code: code.to_owned(),
+            message: message.into(),
+        }
+    }
+
+    /// Construct an informational diagnostic.
+    pub fn info(code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Info,
+            code: code.to_owned(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)
+    }
+}
+
+/// The outcome of validating one artifact against one system model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// All findings, in detection order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ValidationReport {
+    /// An empty (fully valid) report.
+    pub fn valid() -> Self {
+        ValidationReport::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// True when no error-severity findings exist.
+    pub fn is_valid(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Findings with a specific code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// True if any finding carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.with_code(code).next().is_some()
+    }
+
+    /// Merge another report's findings into this one.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "valid (no findings)");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_valid() {
+        let r = ValidationReport::valid();
+        assert!(r.is_valid());
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(format!("{r}"), "valid (no findings)");
+    }
+
+    #[test]
+    fn errors_invalidate_warnings_do_not() {
+        let mut r = ValidationReport::valid();
+        r.push(Diagnostic::warning("redundant-call", "extra executor config"));
+        assert!(r.is_valid());
+        r.push(Diagnostic::error("hallucinated-call", "henson_put does not exist"));
+        assert!(!r.is_valid());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        let mut r = ValidationReport::valid();
+        r.push(Diagnostic::error("unknown-field", "inputs"));
+        r.push(Diagnostic::error("unknown-field", "outputs"));
+        r.push(Diagnostic::info("note", "something"));
+        assert!(r.has_code("unknown-field"));
+        assert_eq!(r.with_code("unknown-field").count(), 2);
+        assert!(!r.has_code("missing-call"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = ValidationReport::valid();
+        a.push(Diagnostic::info("a", "x"));
+        let mut b = ValidationReport::valid();
+        b.push(Diagnostic::error("b", "y"));
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 2);
+        assert!(!a.is_valid());
+    }
+
+    #[test]
+    fn display_formats_severity_and_code() {
+        let d = Diagnostic::error("missing-call", "henson_yield not found");
+        assert_eq!(format!("{d}"), "error[missing-call]: henson_yield not found");
+        assert!(format!("{}", Diagnostic::info("i", "m")).starts_with("info"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

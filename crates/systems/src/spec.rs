@@ -1,0 +1,279 @@
+//! A neutral, system-agnostic workflow specification.
+//!
+//! The paper's benchmark scenario — a producer feeding datasets to one or
+//! more consumers with given process counts — is captured here once, and
+//! each system model renders it into its own configuration format.  The
+//! runtime crate executes the same specification directly.
+
+/// Direction of a task's relationship to a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataRole {
+    /// The task writes the dataset.
+    Produces,
+    /// The task reads the dataset.
+    Consumes,
+}
+
+/// A dataset requirement of one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRequirement {
+    /// Dataset name (e.g. `grid`, `particles`).
+    pub dataset: String,
+    /// Whether the task produces or consumes it.
+    pub role: DataRole,
+    /// Backing file name for file-based exchange.
+    pub filename: String,
+    /// HDF5-style group path used by Wilkins-style configs.
+    pub group_path: String,
+}
+
+impl DataRequirement {
+    /// Convenience constructor with the benchmark's default file/group names.
+    pub fn new(dataset: &str, role: DataRole) -> Self {
+        DataRequirement {
+            dataset: dataset.to_owned(),
+            role,
+            filename: "outfile.h5".to_owned(),
+            group_path: format!("/group1/{dataset}"),
+        }
+    }
+}
+
+/// One task in the workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Task (function) name, e.g. `producer`, `consumer1`.
+    pub name: String,
+    /// Number of MPI processes the task requires.
+    pub nprocs: usize,
+    /// Datasets the task produces or consumes.
+    pub data: Vec<DataRequirement>,
+}
+
+impl TaskSpec {
+    /// Create a task with no data requirements.
+    pub fn new(name: &str, nprocs: usize) -> Self {
+        TaskSpec {
+            name: name.to_owned(),
+            nprocs,
+            data: Vec::new(),
+        }
+    }
+
+    /// Add a produced dataset.
+    pub fn produces(mut self, dataset: &str) -> Self {
+        self.data.push(DataRequirement::new(dataset, DataRole::Produces));
+        self
+    }
+
+    /// Add a consumed dataset.
+    pub fn consumes(mut self, dataset: &str) -> Self {
+        self.data.push(DataRequirement::new(dataset, DataRole::Consumes));
+        self
+    }
+
+    /// Datasets this task produces.
+    pub fn produced_datasets(&self) -> Vec<&str> {
+        self.data
+            .iter()
+            .filter(|d| d.role == DataRole::Produces)
+            .map(|d| d.dataset.as_str())
+            .collect()
+    }
+
+    /// Datasets this task consumes.
+    pub fn consumed_datasets(&self) -> Vec<&str> {
+        self.data
+            .iter()
+            .filter(|d| d.role == DataRole::Consumes)
+            .map(|d| d.dataset.as_str())
+            .collect()
+    }
+}
+
+/// A whole workflow: an ordered list of tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkflowSpec {
+    /// Workflow name (used for display and runtime tracing).
+    pub name: String,
+    /// Tasks in definition order (producers typically first).
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl WorkflowSpec {
+    /// Create an empty workflow.
+    pub fn new(name: &str) -> Self {
+        WorkflowSpec {
+            name: name.to_owned(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Add a task.
+    pub fn with_task(mut self, task: TaskSpec) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// The paper's 3-node workflow: producer (3 procs) generating `grid` and
+    /// `particles`; consumer1 (1 proc) reading `grid`; consumer2 (1 proc)
+    /// reading `particles`.
+    pub fn paper_3node() -> Self {
+        WorkflowSpec::new("paper-3node")
+            .with_task(TaskSpec::new("producer", 3).produces("grid").produces("particles"))
+            .with_task(TaskSpec::new("consumer1", 1).consumes("grid"))
+            .with_task(TaskSpec::new("consumer2", 1).consumes("particles"))
+    }
+
+    /// The 2-node exemplar used in few-shot prompting: one producer and one
+    /// consumer exchanging a single `particles` dataset.
+    pub fn fewshot_2node() -> Self {
+        WorkflowSpec::new("fewshot-2node")
+            .with_task(TaskSpec::new("producer", 1).produces("particles"))
+            .with_task(TaskSpec::new("consumer", 1).consumes("particles"))
+    }
+
+    /// Total number of MPI processes across all tasks.
+    pub fn total_procs(&self) -> usize {
+        self.tasks.iter().map(|t| t.nprocs).sum()
+    }
+
+    /// Names of every dataset appearing in the workflow (deduplicated, in
+    /// first-appearance order).
+    pub fn datasets(&self) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for task in &self.tasks {
+            for d in &task.data {
+                if seen.insert(d.dataset.clone()) {
+                    out.push(d.dataset.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Look up a task by name.
+    pub fn task(&self, name: &str) -> Option<&TaskSpec> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Producer/consumer edges: `(producer task, consumer task, dataset)`
+    /// for every dataset produced by one task and consumed by another.
+    pub fn edges(&self) -> Vec<(String, String, String)> {
+        let mut edges = Vec::new();
+        for producer in &self.tasks {
+            for dataset in producer.produced_datasets() {
+                for consumer in &self.tasks {
+                    if consumer.name != producer.name
+                        && consumer.consumed_datasets().contains(&dataset)
+                    {
+                        edges.push((
+                            producer.name.clone(),
+                            consumer.name.clone(),
+                            dataset.to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Structural sanity checks: every consumed dataset has a producer, task
+    /// names are unique, and every task has at least one process.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut names = std::collections::HashSet::new();
+        for task in &self.tasks {
+            if !names.insert(&task.name) {
+                return Err(format!("duplicate task name `{}`", task.name));
+            }
+            if task.nprocs == 0 {
+                return Err(format!("task `{}` has zero processes", task.name));
+            }
+        }
+        let produced: std::collections::HashSet<&str> = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.produced_datasets())
+            .collect();
+        for task in &self.tasks {
+            for d in task.consumed_datasets() {
+                if !produced.contains(d) {
+                    return Err(format!(
+                        "task `{}` consumes dataset `{}` which no task produces",
+                        task.name, d
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_3node_structure() {
+        let spec = WorkflowSpec::paper_3node();
+        assert_eq!(spec.tasks.len(), 3);
+        assert_eq!(spec.total_procs(), 5);
+        assert_eq!(spec.datasets(), vec!["grid", "particles"]);
+        assert_eq!(spec.task("producer").unwrap().nprocs, 3);
+        assert_eq!(spec.task("consumer1").unwrap().consumed_datasets(), vec!["grid"]);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_3node_edges() {
+        let spec = WorkflowSpec::paper_3node();
+        let edges = spec.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&("producer".into(), "consumer1".into(), "grid".into())));
+        assert!(edges.contains(&("producer".into(), "consumer2".into(), "particles".into())));
+    }
+
+    #[test]
+    fn fewshot_2node_structure() {
+        let spec = WorkflowSpec::fewshot_2node();
+        assert_eq!(spec.tasks.len(), 2);
+        assert_eq!(spec.edges().len(), 1);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_task_names() {
+        let spec = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("a", 1))
+            .with_task(TaskSpec::new("a", 1));
+        assert!(spec.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_procs() {
+        let spec = WorkflowSpec::new("w").with_task(TaskSpec::new("a", 0));
+        assert!(spec.validate().unwrap_err().contains("zero processes"));
+    }
+
+    #[test]
+    fn validate_rejects_orphan_consumer() {
+        let spec = WorkflowSpec::new("w").with_task(TaskSpec::new("c", 1).consumes("grid"));
+        assert!(spec.validate().unwrap_err().contains("no task produces"));
+    }
+
+    #[test]
+    fn data_requirement_defaults() {
+        let d = DataRequirement::new("grid", DataRole::Produces);
+        assert_eq!(d.filename, "outfile.h5");
+        assert_eq!(d.group_path, "/group1/grid");
+    }
+
+    #[test]
+    fn produced_and_consumed_listing() {
+        let t = TaskSpec::new("x", 2).produces("a").consumes("b").produces("c");
+        assert_eq!(t.produced_datasets(), vec!["a", "c"]);
+        assert_eq!(t.consumed_datasets(), vec!["b"]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic emitter that renders a [`Value`] back to the supported
+//! YAML subset (block style, two-space indentation).
+
+use crate::value::{Map, Value};
+
+/// Emit a document with a trailing newline.
+pub fn emit(value: &Value) -> String {
+    let mut out = String::new();
+    match value {
+        Value::Map(m) => emit_map(m, 0, &mut out),
+        Value::Seq(s) => emit_seq(s, 0, &mut out),
+        other => {
+            out.push_str(&emit_scalar(other));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Emit a single value inline (flow style for collections); used by
+/// `Display` and for embedding values in messages.
+pub fn emit_value(value: &Value) -> String {
+    match value {
+        Value::Seq(items) => {
+            let inner: Vec<String> = items.iter().map(emit_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Map(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", emit_value(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        other => emit_scalar(other),
+    }
+}
+
+fn emit_scalar(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Value::Str(s) => quote_if_needed(s),
+        Value::Seq(_) | Value::Map(_) => unreachable!("collections handled by caller"),
+    }
+}
+
+/// Quote a string scalar when emitting it plainly would change its meaning
+/// on re-parse (empty, looks like another type, contains YAML syntax).
+fn quote_if_needed(s: &str) -> String {
+    let needs_quoting = s.is_empty()
+        || s != s.trim()
+        || matches!(
+            s,
+            "null" | "Null" | "NULL" | "~" | "true" | "True" | "TRUE" | "false" | "False" | "FALSE"
+        )
+        || s.parse::<i64>().is_ok()
+        || (s.parse::<f64>().is_ok()
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        || s.starts_with(['-', '[', ']', '{', '}', '&', '*', '!', '#', '\'', '"', '|', '>'])
+        || s.contains(": ")
+        || s.ends_with(':')
+        || s.contains(" #");
+    if needs_quoting {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn indent_str(indent: usize) -> String {
+    " ".repeat(indent)
+}
+
+fn emit_map(map: &Map, indent: usize, out: &mut String) {
+    if map.is_empty() {
+        out.push_str(&format!("{}{{}}\n", indent_str(indent)));
+        return;
+    }
+    for (key, value) in map.iter() {
+        match value {
+            Value::Map(m) if !m.is_empty() => {
+                out.push_str(&format!("{}{}:\n", indent_str(indent), quote_if_needed(key)));
+                emit_map(m, indent + 2, out);
+            }
+            Value::Seq(s) if !s.is_empty() => {
+                out.push_str(&format!("{}{}:\n", indent_str(indent), quote_if_needed(key)));
+                emit_seq(s, indent + 2, out);
+            }
+            Value::Map(_) => {
+                out.push_str(&format!("{}{}: {{}}\n", indent_str(indent), quote_if_needed(key)));
+            }
+            Value::Seq(_) => {
+                out.push_str(&format!("{}{}: []\n", indent_str(indent), quote_if_needed(key)));
+            }
+            scalar => {
+                out.push_str(&format!(
+                    "{}{}: {}\n",
+                    indent_str(indent),
+                    quote_if_needed(key),
+                    emit_scalar(scalar)
+                ));
+            }
+        }
+    }
+}
+
+fn emit_seq(seq: &[Value], indent: usize, out: &mut String) {
+    if seq.is_empty() {
+        out.push_str(&format!("{}[]\n", indent_str(indent)));
+        return;
+    }
+    for item in seq {
+        match item {
+            Value::Map(m) if !m.is_empty() => {
+                // First key inline with the dash, remaining keys below.
+                let mut first = true;
+                for (key, value) in m.iter() {
+                    let prefix = if first {
+                        format!("{}- ", indent_str(indent))
+                    } else {
+                        format!("{}  ", indent_str(indent))
+                    };
+                    first = false;
+                    match value {
+                        Value::Map(inner) if !inner.is_empty() => {
+                            out.push_str(&format!("{prefix}{}:\n", quote_if_needed(key)));
+                            emit_map(inner, indent + 4, out);
+                        }
+                        Value::Seq(inner) if !inner.is_empty() => {
+                            out.push_str(&format!("{prefix}{}:\n", quote_if_needed(key)));
+                            emit_seq(inner, indent + 4, out);
+                        }
+                        Value::Map(_) => {
+                            out.push_str(&format!("{prefix}{}: {{}}\n", quote_if_needed(key)));
+                        }
+                        Value::Seq(_) => {
+                            out.push_str(&format!("{prefix}{}: []\n", quote_if_needed(key)));
+                        }
+                        scalar => {
+                            out.push_str(&format!(
+                                "{prefix}{}: {}\n",
+                                quote_if_needed(key),
+                                emit_scalar(scalar)
+                            ));
+                        }
+                    }
+                }
+            }
+            Value::Seq(s) if !s.is_empty() => {
+                out.push_str(&format!("{}-\n", indent_str(indent)));
+                emit_seq(s, indent + 2, out);
+            }
+            Value::Map(_) => out.push_str(&format!("{}- {{}}\n", indent_str(indent))),
+            Value::Seq(_) => out.push_str(&format!("{}- []\n", indent_str(indent))),
+            scalar => {
+                out.push_str(&format!("{}- {}\n", indent_str(indent), emit_scalar(scalar)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let doc = parse(src).unwrap();
+        let emitted = emit(&doc);
+        let reparsed = parse(&emitted).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{emitted}"));
+        assert_eq!(doc, reparsed, "round trip changed document:\n{emitted}");
+    }
+
+    #[test]
+    fn scalar_emission() {
+        assert_eq!(emit(&Value::Int(3)), "3\n");
+        assert_eq!(emit(&Value::Bool(false)), "false\n");
+        assert_eq!(emit(&Value::Null), "null\n");
+        assert_eq!(emit(&Value::Str("plain".into())), "plain\n");
+    }
+
+    #[test]
+    fn float_emission_keeps_decimal_point() {
+        assert_eq!(emit(&Value::Float(2.0)), "2.0\n");
+        assert_eq!(emit(&Value::Float(2.5)), "2.5\n");
+    }
+
+    #[test]
+    fn strings_that_look_like_numbers_are_quoted() {
+        assert_eq!(emit(&Value::Str("42".into())), "\"42\"\n");
+        assert_eq!(emit(&Value::Str("true".into())), "\"true\"\n");
+        assert_eq!(emit(&Value::Str("".into())), "\"\"\n");
+    }
+
+    #[test]
+    fn inline_value_rendering() {
+        let mut m = Map::new();
+        m.insert("a", Value::Int(1));
+        m.insert("b", Value::Seq(vec![Value::Int(2), Value::Int(3)]));
+        assert_eq!(emit_value(&Value::Map(m)), "{a: 1, b: [2, 3]}");
+    }
+
+    #[test]
+    fn round_trip_flat_mapping() {
+        round_trip("a: 1\nb: text\nc: true\nd: 2.5\n");
+    }
+
+    #[test]
+    fn round_trip_nested_structures() {
+        round_trip("outer:\n  inner:\n    - 1\n    - x: 2\n      y: 3\n");
+    }
+
+    #[test]
+    fn round_trip_wilkins_config() {
+        round_trip(
+            "tasks:\n  - func: producer\n    nprocs: 3\n    outports:\n      - filename: outfile.h5\n        dsets:\n          - name: /group1/grid\n            file: 0\n            memory: 1\n",
+        );
+    }
+
+    #[test]
+    fn round_trip_empty_collections() {
+        round_trip("a: {}\nb: []\nc: null\n");
+    }
+
+    #[test]
+    fn round_trip_sequence_document() {
+        round_trip("- 1\n- two\n- false\n");
+    }
+
+    #[test]
+    fn emitted_wilkins_config_is_stable() {
+        let src = "tasks:\n  - func: producer\n    nprocs: 3\n";
+        let doc = parse(src).unwrap();
+        let once = emit(&doc);
+        let twice = emit(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

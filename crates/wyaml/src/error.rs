@@ -1,0 +1,102 @@
+//! Parse errors with line/column information.
+
+use std::fmt;
+
+/// Category of parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Indentation does not match any open block.
+    BadIndentation,
+    /// A mapping entry was expected (`key: value`).
+    ExpectedMapping,
+    /// A sequence entry was expected (`- item`).
+    ExpectedSequence,
+    /// A quoted scalar was not terminated before the end of the line.
+    UnterminatedString,
+    /// A flow collection (`[...]` / `{...}`) was not closed.
+    UnterminatedFlow,
+    /// The construct is valid YAML but outside the supported subset
+    /// (anchors, tags, block scalars, multiple documents).
+    Unsupported,
+    /// Mapping key appears twice in the same block.
+    DuplicateKey,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::BadIndentation => "bad indentation",
+            ErrorKind::ExpectedMapping => "expected a `key: value` mapping entry",
+            ErrorKind::ExpectedSequence => "expected a `- item` sequence entry",
+            ErrorKind::UnterminatedString => "unterminated quoted string",
+            ErrorKind::UnterminatedFlow => "unterminated flow collection",
+            ErrorKind::Unsupported => "unsupported YAML construct",
+            ErrorKind::DuplicateKey => "duplicate mapping key",
+            ErrorKind::Other => "parse error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A parse error, carrying the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Error category.
+    pub kind: ErrorKind,
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Error {
+    /// Construct an error at a specific line.
+    pub fn new(kind: ErrorKind, line: usize, message: impl Into<String>) -> Self {
+        Error {
+            kind,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}: {}", self.line, self.kind, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_kind_and_message() {
+        let e = Error::new(ErrorKind::BadIndentation, 7, "unexpected indent of 3");
+        let s = format!("{e}");
+        assert!(s.contains("line 7"));
+        assert!(s.contains("bad indentation"));
+        assert!(s.contains("unexpected indent of 3"));
+    }
+
+    #[test]
+    fn error_kinds_have_distinct_messages() {
+        let kinds = [
+            ErrorKind::BadIndentation,
+            ErrorKind::ExpectedMapping,
+            ErrorKind::ExpectedSequence,
+            ErrorKind::UnterminatedString,
+            ErrorKind::UnterminatedFlow,
+            ErrorKind::Unsupported,
+            ErrorKind::DuplicateKey,
+            ErrorKind::Other,
+        ];
+        let mut messages: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+        messages.dedup();
+        assert_eq!(messages.len(), kinds.len());
+    }
+}

@@ -1,0 +1,89 @@
+//! `wfspeak-wyaml` — a minimal, from-scratch YAML-subset parser and emitter.
+//!
+//! Workflow systems such as Wilkins and ADIOS2 describe workflow graphs in
+//! small, regular YAML documents (block mappings, block sequences, scalars,
+//! occasional flow collections).  The reproduction hint for this paper calls
+//! for workflow parsing to be built from scratch, so this crate implements
+//! exactly the subset those configuration files need instead of pulling in a
+//! full YAML implementation:
+//!
+//! * block mappings (`key: value`) with arbitrary nesting by indentation,
+//! * block sequences (`- item`), including sequences of mappings,
+//! * flow sequences (`[a, b]`) and flow mappings (`{a: 1}`) as scalar-level
+//!   constructs,
+//! * plain, single-quoted and double-quoted scalars,
+//! * integers, floats, booleans and null,
+//! * `#` comments and blank lines,
+//! * a deterministic emitter that round-trips parsed documents.
+//!
+//! Out of scope (and rejected with an error where detectable): anchors,
+//! aliases, tags, multi-document streams, block scalars (`|`, `>`).
+//!
+//! # Example
+//!
+//! ```
+//! use wfspeak_wyaml::{parse, Value};
+//!
+//! let doc = parse("tasks:\n  - func: producer\n    nprocs: 3\n").unwrap();
+//! let tasks = doc.get("tasks").unwrap().as_seq().unwrap();
+//! assert_eq!(tasks[0].get("func").unwrap().as_str(), Some("producer"));
+//! assert_eq!(tasks[0].get("nprocs").unwrap().as_i64(), Some(3));
+//! ```
+
+pub mod emit;
+pub mod error;
+pub mod parse;
+pub mod value;
+
+pub use emit::{emit, emit_value};
+pub use error::{Error, ErrorKind};
+pub use parse::parse;
+pub use value::{Map, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple_document() {
+        let src = "name: workflow\ncount: 3\nenabled: true\n";
+        let doc = parse(src).unwrap();
+        let emitted = emit(&doc);
+        let reparsed = parse(&emitted).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn wilkins_style_document_parses() {
+        let src = "\
+tasks:
+  - func: producer
+    nprocs: 3
+    outports:
+      - filename: outfile.h5
+        dsets:
+          - name: /group1/grid
+            file: 0
+            memory: 1
+  - func: consumer1
+    nprocs: 1
+    inports:
+      - filename: outfile.h5
+        dsets:
+          - name: /group1/grid
+            file: 0
+            memory: 1
+";
+        let doc = parse(src).unwrap();
+        let tasks = doc.get("tasks").unwrap().as_seq().unwrap();
+        assert_eq!(tasks.len(), 2);
+        let outports = tasks[0].get("outports").unwrap().as_seq().unwrap();
+        assert_eq!(
+            outports[0].get("filename").unwrap().as_str(),
+            Some("outfile.h5")
+        );
+        let dsets = outports[0].get("dsets").unwrap().as_seq().unwrap();
+        assert_eq!(dsets[0].get("name").unwrap().as_str(), Some("/group1/grid"));
+        assert_eq!(dsets[0].get("memory").unwrap().as_i64(), Some(1));
+    }
+}

@@ -1,0 +1,666 @@
+//! The block-structured parser for the supported YAML subset.
+
+use crate::error::{Error, ErrorKind};
+use crate::value::{Map, Value};
+
+/// Parse a YAML-subset document into a [`Value`].
+///
+/// An empty document (only comments/blank lines) parses to [`Value::Null`].
+pub fn parse(source: &str) -> Result<Value, Error> {
+    let lines = preprocess(source)?;
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut parser = Parser { lines, pos: 0 };
+    let root_indent = parser.lines[0].indent;
+    let value = parser.parse_node(root_indent)?;
+    if parser.pos < parser.lines.len() {
+        let line = &parser.lines[parser.pos];
+        return Err(Error::new(
+            ErrorKind::BadIndentation,
+            line.number,
+            format!("unexpected content `{}` after document root", line.text),
+        ));
+    }
+    Ok(value)
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+    number: usize,
+}
+
+fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
+    let mut out = Vec::new();
+    let mut seen_doc_marker = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let stripped = strip_comment(raw);
+        let text = stripped.trim_end();
+        if text.trim().is_empty() {
+            continue;
+        }
+        let trimmed = text.trim_start();
+        if trimmed == "---" {
+            if seen_doc_marker || !out.is_empty() {
+                return Err(Error::new(
+                    ErrorKind::Unsupported,
+                    number,
+                    "multiple YAML documents are not supported",
+                ));
+            }
+            seen_doc_marker = true;
+            continue;
+        }
+        if trimmed == "..." {
+            break;
+        }
+        let indent_str: String = text.chars().take_while(|c| *c == ' ' || *c == '\t').collect();
+        if indent_str.contains('\t') {
+            return Err(Error::new(
+                ErrorKind::BadIndentation,
+                number,
+                "tabs are not allowed in indentation",
+            ));
+        }
+        out.push(Line {
+            indent: indent_str.len(),
+            text: trimmed.to_owned(),
+            number,
+        });
+    }
+    Ok(out)
+}
+
+/// Remove a trailing `#` comment that is not inside a quoted scalar.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'#' if !in_single && !in_double => {
+                // YAML only treats '#' as a comment when at line start or
+                // preceded by whitespace.
+                if i == 0 || bytes[i - 1].is_ascii_whitespace() {
+                    return &line[..i];
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Parser {
+    fn current(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    /// Parse the node starting at the current line, which must sit at
+    /// exactly `indent`.
+    fn parse_node(&mut self, indent: usize) -> Result<Value, Error> {
+        let line = match self.current() {
+            Some(l) => l.clone(),
+            None => return Ok(Value::Null),
+        };
+        if line.text.starts_with('-')
+            && (line.text == "-" || line.text.starts_with("- ") || line.text == "---")
+        {
+            self.parse_sequence(indent)
+        } else if find_mapping_colon(&line.text).is_some() {
+            self.parse_mapping(indent)
+        } else {
+            // Single scalar document / nested scalar.
+            self.pos += 1;
+            parse_scalar(&line.text, line.number)
+        }
+    }
+
+    fn parse_mapping(&mut self, indent: usize) -> Result<Value, Error> {
+        let mut map = Map::new();
+        while let Some(line) = self.current().cloned() {
+            if line.indent < indent {
+                break;
+            }
+            if line.indent > indent {
+                return Err(Error::new(
+                    ErrorKind::BadIndentation,
+                    line.number,
+                    format!("unexpected indent {} (expected {})", line.indent, indent),
+                ));
+            }
+            if line.text.starts_with("- ") || line.text == "-" {
+                break;
+            }
+            let colon = find_mapping_colon(&line.text).ok_or_else(|| {
+                Error::new(
+                    ErrorKind::ExpectedMapping,
+                    line.number,
+                    format!("`{}` is not a `key: value` entry", line.text),
+                )
+            })?;
+            let raw_key = line.text[..colon].trim();
+            let key = unquote_key(raw_key);
+            if key.starts_with('&') || key.starts_with('*') || key.starts_with('!') {
+                return Err(Error::new(
+                    ErrorKind::Unsupported,
+                    line.number,
+                    "anchors, aliases and tags are not supported",
+                ));
+            }
+            if map.contains_key(&key) {
+                return Err(Error::new(
+                    ErrorKind::DuplicateKey,
+                    line.number,
+                    format!("key `{key}` already defined in this mapping"),
+                ));
+            }
+            let rest = line.text[colon + 1..].trim();
+            self.pos += 1;
+            let value = if rest.is_empty() {
+                match self.current() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        self.parse_node(child_indent)?
+                    }
+                    // A sequence nested under a key may sit at the same
+                    // indent as the key (common YAML style).
+                    Some(next)
+                        if next.indent == indent
+                            && (next.text.starts_with("- ") || next.text == "-") =>
+                    {
+                        self.parse_sequence(indent)?
+                    }
+                    _ => Value::Null,
+                }
+            } else {
+                parse_scalar(rest, line.number)?
+            };
+            map.insert(key, value);
+        }
+        Ok(Value::Map(map))
+    }
+
+    fn parse_sequence(&mut self, indent: usize) -> Result<Value, Error> {
+        let mut items = Vec::new();
+        while let Some(line) = self.current().cloned() {
+            if line.indent != indent || !(line.text.starts_with("- ") || line.text == "-") {
+                if line.indent > indent {
+                    return Err(Error::new(
+                        ErrorKind::BadIndentation,
+                        line.number,
+                        format!("unexpected indent {} in sequence (expected {})", line.indent, indent),
+                    ));
+                }
+                break;
+            }
+            let content = if line.text == "-" {
+                ""
+            } else {
+                line.text[1..].trim_start()
+            };
+            if content.is_empty() {
+                self.pos += 1;
+                let value = match self.current() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        self.parse_node(child_indent)?
+                    }
+                    _ => Value::Null,
+                };
+                items.push(value);
+            } else {
+                // Inline content: re-home it at the content column so a
+                // mapping started on the dash line can continue on the
+                // following lines.
+                let content_indent = indent + (line.text.len() - content.len());
+                self.lines[self.pos] = Line {
+                    indent: content_indent,
+                    text: content.to_owned(),
+                    number: line.number,
+                };
+                let value = self.parse_node(content_indent)?;
+                items.push(value);
+            }
+        }
+        Ok(Value::Seq(items))
+    }
+}
+
+/// Locate the colon that separates a mapping key from its value: the first
+/// `:` outside quotes that is followed by a space or ends the line.
+fn find_mapping_colon(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'[' | b'{' if !in_single && !in_double => depth += 1,
+            b']' | b'}' if !in_single && !in_double => depth = depth.saturating_sub(1),
+            b':' if !in_single && !in_double && depth == 0 => {
+                if i + 1 == bytes.len() || bytes[i + 1].is_ascii_whitespace() {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unquote_key(key: &str) -> String {
+    let k = key.trim();
+    if (k.starts_with('"') && k.ends_with('"') && k.len() >= 2)
+        || (k.starts_with('\'') && k.ends_with('\'') && k.len() >= 2)
+    {
+        k[1..k.len() - 1].to_owned()
+    } else {
+        k.to_owned()
+    }
+}
+
+/// Parse an inline scalar or flow collection.
+fn parse_scalar(text: &str, line: usize) -> Result<Value, Error> {
+    let t = text.trim();
+    if t.starts_with('[') || t.starts_with('{') {
+        let (value, rest) = parse_flow(t, line)?;
+        if !rest.trim().is_empty() {
+            return Err(Error::new(
+                ErrorKind::Other,
+                line,
+                format!("trailing content `{rest}` after flow collection"),
+            ));
+        }
+        return Ok(value);
+    }
+    if t.starts_with('"') || t.starts_with('\'') {
+        return parse_quoted(t, line);
+    }
+    if t == "|" || t == ">" || t.starts_with("| ") || t.starts_with("> ") {
+        return Err(Error::new(
+            ErrorKind::Unsupported,
+            line,
+            "block scalars (`|`, `>`) are not supported",
+        ));
+    }
+    if t.starts_with('&') || t.starts_with('*') || t.starts_with('!') {
+        return Err(Error::new(
+            ErrorKind::Unsupported,
+            line,
+            "anchors, aliases and tags are not supported",
+        ));
+    }
+    Ok(Value::from_plain_scalar(t))
+}
+
+fn parse_quoted(t: &str, line: usize) -> Result<Value, Error> {
+    let quote = t.chars().next().unwrap();
+    let inner = &t[1..];
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    let mut closed = false;
+    while let Some(c) = chars.next() {
+        if c == quote {
+            closed = true;
+            break;
+        }
+        if quote == '"' && c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    if !closed {
+        return Err(Error::new(
+            ErrorKind::UnterminatedString,
+            line,
+            format!("missing closing `{quote}`"),
+        ));
+    }
+    Ok(Value::Str(out))
+}
+
+/// Parse a flow collection starting at the beginning of `t`, returning the
+/// value and the remaining unparsed text.
+fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
+    let t = t.trim_start();
+    if let Some(rest) = t.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = rest.trim_start();
+        loop {
+            if let Some(r) = rest.strip_prefix(']') {
+                return Ok((Value::Seq(items), r));
+            }
+            if rest.is_empty() {
+                return Err(Error::new(ErrorKind::UnterminatedFlow, line, "missing `]`"));
+            }
+            let (item, r) = parse_flow_item(rest, line)?;
+            items.push(item);
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            }
+        }
+    }
+    if let Some(rest) = t.strip_prefix('{') {
+        let mut map = Map::new();
+        let mut rest = rest.trim_start();
+        loop {
+            if let Some(r) = rest.strip_prefix('}') {
+                return Ok((Value::Map(map), r));
+            }
+            if rest.is_empty() {
+                return Err(Error::new(ErrorKind::UnterminatedFlow, line, "missing `}`"));
+            }
+            let colon = rest.find(':').ok_or_else(|| {
+                Error::new(ErrorKind::ExpectedMapping, line, "flow mapping entry missing `:`")
+            })?;
+            let key = unquote_key(&rest[..colon]);
+            let after = rest[colon + 1..].trim_start();
+            if after.starts_with('}') {
+                map.insert(key, Value::Null);
+                rest = after;
+                continue;
+            }
+            let (val, r) = parse_flow_item(after, line)?;
+            map.insert(key, val);
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            }
+        }
+    }
+    Err(Error::new(ErrorKind::Other, line, "expected flow collection"))
+}
+
+fn parse_flow_item(t: &str, line: usize) -> Result<(Value, &str), Error> {
+    let t = t.trim_start();
+    if t.starts_with('[') || t.starts_with('{') {
+        return parse_flow(t, line);
+    }
+    if t.starts_with('"') || t.starts_with('\'') {
+        let quote = t.chars().next().unwrap();
+        // Find the closing quote.
+        if let Some(end) = t[1..].find(quote) {
+            let value = parse_quoted(&t[..end + 2], line)?;
+            return Ok((value, &t[end + 2..]));
+        }
+        return Err(Error::new(
+            ErrorKind::UnterminatedString,
+            line,
+            format!("missing closing `{quote}` in flow scalar"),
+        ));
+    }
+    // Plain flow scalar ends at ',', ']' or '}'.
+    let end = t
+        .find(|c| matches!(c, ',' | ']' | '}'))
+        .unwrap_or(t.len());
+    Ok((Value::from_plain_scalar(&t[..end]), &t[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_comment_only_documents_are_null() {
+        assert_eq!(parse("").unwrap(), Value::Null);
+        assert_eq!(parse("# just a comment\n\n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_document() {
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("hello").unwrap(), Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn simple_mapping() {
+        let doc = parse("a: 1\nb: two\nc: true\nd:\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Int(1)));
+        assert_eq!(doc.get("b"), Some(&Value::Str("two".into())));
+        assert_eq!(doc.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn nested_mapping() {
+        let doc = parse("outer:\n  inner:\n    leaf: 5\n").unwrap();
+        assert_eq!(
+            doc.lookup_path("outer/inner/leaf"),
+            Some(&Value::Int(5))
+        );
+    }
+
+    #[test]
+    fn sequence_of_scalars() {
+        let doc = parse("- 1\n- 2\n- three\n").unwrap();
+        assert_eq!(
+            doc,
+            Value::Seq(vec![Value::Int(1), Value::Int(2), Value::Str("three".into())])
+        );
+    }
+
+    #[test]
+    fn sequence_of_mappings_with_inline_first_key() {
+        let doc = parse("- func: producer\n  nprocs: 3\n- func: consumer\n  nprocs: 1\n").unwrap();
+        let seq = doc.as_seq().unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].get("nprocs"), Some(&Value::Int(3)));
+        assert_eq!(seq[1].get("func").unwrap().as_str(), Some("consumer"));
+    }
+
+    #[test]
+    fn sequence_under_key_at_same_indent() {
+        let doc = parse("tasks:\n- a\n- b\n").unwrap();
+        let tasks = doc.get("tasks").unwrap().as_seq().unwrap();
+        assert_eq!(tasks.len(), 2);
+    }
+
+    #[test]
+    fn sequence_under_key_indented() {
+        let doc = parse("tasks:\n  - a\n  - b\nother: 1\n").unwrap();
+        assert_eq!(doc.get("tasks").unwrap().as_seq().unwrap().len(), 2);
+        assert_eq!(doc.get("other"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn nested_sequences_via_dash_dash() {
+        let doc = parse("-\n  - 1\n  - 2\n- 3\n").unwrap();
+        let seq = doc.as_seq().unwrap();
+        assert_eq!(seq[0].as_seq().unwrap().len(), 2);
+        assert_eq!(seq[1], Value::Int(3));
+    }
+
+    #[test]
+    fn flow_sequence_and_mapping() {
+        let doc = parse("dims: [64, 64, 64]\nmeta: {owner: sim, level: 2}\n").unwrap();
+        assert_eq!(
+            doc.get("dims").unwrap().as_seq().unwrap(),
+            &[Value::Int(64), Value::Int(64), Value::Int(64)]
+        );
+        assert_eq!(
+            doc.lookup_path("meta/owner").unwrap().as_str(),
+            Some("sim")
+        );
+        assert_eq!(doc.lookup_path("meta/level"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn empty_flow_collections() {
+        let doc = parse("grid: {}\nitems: []\n").unwrap();
+        assert_eq!(doc.get("grid"), Some(&Value::Map(Map::new())));
+        assert_eq!(doc.get("items"), Some(&Value::Seq(vec![])));
+    }
+
+    #[test]
+    fn quoted_scalars_and_escapes() {
+        let doc = parse("a: \"hello: world\"\nb: 'single # not comment'\nc: \"line\\nbreak\"\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_str(), Some("hello: world"));
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("single # not comment"));
+        assert_eq!(doc.get("c").unwrap().as_str(), Some("line\nbreak"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let doc = parse("a: 1 # trailing\n# full line\nb: 2\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Int(1)));
+        assert_eq!(doc.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn hash_inside_plain_scalar_not_a_comment() {
+        let doc = parse("path: /group#1/grid\n").unwrap();
+        assert_eq!(doc.get("path").unwrap().as_str(), Some("/group#1/grid"));
+    }
+
+    #[test]
+    fn leading_document_marker_allowed() {
+        let doc = parse("---\na: 1\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn multiple_documents_rejected() {
+        let err = parse("a: 1\n---\nb: 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = parse("a: 1\na: 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateKey);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn tabs_in_indentation_rejected() {
+        let err = parse("a:\n\tb: 1\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadIndentation);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let err = parse("a: \"oops\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn unterminated_flow_rejected() {
+        let err = parse("a: [1, 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnterminatedFlow);
+    }
+
+    #[test]
+    fn block_scalars_rejected() {
+        let err = parse("a: |\n  text\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn anchors_rejected() {
+        let err = parse("a: &anchor 1\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn bad_indentation_in_mapping_rejected() {
+        let err = parse("a: 1\n   b: 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadIndentation);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn colon_in_value_without_space_is_part_of_scalar() {
+        let doc = parse("url: http://example.org\n").unwrap();
+        assert_eq!(doc.get("url").unwrap().as_str(), Some("http://example.org"));
+    }
+
+    #[test]
+    fn keys_with_quotes() {
+        let doc = parse("\"quoted key\": 1\n").unwrap();
+        assert_eq!(doc.get("quoted key"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn deep_wilkins_like_nesting() {
+        let src = "\
+tasks:
+  - func: producer
+    nprocs: 3
+    outports:
+      - filename: outfile.h5
+        dsets:
+          - name: /group1/grid
+            file: 0
+            memory: 1
+          - name: /group1/particles
+            file: 0
+            memory: 1
+";
+        let doc = parse(src).unwrap();
+        let dsets = doc.lookup_path("tasks/0/outports/0/dsets").unwrap();
+        assert_eq!(dsets.as_seq().unwrap().len(), 2);
+        assert_eq!(
+            doc.lookup_path("tasks/0/outports/0/dsets/1/name")
+                .unwrap()
+                .as_str(),
+            Some("/group1/particles")
+        );
+    }
+
+    #[test]
+    fn adios2_style_engine_parameters() {
+        let src = "\
+io:
+  name: SimulationOutput
+  engine:
+    type: SST
+    parameters:
+      RendezvousReaderCount: 1
+      QueueLimit: 5
+variables:
+  - name: array
+    shape: [4, 50]
+    type: float
+";
+        let doc = parse(src).unwrap();
+        assert_eq!(
+            doc.lookup_path("io/engine/type").unwrap().as_str(),
+            Some("SST")
+        );
+        assert_eq!(
+            doc.lookup_path("io/engine/parameters/QueueLimit"),
+            Some(&Value::Int(5))
+        );
+        assert_eq!(
+            doc.lookup_path("variables/0/shape/1"),
+            Some(&Value::Int(50))
+        );
+    }
+}

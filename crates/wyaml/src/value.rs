@@ -1,0 +1,365 @@
+//! The document value model: scalars, sequences and insertion-ordered maps.
+
+use std::fmt;
+
+/// An insertion-ordered map of string keys to values.
+///
+/// YAML mappings in workflow configuration files are order-sensitive for
+/// human readers (and for text-similarity scoring), so keys are kept in the
+/// order they were inserted rather than sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a key/value pair.  If the key already exists its value is
+    /// replaced in place (original position retained).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A parsed YAML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`, `~` or an empty scalar.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Float(f64),
+    /// String scalar (plain or quoted).
+    Str(String),
+    /// Sequence (`- item` or `[a, b]`).
+    Seq(Vec<Value>),
+    /// Mapping (`key: value` or `{a: 1}`).
+    Map(Map),
+}
+
+impl Value {
+    /// Interpret a plain (unquoted) scalar string, resolving null, booleans
+    /// and numbers the way YAML 1.1 core schema does for the common cases.
+    pub fn from_plain_scalar(s: &str) -> Value {
+        let t = s.trim();
+        match t {
+            "" | "~" | "null" | "Null" | "NULL" => return Value::Null,
+            "true" | "True" | "TRUE" => return Value::Bool(true),
+            "false" | "False" | "FALSE" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        // Only treat as float if it looks numeric (avoid "1.0.0" or version
+        // strings being mangled).
+        if t.parse::<f64>().is_ok()
+            && t.chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        {
+            if let Ok(f) = t.parse::<f64>() {
+                return Value::Float(f);
+            }
+        }
+        Value::Str(t.to_owned())
+    }
+
+    /// String view (only for [`Value::Str`]).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers widen to floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    pub fn as_map(&self) -> Option<&Map> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Shorthand for map lookup; `None` for non-map values.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Descriptive name of the value's type (used in error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "mapping",
+        }
+    }
+
+    /// Walk a `/`-separated path of map keys and sequence indices, e.g.
+    /// `tasks/0/func`.
+    pub fn lookup_path(&self, path: &str) -> Option<&Value> {
+        let mut current = self;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            current = match current {
+                Value::Map(m) => m.get(part)?,
+                Value::Seq(s) => s.get(part.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::emit::emit_value(self))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_preserves_order() {
+        let mut m = Map::new();
+        m.insert("b", Value::Int(1));
+        m.insert("a", Value::Int(2));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(m.get("a"), Some(&Value::Int(2)));
+        assert!(m.contains_key("b"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("x", Value::Int(1));
+        m.insert("y", Value::Int(2));
+        m.insert("x", Value::Int(9));
+        assert_eq!(m.get("x"), Some(&Value::Int(9)));
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec!["x", "y"]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_remove() {
+        let mut m = Map::new();
+        m.insert("x", Value::Int(1));
+        assert_eq!(m.remove("x"), Some(Value::Int(1)));
+        assert_eq!(m.remove("x"), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn plain_scalar_resolution() {
+        assert_eq!(Value::from_plain_scalar("null"), Value::Null);
+        assert_eq!(Value::from_plain_scalar("~"), Value::Null);
+        assert_eq!(Value::from_plain_scalar(""), Value::Null);
+        assert_eq!(Value::from_plain_scalar("true"), Value::Bool(true));
+        assert_eq!(Value::from_plain_scalar("False"), Value::Bool(false));
+        assert_eq!(Value::from_plain_scalar("42"), Value::Int(42));
+        assert_eq!(Value::from_plain_scalar("-7"), Value::Int(-7));
+        assert_eq!(Value::from_plain_scalar("3.5"), Value::Float(3.5));
+        assert_eq!(
+            Value::from_plain_scalar("outfile.h5"),
+            Value::Str("outfile.h5".into())
+        );
+        assert_eq!(
+            Value::from_plain_scalar("/group1/grid"),
+            Value::Str("/group1/grid".into())
+        );
+    }
+
+    #[test]
+    fn accessors_return_expected_views() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert!(Value::Str("x".into()).as_i64().is_none());
+        assert!(Value::Int(1).as_str().is_none());
+    }
+
+    #[test]
+    fn lookup_path_traverses_maps_and_sequences() {
+        let mut inner = Map::new();
+        inner.insert("func", Value::Str("producer".into()));
+        let mut root = Map::new();
+        root.insert("tasks", Value::Seq(vec![Value::Map(inner)]));
+        let doc = Value::Map(root);
+        assert_eq!(
+            doc.lookup_path("tasks/0/func").and_then(Value::as_str),
+            Some("producer")
+        );
+        assert!(doc.lookup_path("tasks/1/func").is_none());
+        assert!(doc.lookup_path("missing").is_none());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Seq(vec![]).type_name(), "sequence");
+        assert_eq!(Value::Map(Map::new()).type_name(), "mapping");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(3_i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+    }
+
+    #[test]
+    fn from_iterator_builds_map() {
+        let m: Map = vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Int(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("b"), Some(&Value::Int(2)));
+    }
+}

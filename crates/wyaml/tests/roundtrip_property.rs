@@ -1,0 +1,85 @@
+//! Property-based round-trip tests: any value built from the supported
+//! model emits to text that re-parses to an equivalent value.
+
+use proptest::prelude::*;
+use wfspeak_wyaml::{emit, parse, Map, Value};
+
+/// Strategy for plain-ish scalar strings (identifiers, paths, filenames).
+fn scalar_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,12}",
+        "/[a-z]{1,6}/[a-z]{1,6}",
+        "[a-z]{1,8}\\.h5",
+        "[a-z ]{1,14}",
+        Just(String::new()),
+        Just("null".to_string()),
+        Just("42".to_string()),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(|f| Value::Float((f * 100.0).round() / 100.0)),
+        scalar_string().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            proptest::collection::vec(("[a-z][a-z0-9_]{0,8}", inner), 0..4).prop_map(|entries| {
+                let mut m = Map::new();
+                for (k, v) in entries {
+                    m.insert(k, v);
+                }
+                Value::Map(m)
+            }),
+        ]
+    })
+}
+
+/// Floats can lose the integral/float distinction through emission when they
+/// have no fractional part and a scalar re-resolution; compare with that
+/// tolerance.
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => (x - y).abs() < 1e-9,
+        (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
+            (*x - *y as f64).abs() < 1e-9
+        }
+        (Value::Seq(xs), Value::Seq(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| approx_eq(x, y))
+        }
+        (Value::Map(xm), Value::Map(ym)) => {
+            xm.len() == ym.len()
+                && xm
+                    .iter()
+                    .all(|(k, v)| ym.get(k).map(|w| approx_eq(v, w)).unwrap_or(false))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn emit_parse_round_trip(value in value_strategy()) {
+        let text = emit(&value);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("failed to reparse:\n{text}\nerror: {e}"));
+        prop_assert!(approx_eq(&value, &reparsed), "value {value:?} -> text:\n{text}\nreparsed {reparsed:?}");
+    }
+
+    #[test]
+    fn emit_is_idempotent(value in value_strategy()) {
+        let once = emit(&value);
+        let twice = emit(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(text in "[ -~\n]{0,200}") {
+        let _ = parse(&text);
+    }
+}

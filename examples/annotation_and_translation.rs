@@ -1,0 +1,37 @@
+//! Task-code annotation (Table 2) and translation (Table 3) experiments,
+//! plus the qualitative Table 4 translation comparison.
+//!
+//! Run with: `cargo run --example annotation_and_translation`
+
+use wfspeak_core::report::{qualitative_translations, render_samples};
+use wfspeak_core::{Benchmark, BenchmarkConfig, PromptVariant};
+
+fn main() {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig::default());
+
+    let annotation = benchmark.run_annotation(PromptVariant::Original);
+    println!(
+        "{}",
+        annotation.render_table("Table 2: task code annotation, code-similarity scores")
+    );
+    println!(
+        "Best model for annotation: {}\n",
+        annotation.best_model().unwrap_or_default()
+    );
+
+    let translation = benchmark.run_translation(PromptVariant::Original);
+    println!(
+        "{}",
+        translation.render_table("Table 3: task code translation, code-similarity scores")
+    );
+
+    println!();
+    let samples = qualitative_translations(benchmark.config().base_seed);
+    println!(
+        "{}",
+        render_samples(
+            "Table 4: ADIOS2 -> Henson translations (LLaMA-3.3-70B vs Gemini-2.5-Pro)",
+            &samples
+        )
+    );
+}

@@ -1,0 +1,20 @@
+//! Few-shot prompting study (Table 5): compare zero-shot and few-shot
+//! workflow-configuration quality for every model.
+//!
+//! Run with: `cargo run --example few_shot`
+
+use wfspeak_core::{Benchmark, BenchmarkConfig};
+
+fn main() {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig::default());
+    println!("Running zero-shot vs few-shot workflow configuration (Table 5)...\n");
+
+    let comparison = benchmark.run_few_shot_comparison();
+    println!("{}", comparison.render_table());
+
+    if comparison.few_shot_improves_all_models() {
+        println!("Few-shot prompting improves configuration quality for every evaluated model.");
+    } else {
+        println!("Warning: few-shot prompting did not improve every model in this run.");
+    }
+}

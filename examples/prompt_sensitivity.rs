@@ -1,0 +1,27 @@
+//! Prompt-sensitivity study (Figure 1): run every experiment under the five
+//! prompt variants and print the BLEU heatmaps.
+//!
+//! Run with: `cargo run --example prompt_sensitivity` (this is the largest
+//! example; it runs 3 experiments x 5 variants x 4 models x 5 trials).
+
+use wfspeak_core::{Benchmark, BenchmarkConfig, ExperimentKind};
+
+fn main() {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig::default());
+    println!("Running the prompt-sensitivity sweep (Figure 1)...\n");
+    let sensitivity = benchmark.run_prompt_sensitivity();
+
+    for kind in ExperimentKind::ALL {
+        for row in kind.row_labels() {
+            println!("{}", sensitivity.render_heatmap(kind, &row));
+        }
+    }
+
+    // The paper's observation: no prompt variant wins for every model.
+    for kind in ExperimentKind::ALL {
+        for row in kind.row_labels() {
+            let best = sensitivity.best_variant_per_model(kind, &row);
+            println!("Best prompt per model for {} / {row}: {best:?}", kind.name());
+        }
+    }
+}

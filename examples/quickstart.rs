@@ -1,0 +1,33 @@
+//! Quickstart: ask every model for a Wilkins workflow configuration, score
+//! the answers against the reference, and print the resulting table row.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use wfspeak_core::{Benchmark, BenchmarkConfig, PromptVariant};
+use wfspeak_metrics::Metric;
+
+fn main() {
+    // Two trials keep the example fast; the paper uses five.
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: 2,
+        ..BenchmarkConfig::default()
+    });
+
+    println!("Running the workflow-configuration experiment (zero-shot, original prompt)...\n");
+    let result = benchmark.run_configuration(PromptVariant::Original, false);
+
+    println!("{}", result.render_table("Workflow configuration (Table 1 layout)"));
+
+    println!(
+        "Best model overall: {}",
+        result.best_model().unwrap_or_else(|| "n/a".into())
+    );
+    println!(
+        "Best-handled workflow system: {}",
+        result.best_row().unwrap_or_else(|| "n/a".into())
+    );
+    println!(
+        "\nWilkins BLEU for o3: {}",
+        result.cell(Metric::Bleu, "Wilkins", "o3").paper_format()
+    );
+}

@@ -1,0 +1,175 @@
+//! Shape tests: the benchmark run over the simulated models must reproduce
+//! the qualitative findings of the paper's evaluation (who wins, by roughly
+//! what factor, where the weak spots are).  Absolute numbers are not pinned.
+
+use wfspeak_core::{Benchmark, BenchmarkConfig, PromptVariant};
+use wfspeak_metrics::Metric;
+
+fn benchmark() -> Benchmark {
+    Benchmark::with_simulated_models(BenchmarkConfig::default())
+}
+
+#[test]
+fn table1_adios2_is_the_best_configured_system_and_henson_the_worst() {
+    let result = benchmark().run_configuration(PromptVariant::Original, false);
+    let adios2 = result.bleu.row_overall("ADIOS2").mean;
+    let henson = result.bleu.row_overall("Henson").mean;
+    let wilkins = result.bleu.row_overall("Wilkins").mean;
+    assert!(adios2 > wilkins, "ADIOS2 {adios2:.1} should beat Wilkins {wilkins:.1}");
+    assert!(wilkins > henson, "Wilkins {wilkins:.1} should beat Henson {henson:.1}");
+    assert!(
+        adios2 > 1.5 * henson,
+        "the ADIOS2/Henson gap should be large (paper: ~60 vs ~25), got {adios2:.1} vs {henson:.1}"
+    );
+    assert_eq!(result.best_row().as_deref(), Some("ADIOS2"));
+}
+
+#[test]
+fn table1_gemini_and_claude_lead_the_configuration_experiment() {
+    let result = benchmark().run_configuration(PromptVariant::Original, false);
+    let overall = |model: &str| result.bleu.col_overall(model).mean;
+    let o3 = overall("o3");
+    let gemini = overall("Gemini-2.5-Pro");
+    let claude = overall("Claude-Sonnet-4");
+    let llama = overall("LLaMA-3.3-70B");
+    assert!(gemini > o3, "Gemini {gemini:.1} should beat o3 {o3:.1}");
+    assert!(claude > o3, "Claude {claude:.1} should beat o3 {o3:.1}");
+    assert!(gemini > llama, "Gemini {gemini:.1} should beat LLaMA {llama:.1}");
+    assert!(claude > llama, "Claude {claude:.1} should beat LLaMA {llama:.1}");
+}
+
+#[test]
+fn table2_annotation_beats_configuration_overall() {
+    // "In overall, we see that LLMs perform better compared with the
+    // workflow configuration experiment."
+    let config = benchmark().run_configuration(PromptVariant::Original, false);
+    let annotation = benchmark().run_annotation(PromptVariant::Original);
+    assert!(
+        annotation.bleu.grand_overall().mean > config.bleu.grand_overall().mean,
+        "annotation {:.1} should beat configuration {:.1}",
+        annotation.bleu.grand_overall().mean,
+        config.bleu.grand_overall().mean
+    );
+}
+
+#[test]
+fn table2_pycompss_is_the_best_annotated_system_but_llama_fails_it() {
+    let result = benchmark().run_annotation(PromptVariant::Original);
+    // PyCOMPSs annotations are the strongest overall among the harder
+    // systems (paper: 55.5, vs Henson 34.2 and Parsl 38.0), and the leading
+    // models (Gemini, Claude) do their best work on PyCOMPSs.
+    let pycompss = result.bleu.row_overall("PyCOMPSs").mean;
+    let henson = result.bleu.row_overall("Henson").mean;
+    let parsl = result.bleu.row_overall("Parsl").mean;
+    assert!(pycompss > henson, "PyCOMPSs {pycompss:.1} should beat Henson {henson:.1}");
+    assert!(pycompss > parsl, "PyCOMPSs {pycompss:.1} should beat Parsl {parsl:.1}");
+    for model in ["Gemini-2.5-Pro", "Claude-Sonnet-4"] {
+        let own_pycompss = result.cell(Metric::Bleu, "PyCOMPSs", model).mean;
+        for row in ["ADIOS2", "Henson", "Parsl"] {
+            let other = result.cell(Metric::Bleu, row, model).mean;
+            assert!(
+                own_pycompss >= other,
+                "{model}: PyCOMPSs {own_pycompss:.1} should be its best system (vs {row} {other:.1})"
+            );
+        }
+    }
+    // The paper's striking outlier: LLaMA-3.3-70B collapses on PyCOMPSs
+    // (9.9 BLEU) while Gemini-2.5-Pro excels (89.3).
+    let llama_pycompss = result.cell(Metric::Bleu, "PyCOMPSs", "LLaMA-3.3-70B").mean;
+    let gemini_pycompss = result.cell(Metric::Bleu, "PyCOMPSs", "Gemini-2.5-Pro").mean;
+    assert!(
+        llama_pycompss < 40.0,
+        "LLaMA on PyCOMPSs should collapse (paper: 9.9), got {llama_pycompss:.1}"
+    );
+    assert!(
+        gemini_pycompss > 70.0,
+        "Gemini on PyCOMPSs should excel (paper: 89.3), got {gemini_pycompss:.1}"
+    );
+    assert!(gemini_pycompss > llama_pycompss + 30.0);
+}
+
+#[test]
+fn table2_chrf_is_more_forgiving_than_bleu_for_parsl_redundancy() {
+    // The paper: redundant executor boilerplate hurts BLEU more than ChrF.
+    let result = benchmark().run_annotation(PromptVariant::Original);
+    let bleu = result.bleu.row_overall("Parsl").mean;
+    let chrf = result.chrf.row_overall("Parsl").mean;
+    assert!(
+        chrf > bleu,
+        "Parsl ChrF {chrf:.1} should exceed BLEU {bleu:.1} (redundancy tolerance)"
+    );
+}
+
+#[test]
+fn table3_translating_into_adios2_beats_translating_into_henson() {
+    let result = benchmark().run_translation(PromptVariant::Original);
+    let to_adios2 = result.bleu.row_overall("Henson to ADIOS2").mean;
+    let to_henson = result.bleu.row_overall("ADIOS2 to Henson").mean;
+    let to_pycompss = result.bleu.row_overall("Parsl to PyCOMPSs").mean;
+    let to_parsl = result.bleu.row_overall("PyCOMPSs to Parsl").mean;
+    assert!(to_adios2 > to_henson, "{to_adios2:.1} vs {to_henson:.1}");
+    assert!(to_pycompss > to_parsl, "{to_pycompss:.1} vs {to_parsl:.1}");
+}
+
+#[test]
+fn table3_translation_is_harder_than_annotation_overall() {
+    // "LLMs perform slightly worse than the task code annotation experiment"
+    // — true per model for o3, Gemini and Claude in Table 2 vs Table 3
+    // (LLaMA's two experiments are within noise of each other, 30.2 vs 28.7,
+    // and its failure modes differ, so it is excluded here).
+    let annotation = benchmark().run_annotation(PromptVariant::Original);
+    let translation = benchmark().run_translation(PromptVariant::Original);
+    for model in ["o3", "Gemini-2.5-Pro", "Claude-Sonnet-4"] {
+        let ann = annotation.bleu.col_overall(model).mean;
+        let tr = translation.bleu.col_overall(model).mean;
+        assert!(
+            tr < ann,
+            "{model}: translation {tr:.1} should trail annotation {ann:.1}"
+        );
+    }
+}
+
+#[test]
+fn table5_few_shot_prompting_lifts_every_model_above_70_bleu() {
+    let comparison = benchmark().run_few_shot_comparison();
+    assert!(comparison.few_shot_improves_all_models());
+    for (model, zero, few, _, _) in comparison.per_model_rows() {
+        assert!(
+            few.mean > 70.0,
+            "{model}: few-shot configuration should be strong (paper: 84-92), got {:.1}",
+            few.mean
+        );
+        assert!(
+            few.mean - zero.mean > 20.0,
+            "{model}: few-shot uplift should be large, got {:.1} -> {:.1}",
+            zero.mean,
+            few.mean
+        );
+    }
+}
+
+#[test]
+fn figure1_no_single_prompt_variant_wins_for_every_model() {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: 2,
+        ..BenchmarkConfig::default()
+    });
+    let sensitivity = benchmark.run_prompt_sensitivity();
+    // Collect, per model, which prompt variant is best for ADIOS2
+    // configuration; the paper observes these differ across models for at
+    // least some cells.  Check across all rows of the configuration
+    // experiment that not every model agrees on one best variant everywhere.
+    let mut all_agree_everywhere = true;
+    for row in wfspeak_core::ExperimentKind::Configuration.row_labels() {
+        let best = sensitivity
+            .best_variant_per_model(wfspeak_core::ExperimentKind::Configuration, &row);
+        let variants: std::collections::HashSet<&String> = best.values().collect();
+        if variants.len() > 1 {
+            all_agree_everywhere = false;
+        }
+    }
+    assert!(
+        !all_agree_everywhere,
+        "some disagreement between models on the best prompt variant is expected"
+    );
+}
