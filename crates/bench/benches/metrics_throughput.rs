@@ -10,9 +10,21 @@ fn bench_metrics(c: &mut Criterion) {
     let bleu = BleuScorer::default();
     let chrf = ChrfScorer::default();
     let pairs: Vec<(&str, &str, &str)> = vec![
-        ("wilkins_config", configs::WILKINS_3NODE, configs::WILKINS_2NODE),
-        ("adios2_code", annotated::ADIOS2_PRODUCER, annotated::HENSON_PRODUCER),
-        ("pycompss_code", annotated::PYCOMPSS_PRODUCER, annotated::PARSL_PRODUCER),
+        (
+            "wilkins_config",
+            configs::WILKINS_3NODE,
+            configs::WILKINS_2NODE,
+        ),
+        (
+            "adios2_code",
+            annotated::ADIOS2_PRODUCER,
+            annotated::HENSON_PRODUCER,
+        ),
+        (
+            "pycompss_code",
+            annotated::PYCOMPSS_PRODUCER,
+            annotated::PARSL_PRODUCER,
+        ),
     ];
     let mut group = c.benchmark_group("metrics_throughput");
     for (name, hyp, reference) in pairs {

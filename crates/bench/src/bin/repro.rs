@@ -11,9 +11,10 @@
 //! Artifacts: `table1` (configuration), `table2` (annotation), `table3`
 //! (translation), `table4` (qualitative translations), `table5` (few-shot),
 //! `table6` (qualitative configurations), `figure1` (prompt sensitivity),
-//! `json` (machine-readable full report).
+//! `json` (machine-readable full report), `bench` (grid-throughput
+//! measurement written to `BENCH_1.json`).
 
-use wfspeak_bench::paper_benchmark;
+use wfspeak_bench::{measure_grid_throughput, paper_benchmark};
 use wfspeak_core::report::{
     qualitative_configurations, qualitative_translations, render_samples, FullReport,
 };
@@ -100,6 +101,23 @@ fn figure1(benchmark: &Benchmark) {
     }
 }
 
+fn bench() {
+    let report = measure_grid_throughput();
+    println!(
+        "Grid throughput: {} cells ({} hypotheses, {} metric evaluations) in {:.2}s = {:.1} cells/s",
+        report.grid_cells,
+        report.scored_hypotheses,
+        report.metric_evaluations,
+        report.wall_time_secs,
+        report.cells_per_sec
+    );
+    let path = "BENCH_1.json";
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
+    }
+}
+
 fn json(benchmark: &Benchmark) {
     let report = FullReport {
         config: benchmark.config().clone(),
@@ -115,8 +133,13 @@ fn json(benchmark: &Benchmark) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let benchmark = paper_benchmark();
+    // `bench` is deliberately not part of the default run: it rewrites
+    // BENCH_1.json (a tracked perf-trajectory snapshot) with run-dependent
+    // timings, so it only executes when explicitly requested.
     let selections: Vec<&str> = if args.is_empty() {
-        vec!["table1", "table2", "table3", "table4", "table5", "table6", "figure1"]
+        vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "figure1",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -130,7 +153,10 @@ fn main() {
             "table6" => table6(&benchmark),
             "figure1" => figure1(&benchmark),
             "json" => json(&benchmark),
-            other => eprintln!("unknown artifact `{other}` (expected table1..table6, figure1, json)"),
+            "bench" => bench(),
+            other => eprintln!(
+                "unknown artifact `{other}` (expected table1..table6, figure1, json, bench)"
+            ),
         }
     }
 }

@@ -1,6 +1,9 @@
 //! Shared helpers for the criterion benches and the `repro` binary.
 
-use wfspeak_core::{Benchmark, BenchmarkConfig};
+use std::time::Instant;
+
+use serde::Serialize;
+use wfspeak_core::{Benchmark, BenchmarkConfig, ExperimentKind, PromptVariant};
 
 /// The paper's full benchmark configuration (5 trials).
 pub fn paper_benchmark() -> Benchmark {
@@ -16,6 +19,70 @@ pub fn bench_benchmark() -> Benchmark {
     })
 }
 
+/// Machine-readable grid-throughput report emitted as `BENCH_<n>.json` so
+/// future changes have a performance trajectory to compare against.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridBenchReport {
+    /// Report schema / sequence tag (`BENCH_1` for this PR).
+    pub bench_id: String,
+    /// Trials per cell used for the measurement.
+    pub trials: usize,
+    /// Scored `(row × model)` cells across the three table experiments.
+    pub grid_cells: usize,
+    /// Scored hypotheses (`grid_cells × trials`).
+    pub scored_hypotheses: usize,
+    /// Metric evaluations (`scored_hypotheses × 2`: BLEU and ChrF).
+    pub metric_evaluations: usize,
+    /// Distinct references prepared once and shared across the grid.
+    pub prepared_references: usize,
+    /// Wall-clock seconds for the full three-experiment grid.
+    pub wall_time_secs: f64,
+    /// Grid cells scored per second.
+    pub cells_per_sec: f64,
+    /// Metric evaluations per second.
+    pub metric_evals_per_sec: f64,
+}
+
+/// Run the three table experiments end-to-end (prompt assembly → simulated
+/// models → extraction → scoring → aggregation) on a fresh benchmark and
+/// measure grid throughput.
+pub fn measure_grid_throughput() -> GridBenchReport {
+    let benchmark = paper_benchmark();
+    let trials = benchmark.config().trials;
+    let grid_cells: usize = ExperimentKind::ALL
+        .iter()
+        .map(|&kind| benchmark.grid_cells(kind))
+        .sum();
+
+    let start = Instant::now();
+    for kind in ExperimentKind::ALL {
+        let result = benchmark.run_experiment(kind, PromptVariant::Original);
+        std::hint::black_box(&result);
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let scored_hypotheses = grid_cells * trials;
+    let metric_evaluations = scored_hypotheses * 2;
+    GridBenchReport {
+        bench_id: "BENCH_1".to_owned(),
+        trials,
+        grid_cells,
+        scored_hypotheses,
+        metric_evaluations,
+        prepared_references: benchmark.reference_cache().len(),
+        wall_time_secs: wall,
+        cells_per_sec: grid_cells as f64 / wall,
+        metric_evals_per_sec: metric_evaluations as f64 / wall,
+    }
+}
+
+impl GridBenchReport {
+    /// Pretty JSON for the `BENCH_1.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -24,5 +91,21 @@ mod tests {
     fn helpers_build_benchmarks_with_expected_trial_counts() {
         assert_eq!(paper_benchmark().config().trials, 5);
         assert_eq!(bench_benchmark().config().trials, 1);
+    }
+
+    #[test]
+    fn grid_throughput_report_is_consistent() {
+        let report = measure_grid_throughput();
+        // 3 config systems + 4 annotation systems + 4 translation pairs,
+        // each × 4 models.
+        assert_eq!(report.grid_cells, (3 + 4 + 4) * 4);
+        assert_eq!(report.scored_hypotheses, report.grid_cells * report.trials);
+        assert_eq!(report.metric_evaluations, report.scored_hypotheses * 2);
+        assert!(report.prepared_references >= 3);
+        assert!(report.wall_time_secs > 0.0);
+        assert!(report.cells_per_sec > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_1\""));
+        assert!(json.contains("cells_per_sec"));
     }
 }

@@ -45,7 +45,9 @@ pub fn extract_calls(source: &str, language: Language) -> Vec<Call> {
             "if", "while", "for", "switch", "return", "sizeof", "int", "float", "double", "char",
             "void", "size_t",
         ],
-        Language::Python => &["if", "while", "for", "return", "print", "def", "class", "with", "lambda"],
+        Language::Python => &[
+            "if", "while", "for", "return", "print", "def", "class", "with", "lambda",
+        ],
     };
     let mut calls = Vec::new();
     let significant: Vec<&Token> = tokens
@@ -158,7 +160,7 @@ pub fn extract_imports(source: &str, language: Language) -> Vec<String> {
                 let l = line.trim();
                 if let Some(rest) = l.strip_prefix("import ") {
                     for part in rest.split(',') {
-                        let module = part.trim().split_whitespace().next().unwrap_or("");
+                        let module = part.split_whitespace().next().unwrap_or("");
                         if !module.is_empty() {
                             out.push(module.to_owned());
                         }
@@ -242,8 +244,6 @@ compss_wait_on_file("out.txt")
 
     #[test]
     fn python_def_is_not_a_call() {
-        let names = call_names(PY_SNIPPET, Language::Python);
-        assert!(!names.contains(&"producer".to_string()) || names.contains(&"producer".to_string()));
         // `def producer(` must not be reported; the later call `producer(50)` is.
         let calls = extract_calls(PY_SNIPPET, Language::Python);
         let producer_calls: Vec<&Call> = calls.iter().filter(|c| c.name == "producer").collect();
@@ -259,7 +259,10 @@ compss_wait_on_file("out.txt")
 
     #[test]
     fn method_calls_capture_receiver() {
-        let calls = extract_calls("engine.Put(var, data);\nbpIO.DefineVariable(name);", Language::C);
+        let calls = extract_calls(
+            "engine.Put(var, data);\nbpIO.DefineVariable(name);",
+            Language::C,
+        );
         assert_eq!(calls[0].receiver.as_deref(), Some("engine"));
         assert_eq!(calls[0].qualified(), "engine.Put");
         assert_eq!(calls[1].receiver.as_deref(), Some("bpIO"));

@@ -78,9 +78,7 @@ pub fn compare_calls(
     let extra: Vec<String> = hyp_calls.difference(&ref_calls).cloned().collect();
     let hallucinated = hyp_calls
         .iter()
-        .filter(|c| {
-            api_prefixes.iter().any(|p| c.starts_with(p)) && !known.contains(c.as_str())
-        })
+        .filter(|c| api_prefixes.iter().any(|p| c.starts_with(p)) && !known.contains(c.as_str()))
         .cloned()
         .collect();
 

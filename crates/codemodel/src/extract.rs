@@ -58,15 +58,14 @@ pub fn extract_code(response: &str) -> String {
         }
         let has_code_chars = t.contains(['{', '}', '(', ')', ';', '=', ':', '#', '@']);
         let looks_like_sentence = t.ends_with('.') || t.ends_with('!');
-        let starts_capital_word = t
-            .chars()
-            .next()
-            .map(|c| c.is_uppercase())
-            .unwrap_or(false)
+        let starts_capital_word = t.chars().next().map(|c| c.is_uppercase()).unwrap_or(false)
             && t.split_whitespace().count() > 4;
         !has_code_chars && (looks_like_sentence || starts_capital_word)
     };
-    let start = match lines.iter().position(|l| !is_prose(l) && !l.trim().is_empty()) {
+    let start = match lines
+        .iter()
+        .position(|l| !is_prose(l) && !l.trim().is_empty())
+    {
         Some(i) => i,
         // Entirely prose: nothing to extract, return as-is.
         None => return response.to_owned(),
@@ -96,7 +95,8 @@ mod tests {
 
     #[test]
     fn single_fenced_block_extracted() {
-        let resp = "Here is the configuration:\n```yaml\ntasks:\n  - func: producer\n```\nLet me know!";
+        let resp =
+            "Here is the configuration:\n```yaml\ntasks:\n  - func: producer\n```\nLet me know!";
         let code = strip_markdown_fences(resp);
         assert_eq!(code, "tasks:\n  - func: producer\n");
     }

@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn detect_c_vs_python() {
-        assert_eq!(Language::detect("#include <mpi.h>\nint main() {}"), Language::C);
+        assert_eq!(
+            Language::detect("#include <mpi.h>\nint main() {}"),
+            Language::C
+        );
         assert_eq!(
             Language::detect("import numpy\ndef producer(n):\n    return n"),
             Language::Python
@@ -273,14 +276,20 @@ mod tests {
         let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
         assert!(s.text.starts_with('"') && s.text.ends_with('"'));
         // Identifiers inside the string must not appear as Ident tokens.
-        assert!(!toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == "sum" && t.line != 1));
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "sum" && t.line != 1));
     }
 
     #[test]
     fn c_line_and_block_comments() {
         let toks = tokenize("// hello\n/* multi\nline */\nint x;", Language::C);
         assert_eq!(toks[0].kind, TokenKind::Comment);
-        let block = toks.iter().filter(|t| t.kind == TokenKind::Comment).nth(1).unwrap();
+        let block = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .nth(1)
+            .unwrap();
         assert!(block.text.contains("multi"));
         let x = toks.iter().find(|t| t.text == "int").unwrap();
         assert_eq!(x.line, 4);

@@ -38,7 +38,9 @@ impl BenchmarkConfig {
 
     /// Seeds of the individual trials.
     pub fn trial_seeds(&self) -> Vec<u64> {
-        (0..self.trials as u64).map(|i| self.base_seed + i).collect()
+        (0..self.trials as u64)
+            .map(|i| self.base_seed + i)
+            .collect()
     }
 }
 

@@ -241,7 +241,10 @@ mod tests {
     fn experiment_names_and_tables() {
         assert_eq!(ExperimentKind::Configuration.paper_table(), "Table 1");
         assert_eq!(ExperimentKind::Translation.name(), "Task code translation");
-        assert_eq!(format!("{}", ExperimentKind::Annotation), "Task code annotation");
+        assert_eq!(
+            format!("{}", ExperimentKind::Annotation),
+            "Task code annotation"
+        );
     }
 
     #[test]
@@ -264,10 +267,7 @@ mod tests {
     fn prompt_sensitivity_heatmap_and_best_variant() {
         let mut ps = PromptSensitivity::default();
         let mut by_variant = BTreeMap::new();
-        for (variant, o3_score, gem_score) in [
-            ("original", 60.0, 70.0),
-            ("detailed", 65.0, 66.0),
-        ] {
+        for (variant, o3_score, gem_score) in [("original", 60.0, 70.0), ("detailed", 65.0, 66.0)] {
             let mut r = ExperimentResult::default();
             r.push("ADIOS2", "o3", o3_score, o3_score);
             r.push("ADIOS2", "Gemini-2.5-Pro", gem_score, gem_score);
@@ -301,7 +301,12 @@ mod tests {
         let text = ps.render_heatmap(ExperimentKind::Annotation, "Parsl");
         assert!(text.contains("Task code annotation"));
         assert!(ps
-            .heatmap_cell(ExperimentKind::Annotation, PromptVariant::Original, "Parsl", "o3")
+            .heatmap_cell(
+                ExperimentKind::Annotation,
+                PromptVariant::Original,
+                "Parsl",
+                "o3"
+            )
             .is_none());
     }
 }

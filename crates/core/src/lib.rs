@@ -31,6 +31,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod result;
 pub mod runner;
@@ -38,7 +39,7 @@ pub mod runner;
 pub use config::BenchmarkConfig;
 pub use experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
 pub use result::ExperimentResult;
-pub use runner::Benchmark;
+pub use runner::{Benchmark, ReferenceCache};
 
 pub use wfspeak_corpus::prompts::PromptVariant;
 pub use wfspeak_corpus::WorkflowSystemId;

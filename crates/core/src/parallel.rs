@@ -1,0 +1,87 @@
+//! Minimal deterministic data parallelism for the benchmark grid.
+//!
+//! The workspace vendors no thread-pool crate, so this module provides the
+//! one primitive the runner needs: map a function over a work list on scoped
+//! threads, returning results **in input order** regardless of completion
+//! order. Workers claim items through an atomic cursor, so uneven cell costs
+//! (different models/tiers produce very different artifact sizes) balance
+//! automatically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel, preserving input order in the output.
+///
+/// Spawns at most `available_parallelism` (or `items.len()`, whichever is
+/// smaller) scoped threads; with one item or one core it simply runs inline.
+/// `f` must be `Sync` because all workers share it.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    local.push((idx, f(&items[idx])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            indexed.extend(handle.join().expect("par_map worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(idx, _)| *idx);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn order_is_stable_under_skewed_workloads() {
+        // Early items sleep, late items return instantly: completion order is
+        // roughly reversed, output order must not be.
+        let items: Vec<u64> = (0..16).collect();
+        let results = par_map(&items, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20 - 4 * x));
+            }
+            x
+        });
+        assert_eq!(results, items);
+    }
+}

@@ -1,8 +1,8 @@
 //! User prompts for the three experiments, in the five variants used by the
 //! prompt-sensitivity study (Section 4.4).
 
-use crate::task_codes;
 use crate::references::annotated;
+use crate::task_codes;
 use crate::WorkflowSystemId;
 
 /// The five prompting strategies of Figure 1.
@@ -250,7 +250,13 @@ mod tests {
         let labels: Vec<&str> = PromptVariant::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(
             labels,
-            vec!["original", "detailed", "different-style", "paraphrased", "reordered"]
+            vec![
+                "original",
+                "detailed",
+                "different-style",
+                "paraphrased",
+                "reordered"
+            ]
         );
     }
 

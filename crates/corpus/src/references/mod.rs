@@ -48,7 +48,10 @@ mod tests {
     #[test]
     fn configuration_references_cover_table1_systems() {
         for sys in WorkflowSystemId::configuration_systems() {
-            assert!(configuration_reference(sys).is_some(), "{sys} missing config reference");
+            assert!(
+                configuration_reference(sys).is_some(),
+                "{sys} missing config reference"
+            );
         }
         assert!(configuration_reference(WorkflowSystemId::Parsl).is_none());
         assert!(configuration_reference(WorkflowSystemId::PyCompss).is_none());
@@ -57,7 +60,10 @@ mod tests {
     #[test]
     fn annotation_references_cover_table2_systems() {
         for sys in WorkflowSystemId::annotation_systems() {
-            assert!(annotation_reference(sys).is_some(), "{sys} missing annotation reference");
+            assert!(
+                annotation_reference(sys).is_some(),
+                "{sys} missing annotation reference"
+            );
         }
         assert!(annotation_reference(WorkflowSystemId::Wilkins).is_none());
     }

@@ -203,7 +203,10 @@ mod tests {
     #[test]
     fn c_producer_has_no_workflow_api_calls() {
         for api in ["adios2_", "henson_", "@task", "@python_app"] {
-            assert!(!C_PRODUCER.contains(api), "unexpected `{api}` in bare producer");
+            assert!(
+                !C_PRODUCER.contains(api),
+                "unexpected `{api}` in bare producer"
+            );
         }
     }
 

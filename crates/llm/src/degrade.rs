@@ -191,7 +191,7 @@ fn style_rewrite(text: &str, python: bool, intensity: f64, rng: &mut StdRng) -> 
             .lines()
             .filter(|l| {
                 let trimmed = l.trim_start();
-                !(trimmed.starts_with(comment_prefix) && !trimmed.starts_with("#include"))
+                (!trimmed.starts_with(comment_prefix) || trimmed.starts_with("#include"))
                     && !trimmed.starts_with("//")
             })
             .collect::<Vec<_>>()
@@ -539,10 +539,7 @@ fn moderate_code_edits(
     }
     // Occasionally forget the required synchronisation call entirely
     // (LLaMA's characteristic PyCOMPSs mistake).
-    if target == WorkflowSystemId::PyCompss
-        && model == ModelId::Llama33_70B
-        && rng.gen_bool(0.6)
-    {
+    if target == WorkflowSystemId::PyCompss && model == ModelId::Llama33_70B && rng.gen_bool(0.6) {
         text = text
             .lines()
             .filter(|l| !l.contains("wait_on_file") && !l.contains("barrier_for_file"))
@@ -581,7 +578,10 @@ fn poor_code_edits(
                 "    int t;\n    for (t = 0; t < iterations; ++t) {",
                 "    int t = 0;\n    while (henson_active())\n    {",
             );
-            text = text.replace("        free(array);\n    }", "        free(array);\n        t++;\n    }");
+            text = text.replace(
+                "        free(array);\n    }",
+                "        free(array);\n        t++;\n    }",
+            );
             text = text.replace(
                 "    int iterations = 3;\n    if (argc > 2) iterations = atoi(argv[2]);\n\n",
                 "",
@@ -606,7 +606,10 @@ fn poor_code_edits(
             text = text.replace("from pycompss.api.parameter import FILE_OUT\n", "");
             text = text.replace("@task(outfile=FILE_OUT)", "@task(returns=1)");
             if rng.gen_bool(0.5) {
-                text = text.replace("    compss_wait_on_file(\"output.txt\")\n", "    compss_barrier()\n");
+                text = text.replace(
+                    "    compss_wait_on_file(\"output.txt\")\n",
+                    "    compss_barrier()\n",
+                );
             }
         }
         WorkflowSystemId::Parsl => {
@@ -663,14 +666,23 @@ fn wrong_code(
                 .replace("henson_save_int", "adios2_save_int")
                 .replace("henson_yield", "adios2_yield"),
             (WorkflowSystemId::Parsl, WorkflowSystemId::PyCompss) => source_code
-                .replace("import parsl\nfrom parsl import python_app", "from pycompss import compss_app")
+                .replace(
+                    "import parsl\nfrom parsl import python_app",
+                    "from pycompss import compss_app",
+                )
                 .replace("@python_app", "@compss_app")
                 .replace("parsl.load()", "compss_start()")
                 .replace("future.result()", "compss_wait(future)"),
             (WorkflowSystemId::PyCompss, WorkflowSystemId::Parsl) => source_code
-                .replace("from pycompss.api.task import task", "from parsl import task")
+                .replace(
+                    "from pycompss.api.task import task",
+                    "from parsl import task",
+                )
                 .replace("from pycompss.api.parameter import FILE_OUT\n", "")
-                .replace("from pycompss.api.api import compss_wait_on_file", "from parsl import parsl_wait_on_file")
+                .replace(
+                    "from pycompss.api.api import compss_wait_on_file",
+                    "from parsl import parsl_wait_on_file",
+                )
                 .replace("@task(outfile=FILE_OUT)", "@task()")
                 .replace("compss_wait_on_file", "parsl_wait_on_file"),
             _ => source_code.to_owned(),
@@ -715,7 +727,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use wfspeak_metrics::{bleu::BleuScorer, Scorer};
-    use wfspeak_systems::{system_for, WorkflowSystem};
+    use wfspeak_systems::system_for;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -778,7 +790,13 @@ mod tests {
 
     #[test]
     fn exact_code_is_the_reference() {
-        let out = degrade_code(WorkflowSystemId::PyCompss, None, 0.05, ModelId::Gemini25Pro, &mut rng(5));
+        let out = degrade_code(
+            WorkflowSystemId::PyCompss,
+            None,
+            0.05,
+            ModelId::Gemini25Pro,
+            &mut rng(5),
+        );
         assert_eq!(out, annotated::PYCOMPSS_PRODUCER);
     }
 
@@ -844,12 +862,21 @@ mod tests {
     fn moderate_parsl_code_contains_redundant_executor() {
         let mut any_redundant = false;
         for seed in 0..10 {
-            let out = degrade_code(WorkflowSystemId::Parsl, None, 0.5, ModelId::O3, &mut rng(seed));
+            let out = degrade_code(
+                WorkflowSystemId::Parsl,
+                None,
+                0.5,
+                ModelId::O3,
+                &mut rng(seed),
+            );
             if out.contains("HighThroughputExecutor") {
                 any_redundant = true;
             }
         }
-        assert!(any_redundant, "redundant executor boilerplate should appear at the moderate tier");
+        assert!(
+            any_redundant,
+            "redundant executor boilerplate should appear at the moderate tier"
+        );
     }
 
     #[test]
@@ -872,8 +899,20 @@ mod tests {
 
     #[test]
     fn degradation_is_deterministic_for_a_seed() {
-        let a = degrade_code(WorkflowSystemId::Henson, None, 0.5, ModelId::O3, &mut rng(9));
-        let b = degrade_code(WorkflowSystemId::Henson, None, 0.5, ModelId::O3, &mut rng(9));
+        let a = degrade_code(
+            WorkflowSystemId::Henson,
+            None,
+            0.5,
+            ModelId::O3,
+            &mut rng(9),
+        );
+        let b = degrade_code(
+            WorkflowSystemId::Henson,
+            None,
+            0.5,
+            ModelId::O3,
+            &mut rng(9),
+        );
         assert_eq!(a, b);
     }
 

@@ -78,11 +78,15 @@ pub fn degradation_level(model: ModelId, task: &TaskKind) -> f64 {
             (O3, Henson) => 0.80,
             (Gemini25Pro, Henson) => 0.74,
             (ClaudeSonnet4, Henson) => 0.76,
-            (Llama33_70B, Henson) => 0.73,
+            // LLaMA's Henson/Wilkins levels sit clear of the Moderate-tier
+            // boundary (0.60) so prompt-wording and sampling shifts cannot
+            // promote it into a better tier than the paper's Table 1 shows
+            // (LLaMA trails Gemini and Claude overall).
+            (Llama33_70B, Henson) => 0.82,
             (O3, Wilkins) => 0.68,
             (Gemini25Pro, Wilkins) => 0.66,
             (ClaudeSonnet4, Wilkins) => 0.62,
-            (Llama33_70B, Wilkins) => 0.60,
+            (Llama33_70B, Wilkins) => 0.74,
             // Parsl / PyCOMPSs are excluded from the experiment; a request
             // would still be answered, poorly.
             (_, Parsl) | (_, PyCompss) => 0.7,
@@ -110,10 +114,7 @@ pub fn degradation_level(model: ModelId, task: &TaskKind) -> f64 {
         TaskKind::Translation { target, source } => {
             // Table 3: translation tracks the target-system annotation but is
             // slightly harder because two systems are involved.
-            let base = degradation_level(
-                model,
-                &TaskKind::Annotation { system: *target },
-            );
+            let base = degradation_level(model, &TaskKind::Annotation { system: *target });
             let cross_penalty = match (model, source, target) {
                 // o3 is notably strong at Henson→ADIOS2 and weak at
                 // ADIOS2→Henson (Table 3).
@@ -235,8 +236,14 @@ mod tests {
 
     #[test]
     fn pycompss_annotation_is_geminis_best_and_llamas_worst() {
-        let gem = degradation_level(ModelId::Gemini25Pro, &annotation(WorkflowSystemId::PyCompss));
-        let llama = degradation_level(ModelId::Llama33_70B, &annotation(WorkflowSystemId::PyCompss));
+        let gem = degradation_level(
+            ModelId::Gemini25Pro,
+            &annotation(WorkflowSystemId::PyCompss),
+        );
+        let llama = degradation_level(
+            ModelId::Llama33_70B,
+            &annotation(WorkflowSystemId::PyCompss),
+        );
         assert!(gem < 0.2);
         assert!(llama > 0.8);
     }

@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn model_names_match_paper_columns() {
         let names: Vec<&str> = ModelId::ALL.iter().map(|m| m.name()).collect();
-        assert_eq!(names, vec!["o3", "Gemini-2.5-Pro", "Claude-Sonnet-4", "LLaMA-3.3-70B"]);
+        assert_eq!(
+            names,
+            vec!["o3", "Gemini-2.5-Pro", "Claude-Sonnet-4", "LLaMA-3.3-70B"]
+        );
     }
 
     #[test]
@@ -201,8 +204,14 @@ mod tests {
 
     #[test]
     fn system_from_row_label_parses_table_rows() {
-        assert_eq!(system_from_row_label("ADIOS2"), Some(WorkflowSystemId::Adios2));
-        assert_eq!(system_from_row_label(" Wilkins "), Some(WorkflowSystemId::Wilkins));
+        assert_eq!(
+            system_from_row_label("ADIOS2"),
+            Some(WorkflowSystemId::Adios2)
+        );
+        assert_eq!(
+            system_from_row_label(" Wilkins "),
+            Some(WorkflowSystemId::Wilkins)
+        );
         assert_eq!(system_from_row_label("Henson to ADIOS2"), None);
     }
 }

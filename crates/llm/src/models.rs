@@ -299,10 +299,17 @@ mod tests {
         let mut fenced = 0;
         for seed in 0..10 {
             let prompt = configuration_prompt(WorkflowSystemId::Adios2, PromptVariant::Original);
-            if llm.complete(&paper_request(prompt, seed)).text.contains("```") {
+            if llm
+                .complete(&paper_request(prompt, seed))
+                .text
+                .contains("```")
+            {
                 fenced += 1;
             }
         }
-        assert!(fenced >= 5, "expected frequent markdown fencing, got {fenced}/10");
+        assert!(
+            fenced >= 5,
+            "expected frequent markdown fencing, got {fenced}/10"
+        );
     }
 }

@@ -100,17 +100,11 @@ pub fn analyze(prompt: &str) -> RequestAnalysis {
             .unwrap_or(systems[0]);
         TaskKind::Translation { source, target }
     } else if wants_configuration && !systems.is_empty() && !has_embedded_code {
-        TaskKind::Configuration {
-            system: systems[0],
-        }
+        TaskKind::Configuration { system: systems[0] }
     } else if wants_annotation && !systems.is_empty() {
-        TaskKind::Annotation {
-            system: systems[0],
-        }
+        TaskKind::Annotation { system: systems[0] }
     } else if wants_configuration && !systems.is_empty() {
-        TaskKind::Configuration {
-            system: systems[0],
-        }
+        TaskKind::Configuration { system: systems[0] }
     } else {
         TaskKind::Unknown
     };
@@ -229,9 +223,18 @@ mod tests {
 
     #[test]
     fn wording_fingerprint_differs_per_variant_but_not_per_trial() {
-        let a = analyze(&configuration_prompt(WorkflowSystemId::Wilkins, PromptVariant::Original));
-        let b = analyze(&configuration_prompt(WorkflowSystemId::Wilkins, PromptVariant::Detailed));
-        let a2 = analyze(&configuration_prompt(WorkflowSystemId::Wilkins, PromptVariant::Original));
+        let a = analyze(&configuration_prompt(
+            WorkflowSystemId::Wilkins,
+            PromptVariant::Original,
+        ));
+        let b = analyze(&configuration_prompt(
+            WorkflowSystemId::Wilkins,
+            PromptVariant::Detailed,
+        ));
+        let a2 = analyze(&configuration_prompt(
+            WorkflowSystemId::Wilkins,
+            PromptVariant::Original,
+        ));
         assert_ne!(a.wording_fingerprint, b.wording_fingerprint);
         assert_eq!(a.wording_fingerprint, a2.wording_fingerprint);
     }

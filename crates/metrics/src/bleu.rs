@@ -15,6 +15,7 @@
 //! increasing `k`), or alternatively with `floor` or `add-k` smoothing.
 
 use crate::ngram::OverlapStats;
+use crate::prepared::{PreparedBleu, PreparedPayload, PreparedReference};
 use crate::tokenize::{normalize, tokenize_13a};
 use crate::Scorer;
 
@@ -89,12 +90,62 @@ impl BleuScorer {
 
     /// Compute BLEU with a full breakdown of per-order precisions and the
     /// brevity penalty.
+    ///
+    /// This is a thin wrapper over the prepared-reference fast path: the
+    /// reference is tokenised, interned and counted once via
+    /// [`Scorer::prepare`], then scored. Use [`BleuScorer::breakdown_naive`]
+    /// for the allocation-heavy reference implementation (they are
+    /// bit-identical; the property tests pin that).
     pub fn breakdown(&self, hypothesis: &str, reference: &str) -> BleuBreakdown {
+        self.breakdown_prepared(hypothesis, &Scorer::prepare(self, reference))
+    }
+
+    /// Compute BLEU against an already-prepared reference.
+    ///
+    /// Falls back to re-preparing from the retained source text when the
+    /// prepared data was built by an incompatible scorer configuration or
+    /// when the packed representation could not hold the input.
+    pub fn breakdown_prepared(
+        &self,
+        hypothesis: &str,
+        reference: &PreparedReference,
+    ) -> BleuBreakdown {
+        if let PreparedPayload::Bleu(prepared) = &reference.payload {
+            if prepared.tokenize == self.tokenize && prepared.max_order == self.max_order {
+                if let Some((stats, hyp_len)) = prepared.overlap_stats(hypothesis) {
+                    return self.breakdown_from_stats(&stats, hyp_len, prepared.len);
+                }
+                // Packed id space overflowed: naive fallback, same math.
+                return self.breakdown_naive(hypothesis, reference.source());
+            }
+        }
+        // Raw or mismatched payload: prepare with this scorer's settings.
+        self.breakdown(hypothesis, reference.source())
+    }
+
+    /// The seed implementation: tokenize both sides and count n-grams with
+    /// `Vec<String>`-keyed maps per order. Kept as the differential-testing
+    /// baseline for the packed fast path (and as the fallback for inputs the
+    /// packed keys cannot represent).
+    pub fn breakdown_naive(&self, hypothesis: &str, reference: &str) -> BleuBreakdown {
         let hyp = self.tokens(hypothesis);
         let rf = self.tokens(reference);
-        let hyp_len = hyp.len();
-        let ref_len = rf.len();
+        let stats: Vec<OverlapStats> = (1..=self.max_order)
+            .map(|n| OverlapStats::compute(&hyp, &rf, n))
+            .collect();
+        self.breakdown_from_stats(&stats, hyp.len(), rf.len())
+    }
 
+    /// Shared scoring tail: smoothing, brevity penalty and the geometric
+    /// mean over the effective orders. Both the naive and the packed path
+    /// land here with identical integer statistics, which is what makes the
+    /// two paths bit-identical.
+    fn breakdown_from_stats(
+        &self,
+        stats: &[OverlapStats],
+        hyp_len: usize,
+        ref_len: usize,
+    ) -> BleuBreakdown {
         if hyp_len == 0 || ref_len == 0 {
             return BleuBreakdown {
                 score: 0.0,
@@ -107,8 +158,7 @@ impl BleuScorer {
 
         let mut precisions = Vec::with_capacity(self.max_order);
         let mut smooth_exp_k = 0u32;
-        for n in 1..=self.max_order {
-            let stats = OverlapStats::compute(&hyp, &rf, n);
+        for stats in stats.iter().take(self.max_order) {
             let (num, den) = (stats.matches as f64, stats.hyp_total as f64);
             let p = match self.smoothing {
                 Smoothing::None => {
@@ -161,7 +211,7 @@ impl BleuScorer {
             .iter()
             .copied()
             .enumerate()
-            .filter(|&(i, _)| hyp_len >= i + 1)
+            .filter(|&(i, _)| hyp_len > i)
             .map(|(_, p)| p)
             .collect();
 
@@ -189,6 +239,21 @@ impl Scorer for BleuScorer {
 
     fn score(&self, hypothesis: &str, reference: &str) -> f64 {
         self.breakdown(hypothesis, reference).score
+    }
+
+    fn prepare(&self, reference: &str) -> PreparedReference {
+        PreparedReference {
+            source: reference.to_owned(),
+            payload: PreparedPayload::Bleu(PreparedBleu::new(
+                reference,
+                self.tokenize,
+                self.max_order,
+            )),
+        }
+    }
+
+    fn score_prepared(&self, hypothesis: &str, reference: &PreparedReference) -> f64 {
+        self.breakdown_prepared(hypothesis, reference).score
     }
 }
 
@@ -218,12 +283,18 @@ mod tests {
         let score = s.score("alpha beta gamma delta epsilon zeta", REF);
         // With exp smoothing a fully disjoint hypothesis still receives a
         // small smoothed score (as in sacrebleu); it must stay low.
-        assert!(score < 10.0, "disjoint text should score near zero, got {score}");
+        assert!(
+            score < 10.0,
+            "disjoint text should score near zero, got {score}"
+        );
         let unsmoothed = BleuScorer {
             smoothing: Smoothing::None,
             ..BleuScorer::default()
         };
-        assert_eq!(unsmoothed.score("alpha beta gamma delta epsilon zeta", REF), 0.0);
+        assert_eq!(
+            unsmoothed.score("alpha beta gamma delta epsilon zeta", REF),
+            0.0
+        );
     }
 
     #[test]

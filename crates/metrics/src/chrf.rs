@@ -7,6 +7,7 @@
 //! uniformly and reported on the 0–100 scale.
 
 use crate::ngram::OverlapStats;
+use crate::prepared::{PreparedChrf, PreparedPayload, PreparedReference};
 use crate::tokenize::{chrf_chars, normalize};
 use crate::Scorer;
 
@@ -56,12 +57,59 @@ impl ChrfScorer {
     }
 
     /// Compute ChrF with per-order detail.
+    ///
+    /// Thin wrapper over the prepared-reference fast path (see
+    /// [`Scorer::prepare`]); [`ChrfScorer::breakdown_naive`] is the
+    /// bit-identical reference implementation.
     pub fn breakdown(&self, hypothesis: &str, reference: &str) -> ChrfBreakdown {
+        self.breakdown_prepared(hypothesis, &Scorer::prepare(self, reference))
+    }
+
+    /// Compute ChrF against an already-prepared reference, falling back to
+    /// re-preparing from the retained source text when the payload was built
+    /// by an incompatible configuration.
+    pub fn breakdown_prepared(
+        &self,
+        hypothesis: &str,
+        reference: &PreparedReference,
+    ) -> ChrfBreakdown {
+        if let PreparedPayload::Chrf(prepared) = &reference.payload {
+            if prepared.max_order == self.max_order {
+                if let Some((stats, hyp_chars, ref_chars)) = prepared.overlap_stats(hypothesis) {
+                    return self.breakdown_from_stats(&stats, hyp_chars, ref_chars);
+                }
+                return self.breakdown_naive(hypothesis, reference.source());
+            }
+        }
+        self.breakdown(hypothesis, reference.source())
+    }
+
+    /// The seed implementation: collect chars and count n-grams with
+    /// `Vec<char>`-keyed maps per order. Kept as the differential-testing
+    /// baseline for the packed fast path.
+    pub fn breakdown_naive(&self, hypothesis: &str, reference: &str) -> ChrfBreakdown {
         let hyp = chrf_chars(&normalize(hypothesis));
         let rf = chrf_chars(&normalize(reference));
+        let stats: Vec<OverlapStats> = (1..=self.max_order)
+            .map(|n| OverlapStats::compute(&hyp, &rf, n))
+            .collect();
+        self.breakdown_from_stats(&stats, hyp.len(), rf.len())
+    }
 
-        if hyp.is_empty() || rf.is_empty() {
-            let score = if hyp.is_empty() && rf.is_empty() { 100.0 } else { 0.0 };
+    /// Shared scoring tail over per-order overlap statistics; both paths
+    /// arrive here with identical integers, making them bit-identical.
+    fn breakdown_from_stats(
+        &self,
+        stats: &[OverlapStats],
+        hyp_chars: usize,
+        ref_chars: usize,
+    ) -> ChrfBreakdown {
+        if hyp_chars == 0 || ref_chars == 0 {
+            let score = if hyp_chars == 0 && ref_chars == 0 {
+                100.0
+            } else {
+                0.0
+            };
             return ChrfBreakdown {
                 score,
                 f_scores: vec![score / 100.0; self.max_order],
@@ -73,8 +121,7 @@ impl ChrfScorer {
         let mut f_scores = Vec::with_capacity(self.max_order);
         let mut precisions = Vec::with_capacity(self.max_order);
         let mut recalls = Vec::with_capacity(self.max_order);
-        for n in 1..=self.max_order {
-            let stats = OverlapStats::compute(&hyp, &rf, n);
+        for stats in stats.iter().take(self.max_order) {
             if self.skip_empty_orders && stats.hyp_total == 0 && stats.ref_total == 0 {
                 continue;
             }
@@ -109,6 +156,17 @@ impl Scorer for ChrfScorer {
 
     fn score(&self, hypothesis: &str, reference: &str) -> f64 {
         self.breakdown(hypothesis, reference).score
+    }
+
+    fn prepare(&self, reference: &str) -> PreparedReference {
+        PreparedReference {
+            source: reference.to_owned(),
+            payload: PreparedPayload::Chrf(PreparedChrf::new(reference, self.max_order)),
+        }
+    }
+
+    fn score_prepared(&self, hypothesis: &str, reference: &PreparedReference) -> f64 {
+        self.breakdown_prepared(hypothesis, reference).score
     }
 }
 

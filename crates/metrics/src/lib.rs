@@ -28,16 +28,56 @@
 //! assert!((chrf - 100.0).abs() < 1e-6);
 //! ```
 
+//! # Performance
+//!
+//! Metric scoring is the hot path of the whole reproduction: every cell of
+//! every table is `trials × models × systems` BLEU/ChrF evaluations. The
+//! crate therefore ships two implementations of each metric:
+//!
+//! * **Naive path** ([`BleuScorer::breakdown_naive`],
+//!   [`ChrfScorer::breakdown_naive`]) — the seed implementation: every
+//!   n-gram window is materialised as a `Vec<String>`/`Vec<char>` key into a
+//!   SipHash map, and the reference is re-tokenised and re-counted per call.
+//!   Kept as the obviously-correct baseline.
+//! * **Packed fast path** (the default behind [`Scorer::score`]) — BLEU
+//!   word tokens are interned to dense `u32` ids
+//!   ([`prepared::Interner`]) and word n-grams (n ≤ 4) are packed 16
+//!   bits/token into a single `u64`; ChrF char n-grams (n ≤ 6) are packed
+//!   21 bits/char into a `u128`. Counting uses FxHash-style integer maps
+//!   ([`ngram::PackedCounts`]) — no per-window allocation, no SipHash.
+//! * **Prepared references** ([`PreparedReference`], built with
+//!   [`Scorer::prepare`]) — the reference side is normalised, tokenised,
+//!   interned and counted **once**, then shared across every hypothesis
+//!   scored against it via [`Scorer::score_prepared`]. The benchmark runner
+//!   caches one prepared reference per experiment cell row.
+//!
+//! The two paths are bit-identical: both reduce to the same integer
+//! [`ngram::OverlapStats`] per order and share one floating-point scoring
+//! tail; `crates/metrics/tests/property_tests.rs` pins the equivalence on
+//! arbitrary inputs (including >6-bit alphabets and non-BMP Unicode).
+//! Inputs the packed keys cannot represent (≥ 2¹⁶ distinct tokens) fall
+//! back to the naive path automatically.
+//!
+//! Measured with the `metrics_fastpath` criterion bench in `crates/bench`
+//! (35 scorings over the paper's real reference artifacts per iteration; see
+//! that bench for the exact setup): BLEU drops from ~16.7 ms to ~1.0 ms per
+//! iteration (**≈16×**) and ChrF from ~24.7 ms to ~2.3 ms (**≈11×**) with
+//! prepared references; even without reference reuse the packed counting
+//! alone is ≈6.7× for BLEU. `repro bench` records end-to-end grid throughput
+//! in `BENCH_1.json` so future changes have a trajectory to compare against.
+
 pub mod bleu;
 pub mod chrf;
 pub mod matrix;
 pub mod ngram;
+pub mod prepared;
 pub mod stats;
 pub mod tokenize;
 
 pub use bleu::BleuScorer;
 pub use chrf::ChrfScorer;
 pub use matrix::ScoreMatrix;
+pub use prepared::PreparedReference;
 pub use stats::Summary;
 
 /// A similarity metric that compares a hypothesis against a single reference
@@ -48,6 +88,26 @@ pub trait Scorer {
 
     /// Score `hypothesis` against `reference`; higher is better, range 0–100.
     fn score(&self, hypothesis: &str, reference: &str) -> f64;
+
+    /// Preprocess a reference once so it can be scored against many
+    /// hypotheses via [`Scorer::score_prepared`].
+    ///
+    /// The default implementation performs no precomputation (custom scorers
+    /// keep working unchanged); [`BleuScorer`] and [`ChrfScorer`] override it
+    /// to tokenize, intern and count the reference's n-grams up front.
+    fn prepare(&self, reference: &str) -> PreparedReference {
+        PreparedReference::raw(reference)
+    }
+
+    /// Score `hypothesis` against a reference prepared with
+    /// [`Scorer::prepare`]. Must return exactly what
+    /// `self.score(hypothesis, original_reference)` would.
+    ///
+    /// The default implementation re-scores from the retained source text;
+    /// the built-in scorers override it with a packed-key fast path.
+    fn score_prepared(&self, hypothesis: &str, reference: &PreparedReference) -> f64 {
+        self.score(hypothesis, reference.source())
+    }
 
     /// Score a hypothesis against several references, returning the best
     /// (maximum) score.  The paper uses a single reference per cell, but the
@@ -139,5 +199,53 @@ mod tests {
         let s = Fixed;
         assert_eq!(s.score_multi("a", &["b", "a", "c"]), 100.0);
         assert_eq!(s.score_multi("z", &["b", "a", "c"]), 10.0);
+    }
+
+    #[test]
+    fn custom_scorers_get_working_prepared_defaults() {
+        struct Fixed;
+        impl Scorer for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn score(&self, hypothesis: &str, reference: &str) -> f64 {
+                if hypothesis == reference {
+                    100.0
+                } else {
+                    10.0
+                }
+            }
+        }
+        let s = Fixed;
+        let prepared = s.prepare("abc");
+        assert_eq!(prepared.source(), "abc");
+        assert_eq!(s.score_prepared("abc", &prepared), 100.0);
+        assert_eq!(s.score_prepared("xyz", &prepared), 10.0);
+    }
+
+    #[test]
+    fn prepared_references_cross_scorer_fallback_matches_string_pair() {
+        // A BLEU-prepared reference handed to ChrF (and vice versa) must
+        // still score exactly like the string-pair API.
+        let text = "tasks:\n  - func: producer\n    nprocs: 3";
+        let hyp = "tasks:\n  - func: producer\n    nprocs: 4";
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        let bleu_prepared = bleu.prepare(text);
+        let chrf_prepared = chrf.prepare(text);
+        assert_eq!(
+            chrf.score_prepared(hyp, &bleu_prepared),
+            chrf.score(hyp, text)
+        );
+        assert_eq!(
+            bleu.score_prepared(hyp, &chrf_prepared),
+            bleu.score(hyp, text)
+        );
+        // Mismatched configuration (different max order) also falls back.
+        let bleu2 = BleuScorer::with_max_order(2);
+        assert_eq!(
+            bleu2.score_prepared(hyp, &bleu_prepared),
+            bleu2.score(hyp, text)
+        );
     }
 }

@@ -59,7 +59,10 @@ impl ScoreMatrix {
         if !self.cols.iter().any(|c| c == col) {
             self.cols.push(col.to_owned());
         }
-        self.cells.entry(cell_key(row, col)).or_default().push(score);
+        self.cells
+            .entry(cell_key(row, col))
+            .or_default()
+            .push(score);
     }
 
     /// Row labels in display order.
@@ -193,7 +196,10 @@ impl ScoreMatrix {
         }
         out.push_str(&format!("{:<row_width$}", "Overall"));
         for c in &self.cols {
-            out.push_str(&format!("{:>col_width$}", self.col_overall(c).paper_format()));
+            out.push_str(&format!(
+                "{:>col_width$}",
+                self.col_overall(c).paper_format()
+            ));
         }
         out.push_str(&format!(
             "{:>col_width$}\n",
@@ -242,10 +248,7 @@ mod tests {
     fn push_preserves_label_order() {
         let m = sample_matrix();
         assert_eq!(m.rows(), &["ADIOS2".to_string(), "Henson".to_string()]);
-        assert_eq!(
-            m.cols(),
-            &["o3".to_string(), "Gemini-2.5-Pro".to_string()]
-        );
+        assert_eq!(m.cols(), &["o3".to_string(), "Gemini-2.5-Pro".to_string()]);
     }
 
     #[test]

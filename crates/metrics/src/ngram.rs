@@ -1,7 +1,220 @@
 //! N-gram extraction and counting shared by BLEU and ChrF.
+//!
+//! Two families of multisets live here:
+//!
+//! * [`NgramCounts`] — the straightforward reference implementation keying a
+//!   `HashMap` by `Vec<T>` windows. Simple, obviously correct, and the
+//!   differential-testing baseline for the fast path.
+//! * [`PackedCounts`] — the zero-allocation fast path: n-grams are packed
+//!   into a single integer key (`u64` for interned word ids, `u128` for
+//!   chars) and counted in an FxHash-style map, so the hot loop performs no
+//!   per-window heap allocation and no SipHash rounds.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplicative hasher in the style of rustc's FxHash: one multiply and a
+/// rotate per word, far cheaper than the default SipHash for the small
+/// integer keys the packed n-gram maps use. Not DoS-resistant — these maps
+/// only ever hold benchmark-internal keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_word(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_word(value);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, value: u128) {
+        self.add_word(value as u64);
+        self.add_word((value >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_word(value as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Integer types that can hold a packed n-gram key.
+pub trait PackedKey: Copy + Eq + Hash + Default {
+    /// `(self << bits) | unit` — slide one more unit into the key.
+    fn shift_in(self, unit: u64, bits: u32) -> Self;
+    /// Keep only the low `bits` bits (the most recent `bits / unit_bits`
+    /// units of the rolling key).
+    fn mask_low(self, bits: u32) -> Self;
+}
+
+impl PackedKey for u64 {
+    #[inline]
+    fn shift_in(self, unit: u64, bits: u32) -> Self {
+        (self << bits) | unit
+    }
+
+    #[inline]
+    fn mask_low(self, bits: u32) -> Self {
+        if bits >= 64 {
+            self
+        } else {
+            self & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+impl PackedKey for u128 {
+    #[inline]
+    fn shift_in(self, unit: u64, bits: u32) -> Self {
+        (self << bits) | unit as u128
+    }
+
+    #[inline]
+    fn mask_low(self, bits: u32) -> Self {
+        if bits >= 128 {
+            self
+        } else {
+            self & ((1u128 << bits) - 1)
+        }
+    }
+}
+
+/// Per-order n-gram multisets over packed integer keys: the zero-allocation
+/// counterpart of [`NgramCounts`] used by the prepared-reference fast path.
+///
+/// A sequence of units (interned token ids, or chars) is folded into a
+/// rolling key; for every order `n` in `1..=max_order` the low `n *
+/// unit_bits` bits of the key at each position *are* the n-gram, so counting
+/// needs no per-window allocation at all.
+#[derive(Debug, Clone)]
+pub struct PackedCounts<K: PackedKey> {
+    unit_bits: u32,
+    len: usize,
+    /// `orders[n - 1]` maps packed n-grams of order `n` to their count.
+    orders: Vec<FxHashMap<K, u32>>,
+}
+
+impl<K: PackedKey> PackedCounts<K> {
+    /// Count all n-grams of order `1..=max_order` over `units` in one pass.
+    ///
+    /// Every unit must fit in `unit_bits` bits and `max_order * unit_bits`
+    /// must fit in `K`; both are enforced by the callers (16-bit interned
+    /// ids × 4 orders for BLEU's `u64`, 21-bit chars × 6 orders for ChrF's
+    /// `u128`).
+    pub fn from_units(units: impl Iterator<Item = u64>, unit_bits: u32, max_order: usize) -> Self {
+        let mut orders: Vec<FxHashMap<K, u32>> =
+            (0..max_order).map(|_| FxHashMap::default()).collect();
+        let mut rolling = K::default();
+        let mut len = 0usize;
+        for unit in units {
+            debug_assert!(unit_bits >= 64 || unit < (1u64 << unit_bits));
+            rolling = rolling.shift_in(unit, unit_bits);
+            len += 1;
+            let max_n = max_order.min(len);
+            for (idx, order_map) in orders.iter_mut().take(max_n).enumerate() {
+                let key = rolling.mask_low((idx as u32 + 1) * unit_bits);
+                *order_map.entry(key).or_insert(0) += 1;
+            }
+        }
+        PackedCounts {
+            unit_bits,
+            len,
+            orders,
+        }
+    }
+
+    /// Number of units counted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no units were counted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per unit in the packed keys.
+    pub fn unit_bits(&self) -> u32 {
+        self.unit_bits
+    }
+
+    /// Highest counted order.
+    pub fn max_order(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Total number of n-grams of order `n` (with multiplicity).
+    pub fn total(&self, n: usize) -> usize {
+        if n == 0 || n > self.len {
+            0
+        } else {
+            self.len - n + 1
+        }
+    }
+
+    /// The count map of order `n` (1-based).
+    pub fn order(&self, n: usize) -> &FxHashMap<K, u32> {
+        &self.orders[n - 1]
+    }
+
+    /// Clipped overlap at order `n`: `sum(min(count_self, count_other))`.
+    /// Iterates whichever side has fewer distinct n-grams — the minimum is
+    /// symmetric, so entries missing from either side contribute nothing.
+    pub fn clipped_overlap(&self, other: &Self, n: usize) -> usize {
+        debug_assert_eq!(self.unit_bits, other.unit_bits);
+        let (small, large) = if self.order(n).len() <= other.order(n).len() {
+            (self.order(n), other.order(n))
+        } else {
+            (other.order(n), self.order(n))
+        };
+        small
+            .iter()
+            .map(|(gram, &count)| count.min(large.get(gram).copied().unwrap_or(0)) as usize)
+            .sum()
+    }
+
+    /// [`OverlapStats`] of `hyp` (self) against `reference` at order `n`.
+    pub fn overlap_stats(&self, reference: &Self, n: usize) -> OverlapStats {
+        OverlapStats {
+            matches: self.clipped_overlap(reference, n),
+            hyp_total: self.total(n),
+            ref_total: reference.total(n),
+        }
+    }
+}
 
 /// Multiset of n-grams of a fixed order.
 #[derive(Debug, Clone, Default)]
@@ -43,10 +256,19 @@ impl<T: Eq + Hash + Clone> NgramCounts<T> {
     /// Clipped overlap with another multiset: for every n-gram, the minimum of
     /// the two counts, summed.  This is the "modified precision" numerator in
     /// BLEU and the true-positive count in ChrF.
+    ///
+    /// `min` is symmetric and n-grams absent from either side contribute 0,
+    /// so only the side with fewer distinct n-grams needs to be walked.
     pub fn clipped_overlap(&self, other: &Self) -> usize {
-        self.counts
+        let (small, large) = if self.distinct() <= other.distinct() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .counts
             .iter()
-            .map(|(gram, &count)| count.min(other.get(gram)))
+            .map(|(gram, &count)| count.min(large.get(gram)))
             .sum()
     }
 
@@ -156,6 +378,88 @@ mod tests {
         let h = NgramCounts::from_items(&hyp, 1);
         let r = NgramCounts::from_items(&rf, 1);
         assert_eq!(h.clipped_overlap(&r), 2);
+    }
+
+    #[test]
+    fn clipped_overlap_is_symmetric_regardless_of_which_side_is_smaller() {
+        // `hyp` has 1 distinct unigram, `rf` has 3: the implementation walks
+        // the smaller multiset, and the result must not depend on which side
+        // that is.
+        let hyp = vec!["the", "the", "the", "the"];
+        let rf = vec!["the", "cat", "sat"];
+        let h = NgramCounts::from_items(&hyp, 1);
+        let r = NgramCounts::from_items(&rf, 1);
+        assert_eq!(h.clipped_overlap(&r), 1);
+        assert_eq!(r.clipped_overlap(&h), 1);
+        // And with multiplicities on both sides.
+        let a = NgramCounts::from_items(&["a", "a", "b", "c", "c", "c"], 1);
+        let b = NgramCounts::from_items(&["a", "c", "c", "d"], 1);
+        assert_eq!(a.clipped_overlap(&b), b.clipped_overlap(&a));
+        assert_eq!(a.clipped_overlap(&b), 3); // min(2,1) + min(3,2)
+    }
+
+    #[test]
+    fn packed_counts_match_naive_counts() {
+        let items: Vec<u64> = vec![1, 2, 3, 1, 2, 1, 4, 2, 3];
+        let packed = PackedCounts::<u64>::from_units(items.iter().copied(), 16, 4);
+        for n in 1..=4usize {
+            let naive = NgramCounts::from_items(&items, n);
+            assert_eq!(packed.total(n), naive.total(), "order {n}");
+            assert_eq!(packed.order(n).len(), naive.distinct(), "order {n}");
+        }
+        // Spot-check a few counts via packed keys (16 bits per unit).
+        let key = |units: &[u64]| units.iter().fold(0u64, |k, &u| (k << 16) | u);
+        assert_eq!(packed.order(1)[&key(&[1])], 3);
+        assert_eq!(packed.order(2)[&key(&[1, 2])], 2);
+        assert_eq!(packed.order(3)[&key(&[2, 3, 1])], 1);
+    }
+
+    #[test]
+    fn packed_clipped_overlap_matches_naive() {
+        let a: Vec<u64> = vec![1, 2, 1, 2, 3, 4, 1];
+        let b: Vec<u64> = vec![2, 1, 2, 3, 3, 1];
+        let pa = PackedCounts::<u64>::from_units(a.iter().copied(), 16, 3);
+        let pb = PackedCounts::<u64>::from_units(b.iter().copied(), 16, 3);
+        for n in 1..=3usize {
+            let na = NgramCounts::from_items(&a, n);
+            let nb = NgramCounts::from_items(&b, n);
+            assert_eq!(
+                pa.clipped_overlap(&pb, n),
+                na.clipped_overlap(&nb),
+                "order {n}"
+            );
+            assert_eq!(
+                pa.clipped_overlap(&pb, n),
+                pb.clipped_overlap(&pa, n),
+                "order {n}"
+            );
+            let stats = pa.overlap_stats(&pb, n);
+            assert_eq!(stats, OverlapStats::compute(&a, &b, n), "order {n}");
+        }
+    }
+
+    #[test]
+    fn packed_u128_counts_wide_units() {
+        // 21-bit units as used for ChrF chars, including beyond the BMP.
+        let chars: Vec<u64> = "aé😀aé".chars().map(|c| c as u64).collect();
+        let packed = PackedCounts::<u128>::from_units(chars.iter().copied(), 21, 6);
+        assert_eq!(packed.total(1), 5);
+        assert_eq!(packed.order(1).len(), 3);
+        assert_eq!(packed.total(5), 1);
+        assert_eq!(packed.total(6), 0);
+    }
+
+    #[test]
+    fn packed_counts_empty_and_short_sequences() {
+        let empty = PackedCounts::<u64>::from_units(std::iter::empty(), 16, 4);
+        assert!(empty.is_empty());
+        for n in 1..=4 {
+            assert_eq!(empty.total(n), 0);
+            assert!(empty.order(n).is_empty());
+        }
+        let one = PackedCounts::<u64>::from_units([7u64].into_iter(), 16, 4);
+        assert_eq!(one.total(1), 1);
+        assert_eq!(one.total(2), 0);
     }
 
     #[test]

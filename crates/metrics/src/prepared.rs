@@ -1,0 +1,301 @@
+//! Prepared references: tokenize and count a reference once, score many
+//! hypotheses against it.
+//!
+//! The benchmark grid scores every `(model, trial)` hypothesis against a
+//! small, fixed set of ground-truth references, so re-tokenising and
+//! re-counting the reference for every cell is pure waste. A
+//! [`PreparedReference`] front-loads that work:
+//!
+//! * **BLEU** — the reference is normalised, tokenised into zero-copy spans,
+//!   every token is interned to a dense `u32` id, and word n-grams
+//!   (n ≤ 4) are packed 16 bits/token into `u64` keys counted in FxHash
+//!   maps ([`PackedCounts`]).
+//! * **ChrF** — whitespace-stripped chars are packed 21 bits/char into
+//!   `u128` keys (n ≤ 6) and counted the same way.
+//!
+//! Hypotheses are tokenised against the reference's interner with a local
+//! overlay for out-of-vocabulary tokens, so scoring allocates no per-window
+//! keys and hashes only integers. Inputs the packed representation cannot
+//! hold (≥ 2¹⁶ distinct tokens, or orders beyond the packed width) fall back
+//! to the naive [`NgramCounts`](crate::ngram::NgramCounts) path, which is
+//! bit-identical by construction and property-tested to stay that way.
+
+use crate::ngram::{FxHashMap, OverlapStats, PackedCounts};
+use crate::tokenize::{chrf_chars, normalize, tokenize_13a_spans};
+
+/// Bits per interned word id in packed BLEU keys (4 × 16 = 64).
+pub(crate) const WORD_BITS: u32 = 16;
+/// Bits per char in packed ChrF keys (6 × 21 = 126 ≤ 128; 21 bits cover all
+/// of Unicode's 0x10FFFF scalar values).
+pub(crate) const CHAR_BITS: u32 = 21;
+/// Maximum BLEU order the packed `u64` representation can hold.
+pub(crate) const MAX_PACKED_WORD_ORDER: usize = (u64::BITS / WORD_BITS) as usize;
+/// Maximum ChrF order the packed `u128` representation can hold.
+pub(crate) const MAX_PACKED_CHAR_ORDER: usize = (u128::BITS / CHAR_BITS) as usize;
+
+/// Interns token strings to dense `u32` ids.
+///
+/// The id space doubles as the packed-key unit: ids stay below 2¹⁶ or the
+/// caller falls back to the naive path, so four ids always fit a `u64`.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    ids: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    /// Intern `token`, returning its id (allocating the owned key only for
+    /// tokens seen for the first time).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(token.to_owned(), id);
+        id
+    }
+
+    /// Look up a token without interning it.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Resolve hypothesis tokens against a reference interner, assigning fresh
+/// ids from an overlay for out-of-vocabulary tokens. OOV tokens can never
+/// match a reference n-gram, but they must still count towards hypothesis
+/// totals and match *each other*, so they need consistent ids. Returns
+/// `None` when the combined id space no longer fits the packed width.
+pub(crate) fn resolve_hypothesis_ids<'a>(
+    spans: impl Iterator<Item = &'a str>,
+    reference: &Interner,
+) -> Option<Vec<u32>> {
+    let mut overlay: FxHashMap<&'a str, u32> = FxHashMap::default();
+    let mut ids = Vec::new();
+    for span in spans {
+        let id = match reference.get(span) {
+            Some(id) => id,
+            None => {
+                let next = reference.len() as u32 + overlay.len() as u32;
+                *overlay.entry(span).or_insert(next)
+            }
+        };
+        ids.push(id);
+    }
+    let vocab = reference.len() + overlay.len();
+    if vocab >= (1usize << WORD_BITS) {
+        return None;
+    }
+    Some(ids)
+}
+
+/// A reference prepared for repeated BLEU scoring.
+#[derive(Debug, Clone)]
+pub struct PreparedBleu {
+    /// Whether the 13a tokenizer was applied (must match the scorer).
+    pub(crate) tokenize: bool,
+    /// Highest n-gram order counted (must cover the scorer's).
+    pub(crate) max_order: usize,
+    /// Token → id for the reference vocabulary.
+    pub(crate) interner: Interner,
+    /// Packed per-order n-gram counts; `None` when the reference alone
+    /// overflows the packed id space (then scoring falls back to naive).
+    pub(crate) counts: Option<PackedCounts<u64>>,
+    /// Reference length in tokens.
+    pub(crate) len: usize,
+}
+
+impl PreparedBleu {
+    /// Tokenize, intern and count `reference` once.
+    pub(crate) fn new(reference: &str, tokenize: bool, max_order: usize) -> Self {
+        let normalized = normalize(reference);
+        let mut interner = Interner::default();
+        let ids: Vec<u32> = if tokenize {
+            tokenize_13a_spans(&normalized)
+                .into_iter()
+                .map(|span| interner.intern(span))
+                .collect()
+        } else {
+            // Whitespace tokens borrow from the normalized text just the same.
+            normalized
+                .split_whitespace()
+                .map(|span| interner.intern(span))
+                .collect()
+        };
+        let packable = interner.len() < (1usize << WORD_BITS) && max_order <= MAX_PACKED_WORD_ORDER;
+        let counts = packable.then(|| {
+            PackedCounts::from_units(ids.iter().map(|&id| id as u64), WORD_BITS, max_order)
+        });
+        PreparedBleu {
+            tokenize,
+            max_order,
+            interner,
+            counts,
+            len: ids.len(),
+        }
+    }
+
+    /// Per-order overlap statistics of a hypothesis against this reference,
+    /// or `None` when the pair needs the naive fallback.
+    pub(crate) fn overlap_stats(&self, hypothesis: &str) -> Option<(Vec<OverlapStats>, usize)> {
+        let ref_counts = self.counts.as_ref()?;
+        let normalized = normalize(hypothesis);
+        let ids = if self.tokenize {
+            resolve_hypothesis_ids(tokenize_13a_spans(&normalized).into_iter(), &self.interner)?
+        } else {
+            resolve_hypothesis_ids(normalized.split_whitespace(), &self.interner)?
+        };
+        let hyp_counts = PackedCounts::<u64>::from_units(
+            ids.iter().map(|&id| id as u64),
+            WORD_BITS,
+            self.max_order,
+        );
+        let stats = (1..=self.max_order)
+            .map(|n| hyp_counts.overlap_stats(ref_counts, n))
+            .collect();
+        Some((stats, ids.len()))
+    }
+}
+
+/// A reference prepared for repeated ChrF scoring.
+#[derive(Debug, Clone)]
+pub struct PreparedChrf {
+    /// Highest char n-gram order counted.
+    pub(crate) max_order: usize,
+    /// Packed per-order char n-gram counts; `None` when `max_order` exceeds
+    /// the packed width.
+    pub(crate) counts: Option<PackedCounts<u128>>,
+}
+
+impl PreparedChrf {
+    /// Strip whitespace and count char n-grams of `reference` once.
+    pub(crate) fn new(reference: &str, max_order: usize) -> Self {
+        let chars = chrf_chars(&normalize(reference));
+        let counts = (max_order <= MAX_PACKED_CHAR_ORDER).then(|| {
+            PackedCounts::from_units(chars.iter().map(|&c| c as u64), CHAR_BITS, max_order)
+        });
+        PreparedChrf { max_order, counts }
+    }
+
+    /// Per-order overlap statistics of a hypothesis against this reference,
+    /// or `None` when the pair needs the naive fallback. Also reports the
+    /// hypothesis/reference char counts for the empty-input special cases.
+    pub(crate) fn overlap_stats(
+        &self,
+        hypothesis: &str,
+    ) -> Option<(Vec<OverlapStats>, usize, usize)> {
+        let ref_counts = self.counts.as_ref()?;
+        let chars = chrf_chars(&normalize(hypothesis));
+        let hyp_counts = PackedCounts::<u128>::from_units(
+            chars.iter().map(|&c| c as u64),
+            CHAR_BITS,
+            self.max_order,
+        );
+        let stats = (1..=self.max_order)
+            .map(|n| hyp_counts.overlap_stats(ref_counts, n))
+            .collect();
+        Some((stats, chars.len(), ref_counts.len()))
+    }
+}
+
+/// The scorer-specific payload of a [`PreparedReference`].
+#[derive(Debug, Clone)]
+pub(crate) enum PreparedPayload {
+    /// No precomputation: the default for scorers without a fast path.
+    Raw,
+    /// BLEU interning + packed counts.
+    Bleu(PreparedBleu),
+    /// ChrF packed counts.
+    Chrf(PreparedChrf),
+}
+
+/// A reference processed once for repeated scoring against many hypotheses.
+///
+/// Build one with [`Scorer::prepare`](crate::Scorer::prepare) and score with
+/// [`Scorer::score_prepared`](crate::Scorer::score_prepared). The original
+/// reference text is retained, so a prepared reference built by one scorer
+/// configuration can always be scored — at worst at string-pair speed — by
+/// another.
+#[derive(Debug, Clone)]
+pub struct PreparedReference {
+    pub(crate) source: String,
+    pub(crate) payload: PreparedPayload,
+}
+
+impl PreparedReference {
+    /// Wrap a reference with no scorer-specific precomputation.
+    pub fn raw(reference: &str) -> Self {
+        PreparedReference {
+            source: reference.to_owned(),
+            payload: PreparedPayload::Raw,
+        }
+    }
+
+    /// The original reference text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let mut interner = Interner::default();
+        let a = interner.intern("alpha");
+        let b = interner.intern("beta");
+        let a2 = interner.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.get("beta"), Some(b));
+        assert_eq!(interner.get("gamma"), None);
+    }
+
+    #[test]
+    fn hypothesis_overlay_ids_are_consistent_and_disjoint() {
+        let mut interner = Interner::default();
+        interner.intern("known");
+        let ids = resolve_hypothesis_ids(["known", "new", "new", "other"].into_iter(), &interner)
+            .unwrap();
+        assert_eq!(ids[0], 0);
+        assert_eq!(ids[1], ids[2]);
+        assert!(ids[1] >= 1);
+        assert_ne!(ids[1], ids[3]);
+    }
+
+    #[test]
+    fn prepared_bleu_counts_reference_once() {
+        let prepared = PreparedBleu::new("the cat sat on the mat", true, 4);
+        assert_eq!(prepared.len, 6);
+        assert_eq!(prepared.interner.len(), 5); // "the" repeats
+        let counts = prepared.counts.as_ref().unwrap();
+        assert_eq!(counts.total(1), 6);
+        assert_eq!(counts.total(4), 3);
+    }
+
+    #[test]
+    fn prepared_chrf_handles_unicode() {
+        let prepared = PreparedChrf::new("añ😀b", 6);
+        let counts = prepared.counts.as_ref().unwrap();
+        assert_eq!(counts.total(1), 4);
+        assert_eq!(counts.total(4), 1);
+    }
+
+    #[test]
+    fn prepared_reference_keeps_source() {
+        let p = PreparedReference::raw("reference text");
+        assert_eq!(p.source(), "reference text");
+    }
+}

@@ -18,22 +18,45 @@
 /// assert_eq!(toks, vec!["henson_save_int", "(", "\"", "t", "\"", ",", "&", "t", ")", ";"]);
 /// ```
 pub fn tokenize_13a(text: &str) -> Vec<String> {
+    tokenize_13a_spans(text)
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Zero-copy variant of [`tokenize_13a`]: every token is a slice into the
+/// input, so tokenising allocates only the `Vec` of spans — no per-token
+/// `String` and, in particular, no `char::to_string` per punctuation
+/// character.  This is the tokenizer the scoring fast path builds interned
+/// token ids from.
+///
+/// Multi-byte UTF-8 punctuation is sliced at the correct byte boundaries:
+///
+/// ```
+/// use wfspeak_metrics::tokenize::tokenize_13a_spans;
+/// // em dash, ellipsis and guillemets are all multi-byte punctuation
+/// let toks = tokenize_13a_spans("naïve—code…«quoted»");
+/// assert_eq!(toks, vec!["naïve", "—", "code", "…", "«", "quoted", "»"]);
+/// ```
+pub fn tokenize_13a_spans(text: &str) -> Vec<&str> {
     let mut tokens = Vec::new();
-    let mut current = String::new();
-    for ch in text.chars() {
+    let mut word_start: Option<usize> = None;
+    for (i, ch) in text.char_indices() {
         if ch.is_alphanumeric() || ch == '_' {
-            current.push(ch);
+            if word_start.is_none() {
+                word_start = Some(i);
+            }
         } else {
-            if !current.is_empty() {
-                tokens.push(std::mem::take(&mut current));
+            if let Some(start) = word_start.take() {
+                tokens.push(&text[start..i]);
             }
             if !ch.is_whitespace() {
-                tokens.push(ch.to_string());
+                tokens.push(&text[i..i + ch.len_utf8()]);
             }
         }
     }
-    if !current.is_empty() {
-        tokens.push(current);
+    if let Some(start) = word_start {
+        tokens.push(&text[start..]);
     }
     tokens
 }
@@ -80,10 +103,7 @@ mod tests {
 
     #[test]
     fn tokenize_13a_splits_punctuation() {
-        assert_eq!(
-            tokenize_13a("a.b(c)"),
-            vec!["a", ".", "b", "(", "c", ")"]
-        );
+        assert_eq!(tokenize_13a("a.b(c)"), vec!["a", ".", "b", "(", "c", ")"]);
     }
 
     #[test]
@@ -117,11 +137,39 @@ mod tests {
 
     #[test]
     fn normalize_preserves_indentation() {
-        assert_eq!(normalize("  - func: producer  \n    nprocs: 3"), "  - func: producer\n    nprocs: 3");
+        assert_eq!(
+            normalize("  - func: producer  \n    nprocs: 3"),
+            "  - func: producer\n    nprocs: 3"
+        );
     }
 
     #[test]
     fn tokenize_13a_unicode_alphanumerics_group() {
         assert_eq!(tokenize_13a("héllo wörld"), vec!["héllo", "wörld"]);
+    }
+
+    #[test]
+    fn tokenize_13a_spans_agree_with_owned_tokenizer() {
+        for text in [
+            "henson_save_int(\"t\", &t);",
+            "a.b(c)",
+            "",
+            "   \n\t ",
+            "héllo—wörld… «x»",
+            "mixed_帯域 テスト(1)",
+        ] {
+            let owned = tokenize_13a(text);
+            let spans = tokenize_13a_spans(text);
+            assert_eq!(owned, spans, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn tokenize_13a_spans_are_true_slices_of_the_input() {
+        let text = "abc«def»ghi";
+        for span in tokenize_13a_spans(text) {
+            let start = span.as_ptr() as usize - text.as_ptr() as usize;
+            assert_eq!(&text[start..start + span.len()], span);
+        }
     }
 }

@@ -9,10 +9,129 @@ use wfspeak_metrics::Scorer;
 
 /// Strategy producing code-like text (identifiers, punctuation, newlines).
 fn code_text() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z_]{1,8}|\\(|\\)|:|,|\n| ", 1..60).prop_map(|parts| parts.concat())
+    proptest::collection::vec("[a-z_]{1,8}|\\(|\\)|:|,|\n| ", 1..60)
+        .prop_map(|parts| parts.concat())
+}
+
+/// Strategy producing text over a *large* alphabet — hundreds of distinct
+/// single-char tokens (well beyond a 6-bit alphabet) plus multi-byte and
+/// non-BMP Unicode — to stress the interner and the packed key layout.
+fn wide_alphabet_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            // ASCII letters/digits/punctuation.
+            "[ -~]{1,6}",
+            // Latin-1 and Greek (2-byte UTF-8).
+            proptest::collection::vec(proptest::char::range('À', 'ω'), 1..5)
+                .prop_map(|v| v.into_iter().collect::<String>()),
+            // CJK (3-byte UTF-8).
+            proptest::collection::vec(proptest::char::range('一', '龥'), 1..4)
+                .prop_map(|v| v.into_iter().collect::<String>()),
+            // Emoji / non-BMP (4-byte UTF-8, exercises the 21-bit char pack).
+            proptest::collection::vec(proptest::char::range('😀', '😏'), 1..3)
+                .prop_map(|v| v.into_iter().collect::<String>()),
+            Just(" ".to_string()),
+            Just("\n".to_string()),
+        ],
+        0..40,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+/// The packed fast path (the default `score`) must be bit-identical to the
+/// naive seed implementation on the same inputs.
+fn assert_paths_identical(hyp: &str, rf: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+    let bleu = BleuScorer::default();
+    let chrf = ChrfScorer::default();
+    let bleu_fast = bleu.score(hyp, rf);
+    let bleu_naive = bleu.breakdown_naive(hyp, rf).score;
+    prop_assert_eq!(
+        bleu_fast.to_bits(),
+        bleu_naive.to_bits(),
+        "BLEU fast {} != naive {} on {:?} vs {:?}",
+        bleu_fast,
+        bleu_naive,
+        hyp,
+        rf
+    );
+    let chrf_fast = chrf.score(hyp, rf);
+    let chrf_naive = chrf.breakdown_naive(hyp, rf).score;
+    prop_assert_eq!(
+        chrf_fast.to_bits(),
+        chrf_naive.to_bits(),
+        "ChrF fast {} != naive {} on {:?} vs {:?}",
+        chrf_fast,
+        chrf_naive,
+        hyp,
+        rf
+    );
+    // A reference prepared once must reproduce the string-pair API bit for
+    // bit as well.
+    let prepared_bleu = Scorer::prepare(&bleu, rf);
+    let prepared_chrf = Scorer::prepare(&chrf, rf);
+    prop_assert_eq!(
+        bleu.score_prepared(hyp, &prepared_bleu).to_bits(),
+        bleu_fast.to_bits()
+    );
+    prop_assert_eq!(
+        chrf.score_prepared(hyp, &prepared_chrf).to_bits(),
+        chrf_fast.to_bits()
+    );
+    Ok(())
 }
 
 proptest! {
+    #[test]
+    fn packed_fast_path_is_bit_identical_on_code_text(hyp in code_text(), rf in code_text()) {
+        assert_paths_identical(&hyp, &rf)?;
+    }
+
+    #[test]
+    fn packed_fast_path_is_bit_identical_on_wide_alphabets(
+        hyp in wide_alphabet_text(),
+        rf in wide_alphabet_text(),
+    ) {
+        assert_paths_identical(&hyp, &rf)?;
+    }
+
+    #[test]
+    fn packed_fast_path_is_bit_identical_with_custom_orders(
+        hyp in code_text(),
+        rf in code_text(),
+        max_order in 1usize..5,
+    ) {
+        let bleu = BleuScorer::with_max_order(max_order);
+        prop_assert_eq!(
+            bleu.score(&hyp, &rf).to_bits(),
+            bleu.breakdown_naive(&hyp, &rf).score.to_bits()
+        );
+        let whitespace = BleuScorer { tokenize: false, ..BleuScorer::default() };
+        prop_assert_eq!(
+            whitespace.score(&hyp, &rf).to_bits(),
+            whitespace.breakdown_naive(&hyp, &rf).score.to_bits()
+        );
+        let chrf = ChrfScorer { max_order, ..ChrfScorer::default() };
+        prop_assert_eq!(
+            chrf.score(&hyp, &rf).to_bits(),
+            chrf.breakdown_naive(&hyp, &rf).score.to_bits()
+        );
+    }
+
+    #[test]
+    fn prepared_reference_is_reusable_across_hypotheses(
+        hyps in proptest::collection::vec(code_text(), 1..6),
+        rf in code_text(),
+    ) {
+        let bleu = BleuScorer::default();
+        let prepared = Scorer::prepare(&bleu, &rf);
+        for hyp in &hyps {
+            prop_assert_eq!(
+                bleu.score_prepared(hyp, &prepared).to_bits(),
+                bleu.score(hyp, &rf).to_bits()
+            );
+        }
+    }
+
     #[test]
     fn bleu_in_range(hyp in code_text(), rf in code_text()) {
         let s = BleuScorer::default().score(&hyp, &rf);

@@ -104,7 +104,14 @@ mod tests {
     #[test]
     fn message_timestep_accessor() {
         let ds = Dataset::from_f32("grid", "/g", &[1.0]);
-        assert_eq!(DataMessage::Step { timestep: 2, dataset: ds }.timestep(), Some(2));
+        assert_eq!(
+            DataMessage::Step {
+                timestep: 2,
+                dataset: ds
+            }
+            .timestep(),
+            Some(2)
+        );
         assert_eq!(DataMessage::EndOfStream.timestep(), None);
     }
 }

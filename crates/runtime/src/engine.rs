@@ -13,7 +13,9 @@ use wfspeak_systems::wilkins::WilkinsConfig;
 use wfspeak_systems::WorkflowSpec;
 
 use crate::data::DataMessage;
-use crate::task::{rank_rng, ConsumerBehavior, ProducerBehavior, ReduceGroup, TaskBehavior, TaskContext};
+use crate::task::{
+    rank_rng, ConsumerBehavior, ProducerBehavior, ReduceGroup, TaskBehavior, TaskContext,
+};
 use crate::trace::{EventKind, ExecutionTrace};
 
 /// Engine tuning knobs.
@@ -128,10 +130,7 @@ impl Engine {
         let mut handles = Vec::new();
 
         for task in &spec.tasks {
-            let is_producer = task
-                .data
-                .iter()
-                .any(|d| d.role == DataRole::Produces);
+            let is_producer = task.data.iter().any(|d| d.role == DataRole::Produces);
             let behavior: Arc<dyn TaskBehavior> = if is_producer {
                 Arc::new(ProducerBehavior)
             } else {
@@ -194,25 +193,23 @@ impl Engine {
                 let results = results.clone();
                 let trace = trace.clone();
                 let task_name = task.name.clone();
-                handles.push(std::thread::spawn(move || {
-                    match behavior.run(&mut ctx) {
-                        Ok(()) => {
-                            if rank == 0 {
-                                trace.record(&task_name, rank, EventKind::TaskFinished);
-                            }
-                            if !ctx.received_sums.is_empty() {
-                                results
-                                    .lock()
-                                    .entry(task_name.clone())
-                                    .or_default()
-                                    .extend(ctx.received_sums);
-                            }
-                            true
+                handles.push(std::thread::spawn(move || match behavior.run(&mut ctx) {
+                    Ok(()) => {
+                        if rank == 0 {
+                            trace.record(&task_name, rank, EventKind::TaskFinished);
                         }
-                        Err(reason) => {
-                            trace.record(&task_name, rank, EventKind::TaskFailed { reason });
-                            false
+                        if !ctx.received_sums.is_empty() {
+                            results
+                                .lock()
+                                .entry(task_name.clone())
+                                .or_default()
+                                .extend(ctx.received_sums);
                         }
+                        true
+                    }
+                    Err(reason) => {
+                        trace.record(&task_name, rank, EventKind::TaskFailed { reason });
+                        false
                     }
                 }));
             }
@@ -296,7 +293,9 @@ mod tests {
             elements: 100,
             ..EngineConfig::default()
         };
-        let outcome = Engine::new(config).run(&WorkflowSpec::paper_3node()).unwrap();
+        let outcome = Engine::new(config)
+            .run(&WorkflowSpec::paper_3node())
+            .unwrap();
         // Uniform [0,1) values: the sum of 100 elements is around 50.
         for sums in outcome.consumer_sums.values() {
             for s in sums {
@@ -312,7 +311,9 @@ mod tests {
                 seed,
                 ..EngineConfig::default()
             };
-            let outcome = Engine::new(config).run(&WorkflowSpec::fewshot_2node()).unwrap();
+            let outcome = Engine::new(config)
+                .run(&WorkflowSpec::fewshot_2node())
+                .unwrap();
             outcome.consumer_sums["consumer"].clone()
         };
         assert_eq!(run(7), run(7));
@@ -351,7 +352,9 @@ mod tests {
             timeout_ms: 300,
             ..EngineConfig::default()
         };
-        let outcome = Engine::new(config).run(&WorkflowSpec::fewshot_2node()).unwrap();
+        let outcome = Engine::new(config)
+            .run(&WorkflowSpec::fewshot_2node())
+            .unwrap();
         assert!(!outcome.completed);
         assert!(outcome.failed_tasks.contains(&"producer".to_string()));
     }
@@ -363,13 +366,16 @@ mod tests {
             timeout_ms: 300,
             ..EngineConfig::default()
         };
-        let outcome = Engine::new(config).run(&WorkflowSpec::fewshot_2node()).unwrap();
+        let outcome = Engine::new(config)
+            .run(&WorkflowSpec::fewshot_2node())
+            .unwrap();
         assert!(!outcome.completed);
     }
 
     #[test]
     fn single_task_workflow_with_unconsumed_output_completes() {
-        let spec = WorkflowSpec::new("solo").with_task(TaskSpec::new("producer", 2).produces("grid"));
+        let spec =
+            WorkflowSpec::new("solo").with_task(TaskSpec::new("producer", 2).produces("grid"));
         let outcome = Engine::new(EngineConfig::default()).run(&spec).unwrap();
         assert!(outcome.completed);
         assert_eq!(outcome.total_received(), 0);

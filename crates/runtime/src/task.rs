@@ -104,7 +104,9 @@ impl TaskContext {
                         },
                         std::time::Duration::from_millis(self.timeout_ms),
                     )
-                    .map_err(|e| format!("{}: send of `{name}` timed out or failed: {e}", self.task))?;
+                    .map_err(|e| {
+                        format!("{}: send of `{name}` timed out or failed: {e}", self.task)
+                    })?;
             }
         }
         self.trace.record(

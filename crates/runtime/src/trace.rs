@@ -102,12 +102,16 @@ impl ExecutionTrace {
 
     /// Number of `DataPublished` events for a dataset.
     pub fn published_count(&self, dataset: &str) -> usize {
-        self.count_where(|e| matches!(&e.kind, EventKind::DataPublished { dataset: d, .. } if d == dataset))
+        self.count_where(
+            |e| matches!(&e.kind, EventKind::DataPublished { dataset: d, .. } if d == dataset),
+        )
     }
 
     /// Number of `DataReceived` events for a dataset.
     pub fn received_count(&self, dataset: &str) -> usize {
-        self.count_where(|e| matches!(&e.kind, EventKind::DataReceived { dataset: d, .. } if d == dataset))
+        self.count_where(
+            |e| matches!(&e.kind, EventKind::DataReceived { dataset: d, .. } if d == dataset),
+        )
     }
 
     /// Names of tasks that failed.

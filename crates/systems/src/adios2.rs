@@ -16,7 +16,16 @@ use crate::WorkflowSystem;
 
 /// Engine types ADIOS2 actually ships.
 pub const REAL_ENGINES: &[&str] = &[
-    "SST", "BP4", "BP5", "BPFile", "HDF5", "DataMan", "Inline", "SSC", "Null", "FileStream",
+    "SST",
+    "BP4",
+    "BP5",
+    "BPFile",
+    "HDF5",
+    "DataMan",
+    "Inline",
+    "SSC",
+    "Null",
+    "FileStream",
 ];
 
 /// One `IO` definition in an ADIOS2 YAML configuration.
@@ -130,19 +139,28 @@ impl Adios2Config {
             if io.engine.is_empty() {
                 report.push(Diagnostic::warning(
                     "schema",
-                    format!("IO `{}` does not set an engine type; BPFile is assumed", io.name),
+                    format!(
+                        "IO `{}` does not set an engine type; BPFile is assumed",
+                        io.name
+                    ),
                 ));
                 io.engine = "BPFile".to_owned();
             } else if !REAL_ENGINES.contains(&io.engine.as_str()) {
                 report.push(Diagnostic::error(
                     "unknown-engine",
-                    format!("IO `{}` uses engine `{}` which ADIOS2 does not provide", io.name, io.engine),
+                    format!(
+                        "IO `{}` uses engine `{}` which ADIOS2 does not provide",
+                        io.name, io.engine
+                    ),
                 ));
             }
             ios.push(io);
         }
         if ios.is_empty() {
-            report.push(Diagnostic::error("schema", "configuration defines no IO entries"));
+            report.push(Diagnostic::error(
+                "schema",
+                "configuration defines no IO entries",
+            ));
             return (None, report);
         }
         (Some(Adios2Config { ios }), report)

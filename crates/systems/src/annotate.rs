@@ -73,7 +73,10 @@ pub fn validate_task_code(
     if used.is_empty() {
         report.push(Diagnostic::error(
             "no-api-usage",
-            format!("no {} API usage found in the task code", catalog.system.name()),
+            format!(
+                "no {} API usage found in the task code",
+                catalog.system.name()
+            ),
         ));
     }
 

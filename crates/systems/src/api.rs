@@ -73,7 +73,7 @@ impl ApiCatalog {
 
     /// True when a configuration field name exists for this system.
     pub fn is_real_config_field(&self, field: &str) -> bool {
-        self.config_fields.iter().any(|f| *f == field)
+        self.config_fields.contains(&field)
     }
 }
 
@@ -100,7 +100,11 @@ fn adios2_catalog() -> ApiCatalog {
         functions: vec![
             f("adios2_init_mpi", "adios2_init_mpi(MPI_Comm comm)", true),
             f("adios2_init", "adios2_init()", false),
-            f("adios2_init_config_mpi", "adios2_init_config_mpi(const char* cfg, MPI_Comm)", false),
+            f(
+                "adios2_init_config_mpi",
+                "adios2_init_config_mpi(const char* cfg, MPI_Comm)",
+                false,
+            ),
             f("adios2_declare_io", "adios2_declare_io(adios, name)", true),
             f("adios2_at_io", "adios2_at_io(adios, name)", false),
             f(
@@ -108,19 +112,43 @@ fn adios2_catalog() -> ApiCatalog {
                 "adios2_define_variable(io, name, type, ndims, shape, start, count, constant_dims)",
                 true,
             ),
-            f("adios2_inquire_variable", "adios2_inquire_variable(io, name)", false),
+            f(
+                "adios2_inquire_variable",
+                "adios2_inquire_variable(io, name)",
+                false,
+            ),
             f("adios2_set_engine", "adios2_set_engine(io, type)", false),
-            f("adios2_set_parameter", "adios2_set_parameter(io, key, value)", false),
+            f(
+                "adios2_set_parameter",
+                "adios2_set_parameter(io, key, value)",
+                false,
+            ),
             f("adios2_open", "adios2_open(io, name, mode)", true),
-            f("adios2_begin_step", "adios2_begin_step(engine, mode, timeout, status)", true),
-            f("adios2_put", "adios2_put(engine, variable, data, launch)", true),
-            f("adios2_get", "adios2_get(engine, variable, data, launch)", false),
+            f(
+                "adios2_begin_step",
+                "adios2_begin_step(engine, mode, timeout, status)",
+                true,
+            ),
+            f(
+                "adios2_put",
+                "adios2_put(engine, variable, data, launch)",
+                true,
+            ),
+            f(
+                "adios2_get",
+                "adios2_get(engine, variable, data, launch)",
+                false,
+            ),
             f("adios2_end_step", "adios2_end_step(engine)", true),
             f("adios2_perform_puts", "adios2_perform_puts(engine)", false),
             f("adios2_perform_gets", "adios2_perform_gets(engine)", false),
             f("adios2_close", "adios2_close(engine)", true),
             f("adios2_finalize", "adios2_finalize(adios)", true),
-            f("adios2_remove_all_variables", "adios2_remove_all_variables(io)", false),
+            f(
+                "adios2_remove_all_variables",
+                "adios2_remove_all_variables(io)",
+                false,
+            ),
         ],
         config_fields: vec![
             "IO",
@@ -148,18 +176,34 @@ fn henson_catalog() -> ApiCatalog {
         system: WorkflowSystemId::Henson,
         prefixes: vec!["henson_"],
         functions: vec![
-            f("henson_save_array", "henson_save_array(name, address, type, count, stride)", true),
+            f(
+                "henson_save_array",
+                "henson_save_array(name, address, type, count, stride)",
+                true,
+            ),
             f("henson_save_int", "henson_save_int(name, x)", true),
             f("henson_save_size_t", "henson_save_size_t(name, x)", false),
             f("henson_save_float", "henson_save_float(name, x)", false),
             f("henson_save_double", "henson_save_double(name, x)", false),
-            f("henson_save_pointer", "henson_save_pointer(name, ptr)", false),
-            f("henson_load_array", "henson_load_array(name, address, type, count, stride)", false),
+            f(
+                "henson_save_pointer",
+                "henson_save_pointer(name, ptr)",
+                false,
+            ),
+            f(
+                "henson_load_array",
+                "henson_load_array(name, address, type, count, stride)",
+                false,
+            ),
             f("henson_load_int", "henson_load_int(name, &x)", false),
             f("henson_load_size_t", "henson_load_size_t(name, &x)", false),
             f("henson_load_float", "henson_load_float(name, &x)", false),
             f("henson_load_double", "henson_load_double(name, &x)", false),
-            f("henson_load_pointer", "henson_load_pointer(name, &ptr)", false),
+            f(
+                "henson_load_pointer",
+                "henson_load_pointer(name, &ptr)",
+                false,
+            ),
             f("henson_yield", "henson_yield()", true),
             f("henson_active", "henson_active()", false),
             f("henson_stop", "henson_stop()", false),
@@ -187,7 +231,11 @@ fn parsl_catalog() -> ApiCatalog {
             f("result", "future.result()", true),
             f("done", "future.done()", false),
             f("Config", "parsl.config.Config(executors=[...])", false),
-            f("HighThroughputExecutor", "HighThroughputExecutor(...)", false),
+            f(
+                "HighThroughputExecutor",
+                "HighThroughputExecutor(...)",
+                false,
+            ),
             f("ThreadPoolExecutor", "ThreadPoolExecutor(...)", false),
             f("LocalProvider", "LocalProvider(...)", false),
             f("File", "parsl.data_provider.files.File(path)", false),
@@ -207,7 +255,11 @@ fn pycompss_catalog() -> ApiCatalog {
         prefixes: vec!["compss_", "task", "constraint", "binary", "mpi"],
         functions: vec![
             f("task", "@task(returns=..., file=FILE_OUT) decorator", true),
-            f("constraint", "@constraint(computing_units=...) decorator", false),
+            f(
+                "constraint",
+                "@constraint(computing_units=...) decorator",
+                false,
+            ),
             f("binary", "@binary(binary=...) decorator", false),
             f("mpi", "@mpi(runner=..., processes=...) decorator", false),
             f("compss_wait_on", "compss_wait_on(obj)", false),
@@ -239,19 +291,8 @@ fn wilkins_catalog() -> ApiCatalog {
             },
         ],
         config_fields: vec![
-            "tasks",
-            "func",
-            "nprocs",
-            "inports",
-            "outports",
-            "filename",
-            "dsets",
-            "name",
-            "file",
-            "memory",
-            "io_freq",
-            "zerocopy",
-            "actions",
+            "tasks", "func", "nprocs", "inports", "outports", "filename", "dsets", "name", "file",
+            "memory", "io_freq", "zerocopy", "actions",
         ],
     }
 }
@@ -312,7 +353,15 @@ mod tests {
             assert!(cat.is_real_config_field(field), "{field} should exist");
         }
         // Fields o3 hallucinated in zero-shot mode (Table 6 right).
-        for field in ["inputs", "outputs", "command", "dependencies", "processes", "workflow", "datasets"] {
+        for field in [
+            "inputs",
+            "outputs",
+            "command",
+            "dependencies",
+            "processes",
+            "workflow",
+            "datasets",
+        ] {
             assert!(!cat.is_real_config_field(field), "{field} should not exist");
         }
     }
@@ -329,7 +378,9 @@ mod tests {
     #[test]
     fn pycompss_wait_on_file_required() {
         let cat = catalog_for(WorkflowSystemId::PyCompss);
-        assert!(cat.required_producer_calls().contains(&"compss_wait_on_file"));
+        assert!(cat
+            .required_producer_calls()
+            .contains(&"compss_wait_on_file"));
         assert!(cat.is_real_function("compss_wait_on"));
         assert!(cat.is_hallucinated("compss_sync_file"));
     }

@@ -154,9 +154,15 @@ mod tests {
     #[test]
     fn errors_invalidate_warnings_do_not() {
         let mut r = ValidationReport::valid();
-        r.push(Diagnostic::warning("redundant-call", "extra executor config"));
+        r.push(Diagnostic::warning(
+            "redundant-call",
+            "extra executor config",
+        ));
         assert!(r.is_valid());
-        r.push(Diagnostic::error("hallucinated-call", "henson_put does not exist"));
+        r.push(Diagnostic::error(
+            "hallucinated-call",
+            "henson_put does not exist",
+        ));
         assert!(!r.is_valid());
         assert_eq!(r.error_count(), 1);
         assert_eq!(r.warning_count(), 1);
@@ -187,7 +193,10 @@ mod tests {
     #[test]
     fn display_formats_severity_and_code() {
         let d = Diagnostic::error("missing-call", "henson_yield not found");
-        assert_eq!(format!("{d}"), "error[missing-call]: henson_yield not found");
+        assert_eq!(
+            format!("{d}"),
+            "error[missing-call]: henson_yield not found"
+        );
         assert!(format!("{}", Diagnostic::info("i", "m")).starts_with("info"));
     }
 

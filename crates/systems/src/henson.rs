@@ -92,7 +92,9 @@ impl HensonScript {
                 if name.is_empty() || rhs.is_empty() {
                     report.push(Diagnostic::error(
                         "syntax",
-                        format!("line {line_no}: puppet definition must be `name = executable [args]`"),
+                        format!(
+                            "line {line_no}: puppet definition must be `name = executable [args]`"
+                        ),
                     ));
                     continue;
                 }
@@ -144,7 +146,14 @@ impl HensonScript {
             }
         }
         let valid = report.is_valid();
-        (if valid || !script.puppets.is_empty() { Some(script) } else { None }, report)
+        (
+            if valid || !script.puppets.is_empty() {
+                Some(script)
+            } else {
+                None
+            },
+            report,
+        )
     }
 
     /// Total number of processes across groups.
@@ -157,10 +166,7 @@ impl HensonScript {
         let width = spec.tasks.iter().map(|t| t.name.len()).max().unwrap_or(8) + 2;
         let mut out = String::new();
         for task in &spec.tasks {
-            let produces = task
-                .data
-                .iter()
-                .any(|d| d.role == DataRole::Produces);
+            let produces = task.data.iter().any(|d| d.role == DataRole::Produces);
             let executable = if produces {
                 format!("./{}.so 50 3", task.name)
             } else {

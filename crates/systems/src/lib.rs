@@ -74,7 +74,10 @@ pub fn system_for(id: WorkflowSystemId) -> Box<dyn WorkflowSystem + Send + Sync>
 
 /// All five system models.
 pub fn all_systems() -> Vec<Box<dyn WorkflowSystem + Send + Sync>> {
-    WorkflowSystemId::ALL.iter().map(|id| system_for(*id)).collect()
+    WorkflowSystemId::ALL
+        .iter()
+        .map(|id| system_for(*id))
+        .collect()
 }
 
 #[cfg(test)]

@@ -126,7 +126,10 @@ produce(50, "out.txt").result()
         let code = "import parsl\n\ndef produce(n):\n    return n\n\nproduce(5)\n";
         let report = system.validate_task_code(code);
         assert!(!report.is_valid());
-        let missing: Vec<String> = report.with_code("missing-call").map(|d| d.message.clone()).collect();
+        let missing: Vec<String> = report
+            .with_code("missing-call")
+            .map(|d| d.message.clone())
+            .collect();
         assert!(missing.iter().any(|m| m.contains("python_app")));
         assert!(missing.iter().any(|m| m.contains("load")));
     }
@@ -145,7 +148,9 @@ produce(50, "out.txt").result()
         let report = system.validate_config("executors: []");
         assert!(report.is_valid());
         assert!(report.has_code("environment-config"));
-        assert!(system.generate_config(&WorkflowSpec::paper_3node()).is_none());
+        assert!(system
+            .generate_config(&WorkflowSpec::paper_3node())
+            .is_none());
     }
 
     #[test]

@@ -151,7 +151,11 @@ compss_sync_all()
     #[test]
     fn config_experiment_not_applicable() {
         let system = PyCompssSystem::new();
-        assert!(system.validate_config("anything").has_code("environment-config"));
-        assert!(system.generate_config(&WorkflowSpec::paper_3node()).is_none());
+        assert!(system
+            .validate_config("anything")
+            .has_code("environment-config"));
+        assert!(system
+            .generate_config(&WorkflowSpec::paper_3node())
+            .is_none());
     }
 }

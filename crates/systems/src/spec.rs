@@ -62,13 +62,15 @@ impl TaskSpec {
 
     /// Add a produced dataset.
     pub fn produces(mut self, dataset: &str) -> Self {
-        self.data.push(DataRequirement::new(dataset, DataRole::Produces));
+        self.data
+            .push(DataRequirement::new(dataset, DataRole::Produces));
         self
     }
 
     /// Add a consumed dataset.
     pub fn consumes(mut self, dataset: &str) -> Self {
-        self.data.push(DataRequirement::new(dataset, DataRole::Consumes));
+        self.data
+            .push(DataRequirement::new(dataset, DataRole::Consumes));
         self
     }
 
@@ -120,7 +122,11 @@ impl WorkflowSpec {
     /// reading `particles`.
     pub fn paper_3node() -> Self {
         WorkflowSpec::new("paper-3node")
-            .with_task(TaskSpec::new("producer", 3).produces("grid").produces("particles"))
+            .with_task(
+                TaskSpec::new("producer", 3)
+                    .produces("grid")
+                    .produces("particles"),
+            )
             .with_task(TaskSpec::new("consumer1", 1).consumes("grid"))
             .with_task(TaskSpec::new("consumer2", 1).consumes("particles"))
     }
@@ -222,7 +228,10 @@ mod tests {
         assert_eq!(spec.total_procs(), 5);
         assert_eq!(spec.datasets(), vec!["grid", "particles"]);
         assert_eq!(spec.task("producer").unwrap().nprocs, 3);
-        assert_eq!(spec.task("consumer1").unwrap().consumed_datasets(), vec!["grid"]);
+        assert_eq!(
+            spec.task("consumer1").unwrap().consumed_datasets(),
+            vec!["grid"]
+        );
         assert!(spec.validate().is_ok());
     }
 
@@ -272,7 +281,10 @@ mod tests {
 
     #[test]
     fn produced_and_consumed_listing() {
-        let t = TaskSpec::new("x", 2).produces("a").consumes("b").produces("c");
+        let t = TaskSpec::new("x", 2)
+            .produces("a")
+            .consumes("b")
+            .produces("c");
         assert_eq!(t.produced_datasets(), vec!["a", "c"]);
         assert_eq!(t.consumed_datasets(), vec!["b"]);
     }

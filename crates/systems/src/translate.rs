@@ -30,7 +30,12 @@ pub fn strip_annotations(code: &str, system: WorkflowSystemId) -> String {
                 m.extend(["parsl".into(), "python_app".into(), "bash_app".into()]);
             }
             WorkflowSystemId::PyCompss => {
-                m.extend(["pycompss".into(), "compss_".into(), "@task".into(), "FILE_OUT".into()]);
+                m.extend([
+                    "pycompss".into(),
+                    "compss_".into(),
+                    "@task".into(),
+                    "FILE_OUT".into(),
+                ]);
             }
             WorkflowSystemId::Wilkins => m.push("wilkins".into()),
         }
@@ -79,11 +84,7 @@ pub fn annotate(code: &str, system: WorkflowSystemId) -> Option<String> {
 
 /// Translate annotated task code from one system to another by stripping the
 /// source API and re-annotating with the target API.
-pub fn translate(
-    code: &str,
-    source: WorkflowSystemId,
-    target: WorkflowSystemId,
-) -> Option<String> {
+pub fn translate(code: &str, source: WorkflowSystemId, target: WorkflowSystemId) -> Option<String> {
     let bare = strip_annotations(code, source);
     annotate(&bare, target)
 }
@@ -216,9 +217,7 @@ fn annotate_python_parsl(code: &str) -> String {
         if in_main && (trimmed.starts_with("produce(") || trimmed.contains("= produce(")) {
             let indent = &line[..line.len() - trimmed.len()];
             out.push_str(&format!("{indent}parsl.load()\n\n"));
-            let call = trimmed
-                .trim_start_matches(|c: char| c != 'p')
-                .trim_end();
+            let call = trimmed.trim_start_matches(|c: char| c != 'p').trim_end();
             out.push_str(&format!("{indent}future = {call}\n"));
             out.push_str(&format!("{indent}future.result()\n"));
             in_main = false;

@@ -76,7 +76,10 @@ impl WilkinsConfig {
             None => {
                 report.push(Diagnostic::error(
                     "schema",
-                    format!("expected a mapping with a `tasks` key, found {}", doc.type_name()),
+                    format!(
+                        "expected a mapping with a `tasks` key, found {}",
+                        doc.type_name()
+                    ),
                 ));
                 return (None, report);
             }
@@ -97,7 +100,10 @@ impl WilkinsConfig {
         let tasks_value = match root.get("tasks") {
             Some(v) => v,
             None => {
-                report.push(Diagnostic::error("schema", "missing top-level `tasks` list"));
+                report.push(Diagnostic::error(
+                    "schema",
+                    "missing top-level `tasks` list",
+                ));
                 return (None, report);
             }
         };
@@ -117,7 +123,10 @@ impl WilkinsConfig {
             }
         }
         if tasks.is_empty() {
-            report.push(Diagnostic::error("schema", "configuration defines no valid tasks"));
+            report.push(Diagnostic::error(
+                "schema",
+                "configuration defines no valid tasks",
+            ));
             return (None, report);
         }
         (Some(WilkinsConfig { tasks }), report)
@@ -375,7 +384,9 @@ fn parse_ports(
                     };
                     report.push(Diagnostic::error(
                         code,
-                        format!("task #{task_idx}: port field `{other}` does not belong in `{label}`"),
+                        format!(
+                            "task #{task_idx}: port field `{other}` does not belong in `{label}`"
+                        ),
                     ));
                 }
             }
@@ -470,9 +481,13 @@ mod tests {
     #[test]
     fn generated_config_matches_reference() {
         let system = WilkinsSystem::new();
-        let generated = system.generate_config(&WorkflowSpec::paper_3node()).unwrap();
+        let generated = system
+            .generate_config(&WorkflowSpec::paper_3node())
+            .unwrap();
         assert_eq!(generated, WILKINS_3NODE);
-        let generated2 = system.generate_config(&WorkflowSpec::fewshot_2node()).unwrap();
+        let generated2 = system
+            .generate_config(&WorkflowSpec::fewshot_2node())
+            .unwrap();
         assert_eq!(generated2, WILKINS_2NODE);
     }
 
@@ -533,7 +548,10 @@ mod tests {
         assert_eq!(spec.tasks.len(), 3);
         assert_eq!(spec.edges().len(), 2);
         assert!(spec.validate().is_ok());
-        assert_eq!(spec.task("producer").unwrap().produced_datasets(), vec!["grid", "particles"]);
+        assert_eq!(
+            spec.task("producer").unwrap().produced_datasets(),
+            vec!["grid", "particles"]
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ fn quote_if_needed(s: &str) -> String {
         || (s.parse::<f64>().is_ok()
             && s.chars()
                 .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        || s.starts_with(['-', '[', ']', '{', '}', '&', '*', '!', '#', '\'', '"', '|', '>'])
+        || s.starts_with([
+            '-', '[', ']', '{', '}', '&', '*', '!', '#', '\'', '"', '|', '>',
+        ])
         || s.contains(": ")
         || s.ends_with(':')
         || s.contains(" #");
@@ -89,18 +91,34 @@ fn emit_map(map: &Map, indent: usize, out: &mut String) {
     for (key, value) in map.iter() {
         match value {
             Value::Map(m) if !m.is_empty() => {
-                out.push_str(&format!("{}{}:\n", indent_str(indent), quote_if_needed(key)));
+                out.push_str(&format!(
+                    "{}{}:\n",
+                    indent_str(indent),
+                    quote_if_needed(key)
+                ));
                 emit_map(m, indent + 2, out);
             }
             Value::Seq(s) if !s.is_empty() => {
-                out.push_str(&format!("{}{}:\n", indent_str(indent), quote_if_needed(key)));
+                out.push_str(&format!(
+                    "{}{}:\n",
+                    indent_str(indent),
+                    quote_if_needed(key)
+                ));
                 emit_seq(s, indent + 2, out);
             }
             Value::Map(_) => {
-                out.push_str(&format!("{}{}: {{}}\n", indent_str(indent), quote_if_needed(key)));
+                out.push_str(&format!(
+                    "{}{}: {{}}\n",
+                    indent_str(indent),
+                    quote_if_needed(key)
+                ));
             }
             Value::Seq(_) => {
-                out.push_str(&format!("{}{}: []\n", indent_str(indent), quote_if_needed(key)));
+                out.push_str(&format!(
+                    "{}{}: []\n",
+                    indent_str(indent),
+                    quote_if_needed(key)
+                ));
             }
             scalar => {
                 out.push_str(&format!(
@@ -163,7 +181,11 @@ fn emit_seq(seq: &[Value], indent: usize, out: &mut String) {
             Value::Map(_) => out.push_str(&format!("{}- {{}}\n", indent_str(indent))),
             Value::Seq(_) => out.push_str(&format!("{}- []\n", indent_str(indent))),
             scalar => {
-                out.push_str(&format!("{}- {}\n", indent_str(indent), emit_scalar(scalar)));
+                out.push_str(&format!(
+                    "{}- {}\n",
+                    indent_str(indent),
+                    emit_scalar(scalar)
+                ));
             }
         }
     }
@@ -177,7 +199,8 @@ mod tests {
     fn round_trip(src: &str) {
         let doc = parse(src).unwrap();
         let emitted = emit(&doc);
-        let reparsed = parse(&emitted).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{emitted}"));
+        let reparsed =
+            parse(&emitted).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{emitted}"));
         assert_eq!(doc, reparsed, "round trip changed document:\n{emitted}");
     }
 

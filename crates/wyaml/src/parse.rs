@@ -57,7 +57,10 @@ fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
         if trimmed == "..." {
             break;
         }
-        let indent_str: String = text.chars().take_while(|c| *c == ' ' || *c == '\t').collect();
+        let indent_str: String = text
+            .chars()
+            .take_while(|c| *c == ' ' || *c == '\t')
+            .collect();
         if indent_str.contains('\t') {
             return Err(Error::new(
                 ErrorKind::BadIndentation,
@@ -84,12 +87,10 @@ fn strip_comment(line: &str) -> &str {
         match bytes[i] {
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
-            b'#' if !in_single && !in_double => {
-                // YAML only treats '#' as a comment when at line start or
-                // preceded by whitespace.
-                if i == 0 || bytes[i - 1].is_ascii_whitespace() {
-                    return &line[..i];
-                }
+            // YAML only treats '#' as a comment when at line start or
+            // preceded by whitespace.
+            b'#' if !in_single && !in_double && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                return &line[..i];
             }
             _ => {}
         }
@@ -201,7 +202,10 @@ impl Parser {
                     return Err(Error::new(
                         ErrorKind::BadIndentation,
                         line.number,
-                        format!("unexpected indent {} in sequence (expected {})", line.indent, indent),
+                        format!(
+                            "unexpected indent {} in sequence (expected {})",
+                            line.indent, indent
+                        ),
                     ));
                 }
                 break;
@@ -252,10 +256,12 @@ fn find_mapping_colon(text: &str) -> Option<usize> {
             b'"' if !in_single => in_double = !in_double,
             b'[' | b'{' if !in_single && !in_double => depth += 1,
             b']' | b'}' if !in_single && !in_double => depth = depth.saturating_sub(1),
-            b':' if !in_single && !in_double && depth == 0 => {
-                if i + 1 == bytes.len() || bytes[i + 1].is_ascii_whitespace() {
-                    return Some(i);
-                }
+            b':' if !in_single
+                && !in_double
+                && depth == 0
+                && (i + 1 == bytes.len() || bytes[i + 1].is_ascii_whitespace()) =>
+            {
+                return Some(i);
             }
             _ => {}
         }
@@ -378,7 +384,11 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
                 return Err(Error::new(ErrorKind::UnterminatedFlow, line, "missing `}`"));
             }
             let colon = rest.find(':').ok_or_else(|| {
-                Error::new(ErrorKind::ExpectedMapping, line, "flow mapping entry missing `:`")
+                Error::new(
+                    ErrorKind::ExpectedMapping,
+                    line,
+                    "flow mapping entry missing `:`",
+                )
             })?;
             let key = unquote_key(&rest[..colon]);
             let after = rest[colon + 1..].trim_start();
@@ -395,7 +405,11 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
             }
         }
     }
-    Err(Error::new(ErrorKind::Other, line, "expected flow collection"))
+    Err(Error::new(
+        ErrorKind::Other,
+        line,
+        "expected flow collection",
+    ))
 }
 
 fn parse_flow_item(t: &str, line: usize) -> Result<(Value, &str), Error> {
@@ -417,9 +431,7 @@ fn parse_flow_item(t: &str, line: usize) -> Result<(Value, &str), Error> {
         ));
     }
     // Plain flow scalar ends at ',', ']' or '}'.
-    let end = t
-        .find(|c| matches!(c, ',' | ']' | '}'))
-        .unwrap_or(t.len());
+    let end = t.find([',', ']', '}']).unwrap_or(t.len());
     Ok((Value::from_plain_scalar(&t[..end]), &t[end..]))
 }
 
@@ -451,10 +463,7 @@ mod tests {
     #[test]
     fn nested_mapping() {
         let doc = parse("outer:\n  inner:\n    leaf: 5\n").unwrap();
-        assert_eq!(
-            doc.lookup_path("outer/inner/leaf"),
-            Some(&Value::Int(5))
-        );
+        assert_eq!(doc.lookup_path("outer/inner/leaf"), Some(&Value::Int(5)));
     }
 
     #[test]
@@ -462,7 +471,11 @@ mod tests {
         let doc = parse("- 1\n- 2\n- three\n").unwrap();
         assert_eq!(
             doc,
-            Value::Seq(vec![Value::Int(1), Value::Int(2), Value::Str("three".into())])
+            Value::Seq(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Str("three".into())
+            ])
         );
     }
 
@@ -504,10 +517,7 @@ mod tests {
             doc.get("dims").unwrap().as_seq().unwrap(),
             &[Value::Int(64), Value::Int(64), Value::Int(64)]
         );
-        assert_eq!(
-            doc.lookup_path("meta/owner").unwrap().as_str(),
-            Some("sim")
-        );
+        assert_eq!(doc.lookup_path("meta/owner").unwrap().as_str(), Some("sim"));
         assert_eq!(doc.lookup_path("meta/level"), Some(&Value::Int(2)));
     }
 
@@ -520,7 +530,8 @@ mod tests {
 
     #[test]
     fn quoted_scalars_and_escapes() {
-        let doc = parse("a: \"hello: world\"\nb: 'single # not comment'\nc: \"line\\nbreak\"\n").unwrap();
+        let doc =
+            parse("a: \"hello: world\"\nb: 'single # not comment'\nc: \"line\\nbreak\"\n").unwrap();
         assert_eq!(doc.get("a").unwrap().as_str(), Some("hello: world"));
         assert_eq!(doc.get("b").unwrap().as_str(), Some("single # not comment"));
         assert_eq!(doc.get("c").unwrap().as_str(), Some("line\nbreak"));

@@ -21,7 +21,10 @@ fn main() {
     for kind in ExperimentKind::ALL {
         for row in kind.row_labels() {
             let best = sensitivity.best_variant_per_model(kind, &row);
-            println!("Best prompt per model for {} / {row}: {best:?}", kind.name());
+            println!(
+                "Best prompt per model for {} / {row}: {best:?}",
+                kind.name()
+            );
         }
     }
 }

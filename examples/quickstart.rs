@@ -16,7 +16,10 @@ fn main() {
     println!("Running the workflow-configuration experiment (zero-shot, original prompt)...\n");
     let result = benchmark.run_configuration(PromptVariant::Original, false);
 
-    println!("{}", result.render_table("Workflow configuration (Table 1 layout)"));
+    println!(
+        "{}",
+        result.render_table("Workflow configuration (Table 1 layout)")
+    );
 
     println!(
         "Best model overall: {}",

@@ -18,7 +18,10 @@ fn main() {
 
     println!("completed: {}", outcome.completed);
     println!("timesteps: {}", outcome.timesteps);
-    println!("messages received by consumers: {}", outcome.total_received());
+    println!(
+        "messages received by consumers: {}",
+        outcome.total_received()
+    );
     for (task, sums) in &outcome.consumer_sums {
         println!("  {task}: per-step dataset sums {sums:?}");
     }

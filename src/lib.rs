@@ -1,0 +1,23 @@
+//! Umbrella crate for the `wfspeak` reproduction of conf_sc_YildizP25.
+//!
+//! Re-exports every subsystem under one roof so downstream users (and the
+//! workspace-level integration tests and examples) can depend on a single
+//! crate:
+//!
+//! * [`metrics`] — BLEU/ChrF scoring, score matrices and statistics
+//! * [`core`] — the benchmark runner, experiments and reports
+//! * [`corpus`] — prompts, references and task codes
+//! * [`llm`] — the simulated model clients
+//! * [`systems`] — workflow-system models and validators
+//! * [`runtime`] — the in-situ workflow execution engine
+//! * [`codemodel`] — code extraction and comparison helpers
+//! * [`wyaml`] — the minimal YAML subset used by configurations
+
+pub use wfspeak_codemodel as codemodel;
+pub use wfspeak_core as core;
+pub use wfspeak_corpus as corpus;
+pub use wfspeak_llm as llm;
+pub use wfspeak_metrics as metrics;
+pub use wfspeak_runtime as runtime;
+pub use wfspeak_systems as systems;
+pub use wfspeak_wyaml as wyaml;

@@ -35,8 +35,14 @@ fn generated_configs_score_perfectly_against_corpus_references() {
     for system in WorkflowSystemId::configuration_systems() {
         let generated = system_for(system).generate_config(&spec).unwrap();
         let reference = configuration_reference(system).unwrap();
-        assert!((bleu.score(&generated, reference) - 100.0).abs() < 1e-6, "{system}");
-        assert!((chrf.score(&generated, reference) - 100.0).abs() < 1e-6, "{system}");
+        assert!(
+            (bleu.score(&generated, reference) - 100.0).abs() < 1e-6,
+            "{system}"
+        );
+        assert!(
+            (chrf.score(&generated, reference) - 100.0).abs() < 1e-6,
+            "{system}"
+        );
     }
 }
 

@@ -76,7 +76,10 @@ fn trial_variance_is_reflected_in_standard_errors() {
             }
         }
     }
-    assert!(nonzero >= 3, "expected some trial variance, found {nonzero} cells");
+    assert!(
+        nonzero >= 3,
+        "expected some trial variance, found {nonzero} cells"
+    );
 }
 
 #[test]

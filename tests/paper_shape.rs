@@ -15,8 +15,14 @@ fn table1_adios2_is_the_best_configured_system_and_henson_the_worst() {
     let adios2 = result.bleu.row_overall("ADIOS2").mean;
     let henson = result.bleu.row_overall("Henson").mean;
     let wilkins = result.bleu.row_overall("Wilkins").mean;
-    assert!(adios2 > wilkins, "ADIOS2 {adios2:.1} should beat Wilkins {wilkins:.1}");
-    assert!(wilkins > henson, "Wilkins {wilkins:.1} should beat Henson {henson:.1}");
+    assert!(
+        adios2 > wilkins,
+        "ADIOS2 {adios2:.1} should beat Wilkins {wilkins:.1}"
+    );
+    assert!(
+        wilkins > henson,
+        "Wilkins {wilkins:.1} should beat Henson {henson:.1}"
+    );
     assert!(
         adios2 > 1.5 * henson,
         "the ADIOS2/Henson gap should be large (paper: ~60 vs ~25), got {adios2:.1} vs {henson:.1}"
@@ -34,8 +40,14 @@ fn table1_gemini_and_claude_lead_the_configuration_experiment() {
     let llama = overall("LLaMA-3.3-70B");
     assert!(gemini > o3, "Gemini {gemini:.1} should beat o3 {o3:.1}");
     assert!(claude > o3, "Claude {claude:.1} should beat o3 {o3:.1}");
-    assert!(gemini > llama, "Gemini {gemini:.1} should beat LLaMA {llama:.1}");
-    assert!(claude > llama, "Claude {claude:.1} should beat LLaMA {llama:.1}");
+    assert!(
+        gemini > llama,
+        "Gemini {gemini:.1} should beat LLaMA {llama:.1}"
+    );
+    assert!(
+        claude > llama,
+        "Claude {claude:.1} should beat LLaMA {llama:.1}"
+    );
 }
 
 #[test]
@@ -61,8 +73,14 @@ fn table2_pycompss_is_the_best_annotated_system_but_llama_fails_it() {
     let pycompss = result.bleu.row_overall("PyCOMPSs").mean;
     let henson = result.bleu.row_overall("Henson").mean;
     let parsl = result.bleu.row_overall("Parsl").mean;
-    assert!(pycompss > henson, "PyCOMPSs {pycompss:.1} should beat Henson {henson:.1}");
-    assert!(pycompss > parsl, "PyCOMPSs {pycompss:.1} should beat Parsl {parsl:.1}");
+    assert!(
+        pycompss > henson,
+        "PyCOMPSs {pycompss:.1} should beat Henson {henson:.1}"
+    );
+    assert!(
+        pycompss > parsl,
+        "PyCOMPSs {pycompss:.1} should beat Parsl {parsl:.1}"
+    );
     for model in ["Gemini-2.5-Pro", "Claude-Sonnet-4"] {
         let own_pycompss = result.cell(Metric::Bleu, "PyCOMPSs", model).mean;
         for row in ["ADIOS2", "Henson", "Parsl"] {
@@ -161,8 +179,8 @@ fn figure1_no_single_prompt_variant_wins_for_every_model() {
     // experiment that not every model agrees on one best variant everywhere.
     let mut all_agree_everywhere = true;
     for row in wfspeak_core::ExperimentKind::Configuration.row_labels() {
-        let best = sensitivity
-            .best_variant_per_model(wfspeak_core::ExperimentKind::Configuration, &row);
+        let best =
+            sensitivity.best_variant_per_model(wfspeak_core::ExperimentKind::Configuration, &row);
         let variants: std::collections::HashSet<&String> = best.values().collect();
         if variants.len() > 1 {
             all_agree_everywhere = false;

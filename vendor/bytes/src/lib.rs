@@ -1,0 +1,69 @@
+//! Offline stand-in for `bytes`.
+//!
+//! [`Bytes`] is an immutable, cheaply cloneable byte buffer backed by an
+//! `Arc<[u8]>`; cloning shares the allocation like the real crate.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes(Arc::from(data.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn construction_and_slicing() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.chunks_exact(2).count(), 2);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(Bytes::new().is_empty());
+    }
+}

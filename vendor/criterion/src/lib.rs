@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! calibrated wall-clock timer instead of criterion's statistical engine.
+//! Each benchmark warms up briefly, then runs a calibrated batch and reports
+//! the mean time per iteration (plus derived throughput when configured).
+
+use std::time::{Duration, Instant};
+
+/// How long the measurement batch aims to run per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+/// How long the calibration phase aims to run per benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(50);
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Work-size annotation used to derive throughput from the measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, calibrate an iteration count, then time a
+    /// measurement batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup & calibration: find how many iterations fit the target.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < TARGET_WARMUP {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((TARGET_MEASURE.as_secs_f64() / per_iter) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / batch as u32;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    let mut line = format!("{full_id:<48} time: [{}]", format_duration(mean));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(bytes) => {
+                let rate = bytes as f64 / mean.as_secs_f64();
+                format!("{:.2} MiB/s", rate / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(n) => {
+                let rate = n as f64 / mean.as_secs_f64();
+                format!("{rate:.0} elem/s")
+            }
+        };
+        line.push_str(&format!("  thrpt: [{per_sec}]"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(None, &id.into(), bencher.mean, None);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the work size used to derive throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the shim chooses batch sizes automatically.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(Some(&self.name), &id.into(), bencher.mean, self.throughput);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        report(Some(&self.name), &id.id, bencher.mean, self.throughput);
+        self
+    }
+
+    /// Finish the group (flushes nothing in the shim; parity only).
+    pub fn finish(self) {}
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

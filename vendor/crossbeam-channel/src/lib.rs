@@ -1,0 +1,173 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Implements the bounded-channel surface this workspace uses over
+//! `std::sync::mpsc::sync_channel`: cloneable senders, blocking `send`,
+//! `send_timeout` (polled), `recv`, `recv_timeout` and `try_recv`.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Create a bounded channel with the given capacity.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(capacity);
+    (Sender(tx), Receiver(rx))
+}
+
+/// Sending half of a bounded channel.
+#[derive(Debug)]
+pub struct Sender<T>(mpsc::SyncSender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+/// Receiving half of a bounded channel.
+#[derive(Debug)]
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// The channel is disconnected (all receivers dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Why a timed send failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError {
+    /// The channel stayed full for the whole timeout.
+    Timeout,
+    /// All receivers dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for SendTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendTimeoutError::Timeout => f.write_str("timed out waiting on send operation"),
+            SendTimeoutError::Disconnected => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for SendTimeoutError {}
+
+/// Why a receive failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders dropped and the buffer is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => f.write_str("timed out waiting on receive operation"),
+            RecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl<T> Sender<T> {
+    /// Blocking send; waits while the channel is full.
+    pub fn send(&self, message: T) -> Result<(), SendError> {
+        self.0.send(message).map_err(|_| SendError)
+    }
+
+    /// Send, waiting at most `timeout` for buffer space.
+    pub fn send_timeout(&self, message: T, timeout: Duration) -> Result<(), SendTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut message = message;
+        loop {
+            match self.0.try_send(message) {
+                Ok(()) => return Ok(()),
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    return Err(SendTimeoutError::Disconnected)
+                }
+                Err(mpsc::TrySendError::Full(m)) => {
+                    if Instant::now() >= deadline {
+                        return Err(SendTimeoutError::Timeout);
+                    }
+                    message = m;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Receive, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, RecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => RecvError::Timeout,
+            mpsc::TryRecvError::Disconnected => RecvError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(RecvError::Timeout));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = bounded::<u8>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+    }
+
+    #[test]
+    fn send_timeout_on_full_channel() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError));
+        let (tx2, rx2) = bounded::<u8>(1);
+        drop(tx2);
+        assert_eq!(rx2.recv(), Err(RecvError::Disconnected));
+    }
+}

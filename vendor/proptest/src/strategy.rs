@@ -1,0 +1,582 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    /// Build recursive values: `self` generates leaves, `branch` wraps an
+    /// inner strategy into a deeper layer, nesting at most `depth` levels.
+    /// (`_desired_size` and `_expected_branch` exist for signature parity
+    /// with the real crate and are ignored.)
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy (stand-in for proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniformly random booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMapStrategy<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among several strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Length specification for [`crate::collection::vec`]: a half-open range or
+/// an exact length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max.saturating_sub(self.size.min).max(1);
+        let len = self.size.min + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// See [`crate::char::range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    pub(crate) lo: char,
+    pub(crate) hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.lo as u32, self.hi as u32);
+        debug_assert!(lo <= hi);
+        loop {
+            let v = lo + rng.below((hi - lo + 1) as usize) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        assert!(self.start < self.end, "empty range strategy");
+        CharRange {
+            lo: self.start,
+            hi: char::from_u32(self.end as u32 - 1).unwrap_or(self.start),
+        }
+        .generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: `"[a-z]{1,8}|\\(|,"` etc.
+// ---------------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// A character class, expanded to its members.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching a small regex subset: top-level alternation,
+/// literals with `\` escapes, `[...]` classes with ranges, and the
+/// quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8
+/// repetitions).
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let branches = split_alternatives(pattern);
+    let branch = branches[rng.below(branches.len())].as_str();
+    let pieces = parse_branch(branch);
+    let mut out = String::new();
+    for piece in pieces {
+        let count = piece.min + rng.below(piece.max - piece.min + 1);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => out.push(chars[rng.below(chars.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn split_alternatives(pattern: &str) -> Vec<String> {
+    let mut branches = vec![String::new()];
+    let mut chars = pattern.chars();
+    let mut depth = 0usize;
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                let last = branches.last_mut().unwrap();
+                last.push('\\');
+                if let Some(next) = chars.next() {
+                    last.push(next);
+                }
+            }
+            '[' => {
+                depth += 1;
+                branches.last_mut().unwrap().push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                branches.last_mut().unwrap().push(c);
+            }
+            '|' if depth == 0 => branches.push(String::new()),
+            _ => branches.last_mut().unwrap().push(c),
+        }
+    }
+    branches
+}
+
+fn parse_branch(branch: &str) -> Vec<Piece> {
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut chars = branch.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => Atom::Literal(unescape(chars.next().unwrap_or('\\'))),
+            '[' => {
+                let mut members = Vec::new();
+                let mut class_chars: Vec<char> = Vec::new();
+                for cc in chars.by_ref() {
+                    if cc == ']' {
+                        break;
+                    }
+                    class_chars.push(cc);
+                }
+                let mut i = 0;
+                while i < class_chars.len() {
+                    let cur = class_chars[i];
+                    if cur == '\\' && i + 1 < class_chars.len() {
+                        members.push(unescape(class_chars[i + 1]));
+                        i += 2;
+                    } else if i + 2 < class_chars.len() && class_chars[i + 1] == '-' {
+                        let (lo, hi) = (cur as u32, class_chars[i + 2] as u32);
+                        for v in lo..=hi {
+                            if let Some(ch) = char::from_u32(v) {
+                                members.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        members.push(cur);
+                        i += 1;
+                    }
+                }
+                assert!(!members.is_empty(), "empty character class in pattern");
+                Atom::Class(members)
+            }
+            '.' => Atom::Class((' '..='~').collect()),
+            other => Atom::Literal(other),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for cc in chars.by_ref() {
+                    if cc == '}' {
+                        break;
+                    }
+                    spec.push(cc);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u8..7).generate(&mut r);
+            assert!((3..7).contains(&v));
+            let s = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&s));
+            let f = (0.0f64..1.0).generate(&mut r);
+            assert!((0.0..1.0).contains(&f));
+            let (a, b) = ((0usize..3), (0usize..3)).generate(&mut r);
+            assert!(a < 3 && b < 3);
+        }
+    }
+
+    #[test]
+    fn regex_subset_identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn regex_subset_alternation_and_escapes() {
+        let mut r = rng();
+        let mut seen_paren = false;
+        for _ in 0..300 {
+            let s = "[a-z_]{1,8}|\\(|\\)|:|,|\n| ".generate(&mut r);
+            if s == "(" || s == ")" {
+                seen_paren = true;
+            }
+            assert!(!s.contains('\\'), "{s:?}");
+        }
+        assert!(seen_paren);
+    }
+
+    #[test]
+    fn regex_subset_space_to_tilde_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[ -~\n]{0,200}".generate(&mut r);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn union_and_just_and_map() {
+        let mut r = rng();
+        let strat = crate::prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..50 {
+            let v = strat.generate(&mut r);
+            assert!(v == 1 || v == 2);
+        }
+        let mapped = Just(3u8).prop_map(|v| v * 2);
+        assert_eq!(mapped.generate(&mut r), 6);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 8, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut r)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline stand-in for `serde`.
+//!
+//! The hermetic build environment has no access to crates.io, so this
+//! workspace vendors a minimal serde facade. Unlike the real serde (a
+//! zero-copy visitor framework), this shim defines a concrete JSON-like
+//! [`Value`] tree as its data model:
+//!
+//! * [`Serialize`] renders a type into a [`Value`],
+//! * [`Deserialize`] rebuilds a type from a [`Value`].
+//!
+//! The `serde_json` shim in this workspace converts between [`Value`] and
+//! JSON text. The derive macros (`#[derive(Serialize, Deserialize)]`) are
+//! re-exported from the vendored `serde_derive` and generate impls against
+//! these traits for named-field structs and unit-variant enums — exactly the
+//! shapes this workspace serialises.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialisation data model: a JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Integral JSON numbers.
+    Int(i64),
+    /// Non-integral JSON numbers.
+    Float(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+/// Borrowed view over an object's fields.
+pub struct ObjectView<'a>(&'a [(String, Value)]);
+
+impl<'a> ObjectView<'a> {
+    /// The value of a field, or `Null` when absent.
+    pub fn field(&self, name: &str) -> &'a Value {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a String, &'a Value)> {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the object has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Value {
+    /// Borrow the string payload of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integral numbers are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integral payload as `i64` (floats with no fractional part qualify).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements of an `Array` value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrowed field view of an `Object` value.
+    pub fn as_object_view(&self) -> Option<ObjectView<'_>> {
+        match self {
+            Value::Object(fields) => Some(ObjectView(fields)),
+            _ => None,
+        }
+    }
+
+    /// True when this value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// True when this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value at an object key, or `Null` when absent or not an object
+    /// (mirrors `serde_json::Value` indexing semantics).
+    pub fn get(&self, key: &str) -> &Value {
+        match self.as_object_view() {
+            Some(view) => view.field(key),
+            None => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialisation error: a message plus a breadcrumb of field contexts.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// A free-form error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(expected: &str, while_deserializing: &str) -> Self {
+        Error {
+            message: format!("expected {expected} while deserializing {while_deserializing}"),
+        }
+    }
+
+    /// Wrap the error with the field it occurred in.
+    pub fn in_context(mut self, context: &str) -> Self {
+        self.message = format!("{context}: {}", self.message);
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produce the value tree for this object.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse the value tree into this type.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, i8, i16, i32, i64, usize);
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let i = value
+            .as_i64()
+            .ok_or_else(|| Error::expected("integer", "u64"))?;
+        u64::try_from(i).map_err(|_| Error::custom(format!("{i} out of range for u64")))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("boolean", "bool"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.fract() == 0.0 && self.is_finite() && self.abs() < 9e15 {
+            Value::Int(*self as i64)
+        } else {
+            Value::Float(*self)
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        (*self as f64).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+/// Serialize a map key. Keys must render as strings in the data model; unit
+/// enum variants and strings qualify.
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match key.serialize() {
+        Value::Str(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must serialize to a string, got {other:?}"
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(k).expect("unsupported map key"),
+                        v.serialize(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let view = value
+            .as_object_view()
+            .ok_or_else(|| Error::expected("object", "BTreeMap"))?;
+        let mut map = BTreeMap::new();
+        for (k, v) in view.iter() {
+            let key =
+                K::deserialize(&Value::Str(k.clone())).map_err(|e| e.in_context("map key"))?;
+            map.insert(key, V::deserialize(v)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k).expect("unsupported map key"),
+                    v.serialize(),
+                )
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+    }
+
+    #[test]
+    fn integral_floats_become_ints() {
+        assert_eq!(2.0f64.serialize(), Value::Int(2));
+        assert_eq!(f64::deserialize(&Value::Int(2)).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn vec_and_map_round_trip() {
+        let v = vec![1.0f64, 2.5];
+        assert_eq!(Vec::<f64>::deserialize(&v.serialize()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(
+            BTreeMap::<String, u32>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![("x".into(), Value::Int(1))]);
+        assert_eq!(v["x"], Value::Int(1));
+        assert!(v["missing"].is_null());
+        assert!(v.is_object());
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this hermetic build environment. This crate hand-parses the token stream of
+//! the deriving item instead. It supports exactly the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are all unit variants (no generics).
+//!
+//! The generated impls target the workspace's vendored `serde` facade, whose
+//! data model is a JSON-like [`Value`] tree rather than the real serde
+//! visitor architecture. Anything outside the supported shapes fails with a
+//! compile error naming this crate, so drift is loud rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!(\"vendored serde_derive: {msg}\");")
+                .parse()
+                .unwrap()
+        }
+    };
+    let code = match (&item, direction) {
+        (Item::Struct { name, fields }, Direction::Serialize) => struct_serialize(name, fields),
+        (Item::Struct { name, fields }, Direction::Deserialize) => struct_deserialize(name, fields),
+        (Item::Enum { name, variants }, Direction::Serialize) => enum_serialize(name, variants),
+        (Item::Enum { name, variants }, Direction::Deserialize) => enum_deserialize(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+/// Parse the deriving item far enough to know its name and field/variant
+/// names. Attributes (including doc comments) are skipped; generics are
+/// rejected.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let mut kind: Option<&'static str> = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Consume optional `(crate)` and similar.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" => {
+                        kind = Some("struct");
+                        break;
+                    }
+                    "enum" => {
+                        kind = Some("enum");
+                        break;
+                    }
+                    _ => return Err(format!("unexpected token `{text}` before struct/enum")),
+                }
+            }
+            other => return Err(format!("unexpected token `{other}` before struct/enum")),
+        }
+    }
+    let kind = kind.ok_or_else(|| "no struct or enum found".to_string())?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    // The next token must be the brace-delimited body; generics are not
+    // supported by this shim.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic type `{name}` is not supported"))
+            }
+            Some(_) => continue,
+            None => return Err(format!("type `{name}` has no brace-delimited body")),
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        })
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments and visibility.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let variant = id.to_string();
+                match tokens.next() {
+                    None => variants.push(variant),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+                    Some(other) => {
+                        return Err(format!(
+                            "enum variant `{variant}` is not a unit variant (found `{other}`)"
+                        ))
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        inserts.push_str(&format!(
+            "__fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+         {inserts}\
+         ::serde::Value::Object(__fields)\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut builds = String::new();
+    for f in fields {
+        builds.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize(__obj.field(\"{f}\"))\
+             .map_err(|e| e.in_context(\"{name}.{f}\"))?,\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __obj = __value.as_object_view().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {builds}\
+         }})\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        arms.push_str(&format!("{name}::{v} => \"{v}\",\n"));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         ::serde::Value::Str((match self {{ {arms} }}).to_string())\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        arms.push_str(&format!(
+            "::std::option::Option::Some(\"{v}\") => ::std::result::Result::Ok({name}::{v}),\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __value.as_str() {{\n\
+         {arms}\
+         _ => ::std::result::Result::Err(::serde::Error::expected(\"one of the `{name}` variant names\", \"{name}\")),\n\
+         }}\n\
+         }}\n\
+         }}"
+    )
+}
