@@ -1,0 +1,15 @@
+//! `service_throughput` — measure the batch scoring service over loopback
+//! TCP and write the `BENCH_2.json` artifact.
+//!
+//! Unlike the criterion benches this is a one-shot measurement binary
+//! (`harness = false`): it boots a server on an ephemeral port, drives it
+//! from several concurrent pipelined clients, prints the headline numbers
+//! and records the full report. `repro bench-service` runs the same
+//! measurement. See the `wfspeak_bench` crate docs for the report schema.
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`) — ignored — and runs
+    // bench binaries with the package root as cwd, so anchor the artifact
+    // to the workspace root.
+    wfspeak_bench::run_service_bench(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json"));
+}

@@ -1,24 +1,63 @@
-//! `repro` — regenerate every table and figure of the paper's evaluation.
-//!
-//! Usage:
+//! `repro` — regenerate the paper's evaluation artifacts and drive the
+//! scoring service.
 //!
 //! ```text
-//! cargo run --release -p wfspeak-bench --bin repro            # everything
-//! cargo run --release -p wfspeak-bench --bin repro -- table1  # one artifact
-//! cargo run --release -p wfspeak-bench --bin repro -- json    # full JSON report
+//! cargo run --release -p wfspeak-bench --bin repro                  # everything
+//! cargo run --release -p wfspeak-bench --bin repro -- table1       # one artifact
+//! cargo run --release -p wfspeak-bench --bin repro -- serve        # scoring server
+//! echo "tasks: []" | cargo run --release -p wfspeak-bench --bin repro -- \
+//!     score --task configuration --system Henson                   # client
 //! ```
 //!
-//! Artifacts: `table1` (configuration), `table2` (annotation), `table3`
-//! (translation), `table4` (qualitative translations), `table5` (few-shot),
-//! `table6` (qualitative configurations), `figure1` (prompt sensitivity),
-//! `json` (machine-readable full report), `bench` (grid-throughput
-//! measurement written to `BENCH_1.json`).
+//! Run `repro help` for the full subcommand list.
+
+use std::io::Read;
 
 use wfspeak_bench::{measure_grid_throughput, paper_benchmark};
 use wfspeak_core::report::{
     qualitative_configurations, qualitative_translations, render_samples, FullReport,
 };
 use wfspeak_core::{Benchmark, ExperimentKind, PromptVariant};
+use wfspeak_service::{ScoringClient, ScoringServer, ServiceConfig, TaskKind, DEFAULT_ADDR};
+
+const USAGE: &str = "\
+repro — reproduce the paper's evaluation and serve its scoring core
+
+USAGE:
+    repro [SUBCOMMAND ...] [OPTIONS]
+
+Paper artifacts (default: all tables and the figure):
+    run            table1..table6 and figure1, in order
+    table1         configuration experiment (BLEU/ChrF per model and system)
+    table2         annotation experiment
+    table3         translation experiment
+    table4         qualitative translations
+    table5         few-shot vs zero-shot comparison
+    table6         qualitative configurations
+    figure1        prompt-sensitivity heatmaps
+    json           full machine-readable report on stdout
+
+Performance artifacts (rewrite tracked BENCH_N.json snapshots):
+    bench          grid throughput -> BENCH_1.json
+    bench-service  scoring-service throughput over loopback -> BENCH_2.json
+
+Scoring service:
+    serve          run the batch scoring server (newline-delimited JSON/TCP)
+        --addr A       listen address        [default: 127.0.0.1:7878]
+        --workers N    scoring threads       [default: one per core]
+    score          score hypotheses from stdin against a running server
+        --addr A       server address        [default: 127.0.0.1:7878]
+        --task T       configuration | annotation | translation
+                                             [default: configuration]
+        --system S     workflow system name  [default: Henson]
+        --lines        treat each stdin line as its own hypothesis
+                       (default: all of stdin is one hypothesis)
+        --stats        also print server cache/throughput statistics
+
+Misc:
+    help           print this message
+
+Multiple artifact subcommands run in sequence: `repro table1 table5`.";
 
 fn table1(benchmark: &Benchmark) {
     let result = benchmark.run_configuration(PromptVariant::Original, false);
@@ -118,6 +157,10 @@ fn bench() {
     }
 }
 
+fn bench_service() {
+    wfspeak_bench::run_service_bench("BENCH_2.json");
+}
+
 fn json(benchmark: &Benchmark) {
     let report = FullReport {
         config: benchmark.config().clone(),
@@ -130,21 +173,202 @@ fn json(benchmark: &Benchmark) {
     println!("{}", report.to_json());
 }
 
+/// Options shared by `serve` and `score`, parsed from `--flag value` pairs.
+struct CliOptions {
+    addr: String,
+    workers: usize,
+    task: String,
+    system: String,
+    lines: bool,
+    stats: bool,
+}
+
+impl CliOptions {
+    /// Parse `--flag [value]` pairs, rejecting flags outside `allowed` so
+    /// each subcommand only accepts the options it actually honours.
+    fn parse(args: &[String], allowed: &[&str]) -> Result<CliOptions, String> {
+        let mut options = CliOptions {
+            addr: DEFAULT_ADDR.to_owned(),
+            workers: 0,
+            task: "configuration".to_owned(),
+            system: "Henson".to_owned(),
+            lines: false,
+            stats: false,
+        };
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            let mut value_of = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--addr" => options.addr = value_of("--addr")?,
+                "--workers" => {
+                    options.workers = value_of("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?;
+                }
+                "--task" => options.task = value_of("--task")?,
+                "--system" => options.system = value_of("--system")?,
+                "--lines" => options.lines = true,
+                "--stats" => options.stats = true,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+fn serve(options: &CliOptions) -> Result<(), String> {
+    let config = ServiceConfig {
+        workers: options.workers,
+        ..ServiceConfig::default()
+    };
+    let server = ScoringServer::spawn(options.addr.as_str(), config)
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    println!(
+        "repro serve: listening on {} (newline-delimited JSON; try `repro score --addr {}`)",
+        server.addr(),
+        server.addr()
+    );
+    server.wait();
+    Ok(())
+}
+
+fn score(options: &CliOptions) -> Result<(), String> {
+    let task = match TaskKind::parse(&options.task) {
+        Some(TaskKind::Stats) => {
+            return Err("`--task stats` is not a scoring task; use `--stats` instead".to_owned())
+        }
+        Some(task) => task,
+        None => return Err(format!("unknown task `{}`", options.task)),
+    };
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .map_err(|e| format!("cannot read hypotheses from stdin: {e}"))?;
+    if input.is_empty() {
+        return Err("no hypotheses on stdin".to_owned());
+    }
+    // Non-empty stdin yields at least one hypothesis in both modes.
+    let hypotheses: Vec<String> = if options.lines {
+        input.lines().map(str::to_owned).collect()
+    } else {
+        vec![input]
+    };
+
+    let mut client = ScoringClient::connect(options.addr.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+    let response = client
+        .score(task, &options.system, hypotheses)
+        .map_err(|e| format!("scoring failed: {e}"))?;
+    if !response.ok {
+        return Err(response.error.unwrap_or_else(|| "unknown error".to_owned()));
+    }
+    println!(
+        "{:>4}  {:>8}  {:>8}   (task {}, system {})",
+        "#",
+        "BLEU",
+        "ChrF",
+        task.name(),
+        options.system
+    );
+    for (i, s) in response.scores.iter().enumerate() {
+        println!("{:>4}  {:>8.2}  {:>8.2}", i + 1, s.bleu, s.chrf);
+    }
+    if options.stats {
+        let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+        println!(
+            "server: {} requests, {} hypotheses, cache {}/{} hits ({:.1}% hit rate)",
+            stats.requests,
+            stats.hypotheses,
+            stats.cache_hits,
+            stats.cache_hits + stats.cache_misses,
+            100.0 * stats.cache_hit_rate()
+        );
+    }
+    client.close();
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let benchmark = paper_benchmark();
-    // `bench` is deliberately not part of the default run: it rewrites
-    // BENCH_1.json (a tracked perf-trajectory snapshot) with run-dependent
-    // timings, so it only executes when explicitly requested.
+
+    // `serve` and `score` consume the rest of the argument list as options.
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let result =
+                CliOptions::parse(&args[1..], &["--addr", "--workers"]).and_then(|o| serve(&o));
+            if let Err(message) = result {
+                eprintln!("repro serve: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("score") => {
+            let result = CliOptions::parse(
+                &args[1..],
+                &["--addr", "--task", "--system", "--lines", "--stats"],
+            )
+            .and_then(|o| score(&o));
+            if let Err(message) = result {
+                eprintln!("repro score: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            return;
+        }
+        _ => {}
+    }
+
+    // Artifact subcommands: validate everything before running anything, so
+    // a typo late in the list doesn't waste a full benchmark run.
+    const ARTIFACTS: [&str; 11] = [
+        "run",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "figure1",
+        "json",
+        "bench",
+        "bench-service",
+    ];
     let selections: Vec<&str> = if args.is_empty() {
-        vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "figure1",
-        ]
+        vec!["run"]
     } else {
         args.iter().map(String::as_str).collect()
     };
+    if let Some(unknown) = selections.iter().find(|s| !ARTIFACTS.contains(s)) {
+        eprintln!("repro: unknown subcommand `{unknown}`\n\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    // `bench` / `bench-service` are deliberately not part of the default
+    // run: they rewrite BENCH_N.json (tracked perf-trajectory snapshots)
+    // with run-dependent timings, so they only execute when explicitly
+    // requested.
+    let benchmark = paper_benchmark();
     for selection in selections {
         match selection {
+            "run" => {
+                table1(&benchmark);
+                table2(&benchmark);
+                table3(&benchmark);
+                table4(&benchmark);
+                table5(&benchmark);
+                table6(&benchmark);
+                figure1(&benchmark);
+            }
             "table1" => table1(&benchmark),
             "table2" => table2(&benchmark),
             "table3" => table3(&benchmark),
@@ -154,9 +378,8 @@ fn main() {
             "figure1" => figure1(&benchmark),
             "json" => json(&benchmark),
             "bench" => bench(),
-            other => eprintln!(
-                "unknown artifact `{other}` (expected table1..table6, figure1, json, bench)"
-            ),
+            "bench-service" => bench_service(),
+            _ => unreachable!("validated above"),
         }
     }
 }

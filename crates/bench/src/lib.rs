@@ -1,9 +1,44 @@
 //! Shared helpers for the criterion benches and the `repro` binary.
+//!
+//! # The `BENCH_N.json` artifacts
+//!
+//! Each PR that changes a hot path records a machine-readable performance
+//! snapshot at the repository root, named `BENCH_<n>.json` with `n`
+//! increasing per PR. The files are small flat JSON objects so trends can be
+//! compared across PRs with nothing fancier than `jq`:
+//!
+//! * **`BENCH_1.json`** ([`GridBenchReport`], written by `repro bench`) —
+//!   one-shot grid throughput: the three table experiments end-to-end.
+//! * **`BENCH_2.json`** ([`ServiceBenchReport`], written by the
+//!   `service_throughput` bench or `repro bench-service`) — scoring-service
+//!   throughput over loopback TCP.
+//!
+//! Shared schema conventions:
+//!
+//! * `bench_id` — the artifact's own name (`"BENCH_1"`, `"BENCH_2"`), so a
+//!   file's schema is self-identifying.
+//! * Counters (`grid_cells`, `scored_hypotheses`, `requests`, …) are exact
+//!   integers describing the measured workload; when comparing two PRs,
+//!   check the counters match before comparing rates.
+//! * `wall_time_secs` is wall-clock seconds for the whole measured section
+//!   (f64); every `*_per_sec` field is the matching counter divided by
+//!   `wall_time_secs`. Rates are the trend signal: higher is better, and a
+//!   regression over ~20% that the counters don't explain deserves
+//!   investigation.
+//! * `cache_*` fields count prepared-reference cache traffic (the
+//!   `CacheStats` counters from `wfspeak-metrics`); `cache_hit_rate` is
+//!   `hits / (hits + misses)` in `0.0..=1.0`.
+//!
+//! The files are regenerated only on explicit request (`repro bench`,
+//! `repro bench-service`, or running the bench binaries) because they hold
+//! run-dependent timings: a default `repro` run must not dirty the tracked
+//! perf trajectory.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use wfspeak_core::{Benchmark, BenchmarkConfig, ExperimentKind, PromptVariant};
+use wfspeak_service::{ScoreRequest, ScoringClient, ScoringServer, ServiceConfig, TaskKind};
 
 /// The paper's full benchmark configuration (5 trials).
 pub fn paper_benchmark() -> Benchmark {
@@ -83,6 +118,179 @@ impl GridBenchReport {
     }
 }
 
+/// Machine-readable scoring-service throughput report emitted as
+/// `BENCH_2.json` (see the crate docs for the schema conventions).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceBenchReport {
+    /// Report schema / sequence tag (`BENCH_2` for the service bench).
+    pub bench_id: String,
+    /// Concurrent client connections driving the server.
+    pub clients: usize,
+    /// Total score requests (batches) sent across all clients.
+    pub requests: usize,
+    /// Hypotheses per request.
+    pub batch_size: usize,
+    /// Hypotheses scored (`requests × batch_size`), as counted by the server.
+    pub scored_hypotheses: usize,
+    /// Prepared-reference cache hits across all connections.
+    pub cache_hits: u64,
+    /// Prepared-reference cache misses (distinct references prepared).
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, in `0.0..=1.0`.
+    pub cache_hit_rate: f64,
+    /// Wall-clock seconds from first request sent to last response read.
+    pub wall_time_secs: f64,
+    /// Requests (batches) completed per second.
+    pub requests_per_sec: f64,
+    /// Hypotheses scored per second — the headline service-throughput number.
+    pub hypotheses_per_sec: f64,
+}
+
+impl ServiceBenchReport {
+    /// Pretty JSON for the `BENCH_2.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Run the service-throughput measurement at its standard scale (4 clients
+/// × 64 requests × 8 hypotheses), print the headline numbers and write the
+/// report to `path`. Shared by `repro bench-service` and the
+/// `service_throughput` bench binary so the two artifacts cannot drift.
+pub fn run_service_bench(path: &str) {
+    let report = measure_service_throughput(4, 64, 8);
+    println!(
+        "Service throughput: {} requests ({} hypotheses) over {} clients in {:.2}s \
+         = {:.1} req/s, {:.1} hypotheses/s (cache hit rate {:.3})",
+        report.requests,
+        report.scored_hypotheses,
+        report.clients,
+        report.wall_time_secs,
+        report.requests_per_sec,
+        report.hypotheses_per_sec,
+        report.cache_hit_rate,
+    );
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
+    }
+}
+
+/// The built-in references the service bench cycles through: every
+/// task/system address the corpus can resolve (3 configuration, 4
+/// annotation, 4 translation targets), with the reference text alongside
+/// for client-side hypothesis generation.
+fn service_workload_addresses() -> Vec<(TaskKind, &'static str, &'static str)> {
+    use wfspeak_corpus::references::{annotation_reference, configuration_reference};
+    use wfspeak_corpus::WorkflowSystemId;
+    let mut addresses = Vec::new();
+    for system in WorkflowSystemId::configuration_systems() {
+        let reference = configuration_reference(system).expect("configuration reference");
+        addresses.push((TaskKind::Configuration, system.name(), reference));
+    }
+    for system in WorkflowSystemId::annotation_systems() {
+        let reference = annotation_reference(system).expect("annotation reference");
+        addresses.push((TaskKind::Annotation, system.name(), reference));
+        // Translation targets share the annotation references.
+        addresses.push((TaskKind::Translation, system.name(), reference));
+    }
+    addresses
+}
+
+/// Deterministic hypothesis batch for one request: mutations of the
+/// reference with varied quality, stamped with the request index so
+/// repeated requests are not byte-identical.
+fn service_hypotheses(reference: &str, request_index: usize, batch_size: usize) -> Vec<String> {
+    (0..batch_size)
+        .map(|i| match i % 4 {
+            0 => reference.to_owned(),
+            1 => reference.chars().take(reference.len() / 2).collect(),
+            2 => format!("{reference}\nextra_line_{request_index}"),
+            _ => format!("unrelated hypothesis {request_index} {i}"),
+        })
+        .collect()
+}
+
+/// Boot a scoring server on an ephemeral loopback port, drive it from
+/// `clients` concurrent connections sending `requests_per_client` pipelined
+/// batches of `batch_size` hypotheses each, and report throughput plus the
+/// shared cache's hit rate.
+pub fn measure_service_throughput(
+    clients: usize,
+    requests_per_client: usize,
+    batch_size: usize,
+) -> ServiceBenchReport {
+    // Pipelining window per client: enough to keep the worker pool busy
+    // without the client-side send path outrunning its own reads.
+    const WINDOW: usize = 16;
+
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default())
+        .expect("loopback bind cannot fail");
+    let addr = server.addr();
+    let addresses = service_workload_addresses();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let addresses = &addresses;
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client =
+                        ScoringClient::connect(addr).expect("loopback connect cannot fail");
+                    let mut in_flight = 0usize;
+                    for request_index in 0..requests_per_client {
+                        let (task, system, reference) =
+                            addresses[(client_index + request_index) % addresses.len()];
+                        let request = ScoreRequest::by_id(
+                            client.fresh_id(),
+                            task,
+                            system,
+                            service_hypotheses(reference, request_index, batch_size),
+                        );
+                        client.send(&request).expect("send over loopback");
+                        in_flight += 1;
+                        if in_flight >= WINDOW {
+                            let response = client.recv().expect("recv over loopback");
+                            assert!(response.ok, "bench request failed: {:?}", response.error);
+                            in_flight -= 1;
+                        }
+                    }
+                    for response in client.collect(in_flight).expect("drain responses") {
+                        assert!(response.ok, "bench request failed: {:?}", response.error);
+                    }
+                    client.close();
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("bench client panicked");
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    server.shutdown();
+
+    let requests = clients * requests_per_client;
+    assert_eq!(
+        stats.requests, requests as u64,
+        "server counted every batch"
+    );
+    ServiceBenchReport {
+        bench_id: "BENCH_2".to_owned(),
+        clients,
+        requests,
+        batch_size,
+        scored_hypotheses: stats.hypotheses as usize,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_hit_rate: stats.cache_hit_rate(),
+        wall_time_secs: wall,
+        requests_per_sec: requests as f64 / wall,
+        hypotheses_per_sec: stats.hypotheses as f64 / wall,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +299,25 @@ mod tests {
     fn helpers_build_benchmarks_with_expected_trial_counts() {
         assert_eq!(paper_benchmark().config().trials, 5);
         assert_eq!(bench_benchmark().config().trials, 1);
+    }
+
+    #[test]
+    fn service_throughput_report_is_consistent() {
+        // Small scale so the test stays fast; the real bench uses more.
+        let report = measure_service_throughput(2, 12, 4);
+        assert_eq!(report.requests, 24);
+        assert_eq!(report.scored_hypotheses, 24 * 4);
+        // 11 addresses resolve to 7 distinct reference texts (translation
+        // targets share the annotation references), and the cache is keyed
+        // by text; every later lookup hits.
+        assert_eq!(report.cache_misses, 7);
+        assert_eq!(report.cache_hits as usize, report.requests - 7);
+        assert!(report.cache_hit_rate > 0.5);
+        assert!(report.wall_time_secs > 0.0);
+        assert!(report.hypotheses_per_sec > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_2\""));
+        assert!(json.contains("hypotheses_per_sec"));
     }
 
     #[test]

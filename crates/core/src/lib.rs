@@ -39,7 +39,7 @@ pub mod runner;
 pub use config::BenchmarkConfig;
 pub use experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
 pub use result::ExperimentResult;
-pub use runner::{Benchmark, ReferenceCache};
+pub use runner::{Benchmark, PreparedPair, ReferenceCache};
 
 pub use wfspeak_corpus::prompts::PromptVariant;
 pub use wfspeak_corpus::WorkflowSystemId;

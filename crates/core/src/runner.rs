@@ -14,6 +14,7 @@
 //!   scheduling.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use wfspeak_codemodel::extract_code;
@@ -25,7 +26,7 @@ use wfspeak_corpus::references::{
 };
 use wfspeak_corpus::{fewshot, translation_pair_label, translation_pairs, WorkflowSystemId};
 use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams, SimulatedLlm};
-use wfspeak_metrics::{BleuScorer, ChrfScorer, PreparedReference, Scorer};
+use wfspeak_metrics::{BleuScorer, CacheStats, ChrfScorer, PreparedReference, Scorer};
 
 use crate::config::BenchmarkConfig;
 use crate::experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
@@ -51,6 +52,8 @@ pub struct PreparedPair {
 #[derive(Debug, Default)]
 pub struct ReferenceCache {
     entries: Mutex<HashMap<String, Arc<PreparedPair>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ReferenceCache {
@@ -61,15 +64,48 @@ impl ReferenceCache {
         chrf: &ChrfScorer,
         reference: &str,
     ) -> Arc<PreparedPair> {
-        let mut entries = self.entries.lock().expect("reference cache poisoned");
-        if let Some(pair) = entries.get(reference) {
-            return Arc::clone(pair);
+        self.get_or_prepare_bounded(bleu, chrf, reference, usize::MAX)
+    }
+
+    /// Like [`get_or_prepare`](ReferenceCache::get_or_prepare), but never
+    /// grows the cache beyond `max_entries`: once full, unseen references
+    /// are prepared and returned without being cached (and keep counting as
+    /// misses). Servers accepting arbitrary client-supplied reference text
+    /// use this to bound memory.
+    ///
+    /// The expensive preparation runs outside the map lock, so concurrent
+    /// misses on *different* references prepare in parallel. Two threads
+    /// racing on the *same* reference may both prepare it; the loser adopts
+    /// the winner's entry (and counts as a hit), so `stats().misses` equals
+    /// the number of distinct references inserted.
+    pub fn get_or_prepare_bounded(
+        &self,
+        bleu: &BleuScorer,
+        chrf: &ChrfScorer,
+        reference: &str,
+        max_entries: usize,
+    ) -> Arc<PreparedPair> {
+        {
+            let entries = self.entries.lock().expect("reference cache poisoned");
+            if let Some(pair) = entries.get(reference) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(pair);
+            }
         }
         let pair = Arc::new(PreparedPair {
             bleu: bleu.prepare(reference),
             chrf: chrf.prepare(reference),
         });
-        entries.insert(reference.to_owned(), Arc::clone(&pair));
+        let mut entries = self.entries.lock().expect("reference cache poisoned");
+        if let Some(existing) = entries.get(reference) {
+            // Lost a race with another preparer; adopt its entry.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(existing);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if entries.len() < max_entries {
+            entries.insert(reference.to_owned(), Arc::clone(&pair));
+        }
         pair
     }
 
@@ -81,6 +117,15 @@ impl ReferenceCache {
     /// True when nothing has been prepared yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Hit/miss counters accumulated over every
+    /// [`get_or_prepare`](ReferenceCache::get_or_prepare) lookup.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -410,6 +455,31 @@ mod tests {
         // Re-running (any variant) reuses the cached prepared references.
         benchmark.run_configuration(PromptVariant::Detailed, false);
         assert_eq!(benchmark.reference_cache().len(), after_first);
+        let stats = benchmark.reference_cache().stats();
+        assert_eq!(stats.misses, 3, "one miss per distinct reference");
+        assert_eq!(stats.hits, 3, "the second run hits for every system");
+        assert_eq!(stats.lookups(), 6);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_stops_growing_but_keeps_serving() {
+        let cache = ReferenceCache::default();
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        cache.get_or_prepare_bounded(&bleu, &chrf, "ref a", 1);
+        assert_eq!(cache.len(), 1);
+        // A second distinct reference is prepared but not cached…
+        let pair = cache.get_or_prepare_bounded(&bleu, &chrf, "ref b", 1);
+        assert_eq!(pair.bleu.source(), "ref b");
+        assert_eq!(cache.len(), 1);
+        // …so asking again re-prepares (another miss), while the cached
+        // reference still hits.
+        cache.get_or_prepare_bounded(&bleu, &chrf, "ref b", 1);
+        cache.get_or_prepare_bounded(&bleu, &chrf, "ref a", 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3, "a once, b twice");
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

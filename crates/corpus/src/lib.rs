@@ -15,6 +15,23 @@
 //! lookup helpers keyed by [`WorkflowSystemId`] so the rest of the workspace
 //! (systems models, simulated LLMs, the harness) shares one single source of
 //! truth for references.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wfspeak_corpus::prompts::{configuration_prompt, PromptVariant};
+//! use wfspeak_corpus::references::configuration_reference;
+//! use wfspeak_corpus::WorkflowSystemId;
+//!
+//! let system = WorkflowSystemId::Wilkins;
+//! let prompt = configuration_prompt(system, PromptVariant::Original);
+//! assert!(prompt.contains("Wilkins"));
+//!
+//! // The ground-truth artifact the generated configuration is scored against.
+//! let reference = configuration_reference(system).unwrap();
+//! assert!(!reference.is_empty());
+//! assert_eq!(WorkflowSystemId::from_name("wilkins"), Some(system));
+//! ```
 
 pub mod fewshot;
 pub mod prompts;

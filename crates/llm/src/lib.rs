@@ -25,6 +25,22 @@
 //!    the model's unfamiliarity.
 //! 4. [`models`] wraps the result in the model's response style (markdown
 //!    fences, prose preambles).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wfspeak_llm::{CompletionRequest, LlmClient, ModelId, SamplingParams, SimulatedLlm};
+//!
+//! let model = SimulatedLlm::new(ModelId::O3);
+//! let request = CompletionRequest::new(
+//!     "Generate a Wilkins workflow configuration file for a 3-node workflow.",
+//!     SamplingParams::paper_defaults(42),
+//! );
+//! let response = model.complete(&request);
+//! assert!(!response.text.is_empty());
+//! // Simulated models are deterministic: same request, same completion.
+//! assert_eq!(model.complete(&request).text, response.text);
+//! ```
 
 pub mod degrade;
 pub mod knowledge;

@@ -77,7 +77,7 @@ pub mod tokenize;
 pub use bleu::BleuScorer;
 pub use chrf::ChrfScorer;
 pub use matrix::ScoreMatrix;
-pub use prepared::PreparedReference;
+pub use prepared::{CacheStats, PreparedReference};
 pub use stats::Summary;
 
 /// A similarity metric that compares a hypothesis against a single reference
@@ -95,6 +95,22 @@ pub trait Scorer {
     /// The default implementation performs no precomputation (custom scorers
     /// keep working unchanged); [`BleuScorer`] and [`ChrfScorer`] override it
     /// to tokenize, intern and count the reference's n-grams up front.
+    ///
+    /// ```
+    /// use wfspeak_metrics::{BleuScorer, Scorer};
+    ///
+    /// let scorer = BleuScorer::default();
+    /// let reference = "tasks:\n  - func: producer\n    nprocs: 3";
+    /// let prepared = scorer.prepare(reference);
+    /// for hypothesis in ["tasks:\n  - func: producer\n    nprocs: 3", "tasks: []"] {
+    ///     // Bit-identical to `scorer.score(hypothesis, reference)`, but the
+    ///     // reference-side work is paid only once.
+    ///     assert_eq!(
+    ///         scorer.score_prepared(hypothesis, &prepared),
+    ///         scorer.score(hypothesis, reference),
+    ///     );
+    /// }
+    /// ```
     fn prepare(&self, reference: &str) -> PreparedReference {
         PreparedReference::raw(reference)
     }

@@ -246,6 +246,49 @@ impl PreparedReference {
     }
 }
 
+/// Hit/miss counters for a cache of [`PreparedReference`]s.
+///
+/// Preparing a reference (normalising, tokenising, interning and counting
+/// its n-grams) is the expensive half of a scoring call, so every component
+/// that reuses prepared references — the benchmark runner's reference cache,
+/// the scoring service's shared cache — reports its effectiveness with this
+/// type. A *hit* means a scoring call reused an already-prepared reference;
+/// a *miss* means the reference had to be prepared first.
+///
+/// ```
+/// use wfspeak_metrics::CacheStats;
+///
+/// let stats = CacheStats { hits: 9, misses: 1 };
+/// assert_eq!(stats.lookups(), 10);
+/// assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+/// assert_eq!(CacheStats::default().hit_rate(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups that reused an already-prepared reference.
+    pub hits: u64,
+    /// Lookups that had to prepare the reference first.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache, in `0.0..=1.0`.
+    /// Returns `0.0` when no lookups have happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,154 @@
+//! A blocking client for the scoring service.
+//!
+//! [`ScoringClient`] supports two styles:
+//!
+//! * **call/response** — [`score`](ScoringClient::score) /
+//!   [`score_text`](ScoringClient::score_text) send one request and wait for
+//!   its response;
+//! * **pipelined** — [`send`](ScoringClient::send) many requests back to
+//!   back, then [`collect`](ScoringClient::collect) the responses. Responses
+//!   may arrive in any order (the server's worker pool races); `collect`
+//!   returns them sorted by request id.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_line, encode_line, ScoreRequest, ScoreResponse, ServiceStats, TaskKind,
+};
+
+/// A connection to a running [`ScoringServer`](crate::ScoringServer).
+pub struct ScoringClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl ScoringClient {
+    /// Connect to a scoring server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ScoringClient {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// The next fresh request id (each call advances the counter).
+    pub fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send one request without waiting for its response (pipelining).
+    pub fn send(&mut self, request: &ScoreRequest) -> std::io::Result<()> {
+        self.writer.write_all(encode_line(request).as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Receive the next response, whichever request it answers.
+    pub fn recv(&mut self) -> std::io::Result<ScoreResponse> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return decode_line(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    /// Receive `count` responses and return them sorted by request id.
+    pub fn collect(&mut self, count: usize) -> std::io::Result<Vec<ScoreResponse>> {
+        let mut responses: Vec<ScoreResponse> = (0..count)
+            .map(|_| self.recv())
+            .collect::<std::io::Result<_>>()?;
+        responses.sort_by_key(|r| r.id);
+        Ok(responses)
+    }
+
+    /// Receive `ids.len()` responses and return them keyed by request id.
+    ///
+    /// Fails if the server answers with an id outside `ids` — which would
+    /// mean responses are being routed to the wrong client.
+    pub fn collect_by_id(&mut self, ids: &[u64]) -> std::io::Result<HashMap<u64, ScoreResponse>> {
+        let mut responses = HashMap::with_capacity(ids.len());
+        for _ in ids {
+            let response = self.recv()?;
+            if !ids.contains(&response.id) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response for unknown request id {}", response.id),
+                ));
+            }
+            responses.insert(response.id, response);
+        }
+        Ok(responses)
+    }
+
+    /// Score a batch against a built-in reference (call/response).
+    pub fn score(
+        &mut self,
+        task: TaskKind,
+        system: &str,
+        hypotheses: Vec<String>,
+    ) -> std::io::Result<ScoreResponse> {
+        let request = ScoreRequest::by_id(self.fresh_id(), task, system, hypotheses);
+        self.roundtrip(&request)
+    }
+
+    /// Score a batch against an inline reference text (call/response).
+    pub fn score_text(
+        &mut self,
+        reference_text: &str,
+        hypotheses: Vec<String>,
+    ) -> std::io::Result<ScoreResponse> {
+        let request = ScoreRequest::by_text(self.fresh_id(), reference_text, hypotheses);
+        self.roundtrip(&request)
+    }
+
+    /// Fetch the server's lifetime counters.
+    pub fn stats(&mut self) -> std::io::Result<ServiceStats> {
+        let request = ScoreRequest::stats(self.fresh_id());
+        let response = self.roundtrip(&request)?;
+        response.stats.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stats response carried no stats",
+            )
+        })
+    }
+
+    fn roundtrip(&mut self, request: &ScoreRequest) -> std::io::Result<ScoreResponse> {
+        self.send(request)?;
+        let response = self.recv()?;
+        if response.id != request.id {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "response id {} does not match request id {} (mixing pipelined \
+                     `send` with call/response methods on one connection?)",
+                    response.id, request.id
+                ),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Close the sending half so the server sees EOF and tears the
+    /// connection down; dropping the client has the same effect.
+    pub fn close(self) {
+        let _ = self.writer.into_inner().map(|s| s.shutdown(Shutdown::Both));
+    }
+}

@@ -1,0 +1,61 @@
+//! `wfspeak-service` — a long-running batch scoring server for the
+//! reproduction's BLEU/ChrF metrics.
+//!
+//! The benchmark binary scores hypotheses in one-shot runs; this crate turns
+//! the same scoring core into a network service so many clients can share
+//! one warm process. Design points:
+//!
+//! * **Protocol** ([`protocol`]) — newline-delimited JSON over TCP. Clients
+//!   write one [`ScoreRequest`] per line (`{id, task, system, reference_id |
+//!   reference_text, hypotheses[]}`) and read back [`ScoreResponse`] lines
+//!   tagged with the request id, so requests can be pipelined and answered
+//!   out of order.
+//! * **Shared reference cache** — the server keeps one
+//!   [`ReferenceCache`](wfspeak_core::ReferenceCache) of prepared references
+//!   (tokenised, interned, n-gram-counted once) across *all* connections;
+//!   [`ServiceStats`] reports its hit rate.
+//! * **Bounded worker pool** ([`server`]) — scoring runs on a fixed pool fed
+//!   by a bounded queue; when the pool is saturated, connection readers
+//!   block, pushing backpressure into the clients' TCP windows instead of
+//!   buffering unboundedly.
+//! * **Bit-identical scores** — the worker calls the exact
+//!   [`Scorer::score_prepared`](wfspeak_metrics::Scorer::score_prepared)
+//!   path the benchmark runner uses, so a score served over the wire equals
+//!   the score computed in-process, bit for bit (the integration tests pin
+//!   this).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wfspeak_service::{ScoringClient, ScoringServer, ServiceConfig, TaskKind};
+//!
+//! // Port 0 picks an ephemeral port; `repro serve` binds a fixed one.
+//! let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+//!
+//! let mut client = ScoringClient::connect(server.addr()).unwrap();
+//! let response = client
+//!     .score(TaskKind::Configuration, "Henson", vec![
+//!         "henson_exec producer.so 3".to_string(),
+//!     ])
+//!     .unwrap();
+//! assert!(response.ok);
+//! assert_eq!(response.scores.len(), 1);
+//! assert!(response.scores[0].bleu >= 0.0 && response.scores[0].bleu <= 100.0);
+//!
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.requests, 1);
+//! assert_eq!(stats.hypotheses, 1);
+//!
+//! client.close(); // disconnect before shutdown so the server can drain
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::ScoringClient;
+pub use protocol::{
+    HypothesisScore, ScoreRequest, ScoreResponse, ServiceStats, TaskKind, DEFAULT_ADDR,
+};
+pub use server::{ScoringServer, ServiceConfig};

@@ -1,0 +1,431 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every line the client writes is one [`ScoreRequest`]; every line the
+//! server writes back is one [`ScoreResponse`]. Requests carry a client
+//! chosen `id` that is echoed verbatim in the response, so a client may
+//! pipeline many requests on one connection and match responses out of
+//! order (the worker pool does not guarantee completion order).
+//!
+//! A request names its reference either
+//!
+//! * **by id** — `task` + `system` (or the combined `reference_id` form
+//!   `"task/system"`) select one of the paper's ground-truth artifacts,
+//!   which the server caches in prepared form across *all* connections; or
+//! * **by text** — `reference_text` carries an arbitrary reference, which is
+//!   prepared through the same shared cache (repeat texts hit).
+//!
+//! The special task `"stats"` returns a [`ServiceStats`] snapshot instead of
+//! scores.
+
+use serde::{Deserialize, Serialize};
+use wfspeak_corpus::references::{
+    annotation_reference, configuration_reference, translation_reference,
+};
+use wfspeak_corpus::WorkflowSystemId;
+use wfspeak_metrics::CacheStats;
+
+/// Default listen address for `repro serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// The experiment namespace a reference id lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Workflow configuration references (Table 1 systems).
+    Configuration,
+    /// Annotated producer task codes (Table 2 systems).
+    Annotation,
+    /// Translation targets (Table 3; identical to annotation references).
+    Translation,
+    /// Server statistics snapshot; carries no reference or hypotheses.
+    Stats,
+}
+
+impl TaskKind {
+    /// Parse a task name case-insensitively.
+    pub fn parse(task: &str) -> Option<TaskKind> {
+        match task.to_ascii_lowercase().as_str() {
+            "configuration" | "config" => Some(TaskKind::Configuration),
+            "annotation" | "annotate" => Some(TaskKind::Annotation),
+            "translation" | "translate" => Some(TaskKind::Translation),
+            "stats" => Some(TaskKind::Stats),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Configuration => "configuration",
+            TaskKind::Annotation => "annotation",
+            TaskKind::Translation => "translation",
+            TaskKind::Stats => "stats",
+        }
+    }
+}
+
+/// One scoring request: a batch of hypotheses scored against one reference.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ScoreRequest {
+    /// Client-chosen request id, echoed in the response. Ids let a client
+    /// pipeline requests and match responses arriving out of order.
+    pub id: u64,
+    /// Experiment namespace: `configuration`, `annotation`, `translation`
+    /// or `stats`. Ignored when `reference_id` is given.
+    pub task: String,
+    /// Workflow system whose ground-truth artifact is the reference (for
+    /// `translation`, the *target* system). Ignored when `reference_id` or
+    /// `reference_text` is given.
+    pub system: String,
+    /// Combined `"task/system"` reference address; overrides `task`/`system`.
+    pub reference_id: Option<String>,
+    /// Literal reference text; overrides every other addressing field.
+    pub reference_text: Option<String>,
+    /// The hypotheses to score, in order.
+    pub hypotheses: Vec<String>,
+}
+
+impl ScoreRequest {
+    /// A batch request addressing a built-in reference by task + system.
+    pub fn by_id(id: u64, task: TaskKind, system: &str, hypotheses: Vec<String>) -> Self {
+        ScoreRequest {
+            id,
+            task: task.name().to_owned(),
+            system: system.to_owned(),
+            reference_id: None,
+            reference_text: None,
+            hypotheses,
+        }
+    }
+
+    /// A batch request carrying its reference inline.
+    pub fn by_text(id: u64, reference_text: &str, hypotheses: Vec<String>) -> Self {
+        ScoreRequest {
+            id,
+            reference_text: Some(reference_text.to_owned()),
+            hypotheses,
+            ..ScoreRequest::default()
+        }
+    }
+
+    /// A server-statistics request.
+    pub fn stats(id: u64) -> Self {
+        ScoreRequest {
+            id,
+            task: TaskKind::Stats.name().to_owned(),
+            ..ScoreRequest::default()
+        }
+    }
+
+    /// Resolve the reference this request scores against.
+    ///
+    /// Returns `Ok(None)` for a `stats` request, `Ok(Some(text))` otherwise,
+    /// or a human-readable error for an unknown task/system address.
+    pub fn resolve_reference(&self) -> Result<Option<&str>, String> {
+        if let Some(text) = &self.reference_text {
+            return Ok(Some(text));
+        }
+        let (task_name, system_name) = match &self.reference_id {
+            Some(reference_id) => reference_id
+                .split_once('/')
+                .ok_or_else(|| format!("reference_id `{reference_id}` is not `task/system`"))?,
+            None => (self.task.as_str(), self.system.as_str()),
+        };
+        let task = TaskKind::parse(task_name).ok_or_else(|| {
+            format!("unknown task `{task_name}` (expected configuration, annotation, translation or stats)")
+        })?;
+        if task == TaskKind::Stats {
+            return Ok(None);
+        }
+        let system = WorkflowSystemId::from_name(system_name)
+            .ok_or_else(|| format!("unknown workflow system `{system_name}`"))?;
+        let reference = match task {
+            TaskKind::Configuration => configuration_reference(system),
+            TaskKind::Annotation => annotation_reference(system),
+            TaskKind::Translation => translation_reference(system),
+            TaskKind::Stats => unreachable!("handled above"),
+        };
+        reference
+            .map(Some)
+            .ok_or_else(|| format!("system `{system_name}` has no {} reference", task.name()))
+    }
+}
+
+// Hand-written so that absent / `null` fields fall back to their defaults:
+// hand-rolled clients may send just `{"id": 1, "task": ..., "system": ...,
+// "hypotheses": [...]}` without spelling out every optional field.
+impl Deserialize for ScoreRequest {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field_or_default<T: Deserialize + Default>(
+            value: &serde::Value,
+            context: &str,
+        ) -> Result<T, serde::Error> {
+            if value.is_null() {
+                Ok(T::default())
+            } else {
+                T::deserialize(value).map_err(|e| e.in_context(context))
+            }
+        }
+        let obj = value
+            .as_object_view()
+            .ok_or_else(|| serde::Error::expected("object", "ScoreRequest"))?;
+        Ok(ScoreRequest {
+            id: field_or_default(obj.field("id"), "ScoreRequest.id")?,
+            task: field_or_default(obj.field("task"), "ScoreRequest.task")?,
+            system: field_or_default(obj.field("system"), "ScoreRequest.system")?,
+            reference_id: field_or_default(obj.field("reference_id"), "ScoreRequest.reference_id")?,
+            reference_text: field_or_default(
+                obj.field("reference_text"),
+                "ScoreRequest.reference_text",
+            )?,
+            hypotheses: field_or_default(obj.field("hypotheses"), "ScoreRequest.hypotheses")?,
+        })
+    }
+}
+
+/// BLEU and ChrF for one hypothesis, on the paper's 0–100 scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypothesisScore {
+    /// sacrebleu-style BLEU.
+    pub bleu: f64,
+    /// Character n-gram F-score.
+    pub chrf: f64,
+}
+
+/// A snapshot of the server's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Score requests processed (excluding `stats` requests).
+    pub requests: u64,
+    /// Hypotheses scored across all requests.
+    pub hypotheses: u64,
+    /// Prepared-reference cache hits across all connections.
+    pub cache_hits: u64,
+    /// Prepared-reference cache misses (first-time preparations).
+    pub cache_misses: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of reference lookups served from the shared cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+        }
+        .hit_rate()
+    }
+}
+
+/// One response line; `id` matches the triggering [`ScoreRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// The request id this response answers.
+    pub id: u64,
+    /// True when scoring succeeded; false when `error` explains the failure.
+    pub ok: bool,
+    /// Failure description; `None` on success.
+    pub error: Option<String>,
+    /// Per-hypothesis scores, in request order. Empty on failure and for
+    /// `stats` requests.
+    pub scores: Vec<HypothesisScore>,
+    /// Server counters; present only for `stats` requests.
+    pub stats: Option<ServiceStats>,
+}
+
+impl ScoreResponse {
+    /// A successful scoring response.
+    pub fn success(id: u64, scores: Vec<HypothesisScore>) -> Self {
+        ScoreResponse {
+            id,
+            ok: true,
+            error: None,
+            scores,
+            stats: None,
+        }
+    }
+
+    /// A failure response with a human-readable reason.
+    pub fn failure(id: u64, error: impl Into<String>) -> Self {
+        ScoreResponse {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            scores: Vec::new(),
+            stats: None,
+        }
+    }
+
+    /// A statistics-snapshot response.
+    pub fn stats(id: u64, stats: ServiceStats) -> Self {
+        ScoreResponse {
+            id,
+            ok: true,
+            error: None,
+            scores: Vec::new(),
+            stats: Some(stats),
+        }
+    }
+}
+
+/// Serialise a protocol message as one newline-terminated JSON line.
+pub fn encode_line<T: Serialize>(message: &T) -> String {
+    let mut line = serde_json::to_string(message).expect("protocol types serialise infallibly");
+    line.push('\n');
+    line
+}
+
+/// Parse one line into a protocol message.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+}
+
+/// Best-effort extraction of the request id from a line that failed full
+/// deserialisation, so the error response still routes to the right request.
+pub fn salvage_request_id(line: &str) -> u64 {
+    serde_json::from_str::<serde::Value>(line.trim())
+        .ok()
+        .and_then(|v| v["id"].as_i64())
+        .and_then(|id| u64::try_from(id).ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_kind_parses_case_insensitively() {
+        assert_eq!(
+            TaskKind::parse("Configuration"),
+            Some(TaskKind::Configuration)
+        );
+        assert_eq!(TaskKind::parse("ANNOTATION"), Some(TaskKind::Annotation));
+        assert_eq!(TaskKind::parse("translate"), Some(TaskKind::Translation));
+        assert_eq!(TaskKind::parse("stats"), Some(TaskKind::Stats));
+        assert_eq!(TaskKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_line_codec() {
+        let request = ScoreRequest::by_id(
+            7,
+            TaskKind::Configuration,
+            "Henson",
+            vec!["hyp one".into(), "hyp\ntwo".into()],
+        );
+        let line = encode_line(&request);
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1, "newlines must be escaped");
+        let decoded: ScoreRequest = decode_line(&line).unwrap();
+        assert_eq!(decoded.id, 7);
+        assert_eq!(decoded.task, "configuration");
+        assert_eq!(decoded.system, "Henson");
+        assert_eq!(decoded.hypotheses, request.hypotheses);
+    }
+
+    #[test]
+    fn resolve_reference_covers_all_addressing_modes() {
+        let by_id = ScoreRequest::by_id(1, TaskKind::Annotation, "Parsl", vec![]);
+        assert!(by_id
+            .resolve_reference()
+            .unwrap()
+            .unwrap()
+            .contains("parsl"));
+
+        let by_combined = ScoreRequest {
+            id: 2,
+            reference_id: Some("configuration/Wilkins".into()),
+            ..ScoreRequest::default()
+        };
+        assert!(by_combined.resolve_reference().unwrap().is_some());
+
+        let by_text = ScoreRequest::by_text(3, "custom ref", vec![]);
+        assert_eq!(by_text.resolve_reference().unwrap(), Some("custom ref"));
+
+        assert_eq!(ScoreRequest::stats(4).resolve_reference().unwrap(), None);
+    }
+
+    #[test]
+    fn resolve_reference_reports_bad_addresses() {
+        let bad_task = ScoreRequest {
+            task: "tables".into(),
+            ..ScoreRequest::default()
+        };
+        assert!(bad_task.resolve_reference().unwrap_err().contains("tables"));
+
+        let bad_system = ScoreRequest::by_id(0, TaskKind::Configuration, "Slurm", vec![]);
+        assert!(bad_system
+            .resolve_reference()
+            .unwrap_err()
+            .contains("Slurm"));
+
+        // Parsl has annotation/translation references but no configuration.
+        let no_reference = ScoreRequest::by_id(0, TaskKind::Configuration, "Parsl", vec![]);
+        assert!(no_reference.resolve_reference().is_err());
+
+        let bad_combined = ScoreRequest {
+            reference_id: Some("no-slash".into()),
+            ..ScoreRequest::default()
+        };
+        assert!(bad_combined.resolve_reference().is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_with_float_precision() {
+        let scores = vec![
+            HypothesisScore {
+                bleu: 100.0,
+                chrf: 100.0,
+            },
+            HypothesisScore {
+                bleu: 31.622776601683793,
+                chrf: 0.0625,
+            },
+        ];
+        let line = encode_line(&ScoreResponse::success(9, scores.clone()));
+        let decoded: ScoreResponse = decode_line(&line).unwrap();
+        assert!(decoded.ok);
+        assert_eq!(decoded.id, 9);
+        assert!(decoded.stats.is_none());
+        for (sent, received) in scores.iter().zip(&decoded.scores) {
+            assert_eq!(sent.bleu.to_bits(), received.bleu.to_bits());
+            assert_eq!(sent.chrf.to_bits(), received.chrf.to_bits());
+        }
+    }
+
+    #[test]
+    fn stats_responses_carry_the_snapshot() {
+        let stats = ServiceStats {
+            requests: 10,
+            hypotheses: 40,
+            cache_hits: 9,
+            cache_misses: 1,
+        };
+        let line = encode_line(&ScoreResponse::stats(1, stats));
+        let decoded: ScoreResponse = decode_line(&line).unwrap();
+        let snapshot = decoded.stats.expect("stats present");
+        assert_eq!(snapshot.requests, 10);
+        assert!((snapshot.cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_hand_written_requests_decode_with_defaults() {
+        let decoded: ScoreRequest =
+            decode_line(r#"{"task": "annotation", "system": "Parsl", "hypotheses": ["x"]}"#)
+                .unwrap();
+        assert_eq!(decoded.id, 0);
+        assert_eq!(decoded.task, "annotation");
+        assert!(decoded.reference_id.is_none());
+        assert!(decoded.reference_text.is_none());
+        assert_eq!(decoded.hypotheses, vec!["x".to_string()]);
+
+        let err = decode_line::<ScoreRequest>(r#"{"hypotheses": "not an array"}"#).unwrap_err();
+        assert!(err.contains("hypotheses"), "{err}");
+    }
+
+    #[test]
+    fn salvage_request_id_recovers_ids_from_malformed_requests() {
+        assert_eq!(salvage_request_id(r#"{"id": 42, "task": 3}"#), 42);
+        assert_eq!(salvage_request_id("not json"), 0);
+        assert_eq!(salvage_request_id(r#"{"id": -1}"#), 0);
+    }
+}

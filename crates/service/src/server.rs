@@ -1,0 +1,523 @@
+//! The scoring server: accept loop, per-connection I/O threads and the
+//! shared worker pool.
+//!
+//! ```text
+//!                    ┌───────────────────────────────────────────┐
+//!                    │               ScoringServer               │
+//!  client A ──TCP──▶ │ reader A ─┐                 ┌─ writer A   │ ──▶ client A
+//!                    │           ├▶ bounded queue ─┤             │
+//!  client B ──TCP──▶ │ reader B ─┘   (backpressure)└─ writer B   │ ──▶ client B
+//!                    │                 │   │                     │
+//!                    │              worker pool ──▶ ServiceState │
+//!                    │              (N threads)    (scorers +    │
+//!                    │                              shared cache)│
+//!                    └───────────────────────────────────────────┘
+//! ```
+//!
+//! * Each connection gets a **reader** thread (parses request lines, pushes
+//!   jobs) and a **writer** thread (serialises responses). Readers block on
+//!   the bounded job queue when all workers are busy, which propagates
+//!   backpressure to the client's TCP window instead of buffering without
+//!   bound. A client that pipelines requests but stops reading responses is
+//!   disconnected after [`ServiceConfig::reply_stall_timeout`] so it cannot
+//!   wedge the shared pool.
+//! * The **worker pool** is shared across connections; each job carries a
+//!   handle to its connection's writer, so responses route back to the right
+//!   client no matter which worker scored them.
+//! * All workers share one [`ReferenceCache`]: the first request against a
+//!   reference prepares it (tokenise + intern + count), every later request
+//!   from *any* connection reuses the prepared form.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use wfspeak_core::ReferenceCache;
+use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
+
+use crate::protocol::{
+    decode_line, encode_line, salvage_request_id, HypothesisScore, ScoreRequest, ScoreResponse,
+    ServiceStats,
+};
+
+/// Tunables for [`ScoringServer::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Scoring worker threads. `0` means one per available core.
+    pub workers: usize,
+    /// Bounded job-queue depth; readers block (backpressure) when full.
+    pub queue_depth: usize,
+    /// Cap on distinct references kept prepared in the shared cache. The
+    /// built-in corpus references always fit; the cap bounds memory when
+    /// clients stream arbitrary `reference_text` values — beyond it, unseen
+    /// references are prepared per request without being retained.
+    pub max_cached_references: usize,
+    /// How long a worker waits to hand a response to a connection whose
+    /// reply buffer is full before disconnecting that client (a client that
+    /// pipelines heavily but never reads would otherwise wedge the shared
+    /// pool).
+    pub reply_stall_timeout: std::time::Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_depth: 256,
+            max_cached_references: 4096,
+            reply_stall_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Scorers, the shared prepared-reference cache and lifetime counters —
+/// everything the worker pool needs, shared across all connections.
+#[derive(Debug)]
+struct ServiceState {
+    bleu: BleuScorer,
+    chrf: ChrfScorer,
+    cache: ReferenceCache,
+    max_cached_references: usize,
+    requests: AtomicU64,
+    hypotheses: AtomicU64,
+}
+
+impl ServiceState {
+    fn new(config: &ServiceConfig) -> Self {
+        ServiceState {
+            bleu: BleuScorer::default(),
+            chrf: ChrfScorer::default(),
+            cache: ReferenceCache::default(),
+            max_cached_references: config.max_cached_references,
+            requests: AtomicU64::new(0),
+            hypotheses: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let cache = self.cache.stats();
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hypotheses: self.hypotheses.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+
+    /// Execute one request. This is the only scoring path in the service, and
+    /// it calls exactly the same `Scorer::score_prepared` the benchmark
+    /// runner uses, so served scores are bit-identical to direct scoring.
+    fn handle(&self, request: &ScoreRequest) -> ScoreResponse {
+        let reference = match request.resolve_reference() {
+            Ok(Some(reference)) => reference,
+            Ok(None) => return ScoreResponse::stats(request.id, self.stats()),
+            Err(message) => return ScoreResponse::failure(request.id, message),
+        };
+        // Counted at admission, before the cache lookup, so a concurrent
+        // `stats` snapshot never shows more cache traffic than the request
+        // count can explain.
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.hypotheses
+            .fetch_add(request.hypotheses.len() as u64, Ordering::Relaxed);
+        let prepared = self.cache.get_or_prepare_bounded(
+            &self.bleu,
+            &self.chrf,
+            reference,
+            self.max_cached_references,
+        );
+        let scores: Vec<HypothesisScore> = request
+            .hypotheses
+            .iter()
+            .map(|hypothesis| HypothesisScore {
+                bleu: self.bleu.score_prepared(hypothesis, &prepared.bleu),
+                chrf: self.chrf.score_prepared(hypothesis, &prepared.chrf),
+            })
+            .collect();
+        ScoreResponse::success(request.id, scores)
+    }
+}
+
+/// One unit of work for the pool: a parsed (or unparsable) request line,
+/// the sender that routes the response line back to the right connection,
+/// and the connection's socket so a stalled connection can be disconnected.
+struct Job {
+    request: Result<ScoreRequest, ScoreResponse>,
+    reply: Sender<String>,
+    peer: Arc<TcpStream>,
+}
+
+/// Live connections, so shutdown can force-disconnect stragglers instead of
+/// waiting forever on a client that never hangs up.
+#[derive(Default)]
+struct ConnectionRegistry {
+    next_id: AtomicU64,
+    stopping: AtomicBool,
+    sockets: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnectionRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sockets.lock().insert(id, clone);
+        // A connection registering after `disconnect_all` scanned the map
+        // (accepted moments before shutdown) closes itself.
+        if self.stopping.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.sockets.lock().remove(&id);
+    }
+
+    fn disconnect_all(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        for socket in self.sockets.lock().values() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running scoring server.
+///
+/// Bind with [`ScoringServer::spawn`]; the returned handle reports the bound
+/// address ([`addr`](ScoringServer::addr)), exposes live statistics
+/// ([`stats`](ScoringServer::stats)) and shuts the listener down on
+/// [`shutdown`](ScoringServer::shutdown) (or on drop).
+pub struct ScoringServer {
+    addr: std::net::SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<ConnectionRegistry>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl ScoringServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the accept
+    /// loop plus the worker pool.
+    pub fn spawn(addr: impl ToSocketAddrs, config: ServiceConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState::new(&config));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
+        // The vendored channel's receiver is single-consumer; workers take
+        // turns holding the lock while blocked in `recv`, which serialises
+        // dequeueing only — scoring itself runs in parallel.
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let worker_handles = (0..config.effective_workers())
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let job_rx = Arc::clone(&job_rx);
+                let stall_timeout = config.reply_stall_timeout;
+                std::thread::spawn(move || worker_loop(&state, &job_rx, stall_timeout))
+            })
+            .collect();
+
+        let connections = Arc::new(ConnectionRegistry::default());
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || accept_loop(&listener, job_tx, &stop, &connections))
+        };
+
+        Ok(ScoringServer {
+            addr,
+            state,
+            stop,
+            connections,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the server's lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.state.stats()
+    }
+
+    /// Block the calling thread for the server's lifetime (the accept loop
+    /// only exits on shutdown). `repro serve` parks on this.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop accepting connections, disconnect remaining clients, drain the
+    /// job queue and join every server thread.
+    ///
+    /// Queued work is still scored (responses to disconnected clients are
+    /// dropped at the writer), so counters in [`stats`](ScoringServer::stats)
+    /// reflect all accepted work.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Force-disconnect clients that have not hung up; their reader
+        // threads exit, releasing the last job senders so workers drain the
+        // queue and observe disconnect.
+        self.connections.disconnect_all();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScoringServer {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn worker_loop(
+    state: &ServiceState,
+    jobs: &Mutex<Receiver<Job>>,
+    stall_timeout: std::time::Duration,
+) {
+    loop {
+        // Holding the lock across `recv` parks exactly one idle worker on the
+        // channel; it wakes, releases the lock, and scores while the next
+        // idle worker moves into the waiting slot.
+        let job = match jobs.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue disconnected: server shutting down
+        };
+        let response = match &job.request {
+            Ok(request) => state.handle(request),
+            Err(failure) => failure.clone(),
+        };
+        // A disconnected error means the connection writer is gone (client
+        // hung up mid-flight); the response is dropped, matching TCP
+        // semantics. A timeout means the client's reply buffer stayed full
+        // for the whole stall window — it is pipelining without reading —
+        // so disconnect it rather than let one slow reader wedge the shared
+        // pool.
+        use crossbeam_channel::SendTimeoutError;
+        if let Err(SendTimeoutError::Timeout) = job
+            .reply
+            .send_timeout(encode_line(&response), stall_timeout)
+        {
+            let _ = job.peer.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    job_tx: Sender<Job>,
+    stop: &AtomicBool,
+    connections: &Arc<ConnectionRegistry>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return; // drops job_tx; workers drain and exit
+        }
+        let Ok(stream) = stream else { continue };
+        let job_tx = job_tx.clone();
+        let connections = Arc::clone(connections);
+        std::thread::spawn(move || {
+            let Some(id) = connections.register(&stream) else {
+                return;
+            };
+            handle_connection(stream, job_tx);
+            connections.deregister(id);
+        });
+    }
+}
+
+/// Per-connection plumbing: spawn the writer, then parse request lines and
+/// feed the shared job queue until the client disconnects.
+fn handle_connection(stream: TcpStream, job_tx: Sender<Job>) {
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let Ok(peer) = stream.try_clone() else {
+        return;
+    };
+    let peer = Arc::new(peer);
+    // Writer capacity is independent of the job queue: it only buffers
+    // responses the client has not read yet.
+    let (reply_tx, reply_rx) = bounded::<String>(256);
+    let writer_handle = std::thread::spawn(move || writer_loop(write_stream, &reply_rx));
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = decode_line::<ScoreRequest>(&line).map_err(|message| {
+            ScoreResponse::failure(
+                salvage_request_id(&line),
+                format!("invalid request: {message}"),
+            )
+        });
+        let job = Job {
+            request,
+            reply: reply_tx.clone(),
+            peer: Arc::clone(&peer),
+        };
+        if job_tx.send(job).is_err() {
+            break; // server shutting down
+        }
+    }
+    // Dropping our reply sender lets the writer exit once in-flight workers
+    // (each holding a clone) finish sending their responses.
+    drop(reply_tx);
+    let _ = writer_handle.join();
+}
+
+fn writer_loop(stream: TcpStream, replies: &Receiver<String>) {
+    let mut writer = BufWriter::new(&stream);
+    while let Ok(line) = replies.recv() {
+        if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TaskKind;
+
+    #[test]
+    fn state_scores_match_direct_prepared_scoring() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let request = ScoreRequest::by_text(
+            5,
+            "tasks:\n  - func: producer",
+            vec!["tasks:\n  - func: producer".into(), "tasks: []".into()],
+        );
+        let response = state.handle(&request);
+        assert!(response.ok, "{:?}", response.error);
+        assert_eq!(response.id, 5);
+        assert_eq!(response.scores.len(), 2);
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        for (hypothesis, score) in request.hypotheses.iter().zip(&response.scores) {
+            assert_eq!(
+                score.bleu.to_bits(),
+                bleu.score(hypothesis, "tasks:\n  - func: producer")
+                    .to_bits()
+            );
+            assert_eq!(
+                score.chrf.to_bits(),
+                chrf.score(hypothesis, "tasks:\n  - func: producer")
+                    .to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn state_counts_requests_hypotheses_and_cache_traffic() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let request = ScoreRequest::by_id(
+            1,
+            TaskKind::Configuration,
+            "Henson",
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        assert!(state.handle(&request).ok);
+        assert!(state.handle(&request).ok);
+        let stats = state.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.hypotheses, 6);
+        assert_eq!(stats.cache_misses, 1, "reference prepared exactly once");
+        assert_eq!(stats.cache_hits, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_cache_respects_the_configured_cap() {
+        let state = ServiceState::new(&ServiceConfig {
+            max_cached_references: 1,
+            ..ServiceConfig::default()
+        });
+        assert!(
+            state
+                .handle(&ScoreRequest::by_text(1, "ref a", vec!["x".into()]))
+                .ok
+        );
+        // Distinct text beyond the cap: still scored, never retained.
+        assert!(
+            state
+                .handle(&ScoreRequest::by_text(2, "ref b", vec!["x".into()]))
+                .ok
+        );
+        assert!(
+            state
+                .handle(&ScoreRequest::by_text(3, "ref b", vec!["x".into()]))
+                .ok
+        );
+        // The capped entry keeps hitting.
+        assert!(
+            state
+                .handle(&ScoreRequest::by_text(4, "ref a", vec!["x".into()]))
+                .ok
+        );
+        let stats = state.stats();
+        assert_eq!(stats.cache_misses, 3, "a once, uncacheable b twice");
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn state_reports_failures_without_counting_them() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let response = state.handle(&ScoreRequest::by_id(
+            3,
+            TaskKind::Configuration,
+            "NoSuchSystem",
+            vec!["x".into()],
+        ));
+        assert!(!response.ok);
+        assert!(response.error.unwrap().contains("NoSuchSystem"));
+        assert_eq!(state.stats().requests, 0);
+    }
+
+    #[test]
+    fn stats_requests_do_not_inflate_request_counters() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let response = state.handle(&ScoreRequest::stats(8));
+        assert!(response.ok);
+        assert_eq!(response.stats.unwrap().requests, 0);
+        assert_eq!(state.stats().requests, 0);
+    }
+}

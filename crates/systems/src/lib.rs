@@ -21,6 +21,18 @@
 //!
 //! The [`WorkflowSystem`] trait ties these together so the evaluation
 //! harness can treat all five systems uniformly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wfspeak_systems::api::catalog_for;
+//! use wfspeak_systems::WorkflowSystemId;
+//!
+//! let henson = catalog_for(WorkflowSystemId::Henson);
+//! assert!(henson.is_real_function("henson_save_float"));
+//! // In the Henson API family but not a real function: a hallucination.
+//! assert!(henson.is_hallucinated("henson_save_matrix"));
+//! ```
 
 pub mod adios2;
 pub mod annotate;

@@ -12,6 +12,7 @@
 //! * [`runtime`] — the in-situ workflow execution engine
 //! * [`codemodel`] — code extraction and comparison helpers
 //! * [`wyaml`] — the minimal YAML subset used by configurations
+//! * [`service`] — the batch scoring server and its client
 
 pub use wfspeak_codemodel as codemodel;
 pub use wfspeak_core as core;
@@ -19,5 +20,6 @@ pub use wfspeak_corpus as corpus;
 pub use wfspeak_llm as llm;
 pub use wfspeak_metrics as metrics;
 pub use wfspeak_runtime as runtime;
+pub use wfspeak_service as service;
 pub use wfspeak_systems as systems;
 pub use wfspeak_wyaml as wyaml;

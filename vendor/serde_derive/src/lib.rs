@@ -9,7 +9,7 @@
 //! * enums whose variants are all unit variants (no generics).
 //!
 //! The generated impls target the workspace's vendored `serde` facade, whose
-//! data model is a JSON-like [`Value`] tree rather than the real serde
+//! data model is a JSON-like `Value` tree rather than the real serde
 //! visitor architecture. Anything outside the supported shapes fails with a
 //! compile error naming this crate, so drift is loud rather than silent.
 
