@@ -1,0 +1,15 @@
+//! `evaluation_throughput` — measure the full evaluation pipeline
+//! (extraction → API-call comparison → BLEU/ChrF) over repeated passes of
+//! the three experiment grids and write the `BENCH_3.json` artifact.
+//!
+//! Like `service_throughput` this is a one-shot measurement binary
+//! (`harness = false`): it prints the headline numbers and records the full
+//! report. `repro bench-evaluate` runs the same measurement. See the
+//! `wfspeak_bench` crate docs for the report schema.
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`) — ignored — and runs
+    // bench binaries with the package root as cwd, so anchor the artifact
+    // to the workspace root.
+    wfspeak_bench::run_evaluation_bench(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json"));
+}

@@ -17,7 +17,7 @@ use wfspeak_bench::{measure_grid_throughput, paper_benchmark};
 use wfspeak_core::report::{
     qualitative_configurations, qualitative_translations, render_samples, FullReport,
 };
-use wfspeak_core::{Benchmark, ExperimentKind, PromptVariant};
+use wfspeak_core::{Benchmark, BenchmarkConfig, ExperimentKind, PromptVariant};
 use wfspeak_service::{ScoringClient, ScoringServer, ServiceConfig, TaskKind, DEFAULT_ADDR};
 
 const USAGE: &str = "\
@@ -37,9 +37,17 @@ Paper artifacts (default: all tables and the figure):
     figure1        prompt-sensitivity heatmaps
     json           full machine-readable report on stdout
 
+Evaluation pipeline:
+    evaluate       full pipeline (code extraction -> API-call comparison ->
+                   BLEU/ChrF) over experiment grids, with per-cell summaries
+        --task T       configuration | annotation | translation | all
+                                             [default: all]
+        --trials N     trials per cell       [default: 5]
+
 Performance artifacts (rewrite tracked BENCH_N.json snapshots):
     bench          grid throughput -> BENCH_1.json
     bench-service  scoring-service throughput over loopback -> BENCH_2.json
+    bench-evaluate evaluation-pipeline throughput -> BENCH_3.json
 
 Scoring service:
     serve          run the batch scoring server (newline-delimited JSON/TCP)
@@ -161,6 +169,10 @@ fn bench_service() {
     wfspeak_bench::run_service_bench("BENCH_2.json");
 }
 
+fn bench_evaluate() {
+    wfspeak_bench::run_evaluation_bench("BENCH_3.json");
+}
+
 fn json(benchmark: &Benchmark) {
     let report = FullReport {
         config: benchmark.config().clone(),
@@ -179,6 +191,7 @@ struct CliOptions {
     workers: usize,
     task: String,
     system: String,
+    trials: usize,
     lines: bool,
     stats: bool,
 }
@@ -192,6 +205,7 @@ impl CliOptions {
             workers: 0,
             task: "configuration".to_owned(),
             system: "Henson".to_owned(),
+            trials: 5,
             lines: false,
             stats: false,
         };
@@ -214,6 +228,14 @@ impl CliOptions {
                 }
                 "--task" => options.task = value_of("--task")?,
                 "--system" => options.system = value_of("--system")?,
+                "--trials" => {
+                    options.trials = value_of("--trials")?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?;
+                    if options.trials == 0 {
+                        return Err("--trials must be at least 1".to_owned());
+                    }
+                }
                 "--lines" => options.lines = true,
                 "--stats" => options.stats = true,
                 other => return Err(format!("unknown option `{other}`")),
@@ -221,6 +243,46 @@ impl CliOptions {
         }
         Ok(options)
     }
+}
+
+/// Run the full evaluation pipeline — code extraction, API-call comparison
+/// and BLEU/ChrF — over the selected experiment grids and print a summary
+/// per grid plus the shared-cache statistics.
+fn evaluate(options: &CliOptions) -> Result<(), String> {
+    let kinds: Vec<ExperimentKind> = match options.task.to_ascii_lowercase().as_str() {
+        "all" => ExperimentKind::ALL.to_vec(),
+        "configuration" | "config" => vec![ExperimentKind::Configuration],
+        "annotation" | "annotate" => vec![ExperimentKind::Annotation],
+        "translation" | "translate" => vec![ExperimentKind::Translation],
+        other => {
+            return Err(format!(
+                "unknown task `{other}` (expected configuration, annotation, translation or all)"
+            ))
+        }
+    };
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: options.trials,
+        ..BenchmarkConfig::default()
+    });
+    for kind in kinds {
+        let grid = benchmark.run_evaluation(kind, PromptVariant::Original);
+        println!(
+            "{}",
+            grid.render_summary(&format!(
+                "Evaluation: {} ({} trials per cell)",
+                kind.name(),
+                options.trials
+            ))
+        );
+    }
+    let stats = benchmark.reference_cache().stats();
+    println!(
+        "reference cache: {} hits / {} lookups ({:.1}% hit rate)",
+        stats.hits,
+        stats.lookups(),
+        100.0 * stats.hit_rate()
+    );
+    Ok(())
 }
 
 fn serve(options: &CliOptions) -> Result<(), String> {
@@ -309,6 +371,20 @@ fn main() {
             }
             return;
         }
+        Some("evaluate") => {
+            // Without an explicit --task, evaluate covers every experiment.
+            let mut args = args[1..].to_vec();
+            if !args.iter().any(|a| a == "--task") {
+                args.extend(["--task".to_owned(), "all".to_owned()]);
+            }
+            let result =
+                CliOptions::parse(&args, &["--task", "--trials"]).and_then(|o| evaluate(&o));
+            if let Err(message) = result {
+                eprintln!("repro evaluate: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
         Some("score") => {
             let result = CliOptions::parse(
                 &args[1..],
@@ -330,7 +406,7 @@ fn main() {
 
     // Artifact subcommands: validate everything before running anything, so
     // a typo late in the list doesn't waste a full benchmark run.
-    const ARTIFACTS: [&str; 11] = [
+    const ARTIFACTS: [&str; 12] = [
         "run",
         "table1",
         "table2",
@@ -342,6 +418,7 @@ fn main() {
         "json",
         "bench",
         "bench-service",
+        "bench-evaluate",
     ];
     let selections: Vec<&str> = if args.is_empty() {
         vec!["run"]
@@ -379,6 +456,7 @@ fn main() {
             "json" => json(&benchmark),
             "bench" => bench(),
             "bench-service" => bench_service(),
+            "bench-evaluate" => bench_evaluate(),
             _ => unreachable!("validated above"),
         }
     }

@@ -12,6 +12,14 @@
 //! * **`BENCH_2.json`** ([`ServiceBenchReport`], written by the
 //!   `service_throughput` bench or `repro bench-service`) — scoring-service
 //!   throughput over loopback TCP.
+//! * **`BENCH_3.json`** ([`EvaluationBenchReport`], written by the
+//!   `evaluation_throughput` bench or `repro bench-evaluate`) — full
+//!   evaluation-pipeline throughput (extraction → API-call comparison →
+//!   BLEU/ChrF) over repeated passes of the three experiment grids:
+//!   `evaluations` / `evaluations_per_sec` count responses taken through
+//!   the whole pipeline, `hallucinated_calls` is a workload checksum, and
+//!   the `cache_*` fields report the shared prepared-reference cache
+//!   (later passes re-hit the references the first pass prepared).
 //!
 //! Shared schema conventions:
 //!
@@ -115,6 +123,109 @@ impl GridBenchReport {
     /// Pretty JSON for the `BENCH_1.json` artifact.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Machine-readable evaluation-pipeline throughput report emitted as
+/// `BENCH_3.json` (see the crate docs for the schema conventions).
+#[derive(Debug, Clone, Serialize)]
+pub struct EvaluationBenchReport {
+    /// Report schema / sequence tag (`BENCH_3` for the evaluation bench).
+    pub bench_id: String,
+    /// Trials per cell used for the measurement.
+    pub trials: usize,
+    /// Full passes over the three experiment grids.
+    pub passes: usize,
+    /// Evaluated `(row × model)` cells across all passes.
+    pub grid_cells: usize,
+    /// Responses taken through the full pipeline (`grid_cells × trials`).
+    pub evaluations: usize,
+    /// Hallucinated API calls detected across the whole workload (a
+    /// checksum: it must not drift between runs of the same seed).
+    pub hallucinated_calls: usize,
+    /// Prepared-reference cache hits across all passes.
+    pub cache_hits: u64,
+    /// Prepared-reference cache misses (distinct references prepared).
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, in `0.0..=1.0`.
+    pub cache_hit_rate: f64,
+    /// Wall-clock seconds for all passes.
+    pub wall_time_secs: f64,
+    /// Full-pipeline evaluations per second — the headline number.
+    pub evaluations_per_sec: f64,
+}
+
+impl EvaluationBenchReport {
+    /// Pretty JSON for the `BENCH_3.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Run `passes` full passes of the three experiment grids through the
+/// evaluation pipeline (extraction → API-call comparison → BLEU/ChrF) on a
+/// fresh benchmark and measure end-to-end evaluation throughput.
+///
+/// Every pass shares one [`wfspeak_core::ReferenceCache`]; the first pass
+/// prepares each distinct reference once, later passes only hit.
+pub fn measure_evaluation_throughput(passes: usize) -> EvaluationBenchReport {
+    let benchmark = paper_benchmark();
+    let trials = benchmark.config().trials;
+    let cells_per_pass: usize = ExperimentKind::ALL
+        .iter()
+        .map(|&kind| benchmark.grid_cells(kind))
+        .sum();
+
+    let start = Instant::now();
+    let mut hallucinated_calls = 0usize;
+    let mut evaluations = 0usize;
+    for _ in 0..passes {
+        for kind in ExperimentKind::ALL {
+            let grid = benchmark.run_evaluation(kind, PromptVariant::Original);
+            evaluations += grid.total_evaluations();
+            hallucinated_calls += grid.hallucinated_calls();
+            std::hint::black_box(&grid);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let cache = benchmark.reference_cache().stats();
+    EvaluationBenchReport {
+        bench_id: "BENCH_3".to_owned(),
+        trials,
+        passes,
+        grid_cells: cells_per_pass * passes,
+        evaluations,
+        hallucinated_calls,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_hit_rate: cache.hit_rate(),
+        wall_time_secs: wall,
+        evaluations_per_sec: evaluations as f64 / wall,
+    }
+}
+
+/// Run the evaluation bench at its standard scale (3 passes), print the
+/// headline numbers and write the report to `path`. Shared by
+/// `repro bench-evaluate` and the `evaluation_throughput` bench binary so
+/// the two artifacts cannot drift.
+pub fn run_evaluation_bench(path: &str) {
+    let report = measure_evaluation_throughput(3);
+    println!(
+        "Evaluation throughput: {} evaluations ({} cells × {} trials, {} passes) in {:.2}s \
+         = {:.1} evaluations/s (cache hit rate {:.3}, {} hallucinated calls)",
+        report.evaluations,
+        report.grid_cells,
+        report.trials,
+        report.passes,
+        report.wall_time_secs,
+        report.evaluations_per_sec,
+        report.cache_hit_rate,
+        report.hallucinated_calls,
+    );
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
     }
 }
 
@@ -318,6 +429,26 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench_id\": \"BENCH_2\""));
         assert!(json.contains("hypotheses_per_sec"));
+    }
+
+    #[test]
+    fn evaluation_throughput_report_is_consistent() {
+        let report = measure_evaluation_throughput(2);
+        assert_eq!(report.passes, 2);
+        // 3 config systems + 4 annotation systems + 4 translation pairs,
+        // each × 4 models, per pass.
+        assert_eq!(report.grid_cells, (3 + 4 + 4) * 4 * 2);
+        assert_eq!(report.evaluations, report.grid_cells * report.trials);
+        // 11 grid rows per pass resolve to 7 distinct reference texts
+        // (translation targets share the annotation references); the first
+        // pass prepares each once, everything later hits.
+        assert_eq!(report.cache_misses, 7);
+        assert_eq!(report.cache_hits, 4 + 11);
+        assert!(report.cache_hit_rate > 0.5);
+        assert!(report.evaluations_per_sec > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_3\""));
+        assert!(json.contains("evaluations_per_sec"));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! exactly once, for every model identically.
 
 /// Remove markdown code fences, returning the concatenated contents of all
-/// fenced blocks.  If the response has no fences it is returned unchanged.
+/// **non-empty** fenced blocks.  An empty fence pair (e.g. a stray
+/// ```` ``` ``` ```` before the real payload) carries no code and is
+/// skipped; if no fenced block holds any code the response is returned
+/// unchanged, exactly as when it has no fences at all.
 pub fn strip_markdown_fences(response: &str) -> String {
     if !response.contains("```") {
         return response.to_owned();
@@ -18,7 +21,11 @@ pub fn strip_markdown_fences(response: &str) -> String {
         let trimmed = line.trim_start();
         if trimmed.starts_with("```") {
             if in_block {
-                blocks.push(std::mem::take(&mut current));
+                if !current.trim().is_empty() {
+                    blocks.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
                 in_block = false;
             } else {
                 in_block = true;
@@ -31,7 +38,7 @@ pub fn strip_markdown_fences(response: &str) -> String {
         }
     }
     // Unterminated final fence: keep what we collected.
-    if in_block && !current.is_empty() {
+    if in_block && !current.trim().is_empty() {
         blocks.push(current);
     }
     if blocks.is_empty() {
@@ -48,9 +55,13 @@ pub fn extract_code(response: &str) -> String {
     if fenced != response {
         return fenced;
     }
-    // No fences: drop obvious prose lines at the start and end (sentences
-    // ending with a period that contain no code punctuation).
-    let lines: Vec<&str> = response.lines().collect();
+    // No usable fenced blocks.  Drop fence-marker lines (an empty fence
+    // pair contributes no code) and obvious prose lines at the start and
+    // end (sentences ending with a period that contain no code punctuation).
+    let lines: Vec<&str> = response
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("```"))
+        .collect();
     let is_prose = |line: &str| {
         let t = line.trim();
         if t.is_empty() {
@@ -122,6 +133,45 @@ mod tests {
         let resp = "  ```python\n@task(returns=1)\ndef f():\n    pass\n  ```";
         let code = strip_markdown_fences(resp);
         assert!(code.starts_with("@task"));
+    }
+
+    #[test]
+    fn empty_fence_pair_before_code_does_not_swallow_payload() {
+        // Regression: an empty ``` ``` pair used to make the whole response
+        // collapse to "\n", discarding the real payload that followed.
+        let resp = "```\n```\ntasks:\n  - func: producer\n";
+        assert_eq!(strip_markdown_fences(resp), resp, "no usable block");
+        let code = extract_code(resp);
+        assert_eq!(code, "tasks:\n  - func: producer\n");
+    }
+
+    #[test]
+    fn empty_fence_pair_skipped_in_favour_of_real_block() {
+        let resp = "```\n```\nintro text\n```c\nint a;\n```";
+        assert_eq!(strip_markdown_fences(resp), "int a;\n");
+        assert_eq!(extract_code(resp), "int a;\n");
+    }
+
+    #[test]
+    fn whitespace_only_block_treated_as_empty() {
+        let resp = "```\n   \n```\nhenson_yield();\n";
+        assert_eq!(extract_code(resp), "henson_yield();\n");
+    }
+
+    #[test]
+    fn empty_fences_with_prose_margins_still_extract_code() {
+        let resp =
+            "Sure, here is the file.\n```\n```\ntasks:\n  - func: producer\n\nHope this helps!";
+        let code = extract_code(resp);
+        assert!(code.starts_with("tasks:"), "got: {code}");
+        assert!(!code.contains("```"));
+        assert!(!code.contains("Hope this helps"));
+    }
+
+    #[test]
+    fn fence_only_response_returned_unchanged() {
+        let resp = "```\n```";
+        assert_eq!(extract_code(resp), resp);
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! The end-to-end evaluation pipeline: code extraction → API-call
+//! comparison → BLEU/ChrF scoring.
+//!
+//! The paper's headline analysis is not similarity metrics alone: a model
+//! response is first stripped down to its code payload
+//! ([`wfspeak_codemodel::extract_code`]), the payload's API calls are
+//! compared against the reference ([`wfspeak_codemodel::compare_calls`] —
+//! missing / extra / hallucinated calls), and only then are BLEU and ChrF
+//! computed.  This module chains those stages behind one implementation,
+//! [`evaluate_prepared`], that every surface shares:
+//!
+//! * [`EvalPipeline`] — standalone pipeline with its own scorers and shared
+//!   [`ReferenceCache`], for callers that bring their own responses;
+//! * [`Benchmark::run_evaluation`] — the pipeline over a whole experiment
+//!   grid, sharded across the worker pool ([`crate::parallel::par_map`])
+//!   with the benchmark's shared reference cache;
+//! * the scoring service's `evaluate` request (in `wfspeak-service`) calls
+//!   [`evaluate_prepared`] directly, so served evaluations are bit-identical
+//!   to in-process ones.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use wfspeak_codemodel::{compare_calls, extract_code, CallComparison, Language};
+use wfspeak_corpus::prompts::{
+    annotation_prompt, configuration_prompt, translation_prompt, PromptVariant,
+};
+use wfspeak_corpus::references::{
+    annotation_reference, configuration_reference, translation_reference,
+};
+use wfspeak_corpus::{translation_pair_label, translation_pairs, WorkflowSystemId};
+use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams};
+use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
+use wfspeak_systems::api::catalog_for;
+
+use crate::experiments::ExperimentKind;
+use crate::parallel::par_map;
+use crate::runner::{Benchmark, PreparedPair, ReferenceCache};
+
+/// What the call-comparison stage needs to know about a workflow system:
+/// the task-code language plus the system's API family and catalogue.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    /// The profiled system.
+    pub system: WorkflowSystemId,
+    /// Language its task codes are written in.
+    pub language: Language,
+    prefixes: Vec<&'static str>,
+    functions: Vec<&'static str>,
+}
+
+impl SystemProfile {
+    /// Build the profile for a system from its API catalogue.
+    pub fn for_system(system: WorkflowSystemId) -> SystemProfile {
+        let catalog = catalog_for(system);
+        SystemProfile {
+            system,
+            language: if system.uses_python_tasks() {
+                Language::Python
+            } else {
+                Language::C
+            },
+            prefixes: catalog.prefixes.clone(),
+            functions: catalog.function_names(),
+        }
+    }
+
+    /// Resolve a profile from a system display name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<SystemProfile> {
+        WorkflowSystemId::from_name(name).map(SystemProfile::for_system)
+    }
+
+    /// Identifier prefixes marking a call as belonging to the API family.
+    pub fn prefixes(&self) -> &[&'static str] {
+        &self.prefixes
+    }
+
+    /// The catalogue of real API functions.
+    pub fn functions(&self) -> &[&'static str] {
+        &self.functions
+    }
+}
+
+/// One response taken through the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The extracted code payload that was scored.
+    pub code: String,
+    /// sacrebleu-style BLEU of the payload against the reference (0–100).
+    pub bleu: f64,
+    /// Character n-gram F-score of the payload (0–100).
+    pub chrf: f64,
+    /// API-call comparison of the payload against the reference.
+    pub calls: CallComparison,
+}
+
+/// Run one response through the full pipeline against a prepared reference.
+///
+/// This is the *only* pipeline implementation: the standalone
+/// [`EvalPipeline`], the grid evaluator ([`Benchmark::run_evaluation`]) and
+/// the scoring service all call it, so their results are bit-identical to
+/// composing `extract_code` + `compare_calls` + `score_prepared` by hand
+/// (pinned by the workspace integration tests).
+pub fn evaluate_prepared(
+    bleu: &BleuScorer,
+    chrf: &ChrfScorer,
+    prepared: &PreparedPair,
+    profile: &SystemProfile,
+    response: &str,
+) -> Evaluation {
+    let code = extract_code(response);
+    let calls = compare_calls(
+        &code,
+        prepared.bleu.source(),
+        profile.language,
+        profile.prefixes(),
+        profile.functions(),
+    );
+    Evaluation {
+        bleu: bleu.score_prepared(&code, &prepared.bleu),
+        chrf: chrf.score_prepared(&code, &prepared.chrf),
+        code,
+        calls,
+    }
+}
+
+/// A standalone evaluation pipeline: scorers plus a shared
+/// [`ReferenceCache`], for evaluating caller-supplied responses outside a
+/// [`Benchmark`] grid.
+#[derive(Debug, Default)]
+pub struct EvalPipeline {
+    bleu: BleuScorer,
+    chrf: ChrfScorer,
+    references: ReferenceCache,
+}
+
+impl EvalPipeline {
+    /// A pipeline with default scorers and an empty cache.
+    pub fn new() -> EvalPipeline {
+        EvalPipeline::default()
+    }
+
+    /// The shared prepared-reference cache.
+    pub fn reference_cache(&self) -> &ReferenceCache {
+        &self.references
+    }
+
+    /// Fetch (or prepare on first use) the prepared pair for `reference`.
+    pub fn prepare(&self, reference: &str) -> Arc<PreparedPair> {
+        self.references
+            .get_or_prepare(&self.bleu, &self.chrf, reference)
+    }
+
+    /// Evaluate one response against `reference` for `profile`'s system.
+    pub fn evaluate(&self, reference: &str, profile: &SystemProfile, response: &str) -> Evaluation {
+        let prepared = self.prepare(reference);
+        evaluate_prepared(&self.bleu, &self.chrf, &prepared, profile, response)
+    }
+
+    /// Evaluate a batch of responses against one reference, in order.
+    pub fn evaluate_batch(
+        &self,
+        reference: &str,
+        profile: &SystemProfile,
+        responses: &[String],
+    ) -> Vec<Evaluation> {
+        let prepared = self.prepare(reference);
+        responses
+            .iter()
+            .map(|response| evaluate_prepared(&self.bleu, &self.chrf, &prepared, profile, response))
+            .collect()
+    }
+}
+
+/// One fully evaluated grid cell: every trial of one `(row, model)` pair.
+#[derive(Debug, Clone)]
+pub struct EvaluatedCell {
+    /// Row label (system name, or `"A to B"` for translation pairs).
+    pub row: String,
+    /// Model display name.
+    pub model: String,
+    /// Per-trial evaluations, in seed order.
+    pub trials: Vec<Evaluation>,
+}
+
+impl EvaluatedCell {
+    fn mean(&self, f: impl Fn(&Evaluation) -> f64) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(f).sum::<f64>() / self.trials.len() as f64
+    }
+
+    /// Mean BLEU over the cell's trials.
+    pub fn mean_bleu(&self) -> f64 {
+        self.mean(|e| e.bleu)
+    }
+
+    /// Mean ChrF over the cell's trials.
+    pub fn mean_chrf(&self) -> f64 {
+        self.mean(|e| e.chrf)
+    }
+
+    /// Mean call recall over the cell's trials.
+    pub fn mean_call_recall(&self) -> f64 {
+        self.mean(|e| e.calls.call_recall())
+    }
+
+    /// Mean call precision over the cell's trials.
+    pub fn mean_call_precision(&self) -> f64 {
+        self.mean(|e| e.calls.call_precision())
+    }
+
+    /// Hallucinated call count summed over the cell's trials.
+    pub fn hallucinated_calls(&self) -> usize {
+        self.trials.iter().map(|e| e.calls.hallucinated.len()).sum()
+    }
+}
+
+/// A whole experiment grid taken through the evaluation pipeline.
+#[derive(Debug, Clone)]
+pub struct EvaluationGrid {
+    /// Which experiment was evaluated.
+    pub kind: ExperimentKind,
+    /// Cells in declared order: row-major, model-minor.
+    pub cells: Vec<EvaluatedCell>,
+}
+
+impl EvaluationGrid {
+    /// Look up one cell by row and model label.
+    pub fn cell(&self, row: &str, model: &str) -> Option<&EvaluatedCell> {
+        self.cells.iter().find(|c| c.row == row && c.model == model)
+    }
+
+    /// Total responses evaluated (cells × trials).
+    pub fn total_evaluations(&self) -> usize {
+        self.cells.iter().map(|c| c.trials.len()).sum()
+    }
+
+    /// Hallucinated call count across the whole grid.
+    pub fn hallucinated_calls(&self) -> usize {
+        self.cells.iter().map(|c| c.hallucinated_calls()).sum()
+    }
+
+    /// The distinct hallucinated API names observed anywhere in the grid
+    /// (the paper's qualitative finding, e.g. `henson_put`).
+    pub fn hallucinated_names(&self) -> BTreeSet<String> {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.trials)
+            .flat_map(|e| e.calls.hallucinated.iter().cloned())
+            .collect()
+    }
+
+    fn grid_mean(&self, f: impl Fn(&Evaluation) -> f64) -> f64 {
+        let n = self.total_evaluations();
+        if n == 0 {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .flat_map(|c| &c.trials)
+            .map(f)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Mean BLEU over every evaluation in the grid.
+    pub fn mean_bleu(&self) -> f64 {
+        self.grid_mean(|e| e.bleu)
+    }
+
+    /// Mean ChrF over every evaluation in the grid.
+    pub fn mean_chrf(&self) -> f64 {
+        self.grid_mean(|e| e.chrf)
+    }
+
+    /// Mean call recall over every evaluation in the grid.
+    pub fn mean_call_recall(&self) -> f64 {
+        self.grid_mean(|e| e.calls.call_recall())
+    }
+
+    /// Render a fixed-width summary table: one line per cell with BLEU,
+    /// ChrF, call recall/precision and hallucinated-call counts, plus a
+    /// grid-level footer.
+    pub fn render_summary(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<22} {:<16} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+            "row", "model", "BLEU", "ChrF", "recall", "prec", "halluc"
+        ));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:<22} {:<16} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7}\n",
+                cell.row,
+                cell.model,
+                cell.mean_bleu(),
+                cell.mean_chrf(),
+                cell.mean_call_recall(),
+                cell.mean_call_precision(),
+                cell.hallucinated_calls(),
+            ));
+        }
+        let names: Vec<String> = self.hallucinated_names().into_iter().collect();
+        out.push_str(&format!(
+            "overall: {} evaluations, mean BLEU {:.2}, mean ChrF {:.2}, {} hallucinated calls",
+            self.total_evaluations(),
+            self.mean_bleu(),
+            self.mean_chrf(),
+            self.hallucinated_calls(),
+        ));
+        if !names.is_empty() {
+            out.push_str(&format!(" (distinct: {})", names.join(", ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// One grid cell's evaluation work: a client queried with one prompt, every
+/// trial response taken through the full pipeline.
+struct EvalCellJob<'a> {
+    row: String,
+    model: String,
+    client: &'a dyn LlmClient,
+    prompt: String,
+    prepared: Arc<PreparedPair>,
+    profile: Arc<SystemProfile>,
+}
+
+impl Benchmark {
+    /// The `(row, reference, prompt, profile)` tuples of one experiment, in
+    /// the paper's declared row order.  The profiled system is the one whose
+    /// API surface the generated code must use (for translation, the
+    /// *target* system).
+    fn evaluation_rows(
+        &self,
+        kind: ExperimentKind,
+        variant: PromptVariant,
+    ) -> Vec<(String, &'static str, String, Arc<SystemProfile>)> {
+        match kind {
+            ExperimentKind::Configuration => WorkflowSystemId::configuration_systems()
+                .into_iter()
+                .map(|system| {
+                    let reference = configuration_reference(system)
+                        .expect("configuration systems always have a reference");
+                    (
+                        system.name().to_owned(),
+                        reference,
+                        configuration_prompt(system, variant),
+                        Arc::new(SystemProfile::for_system(system)),
+                    )
+                })
+                .collect(),
+            ExperimentKind::Annotation => WorkflowSystemId::annotation_systems()
+                .into_iter()
+                .map(|system| {
+                    let reference = annotation_reference(system)
+                        .expect("annotation systems always have a reference");
+                    (
+                        system.name().to_owned(),
+                        reference,
+                        annotation_prompt(system, variant),
+                        Arc::new(SystemProfile::for_system(system)),
+                    )
+                })
+                .collect(),
+            ExperimentKind::Translation => translation_pairs()
+                .into_iter()
+                .map(|(source, target)| {
+                    let reference = translation_reference(target)
+                        .expect("translation targets always have a reference");
+                    (
+                        translation_pair_label(source, target),
+                        reference,
+                        translation_prompt(source, target, variant),
+                        Arc::new(SystemProfile::for_system(target)),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Run one evaluation cell: query the client once per trial and take
+    /// every response through the full pipeline.
+    fn evaluate_cell(&self, job: &EvalCellJob<'_>) -> Vec<Evaluation> {
+        self.config
+            .trial_seeds()
+            .into_iter()
+            .map(|seed| {
+                let params = SamplingParams {
+                    temperature: self.config.temperature,
+                    top_p: self.config.top_p,
+                    seed,
+                };
+                let response = job
+                    .client
+                    .complete(&CompletionRequest::new(job.prompt.clone(), params));
+                evaluate_prepared(
+                    &self.bleu,
+                    &self.chrf,
+                    &job.prepared,
+                    &job.profile,
+                    &response.text,
+                )
+            })
+            .collect()
+    }
+
+    /// Take a whole experiment grid through the evaluation pipeline:
+    /// extraction, API-call comparison and BLEU/ChrF for every
+    /// `(row × model × trial)` response.
+    ///
+    /// Cells are evaluated in parallel on the worker pool
+    /// ([`crate::parallel::par_map`]) while the result preserves declared
+    /// order (row-major, model-minor, trials in seed order), and references
+    /// are prepared once through the benchmark's shared [`ReferenceCache`] —
+    /// the same cache the scoring grid uses.
+    pub fn run_evaluation(&self, kind: ExperimentKind, variant: PromptVariant) -> EvaluationGrid {
+        let mut jobs = Vec::new();
+        for (row, reference, prompt, profile) in self.evaluation_rows(kind, variant) {
+            let prepared = self
+                .references
+                .get_or_prepare(&self.bleu, &self.chrf, reference);
+            for client in &self.clients {
+                jobs.push(EvalCellJob {
+                    row: row.clone(),
+                    model: client.model().name().to_owned(),
+                    client: client.as_ref(),
+                    prompt: prompt.clone(),
+                    prepared: Arc::clone(&prepared),
+                    profile: Arc::clone(&profile),
+                });
+            }
+        }
+        let evaluated = par_map(&jobs, |job| self.evaluate_cell(job));
+        EvaluationGrid {
+            kind,
+            cells: jobs
+                .into_iter()
+                .zip(evaluated)
+                .map(|(job, trials)| EvaluatedCell {
+                    row: job.row,
+                    model: job.model,
+                    trials,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BenchmarkConfig;
+
+    fn quick_benchmark() -> Benchmark {
+        Benchmark::with_simulated_models(BenchmarkConfig {
+            trials: 2,
+            ..BenchmarkConfig::default()
+        })
+    }
+
+    #[test]
+    fn profiles_pick_language_from_system() {
+        assert_eq!(
+            SystemProfile::for_system(WorkflowSystemId::Henson).language,
+            Language::C
+        );
+        assert_eq!(
+            SystemProfile::for_system(WorkflowSystemId::Parsl).language,
+            Language::Python
+        );
+        assert!(SystemProfile::by_name("henson").is_some());
+        assert!(SystemProfile::by_name("slurm").is_none());
+    }
+
+    #[test]
+    fn pipeline_detects_hallucinated_calls_in_fenced_response() {
+        let pipeline = EvalPipeline::new();
+        let profile = SystemProfile::for_system(WorkflowSystemId::Henson);
+        let reference = "henson_save_int(\"t\", t);\nhenson_yield();";
+        let response =
+            "Here is the annotated code:\n```c\nhenson_put(\"t\", t);\nhenson_yield();\n```";
+        let evaluation = pipeline.evaluate(reference, &profile, response);
+        assert!(evaluation.code.starts_with("henson_put"));
+        assert_eq!(evaluation.calls.hallucinated, vec!["henson_put".to_owned()]);
+        assert!(evaluation.calls.missing.contains(&"henson_save_int".into()));
+        assert!(evaluation.bleu < 100.0);
+        assert!(evaluation.chrf > 0.0);
+    }
+
+    #[test]
+    fn pipeline_matches_direct_stage_composition() {
+        let pipeline = EvalPipeline::new();
+        let profile = SystemProfile::for_system(WorkflowSystemId::PyCompss);
+        let reference = "compss_wait_on_file(out)\nprocess(out)";
+        let response = "```python\ncompss_wait_on(out)\nprocess(out)\n```";
+        let evaluation = pipeline.evaluate(reference, &profile, response);
+
+        let code = extract_code(response);
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        assert_eq!(evaluation.code, code);
+        assert_eq!(
+            evaluation.bleu.to_bits(),
+            bleu.score(&code, reference).to_bits()
+        );
+        assert_eq!(
+            evaluation.chrf.to_bits(),
+            chrf.score(&code, reference).to_bits()
+        );
+        assert_eq!(
+            evaluation.calls,
+            compare_calls(
+                &code,
+                reference,
+                Language::Python,
+                profile.prefixes(),
+                profile.functions()
+            )
+        );
+    }
+
+    #[test]
+    fn pipeline_shares_reference_preparations() {
+        let pipeline = EvalPipeline::new();
+        let profile = SystemProfile::for_system(WorkflowSystemId::Henson);
+        pipeline.evaluate_batch("ref", &profile, &["a".into(), "b".into()]);
+        pipeline.evaluate("ref", &profile, "c");
+        let stats = pipeline.reference_cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1, "batch prepares once, evaluate hits");
+    }
+
+    #[test]
+    fn evaluation_grid_has_experiment_shape() {
+        let benchmark = quick_benchmark();
+        let grid = benchmark.run_evaluation(ExperimentKind::Annotation, PromptVariant::Original);
+        assert_eq!(grid.kind, ExperimentKind::Annotation);
+        assert_eq!(grid.cells.len(), 4 * 4, "4 systems × 4 models");
+        assert_eq!(grid.total_evaluations(), 4 * 4 * 2);
+        for cell in &grid.cells {
+            assert_eq!(cell.trials.len(), 2);
+            for evaluation in &cell.trials {
+                assert!(!evaluation.code.is_empty());
+            }
+        }
+        assert!(grid.mean_bleu() > 0.0);
+        assert!(grid.mean_chrf() > 0.0);
+    }
+
+    #[test]
+    fn evaluation_grid_is_deterministic() {
+        let a =
+            quick_benchmark().run_evaluation(ExperimentKind::Translation, PromptVariant::Original);
+        let b =
+            quick_benchmark().run_evaluation(ExperimentKind::Translation, PromptVariant::Original);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.row, cb.row);
+            assert_eq!(ca.model, cb.model);
+            assert_eq!(ca.trials, cb.trials);
+        }
+    }
+
+    #[test]
+    fn evaluation_reuses_the_scoring_grid_cache() {
+        let benchmark = quick_benchmark();
+        benchmark.run_configuration(PromptVariant::Original, false);
+        let prepared_before = benchmark.reference_cache().len();
+        benchmark.run_evaluation(ExperimentKind::Configuration, PromptVariant::Original);
+        assert_eq!(
+            benchmark.reference_cache().len(),
+            prepared_before,
+            "evaluation hits the references the scoring grid already prepared"
+        );
+    }
+
+    #[test]
+    fn summary_renders_rows_models_and_totals() {
+        let benchmark = quick_benchmark();
+        let grid = benchmark.run_evaluation(ExperimentKind::Annotation, PromptVariant::Original);
+        let summary = grid.render_summary("Annotation evaluation");
+        assert!(summary.starts_with("Annotation evaluation"));
+        assert!(summary.contains("ADIOS2"));
+        assert!(summary.contains("o3"));
+        assert!(summary.contains("overall:"));
+    }
+}

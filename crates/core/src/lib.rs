@@ -18,6 +18,11 @@
 //! | Few-shot prompting | Table 5 | [`Benchmark::run_few_shot_comparison`] |
 //! | Qualitative configurations | Table 6 | [`report::qualitative_configurations`] |
 //!
+//! Beyond per-metric scoring, [`Benchmark::run_evaluation`] takes a whole
+//! experiment grid through the full pipeline — code extraction, API-call
+//! comparison (missing / extra / hallucinated calls) and BLEU/ChrF — in one
+//! pass; see the [`eval`] module.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -30,6 +35,7 @@
 //! ```
 
 pub mod config;
+pub mod eval;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
@@ -37,6 +43,9 @@ pub mod result;
 pub mod runner;
 
 pub use config::BenchmarkConfig;
+pub use eval::{
+    evaluate_prepared, EvalPipeline, EvaluatedCell, Evaluation, EvaluationGrid, SystemProfile,
+};
 pub use experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
 pub use result::ExperimentResult;
 pub use runner::{Benchmark, PreparedPair, ReferenceCache};

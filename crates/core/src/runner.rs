@@ -141,11 +141,11 @@ struct CellJob<'a> {
 
 /// The benchmark: a set of models plus the run configuration.
 pub struct Benchmark {
-    clients: Vec<Box<dyn LlmClient>>,
-    config: BenchmarkConfig,
-    bleu: BleuScorer,
-    chrf: ChrfScorer,
-    references: ReferenceCache,
+    pub(crate) clients: Vec<Box<dyn LlmClient>>,
+    pub(crate) config: BenchmarkConfig,
+    pub(crate) bleu: BleuScorer,
+    pub(crate) chrf: ChrfScorer,
+    pub(crate) references: ReferenceCache,
 }
 
 impl Benchmark {

@@ -118,6 +118,32 @@ impl ScoringClient {
         self.roundtrip(&request)
     }
 
+    /// Run raw model responses through the server's full evaluation
+    /// pipeline (extraction → API-call comparison → BLEU/ChrF) against a
+    /// built-in reference (call/response).
+    pub fn evaluate(
+        &mut self,
+        task: TaskKind,
+        system: &str,
+        responses: Vec<String>,
+    ) -> std::io::Result<ScoreResponse> {
+        let request = ScoreRequest::evaluate(self.fresh_id(), task, system, responses);
+        self.roundtrip(&request)
+    }
+
+    /// Full-pipeline evaluation against an inline reference text; `system`
+    /// selects the API catalogue used for call comparison (call/response).
+    pub fn evaluate_text(
+        &mut self,
+        reference_text: &str,
+        system: &str,
+        responses: Vec<String>,
+    ) -> std::io::Result<ScoreResponse> {
+        let request =
+            ScoreRequest::evaluate_text(self.fresh_id(), reference_text, system, responses);
+        self.roundtrip(&request)
+    }
+
     /// Fetch the server's lifetime counters.
     pub fn stats(&mut self) -> std::io::Result<ServiceStats> {
         let request = ScoreRequest::stats(self.fresh_id());

@@ -23,6 +23,13 @@
 //!   path the benchmark runner uses, so a score served over the wire equals
 //!   the score computed in-process, bit for bit (the integration tests pin
 //!   this).
+//! * **Full-pipeline `evaluate` requests** — a request with
+//!   `mode: "evaluate"` treats each hypothesis as a raw model response and
+//!   runs extraction → API-call comparison → BLEU/ChrF
+//!   ([`wfspeak_core::eval::evaluate_prepared`]) on the same worker pool
+//!   with the same shared cache and backpressure rules, answering with
+//!   [`EvaluationScore`]s that are bit-identical to composing the stages
+//!   in-process.
 //!
 //! # Quickstart
 //!
@@ -56,6 +63,7 @@ pub mod server;
 
 pub use client::ScoringClient;
 pub use protocol::{
-    HypothesisScore, ScoreRequest, ScoreResponse, ServiceStats, TaskKind, DEFAULT_ADDR,
+    EvaluationScore, HypothesisScore, RequestMode, ScoreRequest, ScoreResponse, ServiceStats,
+    TaskKind, DEFAULT_ADDR,
 };
 pub use server::{ScoringServer, ServiceConfig};

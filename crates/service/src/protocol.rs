@@ -14,6 +14,12 @@
 //! * **by text** — `reference_text` carries an arbitrary reference, which is
 //!   prepared through the same shared cache (repeat texts hit).
 //!
+//! A request's `mode` selects how hypotheses are processed: plain BLEU/ChrF
+//! scoring (the default), or `"evaluate"` — the full pipeline that strips
+//! each raw model response down to its code payload, compares its API calls
+//! against the reference (missing / extra / hallucinated) and then scores
+//! it, answering with [`EvaluationScore`]s.
+//!
 //! The special task `"stats"` returns a [`ServiceStats`] snapshot instead of
 //! scores.
 
@@ -63,6 +69,16 @@ impl TaskKind {
     }
 }
 
+/// How the server processes a request's hypotheses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestMode {
+    /// BLEU/ChrF only — hypotheses arrive pre-extracted (the default).
+    Score,
+    /// The full pipeline: each hypothesis is a *raw model response* taken
+    /// through code extraction → API-call comparison → BLEU/ChrF.
+    Evaluate,
+}
+
 /// One scoring request: a batch of hypotheses scored against one reference.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct ScoreRequest {
@@ -74,13 +90,18 @@ pub struct ScoreRequest {
     pub task: String,
     /// Workflow system whose ground-truth artifact is the reference (for
     /// `translation`, the *target* system). Ignored when `reference_id` or
-    /// `reference_text` is given.
+    /// `reference_text` is given — except by `evaluate` requests, which
+    /// always need a system for API-call comparison.
     pub system: String,
     /// Combined `"task/system"` reference address; overrides `task`/`system`.
     pub reference_id: Option<String>,
     /// Literal reference text; overrides every other addressing field.
     pub reference_text: Option<String>,
-    /// The hypotheses to score, in order.
+    /// Processing mode: empty or `"score"` for plain scoring, `"evaluate"`
+    /// for the full extraction → comparison → scoring pipeline.
+    pub mode: String,
+    /// The hypotheses to score, in order. For `evaluate` requests these are
+    /// raw model responses (fences and prose are stripped server-side).
     pub hypotheses: Vec<String>,
 }
 
@@ -93,6 +114,7 @@ impl ScoreRequest {
             system: system.to_owned(),
             reference_id: None,
             reference_text: None,
+            mode: String::new(),
             hypotheses,
         }
     }
@@ -113,6 +135,51 @@ impl ScoreRequest {
             id,
             task: TaskKind::Stats.name().to_owned(),
             ..ScoreRequest::default()
+        }
+    }
+
+    /// A full-pipeline request addressing a built-in reference: each entry
+    /// of `responses` is a raw model response.
+    pub fn evaluate(id: u64, task: TaskKind, system: &str, responses: Vec<String>) -> Self {
+        ScoreRequest {
+            mode: "evaluate".to_owned(),
+            ..ScoreRequest::by_id(id, task, system, responses)
+        }
+    }
+
+    /// A full-pipeline request carrying its reference inline; `system`
+    /// still selects the API catalogue used for call comparison.
+    pub fn evaluate_text(
+        id: u64,
+        reference_text: &str,
+        system: &str,
+        responses: Vec<String>,
+    ) -> Self {
+        ScoreRequest {
+            system: system.to_owned(),
+            mode: "evaluate".to_owned(),
+            ..ScoreRequest::by_text(id, reference_text, responses)
+        }
+    }
+
+    /// Parse the request's processing mode; `Err` carries the unknown name.
+    pub fn resolve_mode(&self) -> Result<RequestMode, String> {
+        match self.mode.to_ascii_lowercase().as_str() {
+            "" | "score" => Ok(RequestMode::Score),
+            "evaluate" => Ok(RequestMode::Evaluate),
+            other => Err(format!(
+                "unknown mode `{other}` (expected score or evaluate)"
+            )),
+        }
+    }
+
+    /// The workflow-system name this request addresses (from `reference_id`
+    /// when present, else the `system` field); `None` when neither names one.
+    pub fn resolve_system_name(&self) -> Option<&str> {
+        match &self.reference_id {
+            Some(reference_id) => reference_id.split_once('/').map(|(_, system)| system),
+            None if self.system.is_empty() => None,
+            None => Some(self.system.as_str()),
         }
     }
 
@@ -177,6 +244,7 @@ impl Deserialize for ScoreRequest {
                 obj.field("reference_text"),
                 "ScoreRequest.reference_text",
             )?,
+            mode: field_or_default(obj.field("mode"), "ScoreRequest.mode")?,
             hypotheses: field_or_default(obj.field("hypotheses"), "ScoreRequest.hypotheses")?,
         })
     }
@@ -189,6 +257,46 @@ pub struct HypothesisScore {
     pub bleu: f64,
     /// Character n-gram F-score.
     pub chrf: f64,
+}
+
+/// The full-pipeline result for one raw model response: similarity scores
+/// plus the API-call comparison of the extracted payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationScore {
+    /// sacrebleu-style BLEU of the extracted payload.
+    pub bleu: f64,
+    /// Character n-gram F-score of the extracted payload.
+    pub chrf: f64,
+    /// Calls present in both payload and reference.
+    pub matched: Vec<String>,
+    /// Reference calls absent from the payload.
+    pub missing: Vec<String>,
+    /// Payload calls absent from the reference.
+    pub extra: Vec<String>,
+    /// Payload calls in the system's API family that do not exist — the
+    /// paper's hallucination failure mode.
+    pub hallucinated: Vec<String>,
+    /// `matched / (matched + missing)`; 1.0 when the reference has no calls.
+    pub call_recall: f64,
+    /// `matched / (matched + extra)`; 1.0 when the payload has no calls.
+    pub call_precision: f64,
+}
+
+impl EvaluationScore {
+    /// Flatten a pipeline [`Evaluation`](wfspeak_core::eval::Evaluation)
+    /// into its wire form (the extracted payload itself stays server-side).
+    pub fn from_evaluation(evaluation: &wfspeak_core::eval::Evaluation) -> Self {
+        EvaluationScore {
+            bleu: evaluation.bleu,
+            chrf: evaluation.chrf,
+            matched: evaluation.calls.matched.clone(),
+            missing: evaluation.calls.missing.clone(),
+            extra: evaluation.calls.extra.clone(),
+            hallucinated: evaluation.calls.hallucinated.clone(),
+            call_recall: evaluation.calls.call_recall(),
+            call_precision: evaluation.calls.call_precision(),
+        }
+    }
 }
 
 /// A snapshot of the server's lifetime counters.
@@ -224,9 +332,13 @@ pub struct ScoreResponse {
     pub ok: bool,
     /// Failure description; `None` on success.
     pub error: Option<String>,
-    /// Per-hypothesis scores, in request order. Empty on failure and for
-    /// `stats` requests.
+    /// Per-hypothesis scores, in request order. Empty on failure, for
+    /// `stats` requests and for `evaluate` requests (which fill
+    /// [`evaluations`](ScoreResponse::evaluations) instead).
     pub scores: Vec<HypothesisScore>,
+    /// Per-response pipeline evaluations, in request order; filled only for
+    /// `evaluate` requests.
+    pub evaluations: Vec<EvaluationScore>,
     /// Server counters; present only for `stats` requests.
     pub stats: Option<ServiceStats>,
 }
@@ -239,6 +351,19 @@ impl ScoreResponse {
             ok: true,
             error: None,
             scores,
+            evaluations: Vec::new(),
+            stats: None,
+        }
+    }
+
+    /// A successful full-pipeline response.
+    pub fn evaluated(id: u64, evaluations: Vec<EvaluationScore>) -> Self {
+        ScoreResponse {
+            id,
+            ok: true,
+            error: None,
+            scores: Vec::new(),
+            evaluations,
             stats: None,
         }
     }
@@ -250,6 +375,7 @@ impl ScoreResponse {
             ok: false,
             error: Some(error.into()),
             scores: Vec::new(),
+            evaluations: Vec::new(),
             stats: None,
         }
     }
@@ -261,6 +387,7 @@ impl ScoreResponse {
             ok: true,
             error: None,
             scores: Vec::new(),
+            evaluations: Vec::new(),
             stats: Some(stats),
         }
     }
@@ -390,6 +517,74 @@ mod tests {
             assert_eq!(sent.bleu.to_bits(), received.bleu.to_bits());
             assert_eq!(sent.chrf.to_bits(), received.chrf.to_bits());
         }
+    }
+
+    #[test]
+    fn evaluate_requests_round_trip_and_default_to_score_mode() {
+        let request = ScoreRequest::evaluate(
+            11,
+            TaskKind::Annotation,
+            "Henson",
+            vec!["```c\nhenson_yield();\n```".into()],
+        );
+        assert_eq!(request.resolve_mode(), Ok(RequestMode::Evaluate));
+        let decoded: ScoreRequest = decode_line(&encode_line(&request)).unwrap();
+        assert_eq!(decoded.mode, "evaluate");
+        assert_eq!(decoded.resolve_mode(), Ok(RequestMode::Evaluate));
+        assert_eq!(decoded.resolve_system_name(), Some("Henson"));
+
+        // Requests that never mention `mode` (hand-rolled clients, every
+        // pre-existing caller) stay plain scoring requests.
+        let sparse: ScoreRequest =
+            decode_line(r#"{"task": "annotation", "system": "Parsl", "hypotheses": ["x"]}"#)
+                .unwrap();
+        assert_eq!(sparse.resolve_mode(), Ok(RequestMode::Score));
+        assert!(ScoreRequest::default().resolve_mode() == Ok(RequestMode::Score));
+        assert!(ScoreRequest {
+            mode: "guess".into(),
+            ..ScoreRequest::default()
+        }
+        .resolve_mode()
+        .is_err());
+    }
+
+    #[test]
+    fn resolve_system_name_prefers_reference_id() {
+        let combined = ScoreRequest {
+            system: "Henson".into(),
+            reference_id: Some("configuration/Wilkins".into()),
+            ..ScoreRequest::default()
+        };
+        assert_eq!(combined.resolve_system_name(), Some("Wilkins"));
+        assert_eq!(ScoreRequest::default().resolve_system_name(), None);
+    }
+
+    #[test]
+    fn evaluation_responses_round_trip_with_float_precision() {
+        let evaluations = vec![EvaluationScore {
+            bleu: 31.622776601683793,
+            chrf: 0.0625,
+            matched: vec!["henson_yield".into()],
+            missing: vec!["henson_save_int".into()],
+            extra: vec!["printf".into()],
+            hallucinated: vec!["henson_put".into()],
+            call_recall: 0.5,
+            call_precision: 1.0 / 3.0,
+        }];
+        let line = encode_line(&ScoreResponse::evaluated(9, evaluations.clone()));
+        let decoded: ScoreResponse = decode_line(&line).unwrap();
+        assert!(decoded.ok);
+        assert!(decoded.scores.is_empty());
+        assert_eq!(decoded.evaluations.len(), 1);
+        let (sent, received) = (&evaluations[0], &decoded.evaluations[0]);
+        assert_eq!(sent.bleu.to_bits(), received.bleu.to_bits());
+        assert_eq!(sent.chrf.to_bits(), received.chrf.to_bits());
+        assert_eq!(
+            sent.call_precision.to_bits(),
+            received.call_precision.to_bits()
+        );
+        assert_eq!(sent.matched, received.matched);
+        assert_eq!(sent.hallucinated, received.hallucinated);
     }
 
     #[test]

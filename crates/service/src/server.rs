@@ -37,12 +37,13 @@ use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use wfspeak_core::eval::{evaluate_prepared, SystemProfile};
 use wfspeak_core::ReferenceCache;
 use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
 
 use crate::protocol::{
-    decode_line, encode_line, salvage_request_id, HypothesisScore, ScoreRequest, ScoreResponse,
-    ServiceStats,
+    decode_line, encode_line, salvage_request_id, EvaluationScore, HypothesisScore, RequestMode,
+    ScoreRequest, ScoreResponse, ServiceStats,
 };
 
 /// Tunables for [`ScoringServer::spawn`].
@@ -120,14 +121,42 @@ impl ServiceState {
         }
     }
 
-    /// Execute one request. This is the only scoring path in the service, and
-    /// it calls exactly the same `Scorer::score_prepared` the benchmark
-    /// runner uses, so served scores are bit-identical to direct scoring.
+    /// Execute one request. Both modes funnel through exactly the code the
+    /// in-process paths use — `Scorer::score_prepared` for scoring,
+    /// `wfspeak_core::eval::evaluate_prepared` for the full pipeline — so
+    /// served results are bit-identical to direct composition.
     fn handle(&self, request: &ScoreRequest) -> ScoreResponse {
+        let mode = match request.resolve_mode() {
+            Ok(mode) => mode,
+            Err(message) => return ScoreResponse::failure(request.id, message),
+        };
         let reference = match request.resolve_reference() {
             Ok(Some(reference)) => reference,
             Ok(None) => return ScoreResponse::stats(request.id, self.stats()),
             Err(message) => return ScoreResponse::failure(request.id, message),
+        };
+        // An evaluate request needs a workflow system for API-call
+        // comparison, even when the reference text arrives inline.
+        let profile = match mode {
+            RequestMode::Score => None,
+            RequestMode::Evaluate => {
+                let Some(name) = request.resolve_system_name() else {
+                    return ScoreResponse::failure(
+                        request.id,
+                        "evaluate requests must name a workflow system \
+                         (`system` or `reference_id`) for API-call comparison",
+                    );
+                };
+                match SystemProfile::by_name(name) {
+                    Some(profile) => Some(profile),
+                    None => {
+                        return ScoreResponse::failure(
+                            request.id,
+                            format!("unknown workflow system `{name}`"),
+                        )
+                    }
+                }
+            }
         };
         // Counted at admission, before the cache lookup, so a concurrent
         // `stats` snapshot never shows more cache traffic than the request
@@ -141,15 +170,31 @@ impl ServiceState {
             reference,
             self.max_cached_references,
         );
-        let scores: Vec<HypothesisScore> = request
-            .hypotheses
-            .iter()
-            .map(|hypothesis| HypothesisScore {
-                bleu: self.bleu.score_prepared(hypothesis, &prepared.bleu),
-                chrf: self.chrf.score_prepared(hypothesis, &prepared.chrf),
-            })
-            .collect();
-        ScoreResponse::success(request.id, scores)
+        match profile {
+            None => {
+                let scores: Vec<HypothesisScore> = request
+                    .hypotheses
+                    .iter()
+                    .map(|hypothesis| HypothesisScore {
+                        bleu: self.bleu.score_prepared(hypothesis, &prepared.bleu),
+                        chrf: self.chrf.score_prepared(hypothesis, &prepared.chrf),
+                    })
+                    .collect();
+                ScoreResponse::success(request.id, scores)
+            }
+            Some(profile) => {
+                let evaluations: Vec<EvaluationScore> = request
+                    .hypotheses
+                    .iter()
+                    .map(|response| {
+                        EvaluationScore::from_evaluation(&evaluate_prepared(
+                            &self.bleu, &self.chrf, &prepared, &profile, response,
+                        ))
+                    })
+                    .collect();
+                ScoreResponse::evaluated(request.id, evaluations)
+            }
+        }
     }
 }
 
@@ -510,6 +555,121 @@ mod tests {
         assert!(!response.ok);
         assert!(response.error.unwrap().contains("NoSuchSystem"));
         assert_eq!(state.stats().requests, 0);
+    }
+
+    #[test]
+    fn evaluate_mode_runs_full_pipeline_bit_identically() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let reference = "henson_save_int(\"t\", t);\nhenson_yield();";
+        let responses = vec![
+            "Here is the code:\n```c\nhenson_put(\"t\", t);\nhenson_yield();\n```".to_owned(),
+            reference.to_owned(),
+        ];
+        let request = ScoreRequest::evaluate_text(7, reference, "Henson", responses.clone());
+        let response = state.handle(&request);
+        assert!(response.ok, "{:?}", response.error);
+        assert!(response.scores.is_empty());
+        assert_eq!(response.evaluations.len(), 2);
+        assert_eq!(
+            response.evaluations[0].hallucinated,
+            vec!["henson_put".to_owned()]
+        );
+        assert_eq!(response.evaluations[1].call_recall, 1.0);
+
+        // Bit-identical to running the pipeline in-process.
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        let cache = ReferenceCache::default();
+        let prepared = cache.get_or_prepare(&bleu, &chrf, reference);
+        let profile = SystemProfile::by_name("Henson").unwrap();
+        for (sent, served) in responses.iter().zip(&response.evaluations) {
+            let direct = evaluate_prepared(&bleu, &chrf, &prepared, &profile, sent);
+            assert_eq!(served.bleu.to_bits(), direct.bleu.to_bits());
+            assert_eq!(served.chrf.to_bits(), direct.chrf.to_bits());
+            assert_eq!(served.matched, direct.calls.matched);
+            assert_eq!(served.missing, direct.calls.missing);
+            assert_eq!(served.extra, direct.calls.extra);
+            assert_eq!(served.hallucinated, direct.calls.hallucinated);
+        }
+    }
+
+    #[test]
+    fn evaluate_mode_requires_a_known_system() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let missing = state.handle(&ScoreRequest {
+            id: 1,
+            reference_text: Some("ref".into()),
+            mode: "evaluate".into(),
+            hypotheses: vec!["x".into()],
+            ..ScoreRequest::default()
+        });
+        assert!(!missing.ok);
+        assert!(missing.error.unwrap().contains("workflow system"));
+
+        let unknown = state.handle(&ScoreRequest::evaluate_text(
+            2,
+            "ref",
+            "Slurm",
+            vec!["x".into()],
+        ));
+        assert!(!unknown.ok);
+        assert!(unknown.error.unwrap().contains("Slurm"));
+        assert_eq!(state.stats().requests, 0, "failures are not counted");
+    }
+
+    #[test]
+    fn evaluate_via_reference_id_uses_that_system_for_the_catalogue() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let request = ScoreRequest {
+            id: 3,
+            reference_id: Some("annotation/Henson".into()),
+            mode: "EVALUATE".into(),
+            hypotheses: vec!["henson_put();".into()],
+            ..ScoreRequest::default()
+        };
+        let response = state.handle(&request);
+        assert!(response.ok, "{:?}", response.error);
+        assert_eq!(
+            response.evaluations[0].hallucinated,
+            vec!["henson_put".to_owned()]
+        );
+    }
+
+    #[test]
+    fn unknown_mode_is_rejected() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let response = state.handle(&ScoreRequest {
+            id: 4,
+            mode: "translate".into(),
+            ..ScoreRequest::default()
+        });
+        assert!(!response.ok);
+        assert!(response.error.unwrap().contains("translate"));
+    }
+
+    #[test]
+    fn evaluate_requests_share_the_cache_with_score_requests() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let reference = "henson_yield();";
+        assert!(
+            state
+                .handle(&ScoreRequest::by_text(1, reference, vec!["x".into()]))
+                .ok
+        );
+        assert!(
+            state
+                .handle(&ScoreRequest::evaluate_text(
+                    2,
+                    reference,
+                    "Henson",
+                    vec!["x".into()]
+                ))
+                .ok
+        );
+        let stats = state.stats();
+        assert_eq!(stats.cache_misses, 1, "one shared preparation");
+        assert_eq!(stats.cache_hits, 1, "the evaluate request hit it");
+        assert_eq!(stats.requests, 2);
     }
 
     #[test]

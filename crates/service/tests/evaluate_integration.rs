@@ -1,0 +1,266 @@
+//! End-to-end tests for the `evaluate` request: a real server on an
+//! ephemeral port, pipelined clients, and the promise that served
+//! evaluations are bit-identical to composing the pipeline stages —
+//! `extract_code` → `compare_calls` → `Scorer::score_prepared` — directly
+//! from their home crates.
+
+use wfspeak_codemodel::{compare_calls, extract_code, CallComparison, Language};
+use wfspeak_corpus::references::{annotation_reference, configuration_reference};
+use wfspeak_corpus::WorkflowSystemId;
+use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
+use wfspeak_service::{
+    EvaluationScore, ScoreRequest, ScoringClient, ScoringServer, ServiceConfig, TaskKind,
+};
+use wfspeak_systems::api::catalog_for;
+
+/// Raw model responses with the failure modes the paper analyses: fenced
+/// code, hallucinated API calls, prose margins, empty fences, truncation.
+fn responses_for(reference: &str, system: WorkflowSystemId) -> Vec<String> {
+    let hallucinated_call = match system {
+        WorkflowSystemId::Henson => "henson_put(\"t\", t);",
+        WorkflowSystemId::Adios2 => "adios2_write_array(engine, data);",
+        WorkflowSystemId::PyCompss => "compss_sync_file(out)",
+        WorkflowSystemId::Parsl => "parsl_submit(f)",
+        WorkflowSystemId::Wilkins => "wilkins_dispatch(cfg)",
+    };
+    vec![
+        format!("Here is the code you asked for:\n```\n{reference}\n```\nHope this helps!"),
+        format!("```\n{hallucinated_call}\n{reference}\n```"),
+        // The empty-fence-pair regression input: real payload after a stray
+        // ``` ``` pair.
+        format!("```\n```\n{reference}\n"),
+        reference.chars().take(reference.len() / 2).collect(),
+        "I could not generate code for that system.".to_owned(),
+    ]
+}
+
+/// Compose the three pipeline stages by hand — the ground truth every
+/// served evaluation must match bit for bit.
+fn direct_evaluations(
+    reference: &str,
+    system: WorkflowSystemId,
+    responses: &[String],
+) -> Vec<(f64, f64, CallComparison)> {
+    let bleu = BleuScorer::default();
+    let chrf = ChrfScorer::default();
+    let prepared_bleu = bleu.prepare(reference);
+    let prepared_chrf = chrf.prepare(reference);
+    let catalog = catalog_for(system);
+    let language = if system.uses_python_tasks() {
+        Language::Python
+    } else {
+        Language::C
+    };
+    responses
+        .iter()
+        .map(|response| {
+            let code = extract_code(response);
+            let comparison = compare_calls(
+                &code,
+                reference,
+                language,
+                &catalog.prefixes,
+                &catalog.function_names(),
+            );
+            (
+                bleu.score_prepared(&code, &prepared_bleu),
+                chrf.score_prepared(&code, &prepared_chrf),
+                comparison,
+            )
+        })
+        .collect()
+}
+
+fn assert_evaluations_bit_identical(
+    served: &[EvaluationScore],
+    expected: &[(f64, f64, CallComparison)],
+    context: &str,
+) {
+    assert_eq!(served.len(), expected.len(), "{context}");
+    for (i, (evaluation, (bleu, chrf, comparison))) in served.iter().zip(expected).enumerate() {
+        assert_eq!(
+            evaluation.bleu.to_bits(),
+            bleu.to_bits(),
+            "{context}: response {i} BLEU {} vs {bleu}",
+            evaluation.bleu
+        );
+        assert_eq!(
+            evaluation.chrf.to_bits(),
+            chrf.to_bits(),
+            "{context}: response {i} ChrF {} vs {chrf}",
+            evaluation.chrf
+        );
+        assert_eq!(evaluation.matched, comparison.matched, "{context}: {i}");
+        assert_eq!(evaluation.missing, comparison.missing, "{context}: {i}");
+        assert_eq!(evaluation.extra, comparison.extra, "{context}: {i}");
+        assert_eq!(
+            evaluation.hallucinated, comparison.hallucinated,
+            "{context}: {i}"
+        );
+        assert_eq!(
+            evaluation.call_recall.to_bits(),
+            comparison.call_recall().to_bits(),
+            "{context}: {i}"
+        );
+        assert_eq!(
+            evaluation.call_precision.to_bits(),
+            comparison.call_precision().to_bits(),
+            "{context}: {i}"
+        );
+    }
+}
+
+#[test]
+fn served_evaluations_match_direct_stage_composition() {
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+
+    for system in WorkflowSystemId::annotation_systems() {
+        let reference = annotation_reference(system).unwrap();
+        let responses = responses_for(reference, system);
+        let response = client
+            .evaluate(TaskKind::Annotation, system.name(), responses.clone())
+            .unwrap();
+        assert!(response.ok, "{system}: {:?}", response.error);
+        let expected = direct_evaluations(reference, system, &responses);
+        assert_evaluations_bit_identical(
+            &response.evaluations,
+            &expected,
+            &format!("annotation/{system}"),
+        );
+    }
+
+    // Configuration references run the same pipeline (call comparison is
+    // trivially empty for YAML payloads but must still be identical).
+    for system in WorkflowSystemId::configuration_systems() {
+        let reference = configuration_reference(system).unwrap();
+        let responses = responses_for(reference, system);
+        let response = client
+            .evaluate(TaskKind::Configuration, system.name(), responses.clone())
+            .unwrap();
+        assert!(response.ok, "{system}: {:?}", response.error);
+        let expected = direct_evaluations(reference, system, &responses);
+        assert_evaluations_bit_identical(
+            &response.evaluations,
+            &expected,
+            &format!("configuration/{system}"),
+        );
+    }
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_evaluate_and_score_requests_share_a_connection() {
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+
+    let system = WorkflowSystemId::Henson;
+    let reference = annotation_reference(system).unwrap();
+    let responses = responses_for(reference, system);
+
+    // Pipeline: evaluate, score, evaluate-by-text, malformed mode — then
+    // collect everything by id.
+    let ids = [1u64, 2, 3, 4];
+    client
+        .send(&ScoreRequest::evaluate(
+            1,
+            TaskKind::Annotation,
+            "Henson",
+            responses.clone(),
+        ))
+        .unwrap();
+    client
+        .send(&ScoreRequest::by_id(
+            2,
+            TaskKind::Annotation,
+            "Henson",
+            responses.clone(),
+        ))
+        .unwrap();
+    client
+        .send(&ScoreRequest::evaluate_text(
+            3,
+            reference,
+            "Henson",
+            responses.clone(),
+        ))
+        .unwrap();
+    client
+        .send(&ScoreRequest {
+            id: 4,
+            mode: "banana".into(),
+            reference_text: Some(reference.to_owned()),
+            system: "Henson".into(),
+            hypotheses: vec!["x".into()],
+            ..ScoreRequest::default()
+        })
+        .unwrap();
+
+    let by_id = client.collect_by_id(&ids).unwrap();
+    let expected = direct_evaluations(reference, system, &responses);
+
+    let evaluated = &by_id[&1];
+    assert!(evaluated.ok);
+    assert_evaluations_bit_identical(&evaluated.evaluations, &expected, "pipelined evaluate");
+
+    let scored = &by_id[&2];
+    assert!(scored.ok);
+    assert!(scored.evaluations.is_empty());
+    assert_eq!(scored.scores.len(), responses.len());
+    // Score mode sees the raw response text (no extraction), so the fenced
+    // variants score differently from their evaluated counterparts.
+    let bleu = BleuScorer::default();
+    assert_eq!(
+        scored.scores[0].bleu.to_bits(),
+        bleu.score(&responses[0], reference).to_bits()
+    );
+
+    let by_text = &by_id[&3];
+    assert!(by_text.ok);
+    assert_evaluations_bit_identical(&by_text.evaluations, &expected, "evaluate by text");
+
+    let bad_mode = &by_id[&4];
+    assert!(!bad_mode.ok);
+    assert!(bad_mode.error.as_ref().unwrap().contains("banana"));
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_evaluating_share_one_prepared_reference() {
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let addr = server.addr();
+    let system = WorkflowSystemId::Adios2;
+    let reference = annotation_reference(system).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(move || {
+                let mut client = ScoringClient::connect(addr).unwrap();
+                for _ in 0..4 {
+                    let responses = responses_for(reference, system);
+                    let expected = direct_evaluations(reference, system, &responses);
+                    let response = client
+                        .evaluate(TaskKind::Annotation, system.name(), responses)
+                        .unwrap();
+                    assert!(response.ok, "{:?}", response.error);
+                    assert_evaluations_bit_identical(
+                        &response.evaluations,
+                        &expected,
+                        "concurrent evaluate",
+                    );
+                }
+                client.close();
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 12);
+    assert_eq!(stats.cache_misses, 1, "one shared preparation");
+    assert_eq!(stats.cache_hits, 11);
+    server.shutdown();
+}

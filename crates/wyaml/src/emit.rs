@@ -28,10 +28,11 @@ pub fn emit_value(value: &Value) -> String {
         Value::Map(map) => {
             let inner: Vec<String> = map
                 .iter()
-                .map(|(k, v)| format!("{k}: {}", emit_value(v)))
+                .map(|(k, v)| format!("{}: {}", quote_in_flow(k), emit_value(v)))
                 .collect();
             format!("{{{}}}", inner.join(", "))
         }
+        Value::Str(s) => quote_in_flow(s),
         other => emit_scalar(other),
     }
 }
@@ -60,7 +61,17 @@ fn quote_if_needed(s: &str) -> String {
         || s != s.trim()
         || matches!(
             s,
-            "null" | "Null" | "NULL" | "~" | "true" | "True" | "TRUE" | "false" | "False" | "FALSE"
+            "null"
+                | "Null"
+                | "NULL"
+                | "~"
+                | "true"
+                | "True"
+                | "TRUE"
+                | "false"
+                | "False"
+                | "FALSE"
+                | "..."
         )
         || s.parse::<i64>().is_ok()
         || (s.parse::<f64>().is_ok()
@@ -76,6 +87,18 @@ fn quote_if_needed(s: &str) -> String {
         format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
     } else {
         s.to_owned()
+    }
+}
+
+/// Quote a string for *flow* context: everything [`quote_if_needed`] quotes,
+/// plus strings containing flow punctuation (`,`, brackets, braces), colons,
+/// quotes or backslashes, any of which would change meaning when re-parsed
+/// inside a flow collection.
+fn quote_in_flow(s: &str) -> String {
+    if s.contains([',', ':', '[', ']', '{', '}', '"', '\'', '\\', '#']) {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    } else {
+        quote_if_needed(s)
     }
 }
 

@@ -85,6 +85,9 @@ fn strip_comment(line: &str) -> &str {
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
+            // An escaped character inside a double-quoted scalar (e.g. `\"`)
+            // must not toggle the quote tracker.
+            b'\\' if in_double => i += 1,
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
             // YAML only treats '#' as a comment when at line start or
@@ -250,8 +253,14 @@ fn find_mapping_colon(text: &str) -> Option<usize> {
     let mut in_single = false;
     let mut in_double = false;
     let mut depth = 0usize;
+    let mut escaped = false;
     for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
         match b {
+            b'\\' if in_double => escaped = true,
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
             b'[' | b'{' if !in_single && !in_double => depth += 1,
@@ -383,14 +392,22 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
             if rest.is_empty() {
                 return Err(Error::new(ErrorKind::UnterminatedFlow, line, "missing `}`"));
             }
-            let colon = rest.find(':').ok_or_else(|| {
+            let colon = find_flow_colon(rest).ok_or_else(|| {
                 Error::new(
                     ErrorKind::ExpectedMapping,
                     line,
                     "flow mapping entry missing `:`",
                 )
             })?;
-            let key = unquote_key(&rest[..colon]);
+            let raw_key = rest[..colon].trim();
+            let key = if raw_key.starts_with('"') || raw_key.starts_with('\'') {
+                match parse_quoted(raw_key, line)? {
+                    Value::Str(s) => s,
+                    _ => unreachable!("parse_quoted always yields a string"),
+                }
+            } else {
+                unquote_key(raw_key)
+            };
             let after = rest[colon + 1..].trim_start();
             if after.starts_with('}') {
                 map.insert(key, Value::Null);
@@ -419,10 +436,11 @@ fn parse_flow_item(t: &str, line: usize) -> Result<(Value, &str), Error> {
     }
     if t.starts_with('"') || t.starts_with('\'') {
         let quote = t.chars().next().unwrap();
-        // Find the closing quote.
-        if let Some(end) = t[1..].find(quote) {
-            let value = parse_quoted(&t[..end + 2], line)?;
-            return Ok((value, &t[end + 2..]));
+        // Find the closing quote, honouring backslash escapes so a scalar
+        // like `"a\"b"` does not terminate at the escaped quote.
+        if let Some(end) = find_closing_quote(t) {
+            let value = parse_quoted(&t[..=end], line)?;
+            return Ok((value, &t[end + 1..]));
         }
         return Err(Error::new(
             ErrorKind::UnterminatedString,
@@ -433,6 +451,36 @@ fn parse_flow_item(t: &str, line: usize) -> Result<(Value, &str), Error> {
     // Plain flow scalar ends at ',', ']' or '}'.
     let end = t.find([',', ']', '}']).unwrap_or(t.len());
     Ok((Value::from_plain_scalar(&t[..end]), &t[end..]))
+}
+
+/// Byte index of the quote closing the quoted scalar that starts at `t[0]`,
+/// skipping backslash-escaped characters inside double quotes.
+fn find_closing_quote(t: &str) -> Option<usize> {
+    let bytes = t.as_bytes();
+    let quote = *bytes.first()?;
+    let mut i = 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' && quote == b'"' {
+            i += 2;
+        } else if bytes[i] == quote {
+            return Some(i);
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Locate the colon separating a flow-mapping key from its value: the first
+/// `:` after the key scalar.  A quoted key can only *start* at the beginning
+/// of the entry; quote characters later in a plain key (`it's`) are literal.
+fn find_flow_colon(t: &str) -> Option<usize> {
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    if matches!(bytes.first(), Some(b'"') | Some(b'\'')) {
+        i = find_closing_quote(t)? + 1;
+    }
+    bytes[i..].iter().position(|&b| b == b':').map(|p| i + p)
 }
 
 #[cfg(test)]
@@ -535,6 +583,53 @@ mod tests {
         assert_eq!(doc.get("a").unwrap().as_str(), Some("hello: world"));
         assert_eq!(doc.get("b").unwrap().as_str(), Some("single # not comment"));
         assert_eq!(doc.get("c").unwrap().as_str(), Some("line\nbreak"));
+    }
+
+    #[test]
+    fn flow_scalar_with_escaped_quote_parses() {
+        // Regression: the closing-quote scan used to stop at the escaped
+        // quote and report UnterminatedString for `k: ["a\"b", 1]`.
+        let doc = parse("k: [\"a\\\"b\", 1]\n").unwrap();
+        let seq = doc.get("k").unwrap().as_seq().unwrap();
+        assert_eq!(seq[0], Value::Str("a\"b".into()));
+        assert_eq!(seq[1], Value::Int(1));
+    }
+
+    #[test]
+    fn flow_mapping_key_with_colon_inside_quotes() {
+        // Regression: the entry used to split at the first `:` even inside
+        // quotes, mis-parsing `m: {"a:b": 1}` as key `"a` / value `b": 1`.
+        let doc = parse("m: {\"a:b\": 1}\n").unwrap();
+        let m = doc.get("m").unwrap();
+        assert_eq!(m.get("a:b"), Some(&Value::Int(1)));
+        assert_eq!(m.as_map().map(|m| m.len()), Some(1));
+    }
+
+    #[test]
+    fn plain_flow_key_with_interior_quote_chars_stays_plain() {
+        // A quote only opens a quoted scalar at the start of the key; an
+        // apostrophe mid-token (`it's`) is a literal character.
+        let doc = parse("m: {it's: 1, don\"t: 2}\n").unwrap();
+        let m = doc.get("m").unwrap();
+        assert_eq!(m.get("it's"), Some(&Value::Int(1)));
+        assert_eq!(m.get("don\"t"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn flow_mapping_value_with_escaped_quote_and_comma() {
+        let doc = parse("m: {k: \"a\\\"b, c\", n: 2}\n").unwrap();
+        let m = doc.get("m").unwrap();
+        assert_eq!(m.get("k").unwrap().as_str(), Some("a\"b, c"));
+        assert_eq!(m.get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_confuse_comment_stripping() {
+        // `\"` must not toggle the quote tracker, or the ` # ` inside the
+        // later scalar would be stripped as a comment.
+        let doc = parse("k: [\"a\\\"b\", \"x # y\"]\n").unwrap();
+        let seq = doc.get("k").unwrap().as_seq().unwrap();
+        assert_eq!(seq[1], Value::Str("x # y".into()));
     }
 
     #[test]

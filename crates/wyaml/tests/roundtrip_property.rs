@@ -2,7 +2,7 @@
 //! model emits to text that re-parses to an equivalent value.
 
 use proptest::prelude::*;
-use wfspeak_wyaml::{emit, parse, Map, Value};
+use wfspeak_wyaml::{emit, emit_value, parse, Map, Value};
 
 /// Strategy for plain-ish scalar strings (identifiers, paths, filenames).
 fn scalar_string() -> impl Strategy<Value = String> {
@@ -61,6 +61,37 @@ fn approx_eq(a: &Value, b: &Value) -> bool {
     }
 }
 
+/// Strategy for arbitrary printable-ASCII scalars — includes quotes,
+/// backslashes, colons, commas and brackets, exactly the characters that
+/// force quoting and escaping in flow style.
+fn gnarly_string() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}"
+}
+
+/// Values emitted in flow style: scalars (with gnarly strings) plus nested
+/// flow sequences and mappings.
+fn flow_value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(|f| Value::Float((f * 100.0).round() / 100.0)),
+        gnarly_string().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            proptest::collection::vec(("[ -~]{1,8}", inner), 0..4).prop_map(|entries| {
+                let mut m = Map::new();
+                for (k, v) in entries {
+                    m.insert(k, v);
+                }
+                Value::Map(m)
+            }),
+        ]
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -81,5 +112,27 @@ proptest! {
     #[test]
     fn parse_never_panics_on_arbitrary_text(text in "[ -~\n]{0,200}") {
         let _ = parse(&text);
+    }
+
+    // Flow-style emission (quoted/escaped scalars, quoted keys, nested flow
+    // collections) re-parses to an equivalent value.  Regression cover for
+    // the flow parser's escaped-quote and quoted-key handling.
+    #[test]
+    fn flow_emit_parse_round_trip(value in flow_value_strategy()) {
+        let text = emit_value(&value);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse flow text:\n{text}\nerror: {e}"));
+        prop_assert!(approx_eq(&value, &reparsed), "value {value:?} -> text:\n{text}\nreparsed {reparsed:?}");
+    }
+
+    // The same flow collections survive when embedded as a block-mapping
+    // value (the form the corpus configs actually use, e.g. `dims: [64, 64]`).
+    #[test]
+    fn flow_collection_under_key_round_trips(value in flow_value_strategy()) {
+        let text = format!("root: {}\n", emit_value(&value));
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{text}\nerror: {e}"));
+        let root = reparsed.get("root").expect("root key survives");
+        prop_assert!(approx_eq(&value, root), "value {value:?} -> text:\n{text}\nreparsed {root:?}");
     }
 }

@@ -1,0 +1,73 @@
+//! Workspace-level pin: `Benchmark::run_evaluation` (the parallel grid) is
+//! bit-identical to reconstructing every cell by hand — prompt assembly,
+//! simulated model query, then the three pipeline stages composed directly
+//! from their home crates (`extract_code` → `compare_calls` →
+//! `Scorer::score_prepared`).
+
+use wfspeak::codemodel::{compare_calls, extract_code, Language};
+use wfspeak::core::{Benchmark, BenchmarkConfig, ExperimentKind, PromptVariant};
+use wfspeak::corpus::prompts::annotation_prompt;
+use wfspeak::corpus::references::annotation_reference;
+use wfspeak::corpus::WorkflowSystemId;
+use wfspeak::llm::{CompletionRequest, LlmClient, SamplingParams, SimulatedLlm};
+use wfspeak::metrics::{BleuScorer, ChrfScorer, Scorer};
+use wfspeak::systems::api::catalog_for;
+
+#[test]
+fn grid_evaluation_matches_direct_stage_composition() {
+    let config = BenchmarkConfig {
+        trials: 2,
+        ..BenchmarkConfig::default()
+    };
+    let benchmark = Benchmark::with_simulated_models(config.clone());
+    let grid = benchmark.run_evaluation(ExperimentKind::Annotation, PromptVariant::Original);
+
+    let bleu = BleuScorer::default();
+    let chrf = ChrfScorer::default();
+    for system in WorkflowSystemId::annotation_systems() {
+        let reference = annotation_reference(system).unwrap();
+        let prepared_bleu = bleu.prepare(reference);
+        let prepared_chrf = chrf.prepare(reference);
+        let catalog = catalog_for(system);
+        let language = if system.uses_python_tasks() {
+            Language::Python
+        } else {
+            Language::C
+        };
+        let prompt = annotation_prompt(system, PromptVariant::Original);
+        for client in SimulatedLlm::all() {
+            let cell = grid
+                .cell(system.name(), client.model().name())
+                .unwrap_or_else(|| panic!("cell {system}/{}", client.model().name()));
+            assert_eq!(cell.trials.len(), config.trials);
+            for (trial, seed) in cell.trials.iter().zip(config.trial_seeds()) {
+                let params = SamplingParams {
+                    temperature: config.temperature,
+                    top_p: config.top_p,
+                    seed,
+                };
+                let response = client.complete(&CompletionRequest::new(prompt.clone(), params));
+                let code = extract_code(&response.text);
+                assert_eq!(trial.code, code, "{system}/{}", client.model().name());
+                assert_eq!(
+                    trial.bleu.to_bits(),
+                    bleu.score_prepared(&code, &prepared_bleu).to_bits()
+                );
+                assert_eq!(
+                    trial.chrf.to_bits(),
+                    chrf.score_prepared(&code, &prepared_chrf).to_bits()
+                );
+                assert_eq!(
+                    trial.calls,
+                    compare_calls(
+                        &code,
+                        reference,
+                        language,
+                        &catalog.prefixes,
+                        &catalog.function_names(),
+                    )
+                );
+            }
+        }
+    }
+}
