@@ -1,0 +1,16 @@
+//! `execution_throughput` — measure the dynamic-execution pipeline
+//! (extraction → spec parsing → engine run → trace scoring) over repeated
+//! passes of the configuration-experiment grid and write the `BENCH_4.json`
+//! artifact.
+//!
+//! Like `service_throughput` this is a one-shot measurement binary
+//! (`harness = false`): it prints the headline numbers and records the full
+//! report. `repro bench-execute` runs the same measurement. See the
+//! `wfspeak_bench` crate docs for the report schema.
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`) — ignored — and runs
+    // bench binaries with the package root as cwd, so anchor the artifact
+    // to the workspace root.
+    wfspeak_bench::run_execution_bench(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json"));
+}

@@ -43,11 +43,19 @@ Evaluation pipeline:
         --task T       configuration | annotation | translation | all
                                              [default: all]
         --trials N     trials per cell       [default: 5]
+        --execute      also run every generated configuration on the
+                       runtime engine and report runnability/fidelity
+    execute        dynamic execution only: parse each generated
+                   configuration into a workflow spec, run it on the
+                   runtime engine under a bounded sandbox, and score
+                   runnability plus trace fidelity vs the reference run
+        --trials N     trials per cell       [default: 5]
 
 Performance artifacts (rewrite tracked BENCH_N.json snapshots):
     bench          grid throughput -> BENCH_1.json
     bench-service  scoring-service throughput over loopback -> BENCH_2.json
     bench-evaluate evaluation-pipeline throughput -> BENCH_3.json
+    bench-execute  dynamic-execution throughput -> BENCH_4.json
 
 Scoring service:
     serve          run the batch scoring server (newline-delimited JSON/TCP)
@@ -173,6 +181,10 @@ fn bench_evaluate() {
     wfspeak_bench::run_evaluation_bench("BENCH_3.json");
 }
 
+fn bench_execute() {
+    wfspeak_bench::run_execution_bench("BENCH_4.json");
+}
+
 fn json(benchmark: &Benchmark) {
     let report = FullReport {
         config: benchmark.config().clone(),
@@ -194,6 +206,7 @@ struct CliOptions {
     trials: usize,
     lines: bool,
     stats: bool,
+    execute: bool,
 }
 
 impl CliOptions {
@@ -208,6 +221,7 @@ impl CliOptions {
             trials: 5,
             lines: false,
             stats: false,
+            execute: false,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -238,6 +252,7 @@ impl CliOptions {
                 }
                 "--lines" => options.lines = true,
                 "--stats" => options.stats = true,
+                "--execute" => options.execute = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -275,6 +290,9 @@ fn evaluate(options: &CliOptions) -> Result<(), String> {
             ))
         );
     }
+    if options.execute {
+        print_execution_grid(&benchmark, options.trials);
+    }
     let stats = benchmark.reference_cache().stats();
     println!(
         "reference cache: {} hits / {} lookups ({:.1}% hit rate)",
@@ -282,6 +300,30 @@ fn evaluate(options: &CliOptions) -> Result<(), String> {
         stats.lookups(),
         100.0 * stats.hit_rate()
     );
+    Ok(())
+}
+
+/// Run the configuration grid through dynamic execution and print the
+/// runnability/fidelity summary (shared by `execute` and
+/// `evaluate --execute`).
+fn print_execution_grid(benchmark: &Benchmark, trials: usize) {
+    let grid = benchmark.run_execution(PromptVariant::Original);
+    println!(
+        "{}",
+        grid.render_summary(&format!(
+            "Execution: configuration artifacts on the runtime engine ({trials} trials per cell)"
+        ))
+    );
+}
+
+/// Dynamic execution only: every generated configuration is parsed into a
+/// workflow spec and run on the runtime engine under the bounded sandbox.
+fn execute(options: &CliOptions) -> Result<(), String> {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: options.trials,
+        ..BenchmarkConfig::default()
+    });
+    print_execution_grid(&benchmark, options.trials);
     Ok(())
 }
 
@@ -377,10 +419,18 @@ fn main() {
             if !args.iter().any(|a| a == "--task") {
                 args.extend(["--task".to_owned(), "all".to_owned()]);
             }
-            let result =
-                CliOptions::parse(&args, &["--task", "--trials"]).and_then(|o| evaluate(&o));
+            let result = CliOptions::parse(&args, &["--task", "--trials", "--execute"])
+                .and_then(|o| evaluate(&o));
             if let Err(message) = result {
                 eprintln!("repro evaluate: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("execute") => {
+            let result = CliOptions::parse(&args[1..], &["--trials"]).and_then(|o| execute(&o));
+            if let Err(message) = result {
+                eprintln!("repro execute: {message}");
                 std::process::exit(1);
             }
             return;
@@ -406,7 +456,7 @@ fn main() {
 
     // Artifact subcommands: validate everything before running anything, so
     // a typo late in the list doesn't waste a full benchmark run.
-    const ARTIFACTS: [&str; 12] = [
+    const ARTIFACTS: [&str; 13] = [
         "run",
         "table1",
         "table2",
@@ -419,6 +469,7 @@ fn main() {
         "bench",
         "bench-service",
         "bench-evaluate",
+        "bench-execute",
     ];
     let selections: Vec<&str> = if args.is_empty() {
         vec!["run"]
@@ -457,6 +508,7 @@ fn main() {
             "bench" => bench(),
             "bench-service" => bench_service(),
             "bench-evaluate" => bench_evaluate(),
+            "bench-execute" => bench_execute(),
             _ => unreachable!("validated above"),
         }
     }

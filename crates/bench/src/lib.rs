@@ -20,6 +20,18 @@
 //!   the whole pipeline, `hallucinated_calls` is a workload checksum, and
 //!   the `cache_*` fields report the shared prepared-reference cache
 //!   (later passes re-hit the references the first pass prepared).
+//! * **`BENCH_4.json`** ([`ExecutionBenchReport`], written by the
+//!   `execution_throughput` bench or `repro bench-execute`) —
+//!   dynamic-execution throughput over repeated passes of the
+//!   configuration-experiment grid: every generated configuration is
+//!   parsed into a workflow spec and *run* on the runtime engine under the
+//!   evaluation sandbox.  `executions` / `executions_per_sec` count full
+//!   extract → parse → run → trace-score pipelines (the headline number;
+//!   each completed run spawns real threads and moves real messages),
+//!   `completed` / `unparsed` split the workload by outcome and —
+//!   together with `mean_runnability` / `mean_fidelity` — act as a
+//!   determinism checksum: they must not drift between runs of the same
+//!   seed.
 //!
 //! Shared schema conventions:
 //!
@@ -222,6 +234,118 @@ pub fn run_evaluation_bench(path: &str) {
         report.evaluations_per_sec,
         report.cache_hit_rate,
         report.hallucinated_calls,
+    );
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
+    }
+}
+
+/// Machine-readable dynamic-execution throughput report emitted as
+/// `BENCH_4.json` (see the crate docs for the schema conventions).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutionBenchReport {
+    /// Report schema / sequence tag (`BENCH_4` for the execution bench).
+    pub bench_id: String,
+    /// Trials per cell used for the measurement.
+    pub trials: usize,
+    /// Full passes over the configuration-experiment grid.
+    pub passes: usize,
+    /// Executed `(system × model)` cells across all passes.
+    pub grid_cells: usize,
+    /// Responses taken through extract → parse → run → trace scoring
+    /// (`grid_cells × trials`).
+    pub executions: usize,
+    /// Executions whose workflow ran to completion (a determinism
+    /// checksum: must not drift between runs of the same seed).
+    pub completed: usize,
+    /// Executions whose artifact did not even parse (checksum).
+    pub unparsed: usize,
+    /// Mean runnability over the whole workload, 0–100 (checksum).
+    pub mean_runnability: f64,
+    /// Mean trace fidelity over the whole workload, 0–100 (checksum).
+    pub mean_fidelity: f64,
+    /// Wall-clock seconds for all passes.
+    pub wall_time_secs: f64,
+    /// Full executions per second — the headline number.
+    pub executions_per_sec: f64,
+}
+
+impl ExecutionBenchReport {
+    /// Pretty JSON for the `BENCH_4.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Run `passes` full passes of the configuration grid through dynamic
+/// execution (every generated configuration parsed and run on the runtime
+/// engine) on a fresh benchmark and measure end-to-end execution
+/// throughput.
+///
+/// Every pass shares the benchmark's [`wfspeak_core::ExecutionPipeline`],
+/// so each system's reference run happens exactly once.
+pub fn measure_execution_throughput(passes: usize) -> ExecutionBenchReport {
+    let benchmark = paper_benchmark();
+    let trials = benchmark.config().trials;
+
+    let start = Instant::now();
+    let mut executions = 0usize;
+    let mut completed = 0usize;
+    let mut unparsed = 0usize;
+    let mut runnability_sum = 0.0f64;
+    let mut fidelity_sum = 0.0f64;
+    let mut grid_cells = 0usize;
+    for _ in 0..passes {
+        let grid = benchmark.run_execution(PromptVariant::Original);
+        grid_cells += grid.cells.len();
+        executions += grid.total_executions();
+        completed += grid.completed_executions();
+        unparsed += grid
+            .cells
+            .iter()
+            .map(|c| c.unparsed_trials())
+            .sum::<usize>();
+        runnability_sum += grid.mean_runnability() * grid.total_executions() as f64;
+        fidelity_sum += grid.mean_fidelity() * grid.total_executions() as f64;
+        std::hint::black_box(&grid);
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    ExecutionBenchReport {
+        bench_id: "BENCH_4".to_owned(),
+        trials,
+        passes,
+        grid_cells,
+        executions,
+        completed,
+        unparsed,
+        mean_runnability: runnability_sum / executions.max(1) as f64,
+        mean_fidelity: fidelity_sum / executions.max(1) as f64,
+        wall_time_secs: wall,
+        executions_per_sec: executions as f64 / wall,
+    }
+}
+
+/// Run the execution bench at its standard scale (3 passes), print the
+/// headline numbers and write the report to `path`. Shared by
+/// `repro bench-execute` and the `execution_throughput` bench binary so the
+/// two artifacts cannot drift.
+pub fn run_execution_bench(path: &str) {
+    let report = measure_execution_throughput(3);
+    println!(
+        "Execution throughput: {} executions ({} cells × {} trials, {} passes) in {:.2}s \
+         = {:.1} executions/s ({} completed, {} unparsed, mean runnability {:.2}, mean fidelity {:.2})",
+        report.executions,
+        report.grid_cells,
+        report.trials,
+        report.passes,
+        report.wall_time_secs,
+        report.executions_per_sec,
+        report.completed,
+        report.unparsed,
+        report.mean_runnability,
+        report.mean_fidelity,
     );
     match std::fs::write(path, report.to_json() + "\n") {
         Ok(()) => println!("Wrote {path}\n"),
@@ -449,6 +573,36 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench_id\": \"BENCH_3\""));
         assert!(json.contains("evaluations_per_sec"));
+    }
+
+    #[test]
+    fn execution_throughput_report_is_consistent() {
+        let report = measure_execution_throughput(2);
+        assert_eq!(report.passes, 2);
+        // 3 configuration systems × 4 models, per pass.
+        assert_eq!(report.grid_cells, 3 * 4 * 2);
+        assert_eq!(report.executions, report.grid_cells * report.trials);
+        assert!(report.completed > 0, "exact-tier artifacts must complete");
+        assert!(report.unparsed > 0, "wrong-tier artifacts must fail parse");
+        assert!(report.completed + report.unparsed <= report.executions);
+        assert!(report.mean_runnability > 0.0 && report.mean_runnability < 100.0);
+        assert!(report.mean_fidelity > 0.0 && report.mean_fidelity < 100.0);
+        assert!(report.executions_per_sec > 0.0);
+        // The checksums are deterministic for a fixed seed.
+        let again = measure_execution_throughput(2);
+        assert_eq!(report.completed, again.completed);
+        assert_eq!(report.unparsed, again.unparsed);
+        assert_eq!(
+            report.mean_runnability.to_bits(),
+            again.mean_runnability.to_bits()
+        );
+        assert_eq!(
+            report.mean_fidelity.to_bits(),
+            again.mean_fidelity.to_bits()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_4\""));
+        assert!(json.contains("executions_per_sec"));
     }
 
     #[test]

@@ -62,28 +62,60 @@ pub fn extract_code(response: &str) -> String {
         .lines()
         .filter(|l| !l.trim_start().starts_with("```"))
         .collect();
-    let is_prose = |line: &str| {
+    let indent_of = |l: &str| l.len() - l.trim_start().len();
+    // `leading` enables the colon-lead-in rule, which only applies at the
+    // *top* margin: a trailing line ending in `:` is plausibly a suspended
+    // code statement (`if x is None:` in a truncated payload), never worth
+    // the risk of stripping.
+    let is_prose = |idx: usize, leading: bool| {
+        let line = lines[idx];
         let t = line.trim();
         if t.is_empty() {
             return false;
         }
-        let has_code_chars = t.contains(['{', '}', '(', ')', ';', '=', ':', '#', '@']);
-        let looks_like_sentence = t.ends_with('.') || t.ends_with('!');
+        // A lead-in like "Here is the configuration:" ends in a colon but is
+        // prose, not a YAML key.  Three signals must agree before a colon
+        // line is stripped — it reads as a multi-word *sentence* (contains
+        // an English function word no key name would), its only code-like
+        // character is that final colon, and nothing is nested under it (a
+        // real mapping key's value block follows at deeper indentation).
+        // Multi-word keys ("output file list:", "Simulation Output
+        // Settings:") fail the function-word test and stay code.
+        let has_function_word = t.split_whitespace().any(|w| {
+            let w = w
+                .trim_matches(|c: char| !c.is_ascii_alphanumeric())
+                .to_ascii_lowercase();
+            matches!(
+                w.as_str(),
+                "here" | "is" | "are" | "the" | "this" | "your" | "below" | "following"
+            )
+        });
+        let colon_only_sentence = leading
+            && t.ends_with(':')
+            && t.split_whitespace().count() > 2
+            && has_function_word
+            && !t[..t.len() - 1].contains(['{', '}', '(', ')', ';', '=', ':', '#', '@'])
+            && lines[idx + 1..]
+                .iter()
+                .find(|l| !l.trim().is_empty())
+                .map(|next| indent_of(next) <= indent_of(line))
+                .unwrap_or(true);
+        let has_code_chars =
+            t.contains(['{', '}', '(', ')', ';', '=', ':', '#', '@']) && !colon_only_sentence;
+        let looks_like_sentence = t.ends_with('.') || t.ends_with('!') || colon_only_sentence;
         let starts_capital_word = t.chars().next().map(|c| c.is_uppercase()).unwrap_or(false)
             && t.split_whitespace().count() > 4;
         !has_code_chars && (looks_like_sentence || starts_capital_word)
     };
-    let start = match lines
-        .iter()
-        .position(|l| !is_prose(l) && !l.trim().is_empty())
+    let start = match (0..lines.len()).find(|&i| !is_prose(i, true) && !lines[i].trim().is_empty())
     {
         Some(i) => i,
         // Entirely prose: nothing to extract, return as-is.
         None => return response.to_owned(),
     };
-    let end = lines
-        .iter()
-        .rposition(|l| !is_prose(l) && !l.trim().is_empty())
+    let end = (0..lines.len())
+        .rev()
+        .find(|&i| !is_prose(i, false) && !lines[i].trim().is_empty())
         .map(|i| i + 1)
         .unwrap_or(lines.len());
     if start >= end {
@@ -198,6 +230,71 @@ mod tests {
     #[test]
     fn all_prose_response_returned_unchanged() {
         let resp = "I could not generate a configuration for that system.";
+        assert_eq!(extract_code(resp), resp);
+    }
+
+    #[test]
+    fn colon_terminated_lead_in_stripped_as_prose() {
+        // Regression: "Here is the configuration:" used to count as code
+        // (its colon looked like a mapping key), so the extracted payload
+        // started with a prose line that then parsed as a bogus YAML key.
+        let resp = "Here is the configuration:\n\ntasks:\n  - func: producer\n    nprocs: 3\n";
+        let code = extract_code(resp);
+        assert!(code.starts_with("tasks:"), "got: {code}");
+        assert!(!code.contains("Here is"));
+    }
+
+    #[test]
+    fn mapping_keys_are_not_mistaken_for_prose() {
+        // Short keys, capitalised single-word keys, and multi-word keys
+        // (lowercase or capitalised) must all survive at the payload
+        // margins: their value block is nested under them, which is the
+        // structural difference from a prose lead-in.
+        for line in [
+            "tasks:",
+            "Engine:",
+            "my key:",
+            "  Variables:",
+            "output file list:",
+            "Simulation Output Settings:",
+        ] {
+            let resp = format!("{line}\n  - x\n");
+            assert_eq!(extract_code(&resp), resp, "`{line}` must stay code");
+        }
+    }
+
+    #[test]
+    fn colon_lead_in_before_flush_left_payload_is_still_stripped() {
+        // The lead-in owns nothing: the payload that follows (after a blank
+        // line or not) starts at the same column, so the line is prose.
+        for resp in [
+            "Here is the configuration:\n\ntasks:\n  - func: producer\n",
+            "Here is the configuration:\ntasks:\n  - func: producer\n",
+            "The following file defines your workflow:\n\ntasks: []\n",
+        ] {
+            let code = extract_code(resp);
+            assert!(
+                code.starts_with("tasks:"),
+                "lead-in survived in: {code:?} (from {resp:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn null_valued_multi_word_keys_survive_at_the_margins() {
+        // A multi-word key with a null value has a same-indent follower —
+        // structurally like a lead-in — but contains no English function
+        // word, so it must stay code.
+        let resp = "output file list:\nother: 1\n";
+        assert_eq!(extract_code(resp), resp);
+    }
+
+    #[test]
+    fn trailing_colon_statements_are_never_stripped() {
+        // Suspended code statements at the end of a (possibly truncated)
+        // payload end in `:` and may contain English function words; the
+        // colon-lead-in rule must not apply at the trailing margin.
+        let resp = "y = 1\nif x is None:\n";
         assert_eq!(extract_code(resp), resp);
     }
 }

@@ -1,0 +1,762 @@
+//! Dynamic execution: run generated configuration artifacts on the runtime
+//! engine and score them by what the run actually did.
+//!
+//! Static evaluation ([`crate::eval`]) asks whether a generated artifact
+//! *reads* like the reference; this module asks whether it *runs* like it.
+//! Each raw model response goes through four stages behind one shared
+//! implementation, [`execute_artifact`]:
+//!
+//! 1. **extract** — [`wfspeak_codemodel::extract_code`] strips fences/prose;
+//! 2. **parse** — [`wfspeak_systems::workflow_spec_from_config`] recovers a
+//!    [`WorkflowSpec`](wfspeak_systems::WorkflowSpec) through the system's
+//!    validating parser;
+//! 3. **run** — the [`wfspeak_runtime::Engine`] executes the spec under a
+//!    bounded [`SandboxConfig`] (capped timesteps, elements, process counts
+//!    and per-operation timeouts);
+//! 4. **score** — the run's deterministic [`TraceSummary`] is compared
+//!    against the *reference* artifact's run, yielding a runnability score
+//!    and a trace-fidelity score.
+//!
+//! Every surface funnels through [`execute_artifact`]: the standalone
+//! [`ExecutionPipeline`] (callers bring their own responses; reference runs
+//! are cached and shared), [`Benchmark::run_execution`] (whole experiment
+//! grids sharded over [`crate::parallel::par_map`] with deterministic
+//! aggregation) and the scoring service's `mode: "execute"` request — so
+//! served scores are bit-identical to composing the stages by hand.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use wfspeak_codemodel::extract_code;
+use wfspeak_corpus::prompts::{configuration_prompt, PromptVariant};
+use wfspeak_corpus::references::configuration_reference;
+use wfspeak_corpus::WorkflowSystemId;
+use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams};
+use wfspeak_runtime::{Engine, EngineConfig, TraceSummary};
+use wfspeak_systems::workflow_spec_from_config;
+
+use crate::parallel::par_map;
+use crate::runner::Benchmark;
+
+/// Resource bounds for executing *untrusted generated* workflow specs.
+///
+/// Generated configurations routinely hallucinate structure; the sandbox
+/// keeps every run small and bounded no matter what the artifact claims:
+/// timesteps/elements are fixed by the sandbox (not the artifact), process
+/// and task counts are capped before any thread is spawned, and each
+/// send/receive carries a timeout so no run outlives
+/// `timesteps × timeout_ms` even when the graph stalls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SandboxConfig {
+    /// Timesteps each producer runs for.
+    pub timesteps: usize,
+    /// Elements per rank in generated arrays (kept small: the score uses
+    /// message counts, not payload size).
+    pub elements: usize,
+    /// Bounded channel capacity per link.
+    pub channel_capacity: usize,
+    /// Per-operation send/receive timeout, in milliseconds.
+    pub timeout_ms: u64,
+    /// RNG seed for data generation (fixed for deterministic scoring).
+    pub seed: u64,
+    /// Refuse to run specs requesting more total processes than this (each
+    /// process is a thread).
+    pub max_total_procs: usize,
+    /// Refuse to run specs declaring more tasks than this.
+    pub max_tasks: usize,
+}
+
+impl Default for SandboxConfig {
+    fn default() -> Self {
+        SandboxConfig {
+            timesteps: 3,
+            elements: 16,
+            channel_capacity: 8,
+            timeout_ms: 2_000,
+            seed: 42,
+            max_total_procs: 64,
+            max_tasks: 16,
+        }
+    }
+}
+
+impl SandboxConfig {
+    /// The engine configuration this sandbox runs specs under.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            timesteps: self.timesteps,
+            elements: self.elements,
+            channel_capacity: self.channel_capacity,
+            timeout_ms: self.timeout_ms,
+            seed: self.seed,
+            fail_task: None,
+        }
+    }
+}
+
+/// How far one generated artifact made it through the execution pipeline,
+/// and how closely its run matched the reference run.
+///
+/// All fields are derived from deterministic counts (never wall-clock), so
+/// scores are bit-identical across runs, surfaces and machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionScore {
+    /// The artifact's structure parsed into a workflow spec at all.
+    pub parsed: bool,
+    /// The validator reported no errors and the spec passed structural
+    /// validation (every consumed dataset has a producer, etc.).
+    pub valid: bool,
+    /// The engine accepted and ran the spec within the sandbox caps.
+    pub ran: bool,
+    /// The run completed: every task finished and every consumer saw every
+    /// timestep of every dataset it subscribes to.
+    pub completed: bool,
+    /// Runnability on the paper's 0–100 scale: 25 points per stage
+    /// (parsed, valid, ran, completed).
+    pub runnability: f64,
+    /// Trace fidelity vs the reference run on a 0–100 scale
+    /// ([`TraceSummary::fidelity`] × 100); 0 when the artifact never ran.
+    pub trace_fidelity: f64,
+    /// Tasks in the recovered spec (0 when parsing failed).
+    pub tasks: usize,
+    /// Dataset messages published during the run.
+    pub published: usize,
+    /// Dataset messages received during the run.
+    pub received: usize,
+    /// Tasks that failed during the run.
+    pub failed_tasks: usize,
+    /// Why the pipeline stopped early, when it did.
+    pub error: Option<String>,
+}
+
+impl ExecutionScore {
+    fn stage_score(parsed: bool, valid: bool, ran: bool, completed: bool) -> f64 {
+        25.0 * (usize::from(parsed)
+            + usize::from(valid)
+            + usize::from(ran)
+            + usize::from(completed)) as f64
+    }
+
+    fn not_parsed(error: String) -> ExecutionScore {
+        ExecutionScore {
+            parsed: false,
+            valid: false,
+            ran: false,
+            completed: false,
+            runnability: 0.0,
+            trace_fidelity: 0.0,
+            tasks: 0,
+            published: 0,
+            received: 0,
+            failed_tasks: 0,
+            error: Some(error),
+        }
+    }
+}
+
+/// Run one raw model response through the full execution pipeline against a
+/// prepared reference-run summary.
+///
+/// This is the *only* pipeline implementation: the standalone
+/// [`ExecutionPipeline`], the grid executor ([`Benchmark::run_execution`])
+/// and the scoring service's `execute` mode all call it, so their scores
+/// are bit-identical to composing `extract_code` +
+/// `workflow_spec_from_config` + `Engine::run` + `TraceSummary::fidelity`
+/// by hand (pinned by the workspace integration tests).
+pub fn execute_artifact(
+    sandbox: &SandboxConfig,
+    system: WorkflowSystemId,
+    response: &str,
+    reference: &TraceSummary,
+) -> ExecutionScore {
+    let code = extract_code(response);
+    let (spec, report) = workflow_spec_from_config(system, &code);
+    let Some(spec) = spec else {
+        let reason = report
+            .diagnostics
+            .first()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "artifact did not parse".to_owned());
+        return ExecutionScore::not_parsed(reason);
+    };
+    let tasks = spec.tasks.len();
+    let structural = spec.validate();
+    let valid = report.is_valid() && structural.is_ok();
+    if !valid {
+        let reason = structural.err().unwrap_or_else(|| {
+            report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == wfspeak_systems::Severity::Error)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "validation failed".to_owned())
+        });
+        return ExecutionScore {
+            parsed: true,
+            runnability: ExecutionScore::stage_score(true, false, false, false),
+            tasks,
+            error: Some(reason),
+            ..ExecutionScore::not_parsed(String::new())
+        };
+    }
+    if tasks > sandbox.max_tasks || spec.total_procs() > sandbox.max_total_procs {
+        return ExecutionScore {
+            parsed: true,
+            valid: true,
+            runnability: ExecutionScore::stage_score(true, true, false, false),
+            tasks,
+            error: Some(format!(
+                "spec exceeds sandbox caps ({} tasks / {} procs; caps {} / {})",
+                tasks,
+                spec.total_procs(),
+                sandbox.max_tasks,
+                sandbox.max_total_procs
+            )),
+            ..ExecutionScore::not_parsed(String::new())
+        };
+    }
+    match Engine::new(sandbox.engine_config()).run(&spec) {
+        Ok(outcome) => {
+            let summary = outcome.summary();
+            ExecutionScore {
+                parsed: true,
+                valid: true,
+                ran: true,
+                completed: outcome.completed,
+                runnability: ExecutionScore::stage_score(true, true, true, outcome.completed),
+                trace_fidelity: 100.0 * summary.fidelity(reference),
+                tasks,
+                published: summary.total_published(),
+                received: summary.total_received(),
+                failed_tasks: summary.total_failed(),
+                error: None,
+            }
+        }
+        Err(e) => ExecutionScore {
+            parsed: true,
+            valid: true,
+            runnability: ExecutionScore::stage_score(true, true, false, false),
+            tasks,
+            error: Some(e.to_string()),
+            ..ExecutionScore::not_parsed(String::new())
+        },
+    }
+}
+
+/// A standalone execution pipeline: a sandbox plus a cache of reference-run
+/// summaries, for executing caller-supplied responses outside a
+/// [`Benchmark`] grid (the scoring service's `execute` mode runs on one
+/// shared instance across all connections).
+#[derive(Debug)]
+pub struct ExecutionPipeline {
+    sandbox: SandboxConfig,
+    references: Mutex<HashMap<String, Arc<TraceSummary>>>,
+    max_cached_references: usize,
+}
+
+impl Default for ExecutionPipeline {
+    fn default() -> Self {
+        ExecutionPipeline {
+            sandbox: SandboxConfig::default(),
+            references: Mutex::new(HashMap::new()),
+            max_cached_references: usize::MAX,
+        }
+    }
+}
+
+impl ExecutionPipeline {
+    /// A pipeline with the default sandbox and an empty reference cache.
+    pub fn new() -> ExecutionPipeline {
+        ExecutionPipeline::default()
+    }
+
+    /// A pipeline with an explicit sandbox.
+    pub fn with_sandbox(sandbox: SandboxConfig) -> ExecutionPipeline {
+        ExecutionPipeline {
+            sandbox,
+            ..ExecutionPipeline::default()
+        }
+    }
+
+    /// Never retain more than `max_entries` reference runs: beyond the cap,
+    /// unseen references are still resolved and scored but not cached.
+    /// Servers accepting arbitrary client-supplied `reference_text` use
+    /// this to bound memory, like the metrics cache's
+    /// [`get_or_prepare_bounded`](crate::ReferenceCache::get_or_prepare_bounded).
+    pub fn with_cache_cap(mut self, max_entries: usize) -> ExecutionPipeline {
+        self.max_cached_references = max_entries;
+        self
+    }
+
+    /// The sandbox every run uses.
+    pub fn sandbox(&self) -> &SandboxConfig {
+        &self.sandbox
+    }
+
+    /// Number of distinct reference runs cached so far.
+    pub fn cached_references(&self) -> usize {
+        self.references
+            .lock()
+            .expect("reference cache poisoned")
+            .len()
+    }
+
+    /// Fetch (or produce on first use) the reference-run summary for a
+    /// reference artifact: parse it, require it to be fully valid, run it
+    /// under the sandbox and summarise the trace.
+    ///
+    /// Fails when the reference itself does not parse, validate or run —
+    /// the caller supplied something that is not an executable ground truth.
+    pub fn reference_summary(
+        &self,
+        system: WorkflowSystemId,
+        reference: &str,
+    ) -> Result<Arc<TraceSummary>, String> {
+        let key = format!("{}\u{1f}{reference}", system.name());
+        if let Some(summary) = self
+            .references
+            .lock()
+            .expect("reference cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(summary));
+        }
+        let (spec, report) = workflow_spec_from_config(system, reference);
+        let spec = spec.filter(|_| report.is_valid()).ok_or_else(|| {
+            format!(
+                "reference is not a valid {} configuration: {}",
+                system.name(),
+                report
+                    .diagnostics
+                    .first()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "unparseable".to_owned())
+            )
+        })?;
+        spec.validate()
+            .map_err(|e| format!("reference spec is not executable: {e}"))?;
+        if spec.tasks.len() > self.sandbox.max_tasks
+            || spec.total_procs() > self.sandbox.max_total_procs
+        {
+            return Err("reference spec exceeds the sandbox caps".to_owned());
+        }
+        let outcome = Engine::new(self.sandbox.engine_config())
+            .run(&spec)
+            .map_err(|e| format!("reference run refused: {e}"))?;
+        let summary = Arc::new(outcome.summary());
+        let mut references = self.references.lock().expect("reference cache poisoned");
+        if references.len() < self.max_cached_references {
+            references.insert(key, Arc::clone(&summary));
+        }
+        Ok(summary)
+    }
+
+    /// Execute one response against a reference artifact for `system`.
+    pub fn execute(
+        &self,
+        system: WorkflowSystemId,
+        reference: &str,
+        response: &str,
+    ) -> Result<ExecutionScore, String> {
+        let summary = self.reference_summary(system, reference)?;
+        Ok(execute_artifact(&self.sandbox, system, response, &summary))
+    }
+
+    /// Execute a batch of responses against one reference, in order.
+    pub fn execute_batch(
+        &self,
+        system: WorkflowSystemId,
+        reference: &str,
+        responses: &[String],
+    ) -> Result<Vec<ExecutionScore>, String> {
+        let summary = self.reference_summary(system, reference)?;
+        Ok(responses
+            .iter()
+            .map(|response| execute_artifact(&self.sandbox, system, response, &summary))
+            .collect())
+    }
+}
+
+/// One fully executed grid cell: every trial of one `(system, model)` pair.
+#[derive(Debug, Clone)]
+pub struct ExecutedCell {
+    /// System row label.
+    pub row: String,
+    /// Model display name.
+    pub model: String,
+    /// Per-trial execution scores, in seed order.
+    pub trials: Vec<ExecutionScore>,
+}
+
+impl ExecutedCell {
+    fn mean(&self, f: impl Fn(&ExecutionScore) -> f64) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(f).sum::<f64>() / self.trials.len() as f64
+    }
+
+    /// Mean runnability over the cell's trials.
+    pub fn mean_runnability(&self) -> f64 {
+        self.mean(|s| s.runnability)
+    }
+
+    /// Mean trace fidelity over the cell's trials.
+    pub fn mean_fidelity(&self) -> f64 {
+        self.mean(|s| s.trace_fidelity)
+    }
+
+    /// Trials that ran to completion.
+    pub fn completed_trials(&self) -> usize {
+        self.trials.iter().filter(|s| s.completed).count()
+    }
+
+    /// Trials whose artifact did not even parse.
+    pub fn unparsed_trials(&self) -> usize {
+        self.trials.iter().filter(|s| !s.parsed).count()
+    }
+}
+
+/// A whole configuration-experiment grid taken through dynamic execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionGrid {
+    /// Cells in declared order: system-major, model-minor.
+    pub cells: Vec<ExecutedCell>,
+}
+
+impl ExecutionGrid {
+    /// Look up one cell by row and model label.
+    pub fn cell(&self, row: &str, model: &str) -> Option<&ExecutedCell> {
+        self.cells.iter().find(|c| c.row == row && c.model == model)
+    }
+
+    /// Total responses executed (cells × trials).
+    pub fn total_executions(&self) -> usize {
+        self.cells.iter().map(|c| c.trials.len()).sum()
+    }
+
+    /// Responses that ran to completion across the whole grid.
+    pub fn completed_executions(&self) -> usize {
+        self.cells.iter().map(|c| c.completed_trials()).sum()
+    }
+
+    fn grid_mean(&self, f: impl Fn(&ExecutionScore) -> f64) -> f64 {
+        let n = self.total_executions();
+        if n == 0 {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .flat_map(|c| &c.trials)
+            .map(&f)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Mean runnability over every execution in the grid.
+    pub fn mean_runnability(&self) -> f64 {
+        self.grid_mean(|s| s.runnability)
+    }
+
+    /// Mean trace fidelity over every execution in the grid.
+    pub fn mean_fidelity(&self) -> f64 {
+        self.grid_mean(|s| s.trace_fidelity)
+    }
+
+    /// Render a fixed-width summary table: one line per cell with
+    /// runnability, trace fidelity and completion counts, plus a grid-level
+    /// footer.
+    pub fn render_summary(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<10} {:<16} {:>9} {:>9} {:>10} {:>9}\n",
+            "system", "model", "runnable", "fidelity", "completed", "unparsed"
+        ));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:<10} {:<16} {:>9.2} {:>9.2} {:>7}/{:<2} {:>9}\n",
+                cell.row,
+                cell.model,
+                cell.mean_runnability(),
+                cell.mean_fidelity(),
+                cell.completed_trials(),
+                cell.trials.len(),
+                cell.unparsed_trials(),
+            ));
+        }
+        out.push_str(&format!(
+            "overall: {} executions, mean runnability {:.2}, mean fidelity {:.2}, {} ran to completion\n",
+            self.total_executions(),
+            self.mean_runnability(),
+            self.mean_fidelity(),
+            self.completed_executions(),
+        ));
+        out
+    }
+}
+
+/// One grid cell's execution work.
+struct ExecCellJob<'a> {
+    row: String,
+    model: String,
+    client: &'a dyn LlmClient,
+    prompt: String,
+    system: WorkflowSystemId,
+    reference: Arc<TraceSummary>,
+}
+
+impl Benchmark {
+    /// Take the configuration experiment through dynamic execution: every
+    /// `(system × model × trial)` response is parsed, run on the runtime
+    /// engine under the benchmark's sandbox and scored against the
+    /// reference artifact's run.
+    ///
+    /// Only the configuration experiment executes — annotation and
+    /// translation artifacts are task codes, which have no workflow
+    /// structure to run.  Cells are executed in parallel on the worker pool
+    /// ([`crate::parallel::par_map`]) while the result preserves declared
+    /// order (system-major, model-minor, trials in seed order), and each
+    /// system's reference run happens once through the benchmark's shared
+    /// [`ExecutionPipeline`].
+    pub fn run_execution(&self, variant: PromptVariant) -> ExecutionGrid {
+        let mut jobs = Vec::new();
+        for system in WorkflowSystemId::configuration_systems() {
+            let reference = configuration_reference(system)
+                .expect("configuration systems always have a reference");
+            let summary = self
+                .executions
+                .reference_summary(system, reference)
+                .expect("reference configurations are executable");
+            let prompt = configuration_prompt(system, variant);
+            for client in &self.clients {
+                jobs.push(ExecCellJob {
+                    row: system.name().to_owned(),
+                    model: client.model().name().to_owned(),
+                    client: client.as_ref(),
+                    prompt: prompt.clone(),
+                    system,
+                    reference: Arc::clone(&summary),
+                });
+            }
+        }
+        let executed = par_map(&jobs, |job| {
+            self.config
+                .trial_seeds()
+                .into_iter()
+                .map(|seed| {
+                    let params = SamplingParams {
+                        temperature: self.config.temperature,
+                        top_p: self.config.top_p,
+                        seed,
+                    };
+                    let response = job
+                        .client
+                        .complete(&CompletionRequest::new(job.prompt.clone(), params));
+                    execute_artifact(
+                        self.executions.sandbox(),
+                        job.system,
+                        &response.text,
+                        &job.reference,
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        ExecutionGrid {
+            cells: jobs
+                .into_iter()
+                .zip(executed)
+                .map(|(job, trials)| ExecutedCell {
+                    row: job.row,
+                    model: job.model,
+                    trials,
+                })
+                .collect(),
+        }
+    }
+
+    /// The benchmark's shared execution pipeline (sandbox + reference-run
+    /// cache).
+    pub fn execution_pipeline(&self) -> &ExecutionPipeline {
+        &self.executions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BenchmarkConfig;
+    use wfspeak_corpus::references::configs::WILKINS_3NODE;
+
+    fn quick_benchmark() -> Benchmark {
+        Benchmark::with_simulated_models(BenchmarkConfig {
+            trials: 2,
+            ..BenchmarkConfig::default()
+        })
+    }
+
+    #[test]
+    fn reference_artifacts_execute_perfectly() {
+        let pipeline = ExecutionPipeline::new();
+        for system in WorkflowSystemId::configuration_systems() {
+            let reference = configuration_reference(system).unwrap();
+            let score = pipeline.execute(system, reference, reference).unwrap();
+            assert!(
+                score.parsed && score.valid && score.ran && score.completed,
+                "{system}"
+            );
+            assert_eq!(score.runnability, 100.0, "{system}");
+            assert_eq!(score.trace_fidelity, 100.0, "{system}");
+            assert!(score.error.is_none());
+            assert_eq!(
+                score.published,
+                2 * pipeline.sandbox().timesteps,
+                "{system}"
+            );
+            assert_eq!(score.received, 2 * pipeline.sandbox().timesteps, "{system}");
+            assert_eq!(score.failed_tasks, 0);
+        }
+    }
+
+    #[test]
+    fn unparseable_artifact_scores_zero() {
+        let pipeline = ExecutionPipeline::new();
+        let score = pipeline
+            .execute(
+                WorkflowSystemId::Wilkins,
+                WILKINS_3NODE,
+                "I cannot produce that configuration.",
+            )
+            .unwrap();
+        assert!(!score.parsed);
+        assert_eq!(score.runnability, 0.0);
+        assert_eq!(score.trace_fidelity, 0.0);
+        assert!(score.error.is_some());
+    }
+
+    #[test]
+    fn parsed_but_invalid_artifact_gets_partial_credit() {
+        let pipeline = ExecutionPipeline::new();
+        // Parses (structure recovered) but carries an unknown field.
+        let hallucinated = "tasks:\n  - func: producer\n    nprocs: 2\n    command: ./p\n";
+        let score = pipeline
+            .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, hallucinated)
+            .unwrap();
+        assert!(score.parsed && !score.valid && !score.ran);
+        assert_eq!(score.runnability, 25.0);
+        assert_eq!(score.tasks, 1);
+        assert!(score.error.unwrap().contains("command"));
+    }
+
+    #[test]
+    fn valid_but_incomplete_dataflow_runs_with_reduced_fidelity() {
+        let pipeline = ExecutionPipeline::new();
+        // A lone producer: valid, runs, completes, but publishes into the
+        // void — no received messages to match the reference's.
+        let solo = "tasks:\n  - func: producer\n    nprocs: 1\n    outports:\n      - filename: outfile.h5\n        dsets:\n          - name: /group1/grid\n            file: 0\n            memory: 1\n";
+        let score = pipeline
+            .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, solo)
+            .unwrap();
+        assert!(score.completed);
+        assert_eq!(score.runnability, 100.0);
+        assert!(score.trace_fidelity > 0.0 && score.trace_fidelity < 100.0);
+        assert_eq!(score.received, 0);
+    }
+
+    #[test]
+    fn sandbox_caps_refuse_oversized_specs() {
+        let pipeline = ExecutionPipeline::new();
+        let greedy = "tasks:\n  - func: producer\n    nprocs: 5000\n";
+        let score = pipeline
+            .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, greedy)
+            .unwrap();
+        assert!(score.parsed && score.valid && !score.ran);
+        assert_eq!(score.runnability, 50.0);
+        assert!(score.error.unwrap().contains("sandbox caps"));
+    }
+
+    #[test]
+    fn reference_summaries_are_cached_per_system_and_text() {
+        let pipeline = ExecutionPipeline::new();
+        let reference = configuration_reference(WorkflowSystemId::Wilkins).unwrap();
+        pipeline
+            .execute_batch(
+                WorkflowSystemId::Wilkins,
+                reference,
+                &["a".into(), "b".into()],
+            )
+            .unwrap();
+        assert_eq!(pipeline.cached_references(), 1);
+        pipeline
+            .execute(WorkflowSystemId::Wilkins, reference, "c")
+            .unwrap();
+        assert_eq!(pipeline.cached_references(), 1);
+    }
+
+    #[test]
+    fn reference_run_cache_respects_its_cap() {
+        let pipeline = ExecutionPipeline::new().with_cache_cap(1);
+        let reference_a = configuration_reference(WorkflowSystemId::Wilkins).unwrap();
+        let reference_b = configuration_reference(WorkflowSystemId::Henson).unwrap();
+        pipeline
+            .execute(WorkflowSystemId::Wilkins, reference_a, "x")
+            .unwrap();
+        assert_eq!(pipeline.cached_references(), 1);
+        // A second distinct reference is still resolved and scored, but the
+        // cache does not grow past the cap.
+        let score = pipeline
+            .execute(WorkflowSystemId::Henson, reference_b, reference_b)
+            .unwrap();
+        assert_eq!(score.runnability, 100.0);
+        assert_eq!(pipeline.cached_references(), 1);
+        // The retained entry keeps serving.
+        pipeline
+            .execute(WorkflowSystemId::Wilkins, reference_a, "y")
+            .unwrap();
+        assert_eq!(pipeline.cached_references(), 1);
+    }
+
+    #[test]
+    fn bad_reference_text_is_an_error_not_a_score() {
+        let pipeline = ExecutionPipeline::new();
+        let err = pipeline
+            .execute(WorkflowSystemId::Wilkins, "not yaml at all {", "x")
+            .unwrap_err();
+        assert!(err.contains("reference"), "{err}");
+    }
+
+    #[test]
+    fn execution_grid_has_configuration_shape() {
+        let grid = quick_benchmark().run_execution(PromptVariant::Original);
+        assert_eq!(grid.cells.len(), 3 * 4, "3 systems × 4 models");
+        assert_eq!(grid.total_executions(), 3 * 4 * 2);
+        assert!(grid.mean_runnability() > 0.0);
+        // Simulated models include exact-tier outputs, so some runs complete.
+        assert!(grid.completed_executions() > 0);
+        // And degraded tiers guarantee some do not even parse.
+        assert!(grid.mean_runnability() < 100.0);
+    }
+
+    #[test]
+    fn execution_grid_is_deterministic() {
+        let a = quick_benchmark().run_execution(PromptVariant::Original);
+        let b = quick_benchmark().run_execution(PromptVariant::Original);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.row, cb.row);
+            assert_eq!(ca.model, cb.model);
+            assert_eq!(ca.trials, cb.trials);
+        }
+    }
+
+    #[test]
+    fn summary_renders_rows_models_and_totals() {
+        let grid = quick_benchmark().run_execution(PromptVariant::Original);
+        let summary = grid.render_summary("Execution: configuration");
+        assert!(summary.starts_with("Execution: configuration"));
+        assert!(summary.contains("Wilkins"));
+        assert!(summary.contains("o3"));
+        assert!(summary.contains("overall:"));
+    }
+}

@@ -21,7 +21,11 @@
 //! Beyond per-metric scoring, [`Benchmark::run_evaluation`] takes a whole
 //! experiment grid through the full pipeline — code extraction, API-call
 //! comparison (missing / extra / hallucinated calls) and BLEU/ChrF — in one
-//! pass; see the [`eval`] module.
+//! pass; see the [`eval`] module.  [`Benchmark::run_execution`] goes one
+//! step further and *runs* every generated configuration on the
+//! `wfspeak-runtime` engine under a bounded sandbox, scoring runnability
+//! and trace fidelity against the reference artifact's run; see the
+//! [`exec`] module.
 //!
 //! # Quickstart
 //!
@@ -36,6 +40,7 @@
 
 pub mod config;
 pub mod eval;
+pub mod exec;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
@@ -45,6 +50,9 @@ pub mod runner;
 pub use config::BenchmarkConfig;
 pub use eval::{
     evaluate_prepared, EvalPipeline, EvaluatedCell, Evaluation, EvaluationGrid, SystemProfile,
+};
+pub use exec::{
+    execute_artifact, ExecutedCell, ExecutionGrid, ExecutionPipeline, ExecutionScore, SandboxConfig,
 };
 pub use experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
 pub use result::ExperimentResult;

@@ -29,6 +29,7 @@ use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams, SimulatedLlm};
 use wfspeak_metrics::{BleuScorer, CacheStats, ChrfScorer, PreparedReference, Scorer};
 
 use crate::config::BenchmarkConfig;
+use crate::exec::ExecutionPipeline;
 use crate::experiments::{ExperimentKind, FewShotComparison, PromptSensitivity};
 use crate::parallel::par_map;
 use crate::result::ExperimentResult;
@@ -146,6 +147,7 @@ pub struct Benchmark {
     pub(crate) bleu: BleuScorer,
     pub(crate) chrf: ChrfScorer,
     pub(crate) references: ReferenceCache,
+    pub(crate) executions: ExecutionPipeline,
 }
 
 impl Benchmark {
@@ -157,6 +159,7 @@ impl Benchmark {
             bleu: BleuScorer::default(),
             chrf: ChrfScorer::default(),
             references: ReferenceCache::default(),
+            executions: ExecutionPipeline::default(),
         }
     }
 

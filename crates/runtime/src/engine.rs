@@ -92,6 +92,12 @@ impl RunOutcome {
     pub fn total_received(&self) -> usize {
         self.consumer_sums.values().map(Vec::len).sum()
     }
+
+    /// Deterministic condensation of the run's trace (counts only), the
+    /// form compared against a reference run in execution scoring.
+    pub fn summary(&self) -> crate::trace::TraceSummary {
+        self.trace.summary()
+    }
 }
 
 /// The workflow engine.
@@ -318,6 +324,42 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn benchmark_spec_traces_are_deterministic_across_runs_and_capacities() {
+        // Execution scoring depends on this: repeated runs of the benchmark
+        // spec under one seed must summarise identically, and the channel
+        // capacity (a scheduling knob, not a semantic one) must not change
+        // what was published, received or summed.
+        let run = |channel_capacity: usize| {
+            let config = EngineConfig {
+                channel_capacity,
+                ..EngineConfig::default()
+            };
+            let outcome = Engine::new(config)
+                .run(&WorkflowSpec::paper_3node())
+                .unwrap();
+            assert!(outcome.completed, "trace:\n{}", outcome.trace.render());
+            let summary = outcome.summary();
+            let mut sums: Vec<(String, Vec<f64>)> = outcome.consumer_sums.into_iter().collect();
+            sums.sort_by(|a, b| a.0.cmp(&b.0));
+            (summary, sums)
+        };
+        let (baseline_summary, baseline_sums) = run(8);
+        for _ in 0..3 {
+            let (summary, sums) = run(8);
+            assert_eq!(summary, baseline_summary, "repeat run diverged");
+            assert_eq!(sums, baseline_sums, "repeat run changed consumer sums");
+        }
+        for capacity in [1, 2, 4, 32] {
+            let (summary, sums) = run(capacity);
+            assert_eq!(summary, baseline_summary, "capacity {capacity} diverged");
+            assert_eq!(
+                sums, baseline_sums,
+                "capacity {capacity} changed consumer sums"
+            );
+        }
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod trace;
 pub use data::{DataMessage, Dataset};
 pub use engine::{Engine, EngineConfig, EngineError, RunOutcome};
 pub use task::{ConsumerBehavior, ProducerBehavior, TaskBehavior, TaskContext};
-pub use trace::{Event, EventKind, ExecutionTrace};
+pub use trace::{Event, EventKind, ExecutionTrace, TraceSummary};

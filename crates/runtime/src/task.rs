@@ -161,7 +161,10 @@ pub struct ProducerBehavior;
 
 impl TaskBehavior for ProducerBehavior {
     fn run(&self, ctx: &mut TaskContext) -> Result<(), String> {
-        let datasets: Vec<String> = ctx.outputs.keys().cloned().collect();
+        // Sorted so publish order (and with it the trace and any downstream
+        // arrival order) is a function of the spec, not of HashMap state.
+        let mut datasets: Vec<String> = ctx.outputs.keys().cloned().collect();
+        datasets.sort();
         for t in 0..ctx.timesteps {
             if ctx.fail_at_step == Some(t) {
                 return Err(format!("injected failure at timestep {t}"));
@@ -188,7 +191,10 @@ impl TaskBehavior for ConsumerBehavior {
         if ctx.rank != 0 {
             return Ok(());
         }
-        let datasets: Vec<String> = ctx.inputs.keys().cloned().collect();
+        // Sorted so a consumer of several datasets drains them in a stable
+        // order and `received_sums` is deterministic run to run.
+        let mut datasets: Vec<String> = ctx.inputs.keys().cloned().collect();
+        datasets.sort();
         let mut open: HashMap<String, bool> = datasets.iter().map(|d| (d.clone(), true)).collect();
         let mut step = 0usize;
         while open.values().any(|&o| o) {

@@ -144,6 +144,31 @@ impl ScoringClient {
         self.roundtrip(&request)
     }
 
+    /// Run raw model responses through the server's dynamic-execution
+    /// pipeline (extract → parse → engine run → trace scoring) against the
+    /// built-in configuration reference for `system` (call/response).
+    pub fn execute(
+        &mut self,
+        system: &str,
+        responses: Vec<String>,
+    ) -> std::io::Result<ScoreResponse> {
+        let request = ScoreRequest::execute(self.fresh_id(), system, responses);
+        self.roundtrip(&request)
+    }
+
+    /// Dynamic execution against an inline reference configuration;
+    /// `system` selects the configuration dialect (call/response).
+    pub fn execute_text(
+        &mut self,
+        reference_text: &str,
+        system: &str,
+        responses: Vec<String>,
+    ) -> std::io::Result<ScoreResponse> {
+        let request =
+            ScoreRequest::execute_text(self.fresh_id(), reference_text, system, responses);
+        self.roundtrip(&request)
+    }
+
     /// Fetch the server's lifetime counters.
     pub fn stats(&mut self) -> std::io::Result<ServiceStats> {
         let request = ScoreRequest::stats(self.fresh_id());

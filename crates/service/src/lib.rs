@@ -30,6 +30,15 @@
 //!   with the same shared cache and backpressure rules, answering with
 //!   [`EvaluationScore`]s that are bit-identical to composing the stages
 //!   in-process.
+//! * **Dynamic-execution `execute` requests** — a request with
+//!   `mode: "execute"` treats each hypothesis as a raw model response whose
+//!   configuration payload is parsed into a workflow spec and *run* on the
+//!   `wfspeak-runtime` engine under a bounded sandbox
+//!   ([`wfspeak_core::exec::execute_artifact`]); the answer's
+//!   [`ExecutionScore`]s (runnability + trace fidelity against the
+//!   reference artifact's own run) are derived from deterministic counts,
+//!   so they too are bit-identical to in-process execution.  Reference runs
+//!   are cached and shared across all connections.
 //!
 //! # Quickstart
 //!
@@ -63,7 +72,7 @@ pub mod server;
 
 pub use client::ScoringClient;
 pub use protocol::{
-    EvaluationScore, HypothesisScore, RequestMode, ScoreRequest, ScoreResponse, ServiceStats,
-    TaskKind, DEFAULT_ADDR,
+    EvaluationScore, ExecutionScore, HypothesisScore, RequestMode, ScoreRequest, ScoreResponse,
+    ServiceStats, TaskKind, DEFAULT_ADDR,
 };
 pub use server::{ScoringServer, ServiceConfig};

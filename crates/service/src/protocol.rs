@@ -15,10 +15,14 @@
 //!   prepared through the same shared cache (repeat texts hit).
 //!
 //! A request's `mode` selects how hypotheses are processed: plain BLEU/ChrF
-//! scoring (the default), or `"evaluate"` — the full pipeline that strips
+//! scoring (the default); `"evaluate"` — the full pipeline that strips
 //! each raw model response down to its code payload, compares its API calls
 //! against the reference (missing / extra / hallucinated) and then scores
-//! it, answering with [`EvaluationScore`]s.
+//! it, answering with [`EvaluationScore`]s; or `"execute"` — dynamic
+//! execution that parses each response's configuration into a workflow
+//! spec, *runs* it on the runtime engine under a bounded sandbox and scores
+//! runnability plus trace fidelity against the reference artifact's run,
+//! answering with [`ExecutionScore`]s.
 //!
 //! The special task `"stats"` returns a [`ServiceStats`] snapshot instead of
 //! scores.
@@ -77,6 +81,10 @@ pub enum RequestMode {
     /// The full pipeline: each hypothesis is a *raw model response* taken
     /// through code extraction → API-call comparison → BLEU/ChrF.
     Evaluate,
+    /// Dynamic execution: each hypothesis is a raw model response whose
+    /// extracted configuration is parsed into a workflow spec and *run* on
+    /// the runtime engine, scored against the reference artifact's run.
+    Execute,
 }
 
 /// One scoring request: a batch of hypotheses scored against one reference.
@@ -162,13 +170,40 @@ impl ScoreRequest {
         }
     }
 
+    /// A dynamic-execution request addressing a built-in configuration
+    /// reference: each entry of `responses` is a raw model response whose
+    /// configuration payload will be run on the runtime engine.
+    pub fn execute(id: u64, system: &str, responses: Vec<String>) -> Self {
+        ScoreRequest {
+            mode: "execute".to_owned(),
+            ..ScoreRequest::by_id(id, TaskKind::Configuration, system, responses)
+        }
+    }
+
+    /// A dynamic-execution request carrying its reference configuration
+    /// inline; `system` selects the configuration dialect both the
+    /// reference and the responses are parsed as.
+    pub fn execute_text(
+        id: u64,
+        reference_text: &str,
+        system: &str,
+        responses: Vec<String>,
+    ) -> Self {
+        ScoreRequest {
+            system: system.to_owned(),
+            mode: "execute".to_owned(),
+            ..ScoreRequest::by_text(id, reference_text, responses)
+        }
+    }
+
     /// Parse the request's processing mode; `Err` carries the unknown name.
     pub fn resolve_mode(&self) -> Result<RequestMode, String> {
         match self.mode.to_ascii_lowercase().as_str() {
             "" | "score" => Ok(RequestMode::Score),
             "evaluate" => Ok(RequestMode::Evaluate),
+            "execute" => Ok(RequestMode::Execute),
             other => Err(format!(
-                "unknown mode `{other}` (expected score or evaluate)"
+                "unknown mode `{other}` (expected score, evaluate or execute)"
             )),
         }
     }
@@ -299,6 +334,58 @@ impl EvaluationScore {
     }
 }
 
+/// The dynamic-execution result for one raw model response: how far the
+/// artifact made it through extract → parse → run, plus trace-fidelity
+/// scoring against the reference artifact's run.
+///
+/// All fields come from deterministic counts (never wall-clock timings), so
+/// served scores are bit-identical to in-process execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionScore {
+    /// The artifact's structure parsed into a workflow spec.
+    pub parsed: bool,
+    /// The validator and structural checks accepted the spec.
+    pub valid: bool,
+    /// The engine ran the spec within the sandbox caps.
+    pub ran: bool,
+    /// The run completed (every task finished, every message delivered).
+    pub completed: bool,
+    /// Runnability on a 0–100 scale (25 points per stage).
+    pub runnability: f64,
+    /// Trace fidelity vs the reference run, 0–100.
+    pub trace_fidelity: f64,
+    /// Tasks in the recovered spec.
+    pub tasks: usize,
+    /// Dataset messages published during the run.
+    pub published: usize,
+    /// Dataset messages received during the run.
+    pub received: usize,
+    /// Tasks that failed during the run.
+    pub failed_tasks: usize,
+    /// Why the pipeline stopped early, when it did.
+    pub error: Option<String>,
+}
+
+impl ExecutionScore {
+    /// Flatten a pipeline [`ExecutionScore`](wfspeak_core::exec::ExecutionScore)
+    /// into its wire form.
+    pub fn from_execution(score: &wfspeak_core::exec::ExecutionScore) -> Self {
+        ExecutionScore {
+            parsed: score.parsed,
+            valid: score.valid,
+            ran: score.ran,
+            completed: score.completed,
+            runnability: score.runnability,
+            trace_fidelity: score.trace_fidelity,
+            tasks: score.tasks,
+            published: score.published,
+            received: score.received,
+            failed_tasks: score.failed_tasks,
+            error: score.error.clone(),
+        }
+    }
+}
+
 /// A snapshot of the server's lifetime counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct ServiceStats {
@@ -339,6 +426,9 @@ pub struct ScoreResponse {
     /// Per-response pipeline evaluations, in request order; filled only for
     /// `evaluate` requests.
     pub evaluations: Vec<EvaluationScore>,
+    /// Per-response dynamic-execution scores, in request order; filled only
+    /// for `execute` requests.
+    pub executions: Vec<ExecutionScore>,
     /// Server counters; present only for `stats` requests.
     pub stats: Option<ServiceStats>,
 }
@@ -352,6 +442,7 @@ impl ScoreResponse {
             error: None,
             scores,
             evaluations: Vec::new(),
+            executions: Vec::new(),
             stats: None,
         }
     }
@@ -364,6 +455,20 @@ impl ScoreResponse {
             error: None,
             scores: Vec::new(),
             evaluations,
+            executions: Vec::new(),
+            stats: None,
+        }
+    }
+
+    /// A successful dynamic-execution response.
+    pub fn executed(id: u64, executions: Vec<ExecutionScore>) -> Self {
+        ScoreResponse {
+            id,
+            ok: true,
+            error: None,
+            scores: Vec::new(),
+            evaluations: Vec::new(),
+            executions,
             stats: None,
         }
     }
@@ -376,6 +481,7 @@ impl ScoreResponse {
             error: Some(error.into()),
             scores: Vec::new(),
             evaluations: Vec::new(),
+            executions: Vec::new(),
             stats: None,
         }
     }
@@ -388,6 +494,7 @@ impl ScoreResponse {
             error: None,
             scores: Vec::new(),
             evaluations: Vec::new(),
+            executions: Vec::new(),
             stats: Some(stats),
         }
     }
@@ -585,6 +692,49 @@ mod tests {
         );
         assert_eq!(sent.matched, received.matched);
         assert_eq!(sent.hallucinated, received.hallucinated);
+    }
+
+    #[test]
+    fn execution_responses_round_trip_with_float_precision() {
+        let executions = vec![ExecutionScore {
+            parsed: true,
+            valid: true,
+            ran: true,
+            completed: false,
+            runnability: 75.0,
+            trace_fidelity: 31.622776601683793,
+            tasks: 3,
+            published: 6,
+            received: 4,
+            failed_tasks: 1,
+            error: Some("consumer2: receive of `particles` timed out".into()),
+        }];
+        let line = encode_line(&ScoreResponse::executed(12, executions.clone()));
+        let decoded: ScoreResponse = decode_line(&line).unwrap();
+        assert!(decoded.ok);
+        assert!(decoded.scores.is_empty() && decoded.evaluations.is_empty());
+        assert_eq!(decoded.executions.len(), 1);
+        let (sent, received) = (&executions[0], &decoded.executions[0]);
+        assert_eq!(
+            sent.trace_fidelity.to_bits(),
+            received.trace_fidelity.to_bits()
+        );
+        assert_eq!(sent.runnability.to_bits(), received.runnability.to_bits());
+        assert_eq!(sent, received);
+    }
+
+    #[test]
+    fn execute_requests_resolve_their_mode_and_system() {
+        let request = ScoreRequest::execute(3, "Wilkins", vec!["tasks: []".into()]);
+        assert_eq!(request.resolve_mode(), Ok(RequestMode::Execute));
+        assert_eq!(request.task, "configuration");
+        let decoded: ScoreRequest = decode_line(&encode_line(&request)).unwrap();
+        assert_eq!(decoded.resolve_mode(), Ok(RequestMode::Execute));
+        assert_eq!(decoded.resolve_system_name(), Some("Wilkins"));
+
+        let inline = ScoreRequest::execute_text(4, "tasks: []", "Wilkins", vec![]);
+        assert_eq!(inline.resolve_mode(), Ok(RequestMode::Execute));
+        assert_eq!(inline.resolve_reference().unwrap(), Some("tasks: []"));
     }
 
     #[test]

@@ -38,12 +38,13 @@ use std::thread::JoinHandle;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use wfspeak_core::eval::{evaluate_prepared, SystemProfile};
-use wfspeak_core::ReferenceCache;
+use wfspeak_core::exec::ExecutionPipeline;
+use wfspeak_core::{ReferenceCache, WorkflowSystemId};
 use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
 
 use crate::protocol::{
-    decode_line, encode_line, salvage_request_id, EvaluationScore, HypothesisScore, RequestMode,
-    ScoreRequest, ScoreResponse, ServiceStats,
+    decode_line, encode_line, salvage_request_id, EvaluationScore, ExecutionScore, HypothesisScore,
+    RequestMode, ScoreRequest, ScoreResponse, ServiceStats,
 };
 
 /// Tunables for [`ScoringServer::spawn`].
@@ -63,6 +64,19 @@ pub struct ServiceConfig {
     /// pipelines heavily but never reads would otherwise wedge the shared
     /// pool).
     pub reply_stall_timeout: std::time::Duration,
+    /// Per-connection reply-buffer depth: responses queued between the
+    /// worker pool and the connection's writer thread.  When a client stops
+    /// reading, this buffer (plus the kernel's socket buffers) is all the
+    /// slack it gets before workers start hitting
+    /// [`reply_stall_timeout`](ServiceConfig::reply_stall_timeout).
+    pub reply_queue_depth: usize,
+    /// Maximum hypotheses per `mode: "execute"` request.  Unlike scoring
+    /// (sub-millisecond per hypothesis), each execution can legitimately
+    /// cost threads and — for stalling-but-valid specs — seconds of
+    /// sandbox timeout, so one oversized batch must not pin a shared
+    /// worker indefinitely; larger batches are rejected with an error and
+    /// should be split across pipelined requests.
+    pub max_execute_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +86,8 @@ impl Default for ServiceConfig {
             queue_depth: 256,
             max_cached_references: 4096,
             reply_stall_timeout: std::time::Duration::from_secs(10),
+            reply_queue_depth: 256,
+            max_execute_batch: 64,
         }
     }
 }
@@ -94,7 +110,9 @@ struct ServiceState {
     bleu: BleuScorer,
     chrf: ChrfScorer,
     cache: ReferenceCache,
+    executor: ExecutionPipeline,
     max_cached_references: usize,
+    max_execute_batch: usize,
     requests: AtomicU64,
     hypotheses: AtomicU64,
 }
@@ -105,7 +123,11 @@ impl ServiceState {
             bleu: BleuScorer::default(),
             chrf: ChrfScorer::default(),
             cache: ReferenceCache::default(),
+            // The same cap bounds both caches: arbitrary client-supplied
+            // reference text must not grow server memory without limit.
+            executor: ExecutionPipeline::default().with_cache_cap(config.max_cached_references),
             max_cached_references: config.max_cached_references,
+            max_execute_batch: config.max_execute_batch,
             requests: AtomicU64::new(0),
             hypotheses: AtomicU64::new(0),
         }
@@ -135,20 +157,21 @@ impl ServiceState {
             Ok(None) => return ScoreResponse::stats(request.id, self.stats()),
             Err(message) => return ScoreResponse::failure(request.id, message),
         };
-        // An evaluate request needs a workflow system for API-call
-        // comparison, even when the reference text arrives inline.
-        let profile = match mode {
+        // Evaluate needs a workflow system for API-call comparison; execute
+        // needs one to pick the configuration dialect — even when the
+        // reference text arrives inline.
+        let system_id = match mode {
             RequestMode::Score => None,
-            RequestMode::Evaluate => {
+            RequestMode::Evaluate | RequestMode::Execute => {
                 let Some(name) = request.resolve_system_name() else {
                     return ScoreResponse::failure(
                         request.id,
-                        "evaluate requests must name a workflow system \
-                         (`system` or `reference_id`) for API-call comparison",
+                        "evaluate/execute requests must name a workflow system \
+                         (`system` or `reference_id`)",
                     );
                 };
-                match SystemProfile::by_name(name) {
-                    Some(profile) => Some(profile),
+                match WorkflowSystemId::from_name(name) {
+                    Some(id) => Some(id),
                     None => {
                         return ScoreResponse::failure(
                             request.id,
@@ -158,6 +181,46 @@ impl ServiceState {
                 }
             }
         };
+        if mode == RequestMode::Execute {
+            let system = system_id.expect("resolved above for execute mode");
+            // Executions cost real threads and (for stalling specs) real
+            // sandbox-timeout seconds each; bound what one request can pin
+            // a worker with.
+            if request.hypotheses.len() > self.max_execute_batch {
+                return ScoreResponse::failure(
+                    request.id,
+                    format!(
+                        "execute batch of {} exceeds the per-request cap of {}; \
+                         split it across pipelined requests",
+                        request.hypotheses.len(),
+                        self.max_execute_batch
+                    ),
+                );
+            }
+            // Resolve the reference run first so a bad reference is a
+            // failure (uncounted), matching every other addressing error.
+            let summary = match self.executor.reference_summary(system, reference) {
+                Ok(summary) => summary,
+                Err(message) => return ScoreResponse::failure(request.id, message),
+            };
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.hypotheses
+                .fetch_add(request.hypotheses.len() as u64, Ordering::Relaxed);
+            let executions: Vec<ExecutionScore> = request
+                .hypotheses
+                .iter()
+                .map(|response| {
+                    ExecutionScore::from_execution(&wfspeak_core::exec::execute_artifact(
+                        self.executor.sandbox(),
+                        system,
+                        response,
+                        &summary,
+                    ))
+                })
+                .collect();
+            return ScoreResponse::executed(request.id, executions);
+        }
+        let profile = system_id.map(SystemProfile::for_system);
         // Counted at admission, before the cache lookup, so a concurrent
         // `stats` snapshot never shows more cache traffic than the request
         // count can explain.
@@ -284,7 +347,10 @@ impl ScoringServer {
         let accept_handle = {
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
-            std::thread::spawn(move || accept_loop(&listener, job_tx, &stop, &connections))
+            let reply_depth = config.reply_queue_depth.max(1);
+            std::thread::spawn(move || {
+                accept_loop(&listener, job_tx, &stop, &connections, reply_depth)
+            })
         };
 
         Ok(ScoringServer {
@@ -388,6 +454,7 @@ fn accept_loop(
     job_tx: Sender<Job>,
     stop: &AtomicBool,
     connections: &Arc<ConnectionRegistry>,
+    reply_depth: usize,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -400,7 +467,7 @@ fn accept_loop(
             let Some(id) = connections.register(&stream) else {
                 return;
             };
-            handle_connection(stream, job_tx);
+            handle_connection(stream, job_tx, reply_depth);
             connections.deregister(id);
         });
     }
@@ -408,7 +475,7 @@ fn accept_loop(
 
 /// Per-connection plumbing: spawn the writer, then parse request lines and
 /// feed the shared job queue until the client disconnects.
-fn handle_connection(stream: TcpStream, job_tx: Sender<Job>) {
+fn handle_connection(stream: TcpStream, job_tx: Sender<Job>, reply_depth: usize) {
     let Ok(write_stream) = stream.try_clone() else {
         return;
     };
@@ -418,7 +485,7 @@ fn handle_connection(stream: TcpStream, job_tx: Sender<Job>) {
     let peer = Arc::new(peer);
     // Writer capacity is independent of the job queue: it only buffers
     // responses the client has not read yet.
-    let (reply_tx, reply_rx) = bounded::<String>(256);
+    let (reply_tx, reply_rx) = bounded::<String>(reply_depth);
     let writer_handle = std::thread::spawn(move || writer_loop(write_stream, &reply_rx));
 
     let reader = BufReader::new(stream);
@@ -670,6 +737,108 @@ mod tests {
         assert_eq!(stats.cache_misses, 1, "one shared preparation");
         assert_eq!(stats.cache_hits, 1, "the evaluate request hit it");
         assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn execute_mode_runs_artifacts_bit_identically() {
+        use wfspeak_core::exec::{execute_artifact, ExecutionPipeline};
+        use wfspeak_corpus::references::configuration_reference;
+
+        let state = ServiceState::new(&ServiceConfig::default());
+        let reference = configuration_reference(WorkflowSystemId::Wilkins).unwrap();
+        let responses = vec![
+            reference.to_owned(),
+            "Here is the configuration:\n\ntasks:\n  - func: producer\n    nprocs: 2\n    command: ./p\n".to_owned(),
+            "I cannot help with that.".to_owned(),
+        ];
+        let request = ScoreRequest::execute(7, "Wilkins", responses.clone());
+        let response = state.handle(&request);
+        assert!(response.ok, "{:?}", response.error);
+        assert!(response.scores.is_empty() && response.evaluations.is_empty());
+        assert_eq!(response.executions.len(), 3);
+        assert_eq!(response.executions[0].runnability, 100.0);
+        assert_eq!(response.executions[0].trace_fidelity, 100.0);
+        assert!(response.executions[1].parsed && !response.executions[1].valid);
+        assert!(!response.executions[2].parsed);
+
+        // Bit-identical to running the pipeline in-process.
+        let pipeline = ExecutionPipeline::default();
+        let summary = pipeline
+            .reference_summary(WorkflowSystemId::Wilkins, reference)
+            .unwrap();
+        for (sent, served) in responses.iter().zip(&response.executions) {
+            let direct = execute_artifact(
+                pipeline.sandbox(),
+                WorkflowSystemId::Wilkins,
+                sent,
+                &summary,
+            );
+            assert_eq!(served.runnability.to_bits(), direct.runnability.to_bits());
+            assert_eq!(
+                served.trace_fidelity.to_bits(),
+                direct.trace_fidelity.to_bits()
+            );
+            assert_eq!(
+                (served.parsed, served.valid, served.ran, served.completed),
+                (direct.parsed, direct.valid, direct.ran, direct.completed)
+            );
+            assert_eq!(served.published, direct.published);
+            assert_eq!(served.received, direct.received);
+            assert_eq!(served.error, direct.error);
+        }
+        assert_eq!(state.stats().requests, 1);
+        assert_eq!(state.stats().hypotheses, 3);
+    }
+
+    #[test]
+    fn execute_mode_rejects_non_executable_references_without_counting() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        // Annotation references are task codes, not configurations.
+        let request = ScoreRequest {
+            id: 5,
+            reference_id: Some("annotation/Henson".into()),
+            mode: "execute".into(),
+            hypotheses: vec!["x".into()],
+            ..ScoreRequest::default()
+        };
+        let response = state.handle(&request);
+        assert!(!response.ok);
+        assert!(response.error.unwrap().contains("reference"));
+        assert_eq!(state.stats().requests, 0);
+
+        let missing_system = state.handle(&ScoreRequest {
+            id: 6,
+            reference_text: Some("tasks: []".into()),
+            mode: "execute".into(),
+            ..ScoreRequest::default()
+        });
+        assert!(!missing_system.ok);
+        assert!(missing_system.error.unwrap().contains("workflow system"));
+    }
+
+    #[test]
+    fn execute_batches_beyond_the_cap_are_rejected_without_running() {
+        let state = ServiceState::new(&ServiceConfig {
+            max_execute_batch: 2,
+            ..ServiceConfig::default()
+        });
+        let oversized = ScoreRequest::execute(9, "Wilkins", vec!["x".into(); 3]);
+        let response = state.handle(&oversized);
+        assert!(!response.ok);
+        assert!(response.error.unwrap().contains("cap"));
+        assert_eq!(state.stats().requests, 0, "rejected batches are uncounted");
+
+        let at_cap = ScoreRequest::execute(10, "Wilkins", vec!["x".into(); 2]);
+        assert!(state.handle(&at_cap).ok);
+    }
+
+    #[test]
+    fn execute_reference_runs_are_cached_across_requests() {
+        let state = ServiceState::new(&ServiceConfig::default());
+        let request = ScoreRequest::execute(1, "Henson", vec!["x".into()]);
+        assert!(state.handle(&request).ok);
+        assert!(state.handle(&request).ok);
+        assert_eq!(state.executor.cached_references(), 1);
     }
 
     #[test]

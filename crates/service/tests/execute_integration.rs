@@ -1,0 +1,247 @@
+//! End-to-end tests for the `execute` request: a real server on an
+//! ephemeral port, pipelined + concurrent clients, and the promise that
+//! served execution scores are bit-identical to composing the pipeline
+//! stages — `extract_code` → `workflow_spec_from_config` → `Engine::run` →
+//! trace scoring — directly from their home crates.
+
+use wfspeak_codemodel::extract_code;
+use wfspeak_corpus::references::configuration_reference;
+use wfspeak_corpus::WorkflowSystemId;
+use wfspeak_runtime::{Engine, TraceSummary};
+use wfspeak_service::{ExecutionScore, ScoreRequest, ScoringClient, ScoringServer, ServiceConfig};
+use wfspeak_systems::workflow_spec_from_config;
+
+/// Raw model responses covering the runnability gradient: perfect artifact,
+/// fenced artifact with prose, parseable-but-invalid, valid-but-partial
+/// dataflow, and the wrong kind of artifact entirely.
+fn responses_for(reference: &str) -> Vec<String> {
+    vec![
+        reference.to_owned(),
+        format!("Here is the configuration:\n```yaml\n{reference}\n```\nHope this helps!"),
+        "tasks:\n  - func: producer\n    nprocs: 2\n    command: ./p\n".to_owned(),
+        // First half of the reference: often parseable with fewer tasks.
+        reference.chars().take(reference.len() / 2).collect(),
+        "I could not generate a configuration for that system.".to_owned(),
+    ]
+}
+
+/// Compose the execution stages by hand — the ground truth every served
+/// execution score must match bit for bit.  Mirrors
+/// `wfspeak_core::exec::execute_artifact` stage by stage, from the home
+/// crates of each stage.
+fn direct_execution(
+    sandbox: &wfspeak_core::exec::SandboxConfig,
+    system: WorkflowSystemId,
+    reference_summary: &TraceSummary,
+    response: &str,
+) -> (bool, bool, bool, bool, f64, f64) {
+    let code = extract_code(response);
+    let (spec, report) = workflow_spec_from_config(system, &code);
+    let Some(spec) = spec else {
+        return (false, false, false, false, 0.0, 0.0);
+    };
+    let valid = report.is_valid() && spec.validate().is_ok();
+    if !valid {
+        return (true, false, false, false, 25.0, 0.0);
+    }
+    if spec.tasks.len() > sandbox.max_tasks || spec.total_procs() > sandbox.max_total_procs {
+        return (true, true, false, false, 50.0, 0.0);
+    }
+    match Engine::new(sandbox.engine_config()).run(&spec) {
+        Ok(outcome) => {
+            let fidelity = 100.0 * outcome.summary().fidelity(reference_summary);
+            let runnability = if outcome.completed { 100.0 } else { 75.0 };
+            (true, true, true, outcome.completed, runnability, fidelity)
+        }
+        Err(_) => (true, true, false, false, 50.0, 0.0),
+    }
+}
+
+fn reference_summary(
+    sandbox: &wfspeak_core::exec::SandboxConfig,
+    system: WorkflowSystemId,
+    reference: &str,
+) -> TraceSummary {
+    let (spec, report) = workflow_spec_from_config(system, reference);
+    assert!(report.is_valid());
+    Engine::new(sandbox.engine_config())
+        .run(&spec.unwrap())
+        .unwrap()
+        .summary()
+}
+
+fn assert_executions_bit_identical(
+    served: &[ExecutionScore],
+    sandbox: &wfspeak_core::exec::SandboxConfig,
+    system: WorkflowSystemId,
+    summary: &TraceSummary,
+    responses: &[String],
+    context: &str,
+) {
+    assert_eq!(served.len(), responses.len(), "{context}");
+    for (i, (score, response)) in served.iter().zip(responses).enumerate() {
+        let (parsed, valid, ran, completed, runnability, fidelity) =
+            direct_execution(sandbox, system, summary, response);
+        assert_eq!(
+            (score.parsed, score.valid, score.ran, score.completed),
+            (parsed, valid, ran, completed),
+            "{context}: response {i} stages"
+        );
+        assert_eq!(
+            score.runnability.to_bits(),
+            runnability.to_bits(),
+            "{context}: response {i} runnability {} vs {runnability}",
+            score.runnability
+        );
+        assert_eq!(
+            score.trace_fidelity.to_bits(),
+            fidelity.to_bits(),
+            "{context}: response {i} fidelity {} vs {fidelity}",
+            score.trace_fidelity
+        );
+    }
+}
+
+#[test]
+fn served_executions_match_direct_stage_composition() {
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+    let sandbox = wfspeak_core::exec::SandboxConfig::default();
+
+    for system in WorkflowSystemId::configuration_systems() {
+        let reference = configuration_reference(system).unwrap();
+        let summary = reference_summary(&sandbox, system, reference);
+        let responses = responses_for(reference);
+        let response = client.execute(system.name(), responses.clone()).unwrap();
+        assert!(response.ok, "{system}: {:?}", response.error);
+        assert!(response.scores.is_empty() && response.evaluations.is_empty());
+        assert_executions_bit_identical(
+            &response.executions,
+            &sandbox,
+            system,
+            &summary,
+            &responses,
+            &format!("configuration/{system}"),
+        );
+        // The perfect artifact must be recognised as such over the wire.
+        assert_eq!(response.executions[0].runnability, 100.0, "{system}");
+        assert_eq!(response.executions[0].trace_fidelity, 100.0, "{system}");
+        // And the non-artifact must score zero.
+        assert_eq!(response.executions[4].runnability, 0.0, "{system}");
+    }
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_execute_requests_mix_with_other_modes() {
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+    let sandbox = wfspeak_core::exec::SandboxConfig::default();
+
+    let system = WorkflowSystemId::Wilkins;
+    let reference = configuration_reference(system).unwrap();
+    let summary = reference_summary(&sandbox, system, reference);
+    let responses = responses_for(reference);
+
+    let ids = [1u64, 2, 3, 4];
+    client
+        .send(&ScoreRequest::execute(1, "Wilkins", responses.clone()))
+        .unwrap();
+    client
+        .send(&ScoreRequest::by_text(2, reference, responses.clone()))
+        .unwrap();
+    client
+        .send(&ScoreRequest::execute_text(
+            3,
+            reference,
+            "Wilkins",
+            responses.clone(),
+        ))
+        .unwrap();
+    // A reference that is not an executable configuration fails cleanly.
+    client
+        .send(&ScoreRequest {
+            id: 4,
+            reference_id: Some("annotation/Henson".into()),
+            mode: "execute".into(),
+            hypotheses: vec!["x".into()],
+            ..ScoreRequest::default()
+        })
+        .unwrap();
+
+    let by_id = client.collect_by_id(&ids).unwrap();
+
+    let executed = &by_id[&1];
+    assert!(executed.ok, "{:?}", executed.error);
+    assert_executions_bit_identical(
+        &executed.executions,
+        &sandbox,
+        system,
+        &summary,
+        &responses,
+        "pipelined execute",
+    );
+
+    let scored = &by_id[&2];
+    assert!(scored.ok);
+    assert!(scored.executions.is_empty());
+    assert_eq!(scored.scores.len(), responses.len());
+
+    let by_text = &by_id[&3];
+    assert!(by_text.ok, "{:?}", by_text.error);
+    assert_executions_bit_identical(
+        &by_text.executions,
+        &sandbox,
+        system,
+        &summary,
+        &responses,
+        "execute by text",
+    );
+
+    let bad_reference = &by_id[&4];
+    assert!(!bad_reference.ok);
+    assert!(bad_reference.error.as_ref().unwrap().contains("reference"));
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_executing_share_one_reference_run() {
+    let server = ScoringServer::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let addr = server.addr();
+    let sandbox = wfspeak_core::exec::SandboxConfig::default();
+    let system = WorkflowSystemId::Henson;
+    let reference = configuration_reference(system).unwrap();
+    let summary = reference_summary(&sandbox, system, reference);
+    let (summary, sandbox) = (&summary, &sandbox);
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(move || {
+                let mut client = ScoringClient::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let responses = responses_for(reference);
+                    let response = client.execute(system.name(), responses.clone()).unwrap();
+                    assert!(response.ok, "{:?}", response.error);
+                    assert_executions_bit_identical(
+                        &response.executions,
+                        sandbox,
+                        system,
+                        summary,
+                        &responses,
+                        "concurrent execute",
+                    );
+                }
+                client.close();
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 9);
+    assert_eq!(stats.hypotheses, 45);
+    server.shutdown();
+}

@@ -1,0 +1,137 @@
+//! Regression test for the slow-reader stall-timeout path: a client that
+//! pipelines requests but never reads responses must be disconnected after
+//! [`ServiceConfig::reply_stall_timeout`] instead of wedging the shared
+//! worker pool.  Described since PR 2; pinned here for the first time.
+
+use std::time::{Duration, Instant};
+
+use wfspeak_service::{ScoreRequest, ScoringClient, ScoringServer, ServiceConfig, TaskKind};
+
+#[test]
+fn slow_reader_is_disconnected_and_the_pool_keeps_serving_others() {
+    // Tiny reply buffer + short stall window so the test triggers the path
+    // quickly; big response batches so the kernel's socket buffers fill
+    // long before the workload is drained.
+    let server = ScoringServer::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            reply_queue_depth: 1,
+            reply_stall_timeout: Duration::from_millis(250),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The stalling client: pipeline many large-batch requests, read nothing.
+    // Each response carries one score pair per hypothesis, so 8192
+    // hypotheses ≈ hundreds of kilobytes per response line — far more than
+    // the reply queue (1) plus socket buffers can absorb.
+    let requests = 16usize;
+    let batch = 8192usize;
+    let mut stalling = ScoringClient::connect(addr).unwrap();
+    for _ in 0..requests {
+        let id = stalling.fresh_id();
+        stalling
+            .send(&ScoreRequest::by_text(
+                id,
+                "tasks:\n  - func: producer\n",
+                vec!["x".to_owned(); batch],
+            ))
+            .unwrap();
+    }
+
+    // While the stalling client sits on its unread responses, a well-behaved
+    // client on the same pool must keep getting answers (the stalled worker
+    // frees itself after the timeout at the latest).
+    let mut polite = ScoringClient::connect(addr).unwrap();
+    let response = polite
+        .score(TaskKind::Configuration, "Wilkins", vec!["tasks:".into()])
+        .unwrap();
+    assert!(response.ok);
+
+    // Stay silent for several stall windows: a worker blocked on this
+    // connection's full reply buffer must hit the timeout and disconnect us
+    // while we are not reading.  (Draining immediately would clear the
+    // stall and defeat the scenario.)
+    std::thread::sleep(Duration::from_secs(2));
+
+    // Once disconnected, the client drains whatever was already buffered
+    // and then hits EOF/reset — well before all pipelined responses arrived.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut received = 0usize;
+    let disconnected = loop {
+        match stalling.recv() {
+            Ok(response) => {
+                assert!(response.ok, "{:?}", response.error);
+                received += 1;
+                if received == requests {
+                    break false; // everything arrived: the stall never fired
+                }
+            }
+            Err(_) => break true,
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server neither disconnected the slow reader nor delivered everything"
+        );
+    };
+    assert!(
+        disconnected,
+        "slow reader received all {requests} responses without being disconnected"
+    );
+    assert!(
+        received < requests,
+        "disconnect must cut the pipelined stream short, got {received}/{requests}"
+    );
+
+    // And the pool is still healthy afterwards.
+    let response = polite
+        .score(TaskKind::Configuration, "Wilkins", vec!["tasks:".into()])
+        .unwrap();
+    assert!(response.ok);
+    polite.close();
+    server.shutdown();
+}
+
+#[test]
+fn clients_that_read_are_never_disconnected_by_the_stall_timeout() {
+    // Sanity guard for the same config: an equally aggressive pipeline that
+    // *does* read drains everything.
+    let server = ScoringServer::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            reply_queue_depth: 1,
+            reply_stall_timeout: Duration::from_millis(250),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+    let requests = 16usize;
+    let mut in_flight = Vec::new();
+    for _ in 0..requests {
+        let id = client.fresh_id();
+        client
+            .send(&ScoreRequest::by_text(
+                id,
+                "tasks:\n  - func: producer\n",
+                vec!["x".to_owned(); 1024],
+            ))
+            .unwrap();
+        in_flight.push(id);
+        // Read every other response to stay inside the stall window.
+        if in_flight.len() >= 2 {
+            let response = client.recv().unwrap();
+            assert!(response.ok);
+            in_flight.retain(|&id| id != response.id);
+        }
+    }
+    for response in client.collect(in_flight.len()).unwrap() {
+        assert!(response.ok);
+    }
+    client.close();
+    server.shutdown();
+}

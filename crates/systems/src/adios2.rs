@@ -166,6 +166,54 @@ impl Adios2Config {
         (Some(Adios2Config { ios }), report)
     }
 
+    /// Reconstruct the neutral workflow specification the configuration
+    /// describes (for the runtime).
+    ///
+    /// An ADIOS2 config names IO streams, not tasks, so the task graph is
+    /// recovered from the reference layout conventions: every IO that
+    /// declares `Variables` is a writer stream whose variables one producer
+    /// task publishes; every variable-less IO is a reader stream consumed by
+    /// its own consumer task.  A reader named `<X>Reader` (or `<X>Input`)
+    /// matches the declared variable whose capitalised name is `<X>`;
+    /// readers that match nothing consume the IO name lowercased.  Process
+    /// counts are not part of an ADIOS2 config, so every task gets one.
+    pub fn to_spec(&self, name: &str) -> WorkflowSpec {
+        use crate::spec::TaskSpec;
+        let produced: Vec<&str> = {
+            let mut seen = std::collections::HashSet::new();
+            self.ios
+                .iter()
+                .flat_map(|io| io.variables.iter())
+                .map(String::as_str)
+                .filter(|v| seen.insert(*v))
+                .collect()
+        };
+        let mut spec = WorkflowSpec::new(name);
+        if !produced.is_empty() {
+            let mut producer = TaskSpec::new("producer", 1);
+            for dataset in &produced {
+                producer = producer.produces(dataset);
+            }
+            spec.tasks.push(producer);
+        }
+        let mut consumer_index = 0usize;
+        for io in &self.ios {
+            if !io.variables.is_empty() {
+                continue;
+            }
+            let stem = io.name.trim_end_matches("Reader").trim_end_matches("Input");
+            let dataset = produced
+                .iter()
+                .find(|v| capitalize(v) == stem)
+                .map(|v| (*v).to_owned())
+                .unwrap_or_else(|| io.name.to_lowercase());
+            consumer_index += 1;
+            spec.tasks
+                .push(TaskSpec::new(&format!("consumer{consumer_index}"), 1).consumes(&dataset));
+        }
+        spec
+    }
+
     /// Render the canonical reference layout for a workflow spec: one writer
     /// IO per produced dataset (with the variable declared) and one reader
     /// IO per consumed dataset, all over SST for in situ exchange.

@@ -161,6 +161,69 @@ impl HensonScript {
         self.groups.iter().map(|g| g.nprocs).sum()
     }
 
+    /// Reconstruct the neutral workflow specification the script describes
+    /// (for the runtime).
+    ///
+    /// Henson scripts name tasks and process groups but carry no explicit
+    /// dataflow, so data edges are recovered from the executable naming
+    /// convention the reference generator uses (and real Henson examples
+    /// follow): a puppet bound to `./<base>_<dataset>.so` consumes
+    /// `<dataset>`, and every puppet that consumes nothing produces the
+    /// union of the consumed datasets.  A puppet assigned to several groups
+    /// gets the sum of their process counts; one assigned to none defaults
+    /// to a single process.
+    pub fn to_spec(&self, name: &str) -> WorkflowSpec {
+        let consumed: Vec<(usize, String)> = self
+            .puppets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, puppet)| {
+                let stem = puppet
+                    .executable
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(&puppet.executable)
+                    .trim_end_matches(".so");
+                stem.rsplit_once('_')
+                    .map(|(_, dataset)| (idx, dataset.to_owned()))
+            })
+            .collect();
+        let all_datasets: Vec<&str> = {
+            let mut seen = std::collections::HashSet::new();
+            consumed
+                .iter()
+                .filter(|(_, d)| seen.insert(d.as_str()))
+                .map(|(_, d)| d.as_str())
+                .collect()
+        };
+        let mut spec = WorkflowSpec::new(name);
+        for (idx, puppet) in self.puppets.iter().enumerate() {
+            let nprocs: usize = self
+                .groups
+                .iter()
+                .filter(|g| g.puppets.contains(&puppet.name))
+                .map(|g| g.nprocs)
+                .sum();
+            let mut task = crate::spec::TaskSpec::new(&puppet.name, nprocs.max(1));
+            let consumes: Vec<&str> = consumed
+                .iter()
+                .filter(|(i, _)| *i == idx)
+                .map(|(_, d)| d.as_str())
+                .collect();
+            if consumes.is_empty() {
+                for dataset in &all_datasets {
+                    task = task.produces(dataset);
+                }
+            } else {
+                for dataset in consumes {
+                    task = task.consumes(dataset);
+                }
+            }
+            spec.tasks.push(task);
+        }
+        spec
+    }
+
     /// Render the canonical reference script for a workflow spec.
     pub fn render_for_spec(spec: &WorkflowSpec) -> String {
         let width = spec.tasks.iter().map(|t| t.name.len()).max().unwrap_or(8) + 2;

@@ -37,6 +37,7 @@
 pub mod adios2;
 pub mod annotate;
 pub mod api;
+pub mod artifact;
 pub mod diagnostics;
 pub mod henson;
 pub mod parsl;
@@ -46,6 +47,7 @@ pub mod translate;
 pub mod wilkins;
 
 pub use api::ApiCatalog;
+pub use artifact::workflow_spec_from_config;
 pub use diagnostics::{Diagnostic, Severity, ValidationReport};
 pub use spec::{DataRequirement, TaskSpec, WorkflowSpec};
 pub use wfspeak_corpus::WorkflowSystemId;

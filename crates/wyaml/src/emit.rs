@@ -54,8 +54,23 @@ fn emit_scalar(value: &Value) -> String {
     }
 }
 
+/// Render `s` as a double-quoted scalar, escaping everything the parser's
+/// quoted-scalar reader unescapes (`\\`, `\"`, `\n`, `\t` — newlines and
+/// tabs would otherwise break the line-oriented block format).
+fn quoted(s: &str) -> String {
+    format!(
+        "\"{}\"",
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+            .replace('\t', "\\t")
+    )
+}
+
 /// Quote a string scalar when emitting it plainly would change its meaning
-/// on re-parse (empty, looks like another type, contains YAML syntax).
+/// on re-parse (empty, looks like another type, contains YAML syntax, or —
+/// for the quote characters and control whitespace — would derail the
+/// line/quote scanning of keys and comments).
 fn quote_if_needed(s: &str) -> String {
     let needs_quoting = s.is_empty()
         || s != s.trim()
@@ -82,9 +97,15 @@ fn quote_if_needed(s: &str) -> String {
         ])
         || s.contains(": ")
         || s.ends_with(':')
-        || s.contains(" #");
+        || s.contains(" #")
+        // A quote character anywhere in a plain scalar toggles the parser's
+        // quote trackers (comment stripping, mapping-colon search); an
+        // opening bracket/brace makes the mapping-colon search think the
+        // colon sits inside a flow collection; newlines and tabs break the
+        // line-oriented format outright.
+        || s.contains(['"', '\'', '[', '{', '\n', '\t']);
     if needs_quoting {
-        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        quoted(s)
     } else {
         s.to_owned()
     }
@@ -96,7 +117,7 @@ fn quote_if_needed(s: &str) -> String {
 /// inside a flow collection.
 fn quote_in_flow(s: &str) -> String {
     if s.contains([',', ':', '[', ']', '{', '}', '"', '\'', '\\', '#']) {
-        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        quoted(s)
     } else {
         quote_if_needed(s)
     }

@@ -156,14 +156,16 @@ impl Parser {
                 )
             })?;
             let raw_key = line.text[..colon].trim();
-            let key = unquote_key(raw_key);
-            if key.starts_with('&') || key.starts_with('*') || key.starts_with('!') {
+            // Anchors/aliases/tags are only syntax on *plain* keys; a quoted
+            // key beginning with `&` is just a string.
+            if raw_key.starts_with(['&', '*', '!']) {
                 return Err(Error::new(
                     ErrorKind::Unsupported,
                     line.number,
                     "anchors, aliases and tags are not supported",
                 ));
             }
+            let key = unquote_key(raw_key);
             if map.contains_key(&key) {
                 return Err(Error::new(
                     ErrorKind::DuplicateKey,
@@ -280,13 +282,22 @@ fn find_mapping_colon(text: &str) -> Option<usize> {
 
 fn unquote_key(key: &str) -> String {
     let k = key.trim();
-    if (k.starts_with('"') && k.ends_with('"') && k.len() >= 2)
-        || (k.starts_with('\'') && k.ends_with('\'') && k.len() >= 2)
-    {
-        k[1..k.len() - 1].to_owned()
-    } else {
-        k.to_owned()
+    // A double-quoted key must be unescaped the way quoted scalars are
+    // (`"a\"b"` is the key `a"b`), but only when the opening quote's real
+    // closing quote is the final character — otherwise the quotes are
+    // literal content of a plain key.
+    if k.len() >= 2 && k.starts_with('"') && find_closing_quote(k) == Some(k.len() - 1) {
+        if let Ok(Value::Str(s)) = parse_quoted(k, 0) {
+            return s;
+        }
     }
+    if k.len() >= 2 && k.starts_with('\'') && k.ends_with('\'') {
+        return k[1..k.len() - 1].to_owned();
+    }
+    if k.starts_with('"') && k.ends_with('"') && k.len() >= 2 {
+        return k[1..k.len() - 1].to_owned();
+    }
+    k.to_owned()
 }
 
 /// Parse an inline scalar or flow collection.
@@ -379,6 +390,14 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
             rest = r.trim_start();
             if let Some(r) = rest.strip_prefix(',') {
                 rest = r.trim_start();
+            } else if !rest.is_empty() && !rest.starts_with(']') {
+                // A stray `}` (or any other junk) where `,`/`]` is expected
+                // would otherwise re-parse as an empty item forever.
+                return Err(Error::new(
+                    ErrorKind::Other,
+                    line,
+                    format!("expected `,` or `]` in flow sequence, found `{rest}`"),
+                ));
             }
         }
     }
@@ -419,6 +438,12 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
             rest = r.trim_start();
             if let Some(r) = rest.strip_prefix(',') {
                 rest = r.trim_start();
+            } else if !rest.is_empty() && !rest.starts_with('}') {
+                return Err(Error::new(
+                    ErrorKind::Other,
+                    line,
+                    format!("expected `,` or `}}` in flow mapping, found `{rest}`"),
+                ));
             }
         }
     }
@@ -680,6 +705,22 @@ mod tests {
     fn unterminated_flow_rejected() {
         let err = parse("a: [1, 2\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::UnterminatedFlow);
+    }
+
+    #[test]
+    fn mismatched_flow_closer_terminates_with_an_error() {
+        // Regression: a `}` where a sequence expected `,`/`]` used to
+        // re-parse as an empty item forever (unbounded memory, no progress).
+        // Found by the arbitrary-text property test at high case counts.
+        let err = parse("[BX`JKC=e(}+|!&*Z'k").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ErrorKind::Other | ErrorKind::UnterminatedFlow
+        ));
+        assert!(parse("a: [1}, 2]\n").is_err());
+        assert!(parse("a: {k: 1] }\n").is_err());
+        // Well-formed flow text keeps parsing.
+        assert!(parse("a: [1, 2]\nb: {k: 1}\n").is_ok());
     }
 
     #[test]

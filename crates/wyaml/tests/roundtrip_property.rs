@@ -92,8 +92,60 @@ fn flow_value_strategy() -> impl Strategy<Value = Value> {
     })
 }
 
+/// Strategy for scalars emitted in *block* style: printable ASCII plus
+/// embedded tabs and newlines — the characters that force the block emitter
+/// to quote and escape.
+fn block_gnarly_string() -> impl Strategy<Value = String> {
+    "[ -~\t\n]{0,14}"
+}
+
+/// Block-style documents: gnarly scalars under mapping keys, nested
+/// mappings (gnarly keys included), and sequences of mappings — the shapes
+/// the corpus configs use, with adversarial content.
+fn block_value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(|f| Value::Float((f * 100.0).round() / 100.0)),
+        block_gnarly_string().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Sequences (including sequences of mappings via the map arm).
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            // Mappings with gnarly keys.
+            proptest::collection::vec(("[ -~\t\n]{1,8}", inner), 0..4).prop_map(|entries| {
+                let mut m = Map::new();
+                for (k, v) in entries {
+                    m.insert(k, v);
+                }
+                Value::Map(m)
+            }),
+        ]
+    })
+}
+
+/// Sequences of mappings specifically (`- key: value` with continuation
+/// lines) — the layout every task list in the corpus uses.
+fn seq_of_maps_strategy() -> impl Strategy<Value = Value> {
+    let scalar = prop_oneof![
+        Just(Value::Null),
+        (-1000i64..1000).prop_map(Value::Int),
+        block_gnarly_string().prop_map(Value::Str),
+    ];
+    let map = proptest::collection::vec(("[ -~]{1,8}", scalar), 1..4).prop_map(|entries| {
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        Value::Map(m)
+    });
+    proptest::collection::vec(map, 1..4).prop_map(Value::Seq)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(1024))]
 
     #[test]
     fn emit_parse_round_trip(value in value_strategy()) {
@@ -134,5 +186,54 @@ proptest! {
             .unwrap_or_else(|e| panic!("failed to reparse:\n{text}\nerror: {e}"));
         let root = reparsed.get("root").expect("root key survives");
         prop_assert!(approx_eq(&value, root), "value {value:?} -> text:\n{text}\nreparsed {root:?}");
+    }
+
+    // Block-emitted scalars with quotes, backslashes, tabs and newlines
+    // re-parse to the identical string.  Regression cover for the emitter's
+    // newline/tab escaping and quote-character quoting.
+    #[test]
+    fn block_scalar_round_trip(s in block_gnarly_string()) {
+        let value = Value::Str(s);
+        let text = emit(&value);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse scalar doc:\n{text:?}\nerror: {e}"));
+        prop_assert!(approx_eq(&value, &reparsed), "value {value:?} -> text {text:?} -> {reparsed:?}");
+    }
+
+    // Arbitrary block documents — nested mappings with gnarly keys, gnarly
+    // scalars, sequences of mappings — survive emit → parse.  Regression
+    // cover for quoted-key unescaping (`"a\"b": 1`) and for plain keys
+    // containing quote characters or opening brackets, which used to derail
+    // the mapping-colon search.
+    #[test]
+    fn block_emit_parse_round_trip(value in block_value_strategy()) {
+        let text = emit(&value);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{text:?}\nerror: {e}"));
+        prop_assert!(approx_eq(&value, &reparsed), "value {value:?} -> text:\n{text}\nreparsed {reparsed:?}");
+    }
+
+    // And block emission is idempotent on the same shapes.
+    #[test]
+    fn block_emit_is_idempotent(value in block_value_strategy()) {
+        let once = emit(&value);
+        let twice = emit(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    // Sequences of mappings (`- key: value` + continuation lines) round-trip
+    // with gnarly scalar payloads.
+    #[test]
+    fn sequence_of_mappings_round_trip(value in seq_of_maps_strategy()) {
+        let text = emit(&value);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{text:?}\nerror: {e}"));
+        prop_assert!(approx_eq(&value, &reparsed), "value {value:?} -> text:\n{text}\nreparsed {reparsed:?}");
+        // Same layout survives nesting under a key, as in the Wilkins configs.
+        let nested = format!("tasks:\n{}", emit(&value).lines().map(|l| format!("  {l}\n")).collect::<String>());
+        let reparsed = parse(&nested)
+            .unwrap_or_else(|e| panic!("failed to reparse nested:\n{nested:?}\nerror: {e}"));
+        let tasks = reparsed.get("tasks").expect("tasks key survives");
+        prop_assert!(approx_eq(&value, tasks), "nested {value:?} -> text:\n{nested}\nreparsed {tasks:?}");
     }
 }

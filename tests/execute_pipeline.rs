@@ -1,0 +1,126 @@
+//! Workspace-level pin: `Benchmark::run_execution` (the parallel grid) is
+//! bit-identical to reconstructing every cell by hand — prompt assembly,
+//! simulated model query, then the four execution stages composed directly
+//! from their home crates (`extract_code` → `workflow_spec_from_config` →
+//! `Engine::run` → `TraceSummary::fidelity`).
+
+use wfspeak::codemodel::extract_code;
+use wfspeak::core::{Benchmark, BenchmarkConfig, PromptVariant, SandboxConfig};
+use wfspeak::corpus::prompts::configuration_prompt;
+use wfspeak::corpus::references::configuration_reference;
+use wfspeak::corpus::WorkflowSystemId;
+use wfspeak::llm::{CompletionRequest, LlmClient, SamplingParams, SimulatedLlm};
+use wfspeak::runtime::{Engine, TraceSummary};
+use wfspeak::systems::workflow_spec_from_config;
+
+/// Hand-composed execution of one response, mirroring
+/// `wfspeak_core::exec::execute_artifact` stage by stage from the stages'
+/// home crates.
+fn direct_execute(
+    sandbox: &SandboxConfig,
+    system: WorkflowSystemId,
+    reference: &TraceSummary,
+    response: &str,
+) -> (bool, bool, bool, bool, f64, f64, usize, usize) {
+    let code = extract_code(response);
+    let (spec, report) = workflow_spec_from_config(system, &code);
+    let Some(spec) = spec else {
+        return (false, false, false, false, 0.0, 0.0, 0, 0);
+    };
+    let tasks = spec.tasks.len();
+    if !(report.is_valid() && spec.validate().is_ok()) {
+        return (true, false, false, false, 25.0, 0.0, tasks, 0);
+    }
+    if tasks > sandbox.max_tasks || spec.total_procs() > sandbox.max_total_procs {
+        return (true, true, false, false, 50.0, 0.0, tasks, 0);
+    }
+    match Engine::new(sandbox.engine_config()).run(&spec) {
+        Ok(outcome) => {
+            let summary = outcome.summary();
+            (
+                true,
+                true,
+                true,
+                outcome.completed,
+                if outcome.completed { 100.0 } else { 75.0 },
+                100.0 * summary.fidelity(reference),
+                tasks,
+                summary.total_published() + summary.total_received(),
+            )
+        }
+        Err(_) => (true, true, false, false, 50.0, 0.0, tasks, 0),
+    }
+}
+
+#[test]
+fn grid_execution_matches_direct_stage_composition() {
+    let config = BenchmarkConfig {
+        trials: 2,
+        ..BenchmarkConfig::default()
+    };
+    let benchmark = Benchmark::with_simulated_models(config.clone());
+    let grid = benchmark.run_execution(PromptVariant::Original);
+    let sandbox = SandboxConfig::default();
+
+    for system in WorkflowSystemId::configuration_systems() {
+        let reference_text = configuration_reference(system).unwrap();
+        let (reference_spec, report) = workflow_spec_from_config(system, reference_text);
+        assert!(report.is_valid(), "{system} reference must be executable");
+        let reference = Engine::new(sandbox.engine_config())
+            .run(&reference_spec.unwrap())
+            .unwrap()
+            .summary();
+        let prompt = configuration_prompt(system, PromptVariant::Original);
+        for client in SimulatedLlm::all() {
+            let cell = grid
+                .cell(system.name(), client.model().name())
+                .unwrap_or_else(|| panic!("cell {system}/{}", client.model().name()));
+            assert_eq!(cell.trials.len(), config.trials);
+            for (score, seed) in cell.trials.iter().zip(config.trial_seeds()) {
+                let params = SamplingParams {
+                    temperature: config.temperature,
+                    top_p: config.top_p,
+                    seed,
+                };
+                let response = client.complete(&CompletionRequest::new(prompt.clone(), params));
+                let (parsed, valid, ran, completed, runnability, fidelity, tasks, messages) =
+                    direct_execute(&sandbox, system, &reference, &response.text);
+                let context = format!("{system}/{}", client.model().name());
+                assert_eq!(
+                    (score.parsed, score.valid, score.ran, score.completed),
+                    (parsed, valid, ran, completed),
+                    "{context} stages"
+                );
+                assert_eq!(
+                    score.runnability.to_bits(),
+                    runnability.to_bits(),
+                    "{context} runnability"
+                );
+                assert_eq!(
+                    score.trace_fidelity.to_bits(),
+                    fidelity.to_bits(),
+                    "{context} fidelity"
+                );
+                assert_eq!(score.tasks, tasks, "{context} tasks");
+                assert_eq!(
+                    score.published + score.received,
+                    messages,
+                    "{context} messages"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reference_artifacts_top_the_execution_scale_end_to_end() {
+    // The scale is anchored: feeding the ground-truth artifact through the
+    // whole umbrella-crate surface scores a perfect run for every system.
+    let pipeline = wfspeak::core::ExecutionPipeline::new();
+    for system in WorkflowSystemId::configuration_systems() {
+        let reference = configuration_reference(system).unwrap();
+        let score = pipeline.execute(system, reference, reference).unwrap();
+        assert_eq!(score.runnability, 100.0, "{system}");
+        assert_eq!(score.trace_fidelity, 100.0, "{system}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Golden-snapshot pin for the `repro evaluate --trials 1` aggregate
+//! tables.
+//!
+//! The snapshot guards the full chain behind Table 1's ordering: simulated
+//! model outputs (vendored RNG stream), code extraction, API-call
+//! comparison and the BLEU/ChrF metrics.  If any refactor shifts a score,
+//! a row ordering or the summary layout, this test shows the exact diff.
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! cargo run --release -p wfspeak-bench --bin repro -- evaluate --trials 1 \
+//!     | sed '$d' > tests/golden/evaluate_trials1.txt
+//! ```
+
+use wfspeak::core::{Benchmark, BenchmarkConfig, ExperimentKind, PromptVariant};
+
+#[test]
+fn evaluate_trials1_tables_match_the_golden_snapshot() {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: 1,
+        ..BenchmarkConfig::default()
+    });
+    // Reconstruct exactly what `repro evaluate --trials 1` prints per grid
+    // (a println! after each render_summary adds the blank separator line).
+    let mut rendered = String::new();
+    for kind in ExperimentKind::ALL {
+        let grid = benchmark.run_evaluation(kind, PromptVariant::Original);
+        rendered.push_str(
+            &grid.render_summary(&format!("Evaluation: {} (1 trials per cell)", kind.name())),
+        );
+        rendered.push('\n');
+    }
+
+    let golden = include_str!("golden/evaluate_trials1.txt");
+    if rendered != golden {
+        let diff: Vec<String> = golden
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .filter(|(_, (g, r))| g != r)
+            .map(|(i, (g, r))| format!("line {}:\n  golden: {g}\n  actual: {r}", i + 1))
+            .collect();
+        panic!(
+            "evaluate --trials 1 output drifted from the golden snapshot \
+             ({} golden lines, {} actual):\n{}",
+            golden.lines().count(),
+            rendered.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn golden_snapshot_has_the_expected_shape() {
+    // Belt and braces on the snapshot file itself, so an accidental
+    // truncation of the golden file cannot silently weaken the pin.
+    let golden = include_str!("golden/evaluate_trials1.txt");
+    for kind in [
+        "Workflow configuration",
+        "Task code annotation",
+        "Task code translation",
+    ] {
+        assert!(
+            golden.contains(&format!("Evaluation: {kind} (1 trials per cell)")),
+            "snapshot is missing the {kind} table"
+        );
+    }
+    assert_eq!(
+        golden.matches("overall:").count(),
+        3,
+        "snapshot must contain all three grid footers"
+    );
+    // Table-1 row order (the ordering the paper reports).
+    let config_rows: Vec<usize> = ["ADIOS2", "Henson", "Wilkins"]
+        .iter()
+        .map(|row| golden.find(&format!("\n{row} ")).expect("row present"))
+        .collect();
+    assert!(config_rows.windows(2).all(|w| w[0] < w[1]));
+}
