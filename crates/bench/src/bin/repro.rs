@@ -314,6 +314,10 @@ fn print_execution_grid(benchmark: &Benchmark, trials: usize) {
             "Execution: configuration artifacts on the runtime engine ({trials} trials per cell)"
         ))
     );
+    println!(
+        "{}",
+        grid.render_diagnostics("Diagnostics: top failure kinds per model × system")
+    );
 }
 
 /// Dynamic execution only: every generated configuration is parsed into a

@@ -3,19 +3,27 @@
 //!
 //! Static evaluation ([`crate::eval`]) asks whether a generated artifact
 //! *reads* like the reference; this module asks whether it *runs* like it.
-//! Each raw model response goes through four stages behind one shared
+//! Each raw model response goes through five stages behind one shared
 //! implementation, [`execute_artifact`]:
 //!
 //! 1. **extract** — [`wfspeak_codemodel::extract_code`] strips fences/prose;
 //! 2. **parse** — [`wfspeak_systems::workflow_spec_from_config`] recovers a
 //!    [`WorkflowSpec`](wfspeak_systems::WorkflowSpec) through the system's
-//!    validating parser;
-//! 3. **run** — the [`wfspeak_runtime::Engine`] executes the spec under a
+//!    validating parser (schema diagnostics);
+//! 3. **validate + normalize** — `WorkflowSpec::validate` checks the spec's
+//!    structure (dangling edges, cycles, absurd bounds) and
+//!    `WorkflowSpec::normalize` canonicalises it so downstream scoring is
+//!    insensitive to task/edge declaration order;
+//! 4. **run** — the [`wfspeak_runtime::Engine`] executes the spec under a
 //!    bounded [`SandboxConfig`] (capped timesteps, elements, process counts
 //!    and per-operation timeouts);
-//! 4. **score** — the run's deterministic [`TraceSummary`] is compared
+//! 5. **score** — the run's deterministic [`TraceSummary`] is compared
 //!    against the *reference* artifact's run, yielding a runnability score
 //!    and a trace-fidelity score.
+//!
+//! Every stage contributes typed [`Diagnostic`]s to the resulting
+//! [`ExecutionScore`], so callers can see *why* an artifact stalled on a
+//! given rung without parsing prose.
 //!
 //! Every surface funnels through [`execute_artifact`]: the standalone
 //! [`ExecutionPipeline`] (callers bring their own responses; reference runs
@@ -33,7 +41,7 @@ use wfspeak_corpus::references::configuration_reference;
 use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams};
 use wfspeak_runtime::{Engine, EngineConfig, TraceSummary};
-use wfspeak_systems::workflow_spec_from_config;
+use wfspeak_systems::{workflow_spec_from_config, Diagnostic, DiagnosticKind};
 
 use crate::parallel::par_map;
 use crate::runner::Benchmark;
@@ -103,16 +111,19 @@ impl SandboxConfig {
 pub struct ExecutionScore {
     /// The artifact's structure parsed into a workflow spec at all.
     pub parsed: bool,
-    /// The validator reported no errors and the spec passed structural
-    /// validation (every consumed dataset has a producer, etc.).
+    /// The system's validating parser reported no schema errors.
     pub valid: bool,
+    /// The spec passed structural validation (every consumed dataset has a
+    /// producer, no cycles, sane bounds) and was normalized.  Only reachable
+    /// when `valid` also holds: the rungs form a ladder.
+    pub validated: bool,
     /// The engine accepted and ran the spec within the sandbox caps.
     pub ran: bool,
     /// The run completed: every task finished and every consumer saw every
     /// timestep of every dataset it subscribes to.
     pub completed: bool,
-    /// Runnability on the paper's 0–100 scale: 25 points per stage
-    /// (parsed, valid, ran, completed).
+    /// Runnability on the paper's 0–100 scale: 20 points per stage
+    /// (parsed, valid, validated, ran, completed).
     pub runnability: f64,
     /// Trace fidelity vs the reference run on a 0–100 scale
     /// ([`TraceSummary::fidelity`] × 100); 0 when the artifact never ran.
@@ -125,14 +136,21 @@ pub struct ExecutionScore {
     pub received: usize,
     /// Tasks that failed during the run.
     pub failed_tasks: usize,
-    /// Why the pipeline stopped early, when it did.
+    /// Every typed finding the pipeline produced, in stage order: schema
+    /// diagnostics from the parser, then structural diagnostics from
+    /// `validate`, then a synthesized execute-stage diagnostic when the
+    /// sandbox, engine or run itself stopped the pipeline.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Why the pipeline stopped early, when it did (human-readable; the
+    /// machine-readable form is in `diagnostics`).
     pub error: Option<String>,
 }
 
 impl ExecutionScore {
-    fn stage_score(parsed: bool, valid: bool, ran: bool, completed: bool) -> f64 {
-        25.0 * (usize::from(parsed)
+    fn stage_score(parsed: bool, valid: bool, validated: bool, ran: bool, completed: bool) -> f64 {
+        20.0 * (usize::from(parsed)
             + usize::from(valid)
+            + usize::from(validated)
             + usize::from(ran)
             + usize::from(completed)) as f64
     }
@@ -141,6 +159,7 @@ impl ExecutionScore {
         ExecutionScore {
             parsed: false,
             valid: false,
+            validated: false,
             ran: false,
             completed: false,
             runnability: 0.0,
@@ -149,8 +168,28 @@ impl ExecutionScore {
             published: 0,
             received: 0,
             failed_tasks: 0,
+            diagnostics: Vec::new(),
             error: Some(error),
         }
+    }
+
+    /// The wire code of the diagnostic that stopped this artifact, or
+    /// `None` when the run completed.  The first error-severity finding
+    /// wins; an incomplete run with no error findings reports
+    /// `incomplete-run`, and an unparsed artifact with no findings at all
+    /// falls back to `parse-error`.
+    pub fn failure_kind(&self) -> Option<&'static str> {
+        if self.completed {
+            return None;
+        }
+        if let Some(d) = self.diagnostics.iter().find(|d| d.is_error()) {
+            return Some(d.code());
+        }
+        Some(if self.ran {
+            DiagnosticKind::IncompleteRun.code()
+        } else {
+            DiagnosticKind::ParseError.code()
+        })
     }
 }
 
@@ -171,75 +210,106 @@ pub fn execute_artifact(
 ) -> ExecutionScore {
     let code = extract_code(response);
     let (spec, report) = workflow_spec_from_config(system, &code);
+    let mut diagnostics = report.diagnostics.clone();
     let Some(spec) = spec else {
-        let reason = report
-            .diagnostics
+        let reason = diagnostics
             .first()
             .map(|d| d.to_string())
             .unwrap_or_else(|| "artifact did not parse".to_owned());
-        return ExecutionScore::not_parsed(reason);
+        return ExecutionScore {
+            diagnostics,
+            ..ExecutionScore::not_parsed(reason)
+        };
     };
     let tasks = spec.tasks.len();
+    let valid = report.is_valid();
     let structural = spec.validate();
-    let valid = report.is_valid() && structural.is_ok();
-    if !valid {
-        let reason = structural.err().unwrap_or_else(|| {
-            report
-                .diagnostics
-                .iter()
-                .find(|d| d.severity == wfspeak_systems::Severity::Error)
-                .map(|d| d.to_string())
-                .unwrap_or_else(|| "validation failed".to_owned())
-        });
+    let structurally_valid = !structural.iter().any(|d| d.is_error());
+    diagnostics.extend(structural);
+    // The rungs form a ladder: a spec only counts as structurally validated
+    // when it also passed the system's schema.
+    let validated = valid && structurally_valid;
+    if !validated {
+        let reason = diagnostics
+            .iter()
+            .find(|d| d.is_error())
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "validation failed".to_owned());
         return ExecutionScore {
             parsed: true,
-            runnability: ExecutionScore::stage_score(true, false, false, false),
+            valid,
+            runnability: ExecutionScore::stage_score(true, valid, false, false, false),
             tasks,
+            diagnostics,
             error: Some(reason),
             ..ExecutionScore::not_parsed(String::new())
         };
     }
+    // Canonicalise before running so scoring is insensitive to the order
+    // the artifact happened to declare its tasks and edges in.
+    let spec = spec.normalized();
     if tasks > sandbox.max_tasks || spec.total_procs() > sandbox.max_total_procs {
+        let message = format!(
+            "spec exceeds sandbox caps ({} tasks / {} procs; caps {} / {})",
+            tasks,
+            spec.total_procs(),
+            sandbox.max_tasks,
+            sandbox.max_total_procs
+        );
+        diagnostics.push(Diagnostic::error(DiagnosticKind::SandboxCap, &message));
         return ExecutionScore {
             parsed: true,
             valid: true,
-            runnability: ExecutionScore::stage_score(true, true, false, false),
+            validated: true,
+            runnability: ExecutionScore::stage_score(true, true, true, false, false),
             tasks,
-            error: Some(format!(
-                "spec exceeds sandbox caps ({} tasks / {} procs; caps {} / {})",
-                tasks,
-                spec.total_procs(),
-                sandbox.max_tasks,
-                sandbox.max_total_procs
-            )),
+            diagnostics,
+            error: Some(message),
             ..ExecutionScore::not_parsed(String::new())
         };
     }
     match Engine::new(sandbox.engine_config()).run(&spec) {
         Ok(outcome) => {
             let summary = outcome.summary();
+            if !outcome.completed {
+                diagnostics.push(Diagnostic::warning(
+                    DiagnosticKind::IncompleteRun,
+                    format!(
+                        "run did not complete: {} task(s) failed",
+                        summary.total_failed()
+                    ),
+                ));
+            }
             ExecutionScore {
                 parsed: true,
                 valid: true,
+                validated: true,
                 ran: true,
                 completed: outcome.completed,
-                runnability: ExecutionScore::stage_score(true, true, true, outcome.completed),
+                runnability: ExecutionScore::stage_score(true, true, true, true, outcome.completed),
                 trace_fidelity: 100.0 * summary.fidelity(reference),
                 tasks,
                 published: summary.total_published(),
                 received: summary.total_received(),
                 failed_tasks: summary.total_failed(),
+                diagnostics,
                 error: None,
             }
         }
-        Err(e) => ExecutionScore {
-            parsed: true,
-            valid: true,
-            runnability: ExecutionScore::stage_score(true, true, false, false),
-            tasks,
-            error: Some(e.to_string()),
-            ..ExecutionScore::not_parsed(String::new())
-        },
+        Err(e) => {
+            let message = e.to_string();
+            diagnostics.push(Diagnostic::error(DiagnosticKind::EngineError, &message));
+            ExecutionScore {
+                parsed: true,
+                valid: true,
+                validated: true,
+                runnability: ExecutionScore::stage_score(true, true, true, false, false),
+                tasks,
+                diagnostics,
+                error: Some(message),
+                ..ExecutionScore::not_parsed(String::new())
+            }
+        }
     }
 }
 
@@ -333,8 +403,10 @@ impl ExecutionPipeline {
                     .unwrap_or_else(|| "unparseable".to_owned())
             )
         })?;
-        spec.validate()
-            .map_err(|e| format!("reference spec is not executable: {e}"))?;
+        if let Some(d) = spec.validate().iter().find(|d| d.is_error()) {
+            return Err(format!("reference spec is not executable: {d}"));
+        }
+        let spec = spec.normalized();
         if spec.tasks.len() > self.sandbox.max_tasks
             || spec.total_procs() > self.sandbox.max_total_procs
         {
@@ -415,6 +487,21 @@ impl ExecutedCell {
     pub fn unparsed_trials(&self) -> usize {
         self.trials.iter().filter(|s| !s.parsed).count()
     }
+
+    /// Counts of failure kinds across the cell's trials, most frequent
+    /// first (ties broken by code), using each trial's
+    /// [`ExecutionScore::failure_kind`].  Empty when every trial completed.
+    pub fn failure_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        for trial in &self.trials {
+            if let Some(kind) = trial.failure_kind() {
+                *counts.entry(kind).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
 }
 
 /// A whole configuration-experiment grid taken through dynamic execution.
@@ -493,6 +580,32 @@ impl ExecutionGrid {
             self.mean_fidelity(),
             self.completed_executions(),
         ));
+        out
+    }
+
+    /// Render the per-cell diagnostic breakdown: for every `(system,
+    /// model)` cell, the failure kinds that stopped its trials with counts,
+    /// most frequent first.  Cells whose trials all completed say so.
+    pub fn render_diagnostics(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        for cell in &self.cells {
+            let counts = cell.failure_counts();
+            let breakdown = if counts.is_empty() {
+                "all trials completed".to_owned()
+            } else {
+                counts
+                    .iter()
+                    .map(|(kind, n)| format!("{kind}×{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!(
+                "{:<10} {:<16} {}\n",
+                cell.row, cell.model, breakdown
+            ));
+        }
         out
     }
 }
@@ -603,12 +716,18 @@ mod tests {
             let reference = configuration_reference(system).unwrap();
             let score = pipeline.execute(system, reference, reference).unwrap();
             assert!(
-                score.parsed && score.valid && score.ran && score.completed,
+                score.parsed && score.valid && score.validated && score.ran && score.completed,
                 "{system}"
             );
             assert_eq!(score.runnability, 100.0, "{system}");
             assert_eq!(score.trace_fidelity, 100.0, "{system}");
             assert!(score.error.is_none());
+            assert_eq!(score.failure_kind(), None, "{system}");
+            assert!(
+                score.diagnostics.iter().all(|d| !d.is_error()),
+                "{system}: {:?}",
+                score.diagnostics
+            );
             assert_eq!(
                 score.published,
                 2 * pipeline.sandbox().timesteps,
@@ -633,6 +752,7 @@ mod tests {
         assert_eq!(score.runnability, 0.0);
         assert_eq!(score.trace_fidelity, 0.0);
         assert!(score.error.is_some());
+        assert!(score.failure_kind().is_some());
     }
 
     #[test]
@@ -643,9 +763,10 @@ mod tests {
         let score = pipeline
             .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, hallucinated)
             .unwrap();
-        assert!(score.parsed && !score.valid && !score.ran);
-        assert_eq!(score.runnability, 25.0);
+        assert!(score.parsed && !score.valid && !score.validated && !score.ran);
+        assert_eq!(score.runnability, 20.0);
         assert_eq!(score.tasks, 1);
+        assert_eq!(score.failure_kind(), Some("unknown-field"));
         assert!(score.error.unwrap().contains("command"));
     }
 
@@ -662,6 +783,12 @@ mod tests {
         assert_eq!(score.runnability, 100.0);
         assert!(score.trace_fidelity > 0.0 && score.trace_fidelity < 100.0);
         assert_eq!(score.received, 0);
+        // Publishing into the void is worth a warning but not a failure.
+        assert!(score
+            .diagnostics
+            .iter()
+            .any(|d| d.code() == "unconsumed-produce" && !d.is_error()));
+        assert_eq!(score.failure_kind(), None);
     }
 
     #[test]
@@ -671,8 +798,9 @@ mod tests {
         let score = pipeline
             .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, greedy)
             .unwrap();
-        assert!(score.parsed && score.valid && !score.ran);
-        assert_eq!(score.runnability, 50.0);
+        assert!(score.parsed && score.valid && score.validated && !score.ran);
+        assert_eq!(score.runnability, 60.0);
+        assert_eq!(score.failure_kind(), Some("sandbox-cap"));
         assert!(score.error.unwrap().contains("sandbox caps"));
     }
 
@@ -758,5 +886,44 @@ mod tests {
         assert!(summary.contains("Wilkins"));
         assert!(summary.contains("o3"));
         assert!(summary.contains("overall:"));
+    }
+
+    #[test]
+    fn diagnostics_breakdown_names_failure_kinds() {
+        let grid = quick_benchmark().run_execution(PromptVariant::Original);
+        let breakdown = grid.render_diagnostics("Diagnostics: configuration");
+        assert!(breakdown.starts_with("Diagnostics: configuration"));
+        assert!(breakdown.contains("Wilkins"));
+        // Degraded simulated tiers guarantee at least one failing cell, so
+        // the breakdown names at least one failure kind with a count.
+        assert!(breakdown.contains('×'), "{breakdown}");
+    }
+
+    #[test]
+    fn failure_kinds_distinguish_previously_undifferentiated_failures() {
+        // Three artifacts that all scored short of completion now carry
+        // three distinct machine-readable kinds.
+        let pipeline = ExecutionPipeline::new();
+        let cases = [
+            ("not a config at all {", "schema"),
+            (
+                "tasks:\n  - func: producer\n    nprocs: 2\n    command: ./p\n",
+                "unknown-field",
+            ),
+            (
+                "tasks:\n  - func: producer\n    nprocs: 5000\n",
+                "sandbox-cap",
+            ),
+        ];
+        let mut kinds = std::collections::HashSet::new();
+        for (artifact, expected) in cases {
+            let score = pipeline
+                .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, artifact)
+                .unwrap();
+            let kind = score.failure_kind().expect("artifact should fail");
+            assert_eq!(kind, expected, "{artifact}");
+            kinds.insert(kind);
+        }
+        assert_eq!(kinds.len(), 3);
     }
 }

@@ -114,7 +114,9 @@ impl Engine {
 
     /// Run a neutral workflow specification.
     pub fn run(&self, spec: &WorkflowSpec) -> Result<RunOutcome, EngineError> {
-        spec.validate().map_err(EngineError::InvalidSpec)?;
+        if let Some(diagnostic) = spec.validate().iter().find(|d| d.is_error()) {
+            return Err(EngineError::InvalidSpec(diagnostic.to_string()));
+        }
         let start = Instant::now();
         let trace = ExecutionTrace::new();
 

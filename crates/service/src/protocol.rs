@@ -344,13 +344,16 @@ impl EvaluationScore {
 pub struct ExecutionScore {
     /// The artifact's structure parsed into a workflow spec.
     pub parsed: bool,
-    /// The validator and structural checks accepted the spec.
+    /// The system's validating parser reported no schema errors.
     pub valid: bool,
+    /// The spec passed structural validation and was normalized.
+    pub validated: bool,
     /// The engine ran the spec within the sandbox caps.
     pub ran: bool,
     /// The run completed (every task finished, every message delivered).
     pub completed: bool,
-    /// Runnability on a 0–100 scale (25 points per stage).
+    /// Runnability on a 0–100 scale (20 points per stage: parsed, valid,
+    /// validated, ran, completed).
     pub runnability: f64,
     /// Trace fidelity vs the reference run, 0–100.
     pub trace_fidelity: f64,
@@ -362,7 +365,12 @@ pub struct ExecutionScore {
     pub received: usize,
     /// Tasks that failed during the run.
     pub failed_tasks: usize,
-    /// Why the pipeline stopped early, when it did.
+    /// Every typed finding the pipeline produced, in stage order.
+    pub diagnostics: Vec<WireDiagnostic>,
+    /// The machine-readable kind that stopped this artifact (the wire code
+    /// of the decisive diagnostic); `None` when the run completed.
+    pub failure_kind: Option<String>,
+    /// Why the pipeline stopped early, when it did (human-readable).
     pub error: Option<String>,
 }
 
@@ -373,6 +381,7 @@ impl ExecutionScore {
         ExecutionScore {
             parsed: score.parsed,
             valid: score.valid,
+            validated: score.validated,
             ran: score.ran,
             completed: score.completed,
             runnability: score.runnability,
@@ -381,7 +390,46 @@ impl ExecutionScore {
             published: score.published,
             received: score.received,
             failed_tasks: score.failed_tasks,
+            diagnostics: score
+                .diagnostics
+                .iter()
+                .map(WireDiagnostic::from_diagnostic)
+                .collect(),
+            failure_kind: score.failure_kind().map(str::to_owned),
             error: score.error.clone(),
+        }
+    }
+}
+
+/// The wire form of one typed diagnostic: flat strings and optional source
+/// coordinates, mirroring [`wfspeak_systems::Diagnostic::wire_json`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireDiagnostic {
+    /// Stable kebab-case kind code (e.g. `dangling-consume`).
+    pub kind: String,
+    /// `error`, `warning` or `info`.
+    pub severity: String,
+    /// Path into the artifact (task or field name), when known.
+    pub path: Option<String>,
+    /// 1-based source line, when known.
+    pub line: Option<usize>,
+    /// 1-based source column, when known.
+    pub column: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireDiagnostic {
+    /// Flatten a typed [`Diagnostic`](wfspeak_systems::Diagnostic) into its
+    /// wire form.
+    pub fn from_diagnostic(diagnostic: &wfspeak_systems::Diagnostic) -> Self {
+        WireDiagnostic {
+            kind: diagnostic.kind.code().to_owned(),
+            severity: diagnostic.severity.label().to_owned(),
+            path: diagnostic.path.clone(),
+            line: diagnostic.line,
+            column: diagnostic.column,
+            message: diagnostic.message.clone(),
         }
     }
 }
@@ -397,6 +445,9 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Prepared-reference cache misses (first-time preparations).
     pub cache_misses: u64,
+    /// Jobs sitting in the bounded queue right now (admitted but not yet
+    /// picked up by a worker).
+    pub queue_depth: u64,
 }
 
 impl ServiceStats {
@@ -419,6 +470,10 @@ pub struct ScoreResponse {
     pub ok: bool,
     /// Failure description; `None` on success.
     pub error: Option<String>,
+    /// Machine-readable protocol-error class; `None` on success and for
+    /// request-specific failures. `"overloaded"` means the server's bounded
+    /// job queue was full and the request was shed — retry later.
+    pub error_kind: Option<String>,
     /// Per-hypothesis scores, in request order. Empty on failure, for
     /// `stats` requests and for `evaluate` requests (which fill
     /// [`evaluations`](ScoreResponse::evaluations) instead).
@@ -440,6 +495,7 @@ impl ScoreResponse {
             id,
             ok: true,
             error: None,
+            error_kind: None,
             scores,
             evaluations: Vec::new(),
             executions: Vec::new(),
@@ -453,6 +509,7 @@ impl ScoreResponse {
             id,
             ok: true,
             error: None,
+            error_kind: None,
             scores: Vec::new(),
             evaluations,
             executions: Vec::new(),
@@ -466,6 +523,7 @@ impl ScoreResponse {
             id,
             ok: true,
             error: None,
+            error_kind: None,
             scores: Vec::new(),
             evaluations: Vec::new(),
             executions,
@@ -479,10 +537,24 @@ impl ScoreResponse {
             id,
             ok: false,
             error: Some(error.into()),
+            error_kind: None,
             scores: Vec::new(),
             evaluations: Vec::new(),
             executions: Vec::new(),
             stats: None,
+        }
+    }
+
+    /// A typed shed-load response: the bounded job queue was full and the
+    /// request was rejected before any work started. Clients should back
+    /// off and retry.
+    pub fn overloaded(id: u64, queue_depth: usize) -> Self {
+        ScoreResponse {
+            error_kind: Some("overloaded".to_owned()),
+            ..ScoreResponse::failure(
+                id,
+                format!("server overloaded: job queue full ({queue_depth} queued); retry later"),
+            )
         }
     }
 
@@ -492,6 +564,7 @@ impl ScoreResponse {
             id,
             ok: true,
             error: None,
+            error_kind: None,
             scores: Vec::new(),
             evaluations: Vec::new(),
             executions: Vec::new(),
@@ -699,14 +772,24 @@ mod tests {
         let executions = vec![ExecutionScore {
             parsed: true,
             valid: true,
+            validated: true,
             ran: true,
             completed: false,
-            runnability: 75.0,
+            runnability: 80.0,
             trace_fidelity: 31.622776601683793,
             tasks: 3,
             published: 6,
             received: 4,
             failed_tasks: 1,
+            diagnostics: vec![WireDiagnostic {
+                kind: "incomplete-run".into(),
+                severity: "warning".into(),
+                path: Some("consumer2".into()),
+                line: Some(4),
+                column: Some(3),
+                message: "run did not complete: 1 task(s) failed".into(),
+            }],
+            failure_kind: Some("incomplete-run".into()),
             error: Some("consumer2: receive of `particles` timed out".into()),
         }];
         let line = encode_line(&ScoreResponse::executed(12, executions.clone()));
@@ -744,12 +827,29 @@ mod tests {
             hypotheses: 40,
             cache_hits: 9,
             cache_misses: 1,
+            queue_depth: 3,
         };
         let line = encode_line(&ScoreResponse::stats(1, stats));
         let decoded: ScoreResponse = decode_line(&line).unwrap();
         let snapshot = decoded.stats.expect("stats present");
         assert_eq!(snapshot.requests, 10);
+        assert_eq!(snapshot.queue_depth, 3);
         assert!((snapshot.cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_responses_carry_a_typed_error_kind() {
+        let line = encode_line(&ScoreResponse::overloaded(17, 4));
+        let decoded: ScoreResponse = decode_line(&line).unwrap();
+        assert!(!decoded.ok);
+        assert_eq!(decoded.id, 17);
+        assert_eq!(decoded.error_kind.as_deref(), Some("overloaded"));
+        assert!(decoded.error.unwrap().contains("retry"));
+        // Ordinary failures stay untyped: `error_kind` is reserved for
+        // protocol-level conditions clients dispatch on.
+        assert!(ScoreResponse::failure(1, "bad request")
+            .error_kind
+            .is_none());
     }
 
     #[test]

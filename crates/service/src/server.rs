@@ -15,12 +15,16 @@
 //! ```
 //!
 //! * Each connection gets a **reader** thread (parses request lines, pushes
-//!   jobs) and a **writer** thread (serialises responses). Readers block on
-//!   the bounded job queue when all workers are busy, which propagates
-//!   backpressure to the client's TCP window instead of buffering without
-//!   bound. A client that pipelines requests but stops reading responses is
-//!   disconnected after [`ServiceConfig::reply_stall_timeout`] so it cannot
-//!   wedge the shared pool.
+//!   jobs) and a **writer** thread (serialises responses). Readers wait up
+//!   to [`ServiceConfig::admission_timeout`] for space in the bounded job
+//!   queue; while they wait, backpressure propagates to the client's TCP
+//!   window instead of buffering without bound. When the queue stays full
+//!   past the timeout the request is **shed** with a typed `"overloaded"`
+//!   protocol error ([`ScoreResponse::overloaded`]) so clients can back off
+//!   and retry instead of guessing at a stalled TCP window. A client that
+//!   pipelines requests but stops reading responses is disconnected after
+//!   [`ServiceConfig::reply_stall_timeout`] so it cannot wedge the shared
+//!   pool.
 //! * The **worker pool** is shared across connections; each job carries a
 //!   handle to its connection's writer, so responses route back to the right
 //!   client no matter which worker scored them.
@@ -70,6 +74,10 @@ pub struct ServiceConfig {
     /// slack it gets before workers start hitting
     /// [`reply_stall_timeout`](ServiceConfig::reply_stall_timeout).
     pub reply_queue_depth: usize,
+    /// How long a reader waits for space in the bounded job queue before
+    /// shedding the request with a typed `"overloaded"` error. Zero sheds
+    /// immediately whenever the queue is full.
+    pub admission_timeout: std::time::Duration,
     /// Maximum hypotheses per `mode: "execute"` request.  Unlike scoring
     /// (sub-millisecond per hypothesis), each execution can legitimately
     /// cost threads and — for stalling-but-valid specs — seconds of
@@ -87,6 +95,7 @@ impl Default for ServiceConfig {
             max_cached_references: 4096,
             reply_stall_timeout: std::time::Duration::from_secs(10),
             reply_queue_depth: 256,
+            admission_timeout: std::time::Duration::from_millis(250),
             max_execute_batch: 64,
         }
     }
@@ -115,6 +124,10 @@ struct ServiceState {
     max_execute_batch: usize,
     requests: AtomicU64,
     hypotheses: AtomicU64,
+    /// Jobs admitted to the bounded queue and not yet picked up by a
+    /// worker. Incremented at admission, decremented at dequeue, so a
+    /// `stats` snapshot can report live queue pressure.
+    queue_depth: AtomicU64,
 }
 
 impl ServiceState {
@@ -130,6 +143,7 @@ impl ServiceState {
             max_execute_batch: config.max_execute_batch,
             requests: AtomicU64::new(0),
             hypotheses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +154,7 @@ impl ServiceState {
             hypotheses: self.hypotheses.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
         }
     }
 
@@ -347,9 +362,19 @@ impl ScoringServer {
         let accept_handle = {
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
+            let state = Arc::clone(&state);
             let reply_depth = config.reply_queue_depth.max(1);
+            let admission_timeout = config.admission_timeout;
             std::thread::spawn(move || {
-                accept_loop(&listener, job_tx, &stop, &connections, reply_depth)
+                accept_loop(
+                    &listener,
+                    job_tx,
+                    &stop,
+                    &connections,
+                    &state,
+                    reply_depth,
+                    admission_timeout,
+                )
             })
         };
 
@@ -429,6 +454,7 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => return, // queue disconnected: server shutting down
         };
+        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
         let response = match &job.request {
             Ok(request) => state.handle(request),
             Err(failure) => failure.clone(),
@@ -454,7 +480,9 @@ fn accept_loop(
     job_tx: Sender<Job>,
     stop: &AtomicBool,
     connections: &Arc<ConnectionRegistry>,
+    state: &Arc<ServiceState>,
     reply_depth: usize,
+    admission_timeout: std::time::Duration,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -463,11 +491,12 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         let job_tx = job_tx.clone();
         let connections = Arc::clone(connections);
+        let state = Arc::clone(state);
         std::thread::spawn(move || {
             let Some(id) = connections.register(&stream) else {
                 return;
             };
-            handle_connection(stream, job_tx, reply_depth);
+            handle_connection(stream, job_tx, &state, reply_depth, admission_timeout);
             connections.deregister(id);
         });
     }
@@ -475,7 +504,13 @@ fn accept_loop(
 
 /// Per-connection plumbing: spawn the writer, then parse request lines and
 /// feed the shared job queue until the client disconnects.
-fn handle_connection(stream: TcpStream, job_tx: Sender<Job>, reply_depth: usize) {
+fn handle_connection(
+    stream: TcpStream,
+    job_tx: Sender<Job>,
+    state: &ServiceState,
+    reply_depth: usize,
+    admission_timeout: std::time::Duration,
+) {
     let Ok(write_stream) = stream.try_clone() else {
         return;
     };
@@ -500,13 +535,35 @@ fn handle_connection(stream: TcpStream, job_tx: Sender<Job>, reply_depth: usize)
                 format!("invalid request: {message}"),
             )
         });
+        let request_id = match &request {
+            Ok(request) => request.id,
+            Err(failure) => failure.id,
+        };
         let job = Job {
             request,
             reply: reply_tx.clone(),
             peer: Arc::clone(&peer),
         };
-        if job_tx.send(job).is_err() {
-            break; // server shutting down
+        // Count the job before handing it over so the depth can never read
+        // negative: increment → enqueue → (worker dequeues → decrement).
+        state.queue_depth.fetch_add(1, Ordering::SeqCst);
+        use crossbeam_channel::SendTimeoutError;
+        match job_tx.send_timeout(job, admission_timeout) {
+            Ok(()) => {}
+            Err(SendTimeoutError::Timeout) => {
+                // Queue stayed full for the whole admission window: shed the
+                // request with a typed error instead of stalling the reader
+                // (and with it the client's TCP window) indefinitely.
+                let depth = state.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+                let shed = ScoreResponse::overloaded(request_id, depth as usize);
+                if reply_tx.send(encode_line(&shed)).is_err() {
+                    break;
+                }
+            }
+            Err(SendTimeoutError::Disconnected) => {
+                state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                break; // server shutting down
+            }
         }
     }
     // Dropping our reply sender lets the writer exit once in-flight workers

@@ -34,26 +34,37 @@ fn direct_execution(
     system: WorkflowSystemId,
     reference_summary: &TraceSummary,
     response: &str,
-) -> (bool, bool, bool, bool, f64, f64) {
+) -> (bool, bool, bool, bool, bool, f64, f64) {
     let code = extract_code(response);
     let (spec, report) = workflow_spec_from_config(system, &code);
     let Some(spec) = spec else {
-        return (false, false, false, false, 0.0, 0.0);
+        return (false, false, false, false, false, 0.0, 0.0);
     };
-    let valid = report.is_valid() && spec.validate().is_ok();
-    if !valid {
-        return (true, false, false, false, 25.0, 0.0);
+    let valid = report.is_valid();
+    let structurally_valid = !spec.validate().iter().any(|d| d.is_error());
+    if !valid || !structurally_valid {
+        let runnability = if valid { 40.0 } else { 20.0 };
+        return (true, valid, false, false, false, runnability, 0.0);
     }
+    let spec = spec.normalized();
     if spec.tasks.len() > sandbox.max_tasks || spec.total_procs() > sandbox.max_total_procs {
-        return (true, true, false, false, 50.0, 0.0);
+        return (true, true, true, false, false, 60.0, 0.0);
     }
     match Engine::new(sandbox.engine_config()).run(&spec) {
         Ok(outcome) => {
             let fidelity = 100.0 * outcome.summary().fidelity(reference_summary);
-            let runnability = if outcome.completed { 100.0 } else { 75.0 };
-            (true, true, true, outcome.completed, runnability, fidelity)
+            let runnability = if outcome.completed { 100.0 } else { 80.0 };
+            (
+                true,
+                true,
+                true,
+                true,
+                outcome.completed,
+                runnability,
+                fidelity,
+            )
         }
-        Err(_) => (true, true, false, false, 50.0, 0.0),
+        Err(_) => (true, true, true, false, false, 60.0, 0.0),
     }
 }
 
@@ -65,7 +76,7 @@ fn reference_summary(
     let (spec, report) = workflow_spec_from_config(system, reference);
     assert!(report.is_valid());
     Engine::new(sandbox.engine_config())
-        .run(&spec.unwrap())
+        .run(&spec.unwrap().normalized())
         .unwrap()
         .summary()
 }
@@ -80,12 +91,23 @@ fn assert_executions_bit_identical(
 ) {
     assert_eq!(served.len(), responses.len(), "{context}");
     for (i, (score, response)) in served.iter().zip(responses).enumerate() {
-        let (parsed, valid, ran, completed, runnability, fidelity) =
+        let (parsed, valid, validated, ran, completed, runnability, fidelity) =
             direct_execution(sandbox, system, summary, response);
         assert_eq!(
-            (score.parsed, score.valid, score.ran, score.completed),
-            (parsed, valid, ran, completed),
+            (
+                score.parsed,
+                score.valid,
+                score.validated,
+                score.ran,
+                score.completed
+            ),
+            (parsed, valid, validated, ran, completed),
             "{context}: response {i} stages"
+        );
+        assert_eq!(
+            score.failure_kind.is_none(),
+            completed,
+            "{context}: response {i} failure kind"
         );
         assert_eq!(
             score.runnability.to_bits(),

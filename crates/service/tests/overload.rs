@@ -1,0 +1,106 @@
+//! Regression test for bounded admission control: when the job queue is
+//! full and the admission timeout elapses, the server sheds the request
+//! with a typed `"overloaded"` protocol error instead of blocking the
+//! reader — and the connection stays usable for later requests.
+
+use std::time::{Duration, Instant};
+
+use wfspeak_corpus::references::configuration_reference;
+use wfspeak_corpus::WorkflowSystemId;
+use wfspeak_service::{ScoreRequest, ScoringClient, ScoringServer, ServiceConfig};
+
+#[test]
+fn full_queue_sheds_with_typed_overloaded_error() {
+    let config = ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        admission_timeout: Duration::ZERO,
+        ..ServiceConfig::default()
+    };
+    let server = ScoringServer::spawn("127.0.0.1:0", config).unwrap();
+    let reference = configuration_reference(WorkflowSystemId::Wilkins).unwrap();
+
+    // Client A sends a slow-scoring batch: hundreds of full-length
+    // hypotheses pin the single worker for seconds.
+    let mut busy = ScoringClient::connect(server.addr()).unwrap();
+    busy.send(&ScoreRequest::by_text(
+        1,
+        reference,
+        vec![reference.to_owned(); 512],
+    ))
+    .unwrap();
+
+    // Wait (in-process, bypassing the TCP path) until the worker has
+    // *started* the slow batch — `requests` increments at the top of
+    // request handling, so from here the queue slot is free and the
+    // worker is pinned for the rest of the batch.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.stats().requests < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never started the slow batch: {:?}",
+            server.stats()
+        );
+        std::thread::yield_now();
+    }
+
+    // A second client's small request now parks in the only queue slot.
+    // Waiting for the worker first matters: admission while the slow
+    // batch still occupied the queue would shed *this* request instead.
+    let mut parked = ScoringClient::connect(server.addr()).unwrap();
+    parked
+        .send(&ScoreRequest::by_text(
+            2,
+            reference,
+            vec!["x".to_owned(); 16],
+        ))
+        .unwrap();
+    while server.stats().queue_depth < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "job queue never filled: {:?}",
+            server.stats()
+        );
+        std::thread::yield_now();
+    }
+
+    // Client B's request finds the queue full and is shed immediately
+    // with the typed protocol error — not a disconnect, not a stall.
+    let mut shed = ScoringClient::connect(server.addr()).unwrap();
+    shed.send(&ScoreRequest::by_text(7, reference, vec!["x".to_owned()]))
+        .unwrap();
+    let response = shed.recv().unwrap();
+    assert_eq!(response.id, 7);
+    assert!(!response.ok);
+    assert_eq!(response.error_kind.as_deref(), Some("overloaded"));
+    let error = response
+        .error
+        .expect("overloaded response carries a message");
+    assert!(error.contains("overloaded"), "{error}");
+    assert!(error.contains("retry"), "{error}");
+    assert!(response.scores.is_empty() && response.executions.is_empty());
+
+    // The in-flight and parked requests were untouched by the shed.
+    let slow = busy.recv().unwrap();
+    assert_eq!(slow.id, 1);
+    assert!(slow.ok, "{:?}", slow.error);
+    let queued = parked.recv().unwrap();
+    assert_eq!(queued.id, 2);
+    assert!(queued.ok, "{:?}", queued.error);
+
+    // The shed connection is still healthy: once the queue drains, the
+    // same client gets real work through, and the wire-format stats
+    // report the queue depth back at zero.
+    let retried = shed
+        .execute("Wilkins", vec!["not a config".to_owned()])
+        .unwrap();
+    assert!(retried.ok, "{:?}", retried.error);
+    assert_eq!(retried.executions.len(), 1);
+    let stats = shed.stats().unwrap();
+    assert_eq!(stats.queue_depth, 0);
+
+    busy.close();
+    parked.close();
+    shed.close();
+    server.shutdown();
+}

@@ -10,7 +10,7 @@ use wfspeak_wyaml::{parse as yaml_parse, Value};
 
 use crate::annotate::validate_task_code;
 use crate::api::{catalog_for, ApiCatalog};
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 use crate::spec::{DataRole, WorkflowSpec};
 use crate::WorkflowSystem;
 
@@ -54,7 +54,13 @@ impl Adios2Config {
         let doc = match yaml_parse(source) {
             Ok(d) => d,
             Err(e) => {
-                report.push(Diagnostic::error("parse-error", e.to_string()));
+                report.push(
+                    Diagnostic::error(
+                        DiagnosticKind::ParseError,
+                        format!("{}: {}", e.kind, e.message),
+                    )
+                    .at_position(e.line, e.column),
+                );
                 return (None, report);
             }
         };
@@ -62,7 +68,7 @@ impl Adios2Config {
             Some(s) => s,
             None => {
                 report.push(Diagnostic::error(
-                    "schema",
+                    DiagnosticKind::Schema,
                     format!(
                         "an ADIOS2 YAML config is a list of IO definitions, found {}",
                         doc.type_name()
@@ -77,7 +83,7 @@ impl Adios2Config {
                 Some(m) => m,
                 None => {
                     report.push(Diagnostic::error(
-                        "schema",
+                        DiagnosticKind::Schema,
                         format!("IO definition #{idx} must be a mapping"),
                     ));
                     continue;
@@ -97,9 +103,7 @@ impl Adios2Config {
                                 if ek == "Type" {
                                     io.engine = ev.as_str().unwrap_or_default().to_owned();
                                 } else if !catalog.is_real_config_field(ek) {
-                                    report.push(Diagnostic::warning(
-                                        "unknown-parameter",
-                                        format!("IO `{0}`: engine parameter `{ek}` is not a common ADIOS2 parameter", io.name),
+                                    report.push(Diagnostic::warning(DiagnosticKind::UnknownParameter, format!("IO `{0}`: engine parameter `{ek}` is not a common ADIOS2 parameter", io.name),
                                     ));
                                 }
                             }
@@ -122,23 +126,21 @@ impl Adios2Config {
                     }
                     other if catalog.is_real_config_field(other) => {}
                     other => {
-                        report.push(Diagnostic::error(
-                            "unknown-field",
-                            format!("IO definition #{idx}: field `{other}` does not exist in ADIOS2 configs"),
+                        report.push(Diagnostic::error(DiagnosticKind::UnknownField, format!("IO definition #{idx}: field `{other}` does not exist in ADIOS2 configs"),
                         ));
                     }
                 }
             }
             if io.name.is_empty() {
                 report.push(Diagnostic::error(
-                    "schema",
+                    DiagnosticKind::Schema,
                     format!("IO definition #{idx} is missing the `IO` name"),
                 ));
                 continue;
             }
             if io.engine.is_empty() {
                 report.push(Diagnostic::warning(
-                    "schema",
+                    DiagnosticKind::Schema,
                     format!(
                         "IO `{}` does not set an engine type; BPFile is assumed",
                         io.name
@@ -147,7 +149,7 @@ impl Adios2Config {
                 io.engine = "BPFile".to_owned();
             } else if !REAL_ENGINES.contains(&io.engine.as_str()) {
                 report.push(Diagnostic::error(
-                    "unknown-engine",
+                    DiagnosticKind::UnknownEngine,
                     format!(
                         "IO `{}` uses engine `{}` which ADIOS2 does not provide",
                         io.name, io.engine
@@ -158,7 +160,7 @@ impl Adios2Config {
         }
         if ios.is_empty() {
             report.push(Diagnostic::error(
-                "schema",
+                DiagnosticKind::Schema,
                 "configuration defines no IO entries",
             ));
             return (None, report);
@@ -177,8 +179,18 @@ impl Adios2Config {
     /// matches the declared variable whose capitalised name is `<X>`;
     /// readers that match nothing consume the IO name lowercased.  Process
     /// counts are not part of an ADIOS2 config, so every task gets one.
-    pub fn to_spec(&self, name: &str) -> WorkflowSpec {
+    ///
+    /// A configuration that names zero IO streams describes no tasks at all;
+    /// that is reported as a parse-stage diagnostic rather than silently
+    /// yielding an empty (vacuously valid) spec.
+    pub fn to_spec(&self, name: &str) -> Result<WorkflowSpec, Diagnostic> {
         use crate::spec::TaskSpec;
+        if self.ios.is_empty() {
+            return Err(Diagnostic::error(
+                DiagnosticKind::EmptyWorkflow,
+                "the ADIOS2 configuration defines no IO streams, so no tasks can be recovered",
+            ));
+        }
         let produced: Vec<&str> = {
             let mut seen = std::collections::HashSet::new();
             self.ios
@@ -211,7 +223,7 @@ impl Adios2Config {
             spec.tasks
                 .push(TaskSpec::new(&format!("consumer{consumer_index}"), 1).consumes(&dataset));
         }
-        spec
+        Ok(spec)
     }
 
     /// Render the canonical reference layout for a workflow spec: one writer
@@ -386,5 +398,31 @@ mod tests {
         let (config, report) = Adios2Config::parse(cfg);
         assert!(report.is_valid(), "{report}");
         assert_eq!(config.unwrap().ios[0].engine, "SST");
+    }
+
+    #[test]
+    fn to_spec_rejects_zero_task_configs() {
+        // A config with no IO streams must surface a diagnostic, not a
+        // silent empty spec the validate stage would wave through.
+        let empty = Adios2Config::default();
+        let err = empty.to_spec("adios2-workflow").unwrap_err();
+        assert_eq!(err.kind, DiagnosticKind::EmptyWorkflow);
+        assert_eq!(err.severity, crate::diagnostics::Severity::Error);
+    }
+
+    #[test]
+    fn to_spec_recovers_the_reference_graph() {
+        let (config, _) = Adios2Config::parse(configs::ADIOS2_3NODE);
+        let spec = config.unwrap().to_spec("adios2-workflow").unwrap();
+        assert_eq!(spec.tasks.len(), 3);
+        assert!(spec.validate().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_source_positions() {
+        let (_, report) = Adios2Config::parse("---\n- IO: \"unterminated\n");
+        let diag = report.with_code("parse-error").next().unwrap();
+        assert_eq!(diag.line, Some(2));
+        assert!(diag.column.is_some());
     }
 }

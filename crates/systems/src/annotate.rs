@@ -10,7 +10,7 @@ use wfspeak_codemodel::calls::{call_names, extract_decorators};
 use wfspeak_codemodel::lexer::Language;
 
 use crate::api::ApiCatalog;
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 
 /// Validate `code` against `catalog`.
 ///
@@ -38,7 +38,7 @@ pub fn validate_task_code(
     for name in &used {
         if catalog.is_hallucinated(name) {
             report.push(Diagnostic::error(
-                "hallucinated-call",
+                DiagnosticKind::HallucinatedCall,
                 format!(
                     "`{name}` does not exist in the {} API",
                     catalog.system.name()
@@ -50,7 +50,7 @@ pub fn validate_task_code(
     for required in catalog.required_producer_calls() {
         if !used.iter().any(|u| u == required) {
             report.push(Diagnostic::error(
-                "missing-call",
+                DiagnosticKind::MissingCall,
                 format!(
                     "required {} call `{required}` is missing",
                     catalog.system.name()
@@ -62,7 +62,7 @@ pub fn validate_task_code(
     for extra in redundant {
         if used.iter().any(|u| u == extra) || code.contains(extra) {
             report.push(Diagnostic::warning(
-                "redundant-call",
+                DiagnosticKind::RedundantCall,
                 format!(
                     "`{extra}` is not needed for this workflow and was not requested in the prompt"
                 ),
@@ -72,7 +72,7 @@ pub fn validate_task_code(
 
     if used.is_empty() {
         report.push(Diagnostic::error(
-            "no-api-usage",
+            DiagnosticKind::NoApiUsage,
             format!(
                 "no {} API usage found in the task code",
                 catalog.system.name()

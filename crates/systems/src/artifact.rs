@@ -11,7 +11,7 @@
 use wfspeak_corpus::WorkflowSystemId;
 
 use crate::adios2::Adios2Config;
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 use crate::henson::HensonScript;
 use crate::spec::WorkflowSpec;
 use crate::wilkins::WilkinsConfig;
@@ -34,17 +34,19 @@ pub fn workflow_spec_from_config(
             (config.map(|c| c.to_spec(&spec_name)), report)
         }
         WorkflowSystemId::Adios2 => {
-            let (config, report) = Adios2Config::parse(source);
-            (config.map(|c| c.to_spec(&spec_name)), report)
+            let (config, mut report) = Adios2Config::parse(source);
+            let spec = config.and_then(|c| unwrap_spec(c.to_spec(&spec_name), &mut report));
+            (spec, report)
         }
         WorkflowSystemId::Henson => {
-            let (script, report) = HensonScript::parse(source);
-            (script.map(|s| s.to_spec(&spec_name)), report)
+            let (script, mut report) = HensonScript::parse(source);
+            let spec = script.and_then(|s| unwrap_spec(s.to_spec(&spec_name), &mut report));
+            (spec, report)
         }
         WorkflowSystemId::Parsl | WorkflowSystemId::PyCompss => {
             let mut report = ValidationReport::valid();
             report.push(Diagnostic::error(
-                "no-structural-config",
+                DiagnosticKind::NoStructuralConfig,
                 format!(
                     "{} configurations describe the execution environment, \
                      not workflow structure; there is nothing to execute",
@@ -52,6 +54,20 @@ pub fn workflow_spec_from_config(
                 ),
             ));
             (None, report)
+        }
+    }
+}
+
+/// Fold a `to_spec` failure (a config naming zero tasks) into the report.
+fn unwrap_spec(
+    result: Result<WorkflowSpec, Diagnostic>,
+    report: &mut ValidationReport,
+) -> Option<WorkflowSpec> {
+    match result {
+        Ok(spec) => Some(spec),
+        Err(diagnostic) => {
+            report.push(diagnostic);
+            None
         }
     }
 }
@@ -84,7 +100,7 @@ mod tests {
         let spec = spec.unwrap();
         // ADIOS2 configs carry no process counts, so only the dataflow (not
         // nprocs) matches the paper spec.
-        assert!(spec.validate().is_ok());
+        assert!(spec.validate().is_empty());
         assert_eq!(spec.datasets(), vec!["grid", "particles"]);
         let mut edges = spec.edges();
         edges.sort();
@@ -106,7 +122,7 @@ mod tests {
         let spec = spec.unwrap();
         assert_eq!(spec.tasks.len(), 2);
         assert!(spec.edges().is_empty());
-        assert!(spec.validate().is_ok());
+        assert!(spec.validate().is_empty());
     }
 
     #[test]

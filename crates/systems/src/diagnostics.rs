@@ -1,4 +1,10 @@
 //! Validation diagnostics shared by every system model.
+//!
+//! A [`Diagnostic`] is a typed finding: a machine-readable [`DiagnosticKind`],
+//! a [`Severity`], an optional path into the artifact (task or field), an
+//! optional source position, and a human-readable message.  The wire form
+//! ([`Diagnostic::wire_json`]) is what the scoring service serializes so
+//! clients can tell *why* an artifact failed without parsing prose.
 
 use std::fmt;
 
@@ -14,55 +20,341 @@ pub enum Severity {
     Error,
 }
 
-/// A single finding from validating a configuration or task code.
+impl Severity {
+    /// Lower-case label used in display and wire forms.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// What category of problem a diagnostic reports.
+///
+/// The kinds cover three lifecycle stages: **parse** (the artifact text did
+/// not yield a spec), **validate** (the spec is structurally wrong), and
+/// **execute** (the engine refused or failed the run).  [`code`] gives the
+/// stable kebab-case identifier used on the wire and in `has_code` lookups.
+///
+/// [`code`]: DiagnosticKind::code
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    // ---- parse stage: artifact text → spec ----
+    /// The artifact text failed to parse at all.
+    ParseError,
+    /// A line is not a legal construct of the config language.
+    Syntax,
+    /// The document parses but violates the system's config schema.
+    Schema,
+    /// A field name the system does not define.
+    UnknownField,
+    /// A real field in a place the schema does not allow it.
+    MisplacedField,
+    /// An engine parameter the system does not define.
+    UnknownParameter,
+    /// An engine name the system does not define.
+    UnknownEngine,
+    /// A Henson puppet defined twice.
+    DuplicatePuppet,
+    /// A Henson process group references an undefined puppet.
+    UndefinedPuppet,
+    /// A Henson line that is neither a puppet definition nor a group.
+    UnknownDirective,
+    /// The system has no structural configuration file to parse.
+    NoStructuralConfig,
+    /// The config describes the execution environment, not the workflow.
+    EnvironmentConfig,
+    // ---- annotation checks: task code against the API catalogue ----
+    /// A required import is missing from the task code.
+    MissingImport,
+    /// A required parameter direction is missing.
+    MissingDirection,
+    /// No API usage found in the task code.
+    NoApiUsage,
+    /// The task code needs no annotation for this system.
+    NoAnnotationNeeded,
+    /// A call that does not exist in the system's API.
+    HallucinatedCall,
+    /// A required API call is missing.
+    MissingCall,
+    /// Legal but unrequested boilerplate.
+    RedundantCall,
+    /// Free-form informational note.
+    Note,
+    // ---- validate stage: structural checks on the spec ----
+    /// The spec defines no tasks at all.
+    EmptyWorkflow,
+    /// Two tasks share a name.
+    DuplicateTask,
+    /// A task name is empty or contains whitespace/control characters.
+    InvalidTaskName,
+    /// A task requests zero processes.
+    ZeroProcs,
+    /// A process count beyond any plausible deployment.
+    ProcBounds,
+    /// More tasks than any plausible workflow.
+    TaskBounds,
+    /// A dataset name is empty.
+    InvalidDataset,
+    /// A task consumes a dataset no task produces.
+    DanglingConsume,
+    /// A task produces a dataset no task consumes.
+    UnconsumedProduce,
+    /// The same dataset requirement is listed twice on one task.
+    DuplicateEdge,
+    /// A task consumes a dataset it also produces.
+    SelfLoop,
+    /// The producer/consumer graph contains a dependency cycle.
+    Cycle,
+    // ---- execute stage: sandboxed runs ----
+    /// The spec exceeds the sandbox's resource caps.
+    SandboxCap,
+    /// The runtime engine refused or aborted the run.
+    EngineError,
+    /// The run started but did not complete within the sandbox budget.
+    IncompleteRun,
+}
+
+impl DiagnosticKind {
+    /// Every kind, for exhaustive wire/round-trip tests.
+    pub const ALL: &'static [DiagnosticKind] = &[
+        DiagnosticKind::ParseError,
+        DiagnosticKind::Syntax,
+        DiagnosticKind::Schema,
+        DiagnosticKind::UnknownField,
+        DiagnosticKind::MisplacedField,
+        DiagnosticKind::UnknownParameter,
+        DiagnosticKind::UnknownEngine,
+        DiagnosticKind::DuplicatePuppet,
+        DiagnosticKind::UndefinedPuppet,
+        DiagnosticKind::UnknownDirective,
+        DiagnosticKind::NoStructuralConfig,
+        DiagnosticKind::EnvironmentConfig,
+        DiagnosticKind::MissingImport,
+        DiagnosticKind::MissingDirection,
+        DiagnosticKind::NoApiUsage,
+        DiagnosticKind::NoAnnotationNeeded,
+        DiagnosticKind::HallucinatedCall,
+        DiagnosticKind::MissingCall,
+        DiagnosticKind::RedundantCall,
+        DiagnosticKind::Note,
+        DiagnosticKind::EmptyWorkflow,
+        DiagnosticKind::DuplicateTask,
+        DiagnosticKind::InvalidTaskName,
+        DiagnosticKind::ZeroProcs,
+        DiagnosticKind::ProcBounds,
+        DiagnosticKind::TaskBounds,
+        DiagnosticKind::InvalidDataset,
+        DiagnosticKind::DanglingConsume,
+        DiagnosticKind::UnconsumedProduce,
+        DiagnosticKind::DuplicateEdge,
+        DiagnosticKind::SelfLoop,
+        DiagnosticKind::Cycle,
+        DiagnosticKind::SandboxCap,
+        DiagnosticKind::EngineError,
+        DiagnosticKind::IncompleteRun,
+    ];
+
+    /// Stable kebab-case identifier used on the wire.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagnosticKind::ParseError => "parse-error",
+            DiagnosticKind::Syntax => "syntax",
+            DiagnosticKind::Schema => "schema",
+            DiagnosticKind::UnknownField => "unknown-field",
+            DiagnosticKind::MisplacedField => "misplaced-field",
+            DiagnosticKind::UnknownParameter => "unknown-parameter",
+            DiagnosticKind::UnknownEngine => "unknown-engine",
+            DiagnosticKind::DuplicatePuppet => "duplicate-puppet",
+            DiagnosticKind::UndefinedPuppet => "undefined-puppet",
+            DiagnosticKind::UnknownDirective => "unknown-directive",
+            DiagnosticKind::NoStructuralConfig => "no-structural-config",
+            DiagnosticKind::EnvironmentConfig => "environment-config",
+            DiagnosticKind::MissingImport => "missing-import",
+            DiagnosticKind::MissingDirection => "missing-direction",
+            DiagnosticKind::NoApiUsage => "no-api-usage",
+            DiagnosticKind::NoAnnotationNeeded => "no-annotation-needed",
+            DiagnosticKind::HallucinatedCall => "hallucinated-call",
+            DiagnosticKind::MissingCall => "missing-call",
+            DiagnosticKind::RedundantCall => "redundant-call",
+            DiagnosticKind::Note => "note",
+            DiagnosticKind::EmptyWorkflow => "empty-workflow",
+            DiagnosticKind::DuplicateTask => "duplicate-task",
+            DiagnosticKind::InvalidTaskName => "invalid-task-name",
+            DiagnosticKind::ZeroProcs => "zero-procs",
+            DiagnosticKind::ProcBounds => "proc-bounds",
+            DiagnosticKind::TaskBounds => "task-bounds",
+            DiagnosticKind::InvalidDataset => "invalid-dataset",
+            DiagnosticKind::DanglingConsume => "dangling-consume",
+            DiagnosticKind::UnconsumedProduce => "unconsumed-produce",
+            DiagnosticKind::DuplicateEdge => "duplicate-edge",
+            DiagnosticKind::SelfLoop => "self-loop",
+            DiagnosticKind::Cycle => "cycle",
+            DiagnosticKind::SandboxCap => "sandbox-cap",
+            DiagnosticKind::EngineError => "engine-error",
+            DiagnosticKind::IncompleteRun => "incomplete-run",
+        }
+    }
+
+    /// The kind with the given wire code, if any.
+    pub fn from_code(code: &str) -> Option<DiagnosticKind> {
+        DiagnosticKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.code() == code)
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A single finding from validating a configuration, task code or spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
+    /// What category of problem this is.
+    pub kind: DiagnosticKind,
     /// Severity of the finding.
     pub severity: Severity,
-    /// Short machine-friendly code (`unknown-field`, `hallucinated-call`,
-    /// `missing-call`, `redundant-call`, `parse-error`, ...).
-    pub code: String,
+    /// Path into the artifact (task or field name), when known.
+    pub path: Option<String>,
+    /// 1-based source line, when known.
+    pub line: Option<usize>,
+    /// 1-based source column, when known.
+    pub column: Option<usize>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl Diagnostic {
-    /// Construct an error diagnostic.
-    pub fn error(code: &str, message: impl Into<String>) -> Self {
+    /// Construct a diagnostic with an explicit severity.
+    pub fn new(kind: DiagnosticKind, severity: Severity, message: impl Into<String>) -> Self {
         Diagnostic {
-            severity: Severity::Error,
-            code: code.to_owned(),
+            kind,
+            severity,
+            path: None,
+            line: None,
+            column: None,
             message: message.into(),
         }
+    }
+
+    /// Construct an error diagnostic.
+    pub fn error(kind: DiagnosticKind, message: impl Into<String>) -> Self {
+        Diagnostic::new(kind, Severity::Error, message)
     }
 
     /// Construct a warning diagnostic.
-    pub fn warning(code: &str, message: impl Into<String>) -> Self {
-        Diagnostic {
-            severity: Severity::Warning,
-            code: code.to_owned(),
-            message: message.into(),
-        }
+    pub fn warning(kind: DiagnosticKind, message: impl Into<String>) -> Self {
+        Diagnostic::new(kind, Severity::Warning, message)
     }
 
     /// Construct an informational diagnostic.
-    pub fn info(code: &str, message: impl Into<String>) -> Self {
-        Diagnostic {
-            severity: Severity::Info,
-            code: code.to_owned(),
-            message: message.into(),
+    pub fn info(kind: DiagnosticKind, message: impl Into<String>) -> Self {
+        Diagnostic::new(kind, Severity::Info, message)
+    }
+
+    /// Attach a path into the artifact (e.g. a task or field name).
+    pub fn at_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Attach a 1-based source line.
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attach a 1-based source line and optional column.
+    pub fn at_position(mut self, line: usize, column: Option<usize>) -> Self {
+        self.line = Some(line);
+        self.column = column;
+        self
+    }
+
+    /// The stable wire code of this diagnostic's kind.
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// True when this finding is error severity.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Machine-serializable wire form: a single JSON object with `kind`,
+    /// `severity`, `message` and — when known — `path`, `line`, `column`.
+    pub fn wire_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.message.len());
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind.code());
+        out.push_str("\",\"severity\":\"");
+        out.push_str(self.severity.label());
+        out.push('"');
+        if let Some(path) = &self.path {
+            out.push_str(",\"path\":\"");
+            escape_json_into(&mut out, path);
+            out.push('"');
+        }
+        if let Some(line) = self.line {
+            out.push_str(",\"line\":");
+            out.push_str(&line.to_string());
+        }
+        if let Some(column) = self.column {
+            out.push_str(",\"column\":");
+            out.push_str(&column.to_string());
+        }
+        out.push_str(",\"message\":\"");
+        escape_json_into(&mut out, &self.message);
+        out.push_str("\"}");
+        out
+    }
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
         }
     }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sev = match self.severity {
-            Severity::Info => "info",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        };
-        write!(f, "{sev}[{}]: {}", self.code, self.message)
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.kind.code(),
+            self.message
+        )?;
+        let mut at = Vec::new();
+        if let Some(path) = &self.path {
+            at.push(path.clone());
+        }
+        if let Some(line) = self.line {
+            match self.column {
+                Some(col) => at.push(format!("line {line}, column {col}")),
+                None => at.push(format!("line {line}")),
+            }
+        }
+        if !at.is_empty() {
+            write!(f, " ({})", at.join(", "))?;
+        }
+        Ok(())
     }
 }
 
@@ -77,6 +369,11 @@ impl ValidationReport {
     /// An empty (fully valid) report.
     pub fn valid() -> Self {
         ValidationReport::default()
+    }
+
+    /// A report over a pre-built list of findings.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        ValidationReport { diagnostics }
     }
 
     /// Add a finding.
@@ -108,14 +405,33 @@ impl ValidationReport {
             .count()
     }
 
-    /// Findings with a specific code.
-    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
-        self.diagnostics.iter().filter(move |d| d.code == code)
+    /// The first error-severity finding, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
     }
 
-    /// True if any finding carries the given code.
+    /// Findings with a specific wire code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.kind.code() == code)
+    }
+
+    /// True if any finding carries the given wire code.
     pub fn has_code(&self, code: &str) -> bool {
         self.with_code(code).next().is_some()
+    }
+
+    /// Findings of a specific kind.
+    pub fn with_kind(&self, kind: DiagnosticKind) -> impl Iterator<Item = &Diagnostic> + '_ {
+        self.diagnostics.iter().filter(move |d| d.kind == kind)
+    }
+
+    /// True if any finding is of the given kind.
+    pub fn has_kind(&self, kind: DiagnosticKind) -> bool {
+        self.with_kind(kind).next().is_some()
     }
 
     /// Merge another report's findings into this one.
@@ -155,36 +471,42 @@ mod tests {
     fn errors_invalidate_warnings_do_not() {
         let mut r = ValidationReport::valid();
         r.push(Diagnostic::warning(
-            "redundant-call",
+            DiagnosticKind::RedundantCall,
             "extra executor config",
         ));
         assert!(r.is_valid());
         r.push(Diagnostic::error(
-            "hallucinated-call",
+            DiagnosticKind::HallucinatedCall,
             "henson_put does not exist",
         ));
         assert!(!r.is_valid());
         assert_eq!(r.error_count(), 1);
         assert_eq!(r.warning_count(), 1);
+        assert_eq!(
+            r.first_error().unwrap().kind,
+            DiagnosticKind::HallucinatedCall
+        );
     }
 
     #[test]
-    fn lookup_by_code() {
+    fn lookup_by_code_and_kind() {
         let mut r = ValidationReport::valid();
-        r.push(Diagnostic::error("unknown-field", "inputs"));
-        r.push(Diagnostic::error("unknown-field", "outputs"));
-        r.push(Diagnostic::info("note", "something"));
+        r.push(Diagnostic::error(DiagnosticKind::UnknownField, "inputs"));
+        r.push(Diagnostic::error(DiagnosticKind::UnknownField, "outputs"));
+        r.push(Diagnostic::info(DiagnosticKind::Note, "something"));
         assert!(r.has_code("unknown-field"));
         assert_eq!(r.with_code("unknown-field").count(), 2);
         assert!(!r.has_code("missing-call"));
+        assert!(r.has_kind(DiagnosticKind::Note));
+        assert_eq!(r.with_kind(DiagnosticKind::UnknownField).count(), 2);
     }
 
     #[test]
     fn merge_concatenates() {
         let mut a = ValidationReport::valid();
-        a.push(Diagnostic::info("a", "x"));
+        a.push(Diagnostic::info(DiagnosticKind::Note, "x"));
         let mut b = ValidationReport::valid();
-        b.push(Diagnostic::error("b", "y"));
+        b.push(Diagnostic::error(DiagnosticKind::Schema, "y"));
         a.merge(b);
         assert_eq!(a.diagnostics.len(), 2);
         assert!(!a.is_valid());
@@ -192,17 +514,66 @@ mod tests {
 
     #[test]
     fn display_formats_severity_and_code() {
-        let d = Diagnostic::error("missing-call", "henson_yield not found");
+        let d = Diagnostic::error(DiagnosticKind::MissingCall, "henson_yield not found");
         assert_eq!(
             format!("{d}"),
             "error[missing-call]: henson_yield not found"
         );
-        assert!(format!("{}", Diagnostic::info("i", "m")).starts_with("info"));
+        assert!(format!("{}", Diagnostic::info(DiagnosticKind::Note, "m")).starts_with("info"));
+    }
+
+    #[test]
+    fn display_appends_position_and_path() {
+        let d = Diagnostic::error(DiagnosticKind::ParseError, "bad token")
+            .at_position(3, Some(7))
+            .at_path("tasks[0]");
+        assert_eq!(
+            format!("{d}"),
+            "error[parse-error]: bad token (tasks[0], line 3, column 7)"
+        );
+        let line_only = Diagnostic::warning(DiagnosticKind::Schema, "odd").at_line(2);
+        assert_eq!(format!("{line_only}"), "warning[schema]: odd (line 2)");
     }
 
     #[test]
     fn severity_ordering() {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn kind_codes_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in DiagnosticKind::ALL {
+            assert!(seen.insert(kind.code()), "duplicate code {}", kind.code());
+            assert_eq!(DiagnosticKind::from_code(kind.code()), Some(*kind));
+        }
+        assert_eq!(DiagnosticKind::from_code("no-such-kind"), None);
+    }
+
+    #[test]
+    fn wire_json_shape() {
+        let d = Diagnostic::error(DiagnosticKind::DanglingConsume, "no producer for `grid`")
+            .at_path("consumer1");
+        assert_eq!(
+            d.wire_json(),
+            "{\"kind\":\"dangling-consume\",\"severity\":\"error\",\
+             \"path\":\"consumer1\",\"message\":\"no producer for `grid`\"}"
+        );
+        let with_pos = Diagnostic::warning(DiagnosticKind::Schema, "x").at_position(4, Some(2));
+        assert_eq!(
+            with_pos.wire_json(),
+            "{\"kind\":\"schema\",\"severity\":\"warning\",\"line\":4,\"column\":2,\
+             \"message\":\"x\"}"
+        );
+    }
+
+    #[test]
+    fn wire_json_escapes_special_characters() {
+        let d = Diagnostic::error(DiagnosticKind::ParseError, "quote \" slash \\ newline \n");
+        let json = d.wire_json();
+        assert!(json.contains("quote \\\" slash \\\\ newline \\n"));
+        // The wire form must be a single line (newline-delimited protocol).
+        assert!(!json.contains('\n'));
     }
 }

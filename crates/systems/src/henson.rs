@@ -10,7 +10,7 @@ use wfspeak_corpus::WorkflowSystemId;
 
 use crate::annotate::validate_task_code;
 use crate::api::{catalog_for, ApiCatalog};
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 use crate::spec::{DataRole, WorkflowSpec};
 use crate::WorkflowSystem;
 
@@ -58,7 +58,7 @@ impl HensonScript {
                 // Process group: "[3] producer consumer".
                 let Some(close) = rest.find(']') else {
                     report.push(Diagnostic::error(
-                        "syntax",
+                        DiagnosticKind::Syntax,
                         format!("line {line_no}: process group is missing `]`"),
                     ));
                     continue;
@@ -68,7 +68,7 @@ impl HensonScript {
                     Ok(n) if n > 0 => n,
                     _ => {
                         report.push(Diagnostic::error(
-                            "syntax",
+                            DiagnosticKind::Syntax,
                             format!("line {line_no}: `{count_text}` is not a valid process count"),
                         ));
                         continue;
@@ -80,7 +80,7 @@ impl HensonScript {
                     .collect();
                 if puppets.is_empty() {
                     report.push(Diagnostic::error(
-                        "syntax",
+                        DiagnosticKind::Syntax,
                         format!("line {line_no}: process group assigns no puppets"),
                     ));
                     continue;
@@ -91,7 +91,7 @@ impl HensonScript {
                 let rhs = line[eq + 1..].trim();
                 if name.is_empty() || rhs.is_empty() {
                     report.push(Diagnostic::error(
-                        "syntax",
+                        DiagnosticKind::Syntax,
                         format!(
                             "line {line_no}: puppet definition must be `name = executable [args]`"
                         ),
@@ -104,7 +104,7 @@ impl HensonScript {
                 }
                 if script.puppets.iter().any(|p| p.name == name) {
                     report.push(Diagnostic::error(
-                        "duplicate-puppet",
+                        DiagnosticKind::DuplicatePuppet,
                         format!("line {line_no}: puppet `{name}` is defined twice"),
                     ));
                     continue;
@@ -118,20 +118,21 @@ impl HensonScript {
                     args,
                 });
             } else {
-                report.push(Diagnostic::error(
-                    "unknown-directive",
-                    format!("line {line_no}: `{line}` is neither a puppet definition nor a process group"),
+                report.push(Diagnostic::error(DiagnosticKind::UnknownDirective, format!("line {line_no}: `{line}` is neither a puppet definition nor a process group"),
                 ));
             }
         }
 
         if script.puppets.is_empty() {
-            report.push(Diagnostic::error("schema", "script defines no puppets"));
+            report.push(Diagnostic::error(
+                DiagnosticKind::Schema,
+                "script defines no puppets",
+            ));
             return (None, report);
         }
         if script.groups.is_empty() {
             report.push(Diagnostic::error(
-                "schema",
+                DiagnosticKind::Schema,
                 "script assigns no process groups (`[n] puppet ...` lines)",
             ));
         }
@@ -139,7 +140,7 @@ impl HensonScript {
             for puppet in &group.puppets {
                 if !script.puppets.iter().any(|p| p.name == *puppet) {
                     report.push(Diagnostic::error(
-                        "undefined-puppet",
+                        DiagnosticKind::UndefinedPuppet,
                         format!("process group references undefined puppet `{puppet}`"),
                     ));
                 }
@@ -172,7 +173,17 @@ impl HensonScript {
     /// union of the consumed datasets.  A puppet assigned to several groups
     /// gets the sum of their process counts; one assigned to none defaults
     /// to a single process.
-    pub fn to_spec(&self, name: &str) -> WorkflowSpec {
+    ///
+    /// A script that defines zero puppets describes no tasks; that is
+    /// reported as a parse-stage diagnostic rather than silently yielding an
+    /// empty (vacuously valid) spec.
+    pub fn to_spec(&self, name: &str) -> Result<WorkflowSpec, Diagnostic> {
+        if self.puppets.is_empty() {
+            return Err(Diagnostic::error(
+                DiagnosticKind::EmptyWorkflow,
+                "the Henson script defines no puppets, so no tasks can be recovered",
+            ));
+        }
         let consumed: Vec<(usize, String)> = self
             .puppets
             .iter()
@@ -221,7 +232,7 @@ impl HensonScript {
             }
             spec.tasks.push(task);
         }
-        spec
+        Ok(spec)
     }
 
     /// Render the canonical reference script for a workflow spec.
@@ -370,6 +381,21 @@ mod tests {
     fn bad_group_count_flagged() {
         let (_, report) = HensonScript::parse("p = ./a.so\n[zero] p\n");
         assert!(report.has_code("syntax"));
+    }
+
+    #[test]
+    fn to_spec_rejects_zero_task_scripts() {
+        let empty = HensonScript::default();
+        let err = empty.to_spec("henson-workflow").unwrap_err();
+        assert_eq!(err.kind, DiagnosticKind::EmptyWorkflow);
+    }
+
+    #[test]
+    fn to_spec_recovers_the_reference_graph() {
+        let (script, _) = HensonScript::parse(configs::HENSON_3NODE);
+        let spec = script.unwrap().to_spec("henson-workflow").unwrap();
+        assert_eq!(spec.tasks.len(), 3);
+        assert!(spec.validate().is_empty());
     }
 
     #[test]

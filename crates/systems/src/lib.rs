@@ -48,8 +48,8 @@ pub mod wilkins;
 
 pub use api::ApiCatalog;
 pub use artifact::workflow_spec_from_config;
-pub use diagnostics::{Diagnostic, Severity, ValidationReport};
-pub use spec::{DataRequirement, TaskSpec, WorkflowSpec};
+pub use diagnostics::{Diagnostic, DiagnosticKind, Severity, ValidationReport};
+pub use spec::{DataRequirement, DataRole, TaskSpec, WorkflowSpec};
 pub use wfspeak_corpus::WorkflowSystemId;
 
 /// Uniform interface over the five workflow-system models.

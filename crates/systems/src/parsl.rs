@@ -12,7 +12,7 @@ use wfspeak_corpus::WorkflowSystemId;
 
 use crate::annotate::validate_task_code;
 use crate::api::{catalog_for, ApiCatalog};
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 use crate::spec::WorkflowSpec;
 use crate::WorkflowSystem;
 
@@ -60,7 +60,7 @@ impl WorkflowSystem for ParslSystem {
     fn validate_config(&self, _config: &str) -> ValidationReport {
         let mut report = ValidationReport::valid();
         report.push(Diagnostic::info(
-            "environment-config",
+            DiagnosticKind::EnvironmentConfig,
             "Parsl configuration files describe the execution environment, not the workflow \
              structure; the configuration experiment does not apply",
         ));
@@ -73,7 +73,7 @@ impl WorkflowSystem for ParslSystem {
         // A Parsl app without an import of parsl cannot run.
         if !code.contains("import parsl") && !code.contains("from parsl") {
             report.push(Diagnostic::error(
-                "missing-import",
+                DiagnosticKind::MissingImport,
                 "the task code never imports parsl",
             ));
         }

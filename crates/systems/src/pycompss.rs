@@ -11,7 +11,7 @@ use wfspeak_corpus::WorkflowSystemId;
 
 use crate::annotate::validate_task_code;
 use crate::api::{catalog_for, ApiCatalog};
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 use crate::spec::WorkflowSpec;
 use crate::WorkflowSystem;
 
@@ -48,7 +48,7 @@ impl WorkflowSystem for PyCompssSystem {
     fn validate_config(&self, _config: &str) -> ValidationReport {
         let mut report = ValidationReport::valid();
         report.push(Diagnostic::info(
-            "environment-config",
+            DiagnosticKind::EnvironmentConfig,
             "PyCOMPSs configuration (project/resources XML) describes the execution environment, \
              not the workflow structure; the configuration experiment does not apply",
         ));
@@ -59,14 +59,14 @@ impl WorkflowSystem for PyCompssSystem {
         let mut report = validate_task_code(&self.api, code, Language::Python, &[]);
         if !code.contains("pycompss") {
             report.push(Diagnostic::error(
-                "missing-import",
+                DiagnosticKind::MissingImport,
                 "the task code never imports the pycompss API modules",
             ));
         }
         // File-based producer/consumer exchange needs a parameter direction.
         if !code.contains("FILE_OUT") && !code.contains("FILE_INOUT") {
             report.push(Diagnostic::warning(
-                "missing-direction",
+                DiagnosticKind::MissingDirection,
                 "no FILE_OUT/FILE_INOUT parameter direction declared for the produced file",
             ));
         }

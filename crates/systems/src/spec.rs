@@ -4,9 +4,25 @@
 //! more consumers with given process counts — is captured here once, and
 //! each system model renders it into its own configuration format.  The
 //! runtime crate executes the same specification directly.
+//!
+//! Specs move through a lifecycle: parse (a system model builds a spec from
+//! an artifact), [`WorkflowSpec::validate`] (structural checks returning
+//! typed diagnostics), [`WorkflowSpec::normalize`] (canonical ordering and
+//! defaulted fields, so downstream scoring is order-insensitive), and
+//! finally execution on the runtime engine.
+
+use crate::diagnostics::{Diagnostic, DiagnosticKind, Severity};
+
+/// Largest per-task or total process count `validate` accepts.  The sandbox
+/// enforces far tighter caps at execution time; this bound only rejects
+/// counts no deployment could ever satisfy.
+pub const MAX_REASONABLE_PROCS: usize = 65_536;
+
+/// Largest task count `validate` accepts.
+pub const MAX_REASONABLE_TASKS: usize = 4_096;
 
 /// Direction of a task's relationship to a dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataRole {
     /// The task writes the dataset.
     Produces,
@@ -186,34 +202,325 @@ impl WorkflowSpec {
         edges
     }
 
-    /// Structural sanity checks: every consumed dataset has a producer, task
-    /// names are unique, and every task has at least one process.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Structural validation pass: every finding is a typed [`Diagnostic`]
+    /// so callers can tell a duplicate task from a dangling edge from a
+    /// cycle without parsing prose.
+    ///
+    /// Error-severity findings (duplicate/empty/absurd tasks, dangling
+    /// consumes, cycles) make the spec structurally invalid; a produced
+    /// dataset nobody consumes is only a warning (a solo producer is a
+    /// legitimate, runnable workflow).
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if self.tasks.is_empty() {
+            diags.push(Diagnostic::error(
+                DiagnosticKind::EmptyWorkflow,
+                "the workflow defines no tasks",
+            ));
+            return diags;
+        }
+        if self.tasks.len() > MAX_REASONABLE_TASKS {
+            diags.push(Diagnostic::error(
+                DiagnosticKind::TaskBounds,
+                format!(
+                    "{} tasks exceeds the plausible bound of {MAX_REASONABLE_TASKS}",
+                    self.tasks.len()
+                ),
+            ));
+        }
         let mut names = std::collections::HashSet::new();
         for task in &self.tasks {
-            if !names.insert(&task.name) {
-                return Err(format!("duplicate task name `{}`", task.name));
+            if task.name.is_empty()
+                || task
+                    .name
+                    .chars()
+                    .any(|c| c.is_whitespace() || c.is_control())
+            {
+                diags.push(
+                    Diagnostic::error(
+                        DiagnosticKind::InvalidTaskName,
+                        format!("task name `{}` is empty or contains whitespace", task.name),
+                    )
+                    .at_path(&task.name),
+                );
+            }
+            if !names.insert(task.name.as_str()) {
+                diags.push(
+                    Diagnostic::error(
+                        DiagnosticKind::DuplicateTask,
+                        format!("duplicate task name `{}`", task.name),
+                    )
+                    .at_path(&task.name),
+                );
             }
             if task.nprocs == 0 {
-                return Err(format!("task `{}` has zero processes", task.name));
+                diags.push(
+                    Diagnostic::error(
+                        DiagnosticKind::ZeroProcs,
+                        format!("task `{}` has zero processes", task.name),
+                    )
+                    .at_path(&task.name),
+                );
+            } else if task.nprocs > MAX_REASONABLE_PROCS {
+                diags.push(
+                    Diagnostic::error(
+                        DiagnosticKind::ProcBounds,
+                        format!(
+                            "task `{}` requests {} processes, beyond the plausible bound of \
+                             {MAX_REASONABLE_PROCS}",
+                            task.name, task.nprocs
+                        ),
+                    )
+                    .at_path(&task.name),
+                );
             }
+            let mut seen_reqs = std::collections::HashSet::new();
+            for d in &task.data {
+                if d.dataset.is_empty() {
+                    diags.push(
+                        Diagnostic::error(
+                            DiagnosticKind::InvalidDataset,
+                            format!("task `{}` references a dataset with no name", task.name),
+                        )
+                        .at_path(&task.name),
+                    );
+                }
+                if !seen_reqs.insert((d.dataset.as_str(), d.role)) {
+                    diags.push(
+                        Diagnostic::warning(
+                            DiagnosticKind::DuplicateEdge,
+                            format!(
+                                "task `{}` lists dataset `{}` twice with the same role",
+                                task.name, d.dataset
+                            ),
+                        )
+                        .at_path(&task.name),
+                    );
+                }
+            }
+            let produced_here = task.produced_datasets();
+            for d in task.consumed_datasets() {
+                if produced_here.contains(&d) {
+                    diags.push(
+                        Diagnostic::error(
+                            DiagnosticKind::SelfLoop,
+                            format!(
+                                "task `{}` both produces and consumes dataset `{d}`",
+                                task.name
+                            ),
+                        )
+                        .at_path(&task.name),
+                    );
+                }
+            }
+        }
+        if self.total_procs() > MAX_REASONABLE_PROCS {
+            diags.push(Diagnostic::error(
+                DiagnosticKind::ProcBounds,
+                format!(
+                    "{} total processes exceeds the plausible bound of {MAX_REASONABLE_PROCS}",
+                    self.total_procs()
+                ),
+            ));
         }
         let produced: std::collections::HashSet<&str> = self
             .tasks
             .iter()
             .flat_map(|t| t.produced_datasets())
             .collect();
+        let consumed: std::collections::HashSet<&str> = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.consumed_datasets())
+            .collect();
         for task in &self.tasks {
             for d in task.consumed_datasets() {
                 if !produced.contains(d) {
-                    return Err(format!(
-                        "task `{}` consumes dataset `{}` which no task produces",
-                        task.name, d
-                    ));
+                    diags.push(
+                        Diagnostic::error(
+                            DiagnosticKind::DanglingConsume,
+                            format!(
+                                "task `{}` consumes dataset `{d}` which no task produces",
+                                task.name
+                            ),
+                        )
+                        .at_path(&task.name),
+                    );
+                }
+            }
+            for d in task.produced_datasets() {
+                if !consumed.contains(d) {
+                    diags.push(
+                        Diagnostic::warning(
+                            DiagnosticKind::UnconsumedProduce,
+                            format!(
+                                "task `{}` produces dataset `{d}` which no task consumes",
+                                task.name
+                            ),
+                        )
+                        .at_path(&task.name),
+                    );
                 }
             }
         }
-        Ok(())
+        if let Some(cycle_tasks) = self.find_cycle() {
+            diags.push(Diagnostic::error(
+                DiagnosticKind::Cycle,
+                format!(
+                    "the producer/consumer graph contains a dependency cycle through: {}",
+                    cycle_tasks.join(", ")
+                ),
+            ));
+        }
+        diags
+    }
+
+    /// True when [`validate`](WorkflowSpec::validate) reports no
+    /// error-severity findings.
+    pub fn is_structurally_valid(&self) -> bool {
+        self.validate()
+            .iter()
+            .all(|d| d.severity != Severity::Error)
+    }
+
+    /// Tasks caught in a dependency cycle (Kahn's algorithm leftovers), in
+    /// definition order, or `None` when the graph is acyclic.  Self-loops
+    /// count: a task consuming its own output can never start.
+    fn find_cycle(&self) -> Option<Vec<String>> {
+        // predecessor counts per task index, from producer → consumer edges
+        let mut indegree = vec![0usize; self.tasks.len()];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        for (pi, producer) in self.tasks.iter().enumerate() {
+            let produced = producer.produced_datasets();
+            for (ci, consumer) in self.tasks.iter().enumerate() {
+                let depends = consumer
+                    .consumed_datasets()
+                    .iter()
+                    .any(|d| produced.contains(d));
+                if depends {
+                    successors[pi].push(ci);
+                    indegree[ci] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..self.tasks.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
+        let mut resolved = 0;
+        while let Some(i) = ready.pop() {
+            resolved += 1;
+            for &s in &successors[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if resolved == self.tasks.len() {
+            return None;
+        }
+        Some(
+            self.tasks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| indegree[i] > 0)
+                .map(|(_, t)| t.name.clone())
+                .collect(),
+        )
+    }
+
+    /// Normalization pass: canonical task ordering (dependency rank, then
+    /// name), sorted and deduplicated data requirements, and defaulted
+    /// fields — so two specs describing the same workflow compare and score
+    /// identically regardless of artifact ordering.  Idempotent, and safe on
+    /// invalid specs (bounded work even with dependency cycles).
+    pub fn normalize(&mut self) {
+        if self.name.is_empty() {
+            self.name = "workflow".to_owned();
+        }
+        for task in &mut self.tasks {
+            for d in &mut task.data {
+                if d.filename.is_empty() {
+                    d.filename = "outfile.h5".to_owned();
+                }
+                if d.group_path.is_empty() {
+                    d.group_path = format!("/group1/{}", d.dataset);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            task.data
+                .retain(|d| seen.insert((d.dataset.clone(), d.role)));
+            task.data.sort_by(|a, b| {
+                (a.dataset.as_str(), role_rank(a.role))
+                    .cmp(&(b.dataset.as_str(), role_rank(b.role)))
+            });
+        }
+        // Dependency ranks are only canonical on acyclic graphs (the capped
+        // relaxation for cycles depends on task order, so rank-sorting a
+        // cyclic spec would not be idempotent).  Cyclic specs are invalid
+        // anyway; give them a plain name ordering.
+        let ranks = if self.find_cycle().is_some() {
+            vec![0; self.tasks.len()]
+        } else {
+            self.dependency_ranks()
+        };
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by(|&a, &b| {
+            (ranks[a], self.tasks[a].name.as_str()).cmp(&(ranks[b], self.tasks[b].name.as_str()))
+        });
+        let mut tasks = std::mem::take(&mut self.tasks);
+        let mut reordered = Vec::with_capacity(tasks.len());
+        for idx in order {
+            reordered.push(std::mem::replace(&mut tasks[idx], TaskSpec::new("", 0)));
+        }
+        self.tasks = reordered;
+    }
+
+    /// A normalized copy of this spec.
+    pub fn normalized(&self) -> Self {
+        let mut copy = self.clone();
+        copy.normalize();
+        copy
+    }
+
+    /// Longest-path depth of each task from the dependency sources.  The
+    /// relaxation loop is bounded by the task count, so cyclic (invalid)
+    /// specs terminate with a stable, deterministic ranking instead of
+    /// hanging.
+    fn dependency_ranks(&self) -> Vec<usize> {
+        let n = self.tasks.len();
+        let mut ranks = vec![0usize; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for (ci, consumer) in self.tasks.iter().enumerate() {
+                let consumed = consumer.consumed_datasets();
+                for (pi, producer) in self.tasks.iter().enumerate() {
+                    if pi == ci {
+                        continue;
+                    }
+                    let feeds = producer
+                        .produced_datasets()
+                        .iter()
+                        .any(|d| consumed.contains(d));
+                    if feeds && ranks[ci] < ranks[pi] + 1 && ranks[pi] < n {
+                        ranks[ci] = ranks[pi] + 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        ranks
+    }
+}
+
+/// Produces sorts before Consumes within a task's data list.
+fn role_rank(role: DataRole) -> u8 {
+    match role {
+        DataRole::Produces => 0,
+        DataRole::Consumes => 1,
     }
 }
 
@@ -232,7 +539,8 @@ mod tests {
             spec.task("consumer1").unwrap().consumed_datasets(),
             vec!["grid"]
         );
-        assert!(spec.validate().is_ok());
+        assert!(spec.validate().is_empty());
+        assert!(spec.is_structurally_valid());
     }
 
     #[test]
@@ -249,7 +557,11 @@ mod tests {
         let spec = WorkflowSpec::fewshot_2node();
         assert_eq!(spec.tasks.len(), 2);
         assert_eq!(spec.edges().len(), 1);
-        assert!(spec.validate().is_ok());
+        assert!(spec.validate().is_empty());
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<DiagnosticKind> {
+        diags.iter().map(|d| d.kind).collect()
     }
 
     #[test]
@@ -257,19 +569,152 @@ mod tests {
         let spec = WorkflowSpec::new("w")
             .with_task(TaskSpec::new("a", 1))
             .with_task(TaskSpec::new("a", 1));
-        assert!(spec.validate().unwrap_err().contains("duplicate"));
+        let diags = spec.validate();
+        assert!(kinds(&diags).contains(&DiagnosticKind::DuplicateTask));
+        assert!(!spec.is_structurally_valid());
+        // The finding names the offending task.
+        let dup = diags
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::DuplicateTask)
+            .unwrap();
+        assert_eq!(dup.path.as_deref(), Some("a"));
     }
 
     #[test]
     fn validate_rejects_zero_procs() {
         let spec = WorkflowSpec::new("w").with_task(TaskSpec::new("a", 0));
-        assert!(spec.validate().unwrap_err().contains("zero processes"));
+        assert!(kinds(&spec.validate()).contains(&DiagnosticKind::ZeroProcs));
     }
 
     #[test]
     fn validate_rejects_orphan_consumer() {
         let spec = WorkflowSpec::new("w").with_task(TaskSpec::new("c", 1).consumes("grid"));
-        assert!(spec.validate().unwrap_err().contains("no task produces"));
+        assert!(kinds(&spec.validate()).contains(&DiagnosticKind::DanglingConsume));
+    }
+
+    #[test]
+    fn validate_rejects_empty_workflow() {
+        let diags = WorkflowSpec::new("w").validate();
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::EmptyWorkflow]);
+    }
+
+    #[test]
+    fn validate_warns_on_unconsumed_produce_but_stays_valid() {
+        // A solo producer is runnable; downstream stages must not reject it.
+        let spec = WorkflowSpec::new("w").with_task(TaskSpec::new("p", 2).produces("grid"));
+        let diags = spec.validate();
+        assert!(kinds(&diags).contains(&DiagnosticKind::UnconsumedProduce));
+        assert!(spec.is_structurally_valid());
+    }
+
+    #[test]
+    fn validate_rejects_absurd_proc_counts() {
+        let spec = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("p", MAX_REASONABLE_PROCS + 1).produces("g"))
+            .with_task(TaskSpec::new("c", 1).consumes("g"));
+        assert!(kinds(&spec.validate()).contains(&DiagnosticKind::ProcBounds));
+        // Sandbox-sized-but-large counts are fine at this stage.
+        let sane = WorkflowSpec::new("w").with_task(TaskSpec::new("p", 5000).produces("g"));
+        assert!(sane.is_structurally_valid());
+    }
+
+    #[test]
+    fn validate_rejects_invalid_names_and_datasets() {
+        let spec = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("has space", 1).produces("g"))
+            .with_task(TaskSpec::new("c", 1).consumes("g").consumes(""));
+        let diags = spec.validate();
+        assert!(kinds(&diags).contains(&DiagnosticKind::InvalidTaskName));
+        assert!(kinds(&diags).contains(&DiagnosticKind::InvalidDataset));
+    }
+
+    #[test]
+    fn validate_detects_self_loop_and_cycle() {
+        let self_loop =
+            WorkflowSpec::new("w").with_task(TaskSpec::new("a", 1).produces("x").consumes("x"));
+        let diags = self_loop.validate();
+        assert!(kinds(&diags).contains(&DiagnosticKind::SelfLoop));
+        assert!(kinds(&diags).contains(&DiagnosticKind::Cycle));
+
+        // a → b → a through two datasets: no self-loop, still a cycle.
+        let two_cycle = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("a", 1).produces("x").consumes("y"))
+            .with_task(TaskSpec::new("b", 1).produces("y").consumes("x"));
+        let diags = two_cycle.validate();
+        assert!(!kinds(&diags).contains(&DiagnosticKind::SelfLoop));
+        let cycle = diags
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::Cycle)
+            .expect("cycle reported");
+        assert!(cycle.message.contains('a') && cycle.message.contains('b'));
+        assert!(!two_cycle.is_structurally_valid());
+    }
+
+    #[test]
+    fn validate_warns_on_duplicate_data_requirements() {
+        let spec = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("p", 1).produces("g").produces("g"))
+            .with_task(TaskSpec::new("c", 1).consumes("g"));
+        let diags = spec.validate();
+        assert!(kinds(&diags).contains(&DiagnosticKind::DuplicateEdge));
+        assert!(spec.is_structurally_valid());
+    }
+
+    #[test]
+    fn normalize_orders_tasks_by_dependency_rank_then_name() {
+        // Consumers listed before the producer: normalize restores
+        // producer-first canonical order.
+        let mut spec = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("consumer2", 1).consumes("particles"))
+            .with_task(TaskSpec::new("consumer1", 1).consumes("grid"))
+            .with_task(
+                TaskSpec::new("producer", 3)
+                    .produces("particles")
+                    .produces("grid"),
+            );
+        spec.normalize();
+        let names: Vec<&str> = spec.tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["producer", "consumer1", "consumer2"]);
+        // Data requirements are sorted by dataset.
+        assert_eq!(spec.tasks[0].produced_datasets(), vec!["grid", "particles"]);
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_preserves_canonical_specs() {
+        let canonical = WorkflowSpec::paper_3node();
+        let mut once = canonical.clone();
+        once.normalize();
+        assert_eq!(once, canonical, "paper_3node is already canonical");
+        let twice = once.normalized();
+        assert_eq!(twice, once);
+    }
+
+    #[test]
+    fn normalize_dedups_edges_and_defaults_fields() {
+        let mut spec = WorkflowSpec::new("")
+            .with_task(TaskSpec::new("p", 1).produces("g").produces("g"))
+            .with_task(TaskSpec::new("c", 1).consumes("g"));
+        spec.tasks[0].data[0].filename.clear();
+        spec.tasks[0].data[0].group_path.clear();
+        spec.normalize();
+        assert_eq!(spec.name, "workflow");
+        assert_eq!(spec.tasks[0].data.len(), 1);
+        assert_eq!(spec.tasks[0].data[0].filename, "outfile.h5");
+        assert_eq!(spec.tasks[0].data[0].group_path, "/group1/g");
+        assert!(spec.validate().is_empty());
+    }
+
+    #[test]
+    fn normalize_terminates_on_cyclic_specs() {
+        // Invalid (cyclic) specs must still normalize in bounded time with
+        // a deterministic order.
+        let mut spec = WorkflowSpec::new("w")
+            .with_task(TaskSpec::new("b", 1).produces("y").consumes("x"))
+            .with_task(TaskSpec::new("a", 1).produces("x").consumes("y"));
+        spec.normalize();
+        let again = spec.normalized();
+        assert_eq!(again, spec);
+        assert_eq!(spec.tasks.len(), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_wyaml::{parse as yaml_parse, Value};
 
 use crate::api::{catalog_for, ApiCatalog};
-use crate::diagnostics::{Diagnostic, ValidationReport};
+use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
 use crate::spec::{DataRole, TaskSpec, WorkflowSpec};
 use crate::WorkflowSystem;
 
@@ -65,7 +65,13 @@ impl WilkinsConfig {
         let doc = match yaml_parse(source) {
             Ok(doc) => doc,
             Err(e) => {
-                report.push(Diagnostic::error("parse-error", e.to_string()));
+                report.push(
+                    Diagnostic::error(
+                        DiagnosticKind::ParseError,
+                        format!("{}: {}", e.kind, e.message),
+                    )
+                    .at_position(e.line, e.column),
+                );
                 return (None, report);
             }
         };
@@ -75,7 +81,7 @@ impl WilkinsConfig {
             Some(m) => m,
             None => {
                 report.push(Diagnostic::error(
-                    "schema",
+                    DiagnosticKind::Schema,
                     format!(
                         "expected a mapping with a `tasks` key, found {}",
                         doc.type_name()
@@ -86,13 +92,13 @@ impl WilkinsConfig {
         };
         for (key, _) in root.iter() {
             if key != "tasks" {
-                let code = if catalog.is_real_config_field(key) {
-                    "misplaced-field"
+                let kind = if catalog.is_real_config_field(key) {
+                    DiagnosticKind::MisplacedField
                 } else {
-                    "unknown-field"
+                    DiagnosticKind::UnknownField
                 };
                 report.push(Diagnostic::error(
-                    code,
+                    kind,
                     format!("top-level field `{key}` is not part of a Wilkins configuration"),
                 ));
             }
@@ -101,7 +107,7 @@ impl WilkinsConfig {
             Some(v) => v,
             None => {
                 report.push(Diagnostic::error(
-                    "schema",
+                    DiagnosticKind::Schema,
                     "missing top-level `tasks` list",
                 ));
                 return (None, report);
@@ -110,7 +116,10 @@ impl WilkinsConfig {
         let task_list = match tasks_value.as_seq() {
             Some(s) => s,
             None => {
-                report.push(Diagnostic::error("schema", "`tasks` must be a sequence"));
+                report.push(Diagnostic::error(
+                    DiagnosticKind::Schema,
+                    "`tasks` must be a sequence",
+                ));
                 return (None, report);
             }
         };
@@ -124,7 +133,7 @@ impl WilkinsConfig {
         }
         if tasks.is_empty() {
             report.push(Diagnostic::error(
-                "schema",
+                DiagnosticKind::Schema,
                 "configuration defines no valid tasks",
             ));
             return (None, report);
@@ -247,7 +256,7 @@ fn parse_task(
         Some(m) => m,
         None => {
             report.push(Diagnostic::error(
-                "schema",
+                DiagnosticKind::Schema,
                 format!("task #{idx} must be a mapping, found {}", entry.type_name()),
             ));
             return None;
@@ -263,7 +272,7 @@ fn parse_task(
             "nprocs" => match value.as_i64() {
                 Some(n) if n > 0 => nprocs = n as usize,
                 _ => report.push(Diagnostic::error(
-                    "schema",
+                    DiagnosticKind::Schema,
                     format!("task #{idx}: `nprocs` must be a positive integer"),
                 )),
             },
@@ -273,7 +282,7 @@ fn parse_task(
             "io_freq" | "zerocopy" | "actions" => {}
             other => {
                 report.push(Diagnostic::error(
-                    "unknown-field",
+                    DiagnosticKind::UnknownField,
                     format!("task #{idx}: field `{other}` does not exist in Wilkins task entries"),
                 ));
             }
@@ -283,7 +292,7 @@ fn parse_task(
         Some(f) => f,
         None => {
             report.push(Diagnostic::error(
-                "schema",
+                DiagnosticKind::Schema,
                 format!("task #{idx} is missing the required `func` field"),
             ));
             return None;
@@ -308,7 +317,7 @@ fn parse_ports(
         Some(s) => s,
         None => {
             report.push(Diagnostic::error(
-                "schema",
+                DiagnosticKind::Schema,
                 format!("task #{task_idx}: `{label}` must be a sequence"),
             ));
             return Vec::new();
@@ -320,7 +329,7 @@ fn parse_ports(
             Some(m) => m,
             None => {
                 report.push(Diagnostic::error(
-                    "schema",
+                    DiagnosticKind::Schema,
                     format!("task #{task_idx}: `{label}` entries must be mappings"),
                 ));
                 continue;
@@ -351,9 +360,7 @@ fn parse_ports(
                                         "memory" => {
                                             dset.memory = parse_bool_flag(dv).unwrap_or(true)
                                         }
-                                        other => report.push(Diagnostic::error(
-                                            "unknown-field",
-                                            format!(
+                                        other => report.push(Diagnostic::error(DiagnosticKind::UnknownField, format!(
                                                 "task #{task_idx}: dset field `{other}` does not exist in Wilkins"
                                             ),
                                         )),
@@ -361,7 +368,7 @@ fn parse_ports(
                                 }
                                 if dset.name.is_empty() {
                                     report.push(Diagnostic::error(
-                                        "schema",
+                                        DiagnosticKind::Schema,
                                         format!("task #{task_idx}: dset entry missing `name`"),
                                     ));
                                 } else {
@@ -371,19 +378,19 @@ fn parse_ports(
                         }
                     } else {
                         report.push(Diagnostic::error(
-                            "schema",
+                            DiagnosticKind::Schema,
                             format!("task #{task_idx}: `dsets` must be a sequence"),
                         ));
                     }
                 }
                 other => {
-                    let code = if catalog.is_real_config_field(other) {
-                        "misplaced-field"
+                    let kind = if catalog.is_real_config_field(other) {
+                        DiagnosticKind::MisplacedField
                     } else {
-                        "unknown-field"
+                        DiagnosticKind::UnknownField
                     };
                     report.push(Diagnostic::error(
-                        code,
+                        kind,
                         format!(
                             "task #{task_idx}: port field `{other}` does not belong in `{label}`"
                         ),
@@ -393,7 +400,7 @@ fn parse_ports(
         }
         if filename.is_empty() {
             report.push(Diagnostic::warning(
-                "schema",
+                DiagnosticKind::Schema,
                 format!("task #{task_idx}: `{label}` entry has no `filename`"),
             ));
         }
@@ -440,7 +447,7 @@ impl WorkflowSystem for WilkinsSystem {
     fn validate_task_code(&self, _code: &str) -> ValidationReport {
         let mut report = ValidationReport::valid();
         report.push(Diagnostic::info(
-            "no-annotation-needed",
+            DiagnosticKind::NoAnnotationNeeded,
             "Wilkins does not require modifications to task codes",
         ));
         report
@@ -532,6 +539,10 @@ mod tests {
         let (config, report) = WilkinsConfig::parse("tasks:\n\t- func: x\n");
         assert!(config.is_none());
         assert!(report.has_code("parse-error"));
+        // The diagnostic carries the real source position of the tab.
+        let diag = report.with_code("parse-error").next().unwrap();
+        assert_eq!(diag.line, Some(2));
+        assert_eq!(diag.column, Some(1));
     }
 
     #[test]
@@ -547,7 +558,7 @@ mod tests {
         let spec = config.unwrap().to_spec("w");
         assert_eq!(spec.tasks.len(), 3);
         assert_eq!(spec.edges().len(), 2);
-        assert!(spec.validate().is_ok());
+        assert!(spec.validate().is_empty());
         assert_eq!(
             spec.task("producer").unwrap().produced_datasets(),
             vec!["grid", "particles"]

@@ -40,13 +40,16 @@ impl fmt::Display for ErrorKind {
     }
 }
 
-/// A parse error, carrying the 1-based source line where it occurred.
+/// A parse error, carrying the 1-based source line (and column, when the
+/// parser can pin one down) where it occurred.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     /// Error category.
     pub kind: ErrorKind,
     /// 1-based line number in the source text.
     pub line: usize,
+    /// 1-based byte column in the source line, when known.
+    pub column: Option<usize>,
     /// Human-readable detail.
     pub message: String,
 }
@@ -57,14 +60,38 @@ impl Error {
         Error {
             kind,
             line,
+            column: None,
             message: message.into(),
         }
+    }
+
+    /// Construct an error at a specific line and column.
+    pub fn at(kind: ErrorKind, line: usize, column: usize, message: impl Into<String>) -> Self {
+        Error {
+            kind,
+            line,
+            column: Some(column),
+            message: message.into(),
+        }
+    }
+
+    /// Attach a 1-based column to this error.
+    pub fn with_column(mut self, column: usize) -> Self {
+        self.column = Some(column);
+        self
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}: {}", self.line, self.kind, self.message)
+        match self.column {
+            Some(col) => write!(
+                f,
+                "line {}, column {}: {}: {}",
+                self.line, col, self.kind, self.message
+            ),
+            None => write!(f, "line {}: {}: {}", self.line, self.kind, self.message),
+        }
     }
 }
 
@@ -81,6 +108,17 @@ mod tests {
         assert!(s.contains("line 7"));
         assert!(s.contains("bad indentation"));
         assert!(s.contains("unexpected indent of 3"));
+    }
+
+    #[test]
+    fn display_includes_column_when_known() {
+        let e = Error::at(ErrorKind::UnterminatedString, 3, 12, "missing closing `\"`");
+        let s = format!("{e}");
+        assert!(s.contains("line 3"));
+        assert!(s.contains("column 12"));
+        let bare = Error::new(ErrorKind::Other, 1, "x");
+        assert!(!format!("{bare}").contains("column"));
+        assert_eq!(bare.clone().with_column(4).column, Some(4));
     }
 
     #[test]

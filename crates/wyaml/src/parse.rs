@@ -16,9 +16,10 @@ pub fn parse(source: &str) -> Result<Value, Error> {
     let value = parser.parse_node(root_indent)?;
     if parser.pos < parser.lines.len() {
         let line = &parser.lines[parser.pos];
-        return Err(Error::new(
+        return Err(Error::at(
             ErrorKind::BadIndentation,
             line.number,
+            line.indent + 1,
             format!("unexpected content `{}` after document root", line.text),
         ));
     }
@@ -45,9 +46,10 @@ fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
         let trimmed = text.trim_start();
         if trimmed == "---" {
             if seen_doc_marker || !out.is_empty() {
-                return Err(Error::new(
+                return Err(Error::at(
                     ErrorKind::Unsupported,
                     number,
+                    text.len() - trimmed.len() + 1,
                     "multiple YAML documents are not supported",
                 ));
             }
@@ -61,10 +63,11 @@ fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
             .chars()
             .take_while(|c| *c == ' ' || *c == '\t')
             .collect();
-        if indent_str.contains('\t') {
-            return Err(Error::new(
+        if let Some(tab) = indent_str.find('\t') {
+            return Err(Error::at(
                 ErrorKind::BadIndentation,
                 number,
+                tab + 1,
                 "tabs are not allowed in indentation",
             ));
         }
@@ -128,7 +131,7 @@ impl Parser {
         } else {
             // Single scalar document / nested scalar.
             self.pos += 1;
-            parse_scalar(&line.text, line.number)
+            parse_scalar(&line.text, line.number, line.indent + 1)
         }
     }
 
@@ -139,9 +142,10 @@ impl Parser {
                 break;
             }
             if line.indent > indent {
-                return Err(Error::new(
+                return Err(Error::at(
                     ErrorKind::BadIndentation,
                     line.number,
+                    line.indent + 1,
                     format!("unexpected indent {} (expected {})", line.indent, indent),
                 ));
             }
@@ -149,9 +153,10 @@ impl Parser {
                 break;
             }
             let colon = find_mapping_colon(&line.text).ok_or_else(|| {
-                Error::new(
+                Error::at(
                     ErrorKind::ExpectedMapping,
                     line.number,
+                    line.indent + 1,
                     format!("`{}` is not a `key: value` entry", line.text),
                 )
             })?;
@@ -159,21 +164,27 @@ impl Parser {
             // Anchors/aliases/tags are only syntax on *plain* keys; a quoted
             // key beginning with `&` is just a string.
             if raw_key.starts_with(['&', '*', '!']) {
-                return Err(Error::new(
+                return Err(Error::at(
                     ErrorKind::Unsupported,
                     line.number,
+                    line.indent + 1,
                     "anchors, aliases and tags are not supported",
                 ));
             }
             let key = unquote_key(raw_key);
             if map.contains_key(&key) {
-                return Err(Error::new(
+                return Err(Error::at(
                     ErrorKind::DuplicateKey,
                     line.number,
+                    line.indent + 1,
                     format!("key `{key}` already defined in this mapping"),
                 ));
             }
-            let rest = line.text[colon + 1..].trim();
+            let after = &line.text[colon + 1..];
+            let rest = after.trim();
+            // Column of the value's first character: indent + key text up to
+            // the colon + the colon itself + leading whitespace, 1-based.
+            let value_col = line.indent + colon + 1 + (after.len() - after.trim_start().len()) + 1;
             self.pos += 1;
             let value = if rest.is_empty() {
                 match self.current() {
@@ -192,7 +203,7 @@ impl Parser {
                     _ => Value::Null,
                 }
             } else {
-                parse_scalar(rest, line.number)?
+                parse_scalar(rest, line.number, value_col)?
             };
             map.insert(key, value);
         }
@@ -204,9 +215,10 @@ impl Parser {
         while let Some(line) = self.current().cloned() {
             if line.indent != indent || !(line.text.starts_with("- ") || line.text == "-") {
                 if line.indent > indent {
-                    return Err(Error::new(
+                    return Err(Error::at(
                         ErrorKind::BadIndentation,
                         line.number,
+                        line.indent + 1,
                         format!(
                             "unexpected indent {} in sequence (expected {})",
                             line.indent, indent
@@ -287,7 +299,7 @@ fn unquote_key(key: &str) -> String {
     // closing quote is the final character — otherwise the quotes are
     // literal content of a plain key.
     if k.len() >= 2 && k.starts_with('"') && find_closing_quote(k) == Some(k.len() - 1) {
-        if let Ok(Value::Str(s)) = parse_quoted(k, 0) {
+        if let Ok(Value::Str(s)) = parse_quoted(k, 0, 1) {
             return s;
         }
     }
@@ -300,41 +312,46 @@ fn unquote_key(key: &str) -> String {
     k.to_owned()
 }
 
-/// Parse an inline scalar or flow collection.
-fn parse_scalar(text: &str, line: usize) -> Result<Value, Error> {
+/// Parse an inline scalar or flow collection.  `col` is the 1-based byte
+/// column of `text`'s first character in the source line.
+fn parse_scalar(text: &str, line: usize, col: usize) -> Result<Value, Error> {
     let t = text.trim();
+    let col = col + (text.len() - text.trim_start().len());
     if t.starts_with('[') || t.starts_with('{') {
-        let (value, rest) = parse_flow(t, line)?;
+        let (value, rest) = parse_flow(t, line, col)?;
         if !rest.trim().is_empty() {
-            return Err(Error::new(
+            return Err(Error::at(
                 ErrorKind::Other,
                 line,
+                col + (t.len() - rest.trim_start().len()),
                 format!("trailing content `{rest}` after flow collection"),
             ));
         }
         return Ok(value);
     }
     if t.starts_with('"') || t.starts_with('\'') {
-        return parse_quoted(t, line);
+        return parse_quoted(t, line, col);
     }
     if t == "|" || t == ">" || t.starts_with("| ") || t.starts_with("> ") {
-        return Err(Error::new(
+        return Err(Error::at(
             ErrorKind::Unsupported,
             line,
+            col,
             "block scalars (`|`, `>`) are not supported",
         ));
     }
     if t.starts_with('&') || t.starts_with('*') || t.starts_with('!') {
-        return Err(Error::new(
+        return Err(Error::at(
             ErrorKind::Unsupported,
             line,
+            col,
             "anchors, aliases and tags are not supported",
         ));
     }
     Ok(Value::from_plain_scalar(t))
 }
 
-fn parse_quoted(t: &str, line: usize) -> Result<Value, Error> {
+fn parse_quoted(t: &str, line: usize, col: usize) -> Result<Value, Error> {
     let quote = t.chars().next().unwrap();
     let inner = &t[1..];
     let mut out = String::new();
@@ -362,9 +379,10 @@ fn parse_quoted(t: &str, line: usize) -> Result<Value, Error> {
         }
     }
     if !closed {
-        return Err(Error::new(
+        return Err(Error::at(
             ErrorKind::UnterminatedString,
             line,
+            col,
             format!("missing closing `{quote}`"),
         ));
     }
@@ -372,9 +390,14 @@ fn parse_quoted(t: &str, line: usize) -> Result<Value, Error> {
 }
 
 /// Parse a flow collection starting at the beginning of `t`, returning the
-/// value and the remaining unparsed text.
-fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
+/// value and the remaining unparsed text.  `col` is the 1-based column of
+/// `t`'s first character; error columns are derived from how much of `t`
+/// was consumed when the problem surfaced.
+fn parse_flow(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> {
+    let col = col + (t.len() - t.trim_start().len());
     let t = t.trim_start();
+    // Column of a suffix of `t` still waiting to be parsed.
+    let col_of = |rest: &str| col + (t.len() - rest.len());
     if let Some(rest) = t.strip_prefix('[') {
         let mut items = Vec::new();
         let mut rest = rest.trim_start();
@@ -383,9 +406,14 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
                 return Ok((Value::Seq(items), r));
             }
             if rest.is_empty() {
-                return Err(Error::new(ErrorKind::UnterminatedFlow, line, "missing `]`"));
+                return Err(Error::at(
+                    ErrorKind::UnterminatedFlow,
+                    line,
+                    col,
+                    "missing `]`",
+                ));
             }
-            let (item, r) = parse_flow_item(rest, line)?;
+            let (item, r) = parse_flow_item(rest, line, col_of(rest))?;
             items.push(item);
             rest = r.trim_start();
             if let Some(r) = rest.strip_prefix(',') {
@@ -393,9 +421,10 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
             } else if !rest.is_empty() && !rest.starts_with(']') {
                 // A stray `}` (or any other junk) where `,`/`]` is expected
                 // would otherwise re-parse as an empty item forever.
-                return Err(Error::new(
+                return Err(Error::at(
                     ErrorKind::Other,
                     line,
+                    col_of(rest),
                     format!("expected `,` or `]` in flow sequence, found `{rest}`"),
                 ));
             }
@@ -409,18 +438,24 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
                 return Ok((Value::Map(map), r));
             }
             if rest.is_empty() {
-                return Err(Error::new(ErrorKind::UnterminatedFlow, line, "missing `}`"));
+                return Err(Error::at(
+                    ErrorKind::UnterminatedFlow,
+                    line,
+                    col,
+                    "missing `}`",
+                ));
             }
             let colon = find_flow_colon(rest).ok_or_else(|| {
-                Error::new(
+                Error::at(
                     ErrorKind::ExpectedMapping,
                     line,
+                    col_of(rest),
                     "flow mapping entry missing `:`",
                 )
             })?;
             let raw_key = rest[..colon].trim();
             let key = if raw_key.starts_with('"') || raw_key.starts_with('\'') {
-                match parse_quoted(raw_key, line)? {
+                match parse_quoted(raw_key, line, col_of(rest))? {
                     Value::Str(s) => s,
                     _ => unreachable!("parse_quoted always yields a string"),
                 }
@@ -433,43 +468,47 @@ fn parse_flow(t: &str, line: usize) -> Result<(Value, &str), Error> {
                 rest = after;
                 continue;
             }
-            let (val, r) = parse_flow_item(after, line)?;
+            let (val, r) = parse_flow_item(after, line, col_of(after))?;
             map.insert(key, val);
             rest = r.trim_start();
             if let Some(r) = rest.strip_prefix(',') {
                 rest = r.trim_start();
             } else if !rest.is_empty() && !rest.starts_with('}') {
-                return Err(Error::new(
+                return Err(Error::at(
                     ErrorKind::Other,
                     line,
+                    col_of(rest),
                     format!("expected `,` or `}}` in flow mapping, found `{rest}`"),
                 ));
             }
         }
     }
-    Err(Error::new(
+    Err(Error::at(
         ErrorKind::Other,
         line,
+        col,
         "expected flow collection",
     ))
 }
 
-fn parse_flow_item(t: &str, line: usize) -> Result<(Value, &str), Error> {
+fn parse_flow_item(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> {
+    let col = col + (t.len() - t.trim_start().len());
     let t = t.trim_start();
     if t.starts_with('[') || t.starts_with('{') {
-        return parse_flow(t, line);
+        return parse_flow(t, line, col);
     }
     if t.starts_with('"') || t.starts_with('\'') {
         let quote = t.chars().next().unwrap();
         // Find the closing quote, honouring backslash escapes so a scalar
         // like `"a\"b"` does not terminate at the escaped quote.
         if let Some(end) = find_closing_quote(t) {
-            let value = parse_quoted(&t[..=end], line)?;
+            let value = parse_quoted(&t[..=end], line, col)?;
             return Ok((value, &t[end + 1..]));
         }
-        return Err(Error::new(
+        return Err(Error::at(
             ErrorKind::UnterminatedString,
             line,
+            col,
             format!("missing closing `{quote}` in flow scalar"),
         ));
     }
@@ -699,12 +738,38 @@ mod tests {
     fn unterminated_string_rejected() {
         let err = parse("a: \"oops\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::UnterminatedString);
+        // Column points at the opening quote.
+        assert_eq!(err.column, Some(4));
     }
 
     #[test]
     fn unterminated_flow_rejected() {
         let err = parse("a: [1, 2\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::UnterminatedFlow);
+        // Column points at the opening bracket.
+        assert_eq!(err.column, Some(4));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // Duplicate key: column of the key on the offending line.
+        let err = parse("a: 1\na: 2\n").unwrap_err();
+        assert_eq!((err.line, err.column), (2, Some(1)));
+        // Bad indentation: column of the over-indented content.
+        let err = parse("a: 1\n   b: 2\n").unwrap_err();
+        assert_eq!((err.line, err.column), (2, Some(4)));
+        // Tab in indentation: column of the tab itself.
+        let err = parse("a:\n\tb: 1\n").unwrap_err();
+        assert_eq!((err.line, err.column), (2, Some(1)));
+        // Unterminated string in a nested value: column of its quote.
+        let err = parse("outer:\n  inner: \"x\n").unwrap_err();
+        assert_eq!((err.line, err.column), (2, Some(10)));
+        // Stray closer in a flow sequence: column of the junk.
+        let err = parse("a: [1}, 2]\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, Some(6)));
+        // Block scalar: column of the indicator.
+        let err = parse("a: |\n  text\n").unwrap_err();
+        assert_eq!((err.line, err.column), (1, Some(4)));
     }
 
     #[test]

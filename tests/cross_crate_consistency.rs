@@ -95,7 +95,7 @@ fn reference_wilkins_config_parses_converts_and_executes() {
     let (config, report) = WilkinsConfig::parse(reference);
     assert!(report.is_valid());
     let spec = config.unwrap().to_spec("integration");
-    assert!(spec.validate().is_ok());
+    assert!(!spec.validate().iter().any(|d| d.is_error()));
     assert_eq!(spec.total_procs(), 5);
 
     let outcome = Engine::new(EngineConfig {

@@ -1,8 +1,9 @@
 //! Workspace-level pin: `Benchmark::run_execution` (the parallel grid) is
 //! bit-identical to reconstructing every cell by hand — prompt assembly,
-//! simulated model query, then the four execution stages composed directly
+//! simulated model query, then the five execution stages composed directly
 //! from their home crates (`extract_code` → `workflow_spec_from_config` →
-//! `Engine::run` → `TraceSummary::fidelity`).
+//! `WorkflowSpec::validate`/`normalized` → `Engine::run` →
+//! `TraceSummary::fidelity`).
 
 use wfspeak::codemodel::extract_code;
 use wfspeak::core::{Benchmark, BenchmarkConfig, PromptVariant, SandboxConfig};
@@ -21,18 +22,22 @@ fn direct_execute(
     system: WorkflowSystemId,
     reference: &TraceSummary,
     response: &str,
-) -> (bool, bool, bool, bool, f64, f64, usize, usize) {
+) -> (bool, bool, bool, bool, bool, f64, f64, usize, usize) {
     let code = extract_code(response);
     let (spec, report) = workflow_spec_from_config(system, &code);
     let Some(spec) = spec else {
-        return (false, false, false, false, 0.0, 0.0, 0, 0);
+        return (false, false, false, false, false, 0.0, 0.0, 0, 0);
     };
     let tasks = spec.tasks.len();
-    if !(report.is_valid() && spec.validate().is_ok()) {
-        return (true, false, false, false, 25.0, 0.0, tasks, 0);
+    let valid = report.is_valid();
+    let structurally_valid = !spec.validate().iter().any(|d| d.is_error());
+    if !(valid && structurally_valid) {
+        let runnability = if valid { 40.0 } else { 20.0 };
+        return (true, valid, false, false, false, runnability, 0.0, tasks, 0);
     }
+    let spec = spec.normalized();
     if tasks > sandbox.max_tasks || spec.total_procs() > sandbox.max_total_procs {
-        return (true, true, false, false, 50.0, 0.0, tasks, 0);
+        return (true, true, true, false, false, 60.0, 0.0, tasks, 0);
     }
     match Engine::new(sandbox.engine_config()).run(&spec) {
         Ok(outcome) => {
@@ -41,14 +46,15 @@ fn direct_execute(
                 true,
                 true,
                 true,
+                true,
                 outcome.completed,
-                if outcome.completed { 100.0 } else { 75.0 },
+                if outcome.completed { 100.0 } else { 80.0 },
                 100.0 * summary.fidelity(reference),
                 tasks,
                 summary.total_published() + summary.total_received(),
             )
         }
-        Err(_) => (true, true, false, false, 50.0, 0.0, tasks, 0),
+        Err(_) => (true, true, true, false, false, 60.0, 0.0, tasks, 0),
     }
 }
 
@@ -67,7 +73,7 @@ fn grid_execution_matches_direct_stage_composition() {
         let (reference_spec, report) = workflow_spec_from_config(system, reference_text);
         assert!(report.is_valid(), "{system} reference must be executable");
         let reference = Engine::new(sandbox.engine_config())
-            .run(&reference_spec.unwrap())
+            .run(&reference_spec.unwrap().normalized())
             .unwrap()
             .summary();
         let prompt = configuration_prompt(system, PromptVariant::Original);
@@ -83,12 +89,27 @@ fn grid_execution_matches_direct_stage_composition() {
                     seed,
                 };
                 let response = client.complete(&CompletionRequest::new(prompt.clone(), params));
-                let (parsed, valid, ran, completed, runnability, fidelity, tasks, messages) =
-                    direct_execute(&sandbox, system, &reference, &response.text);
+                let (
+                    parsed,
+                    valid,
+                    validated,
+                    ran,
+                    completed,
+                    runnability,
+                    fidelity,
+                    tasks,
+                    messages,
+                ) = direct_execute(&sandbox, system, &reference, &response.text);
                 let context = format!("{system}/{}", client.model().name());
                 assert_eq!(
-                    (score.parsed, score.valid, score.ran, score.completed),
-                    (parsed, valid, ran, completed),
+                    (
+                        score.parsed,
+                        score.valid,
+                        score.validated,
+                        score.ran,
+                        score.completed
+                    ),
+                    (parsed, valid, validated, ran, completed),
                     "{context} stages"
                 );
                 assert_eq!(

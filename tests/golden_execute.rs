@@ -1,0 +1,85 @@
+//! Golden-snapshot pin for the `repro execute --trials 1` summary and
+//! diagnostic breakdown.
+//!
+//! The snapshot guards the dynamic-execution chain: simulated model
+//! outputs, code extraction, parse → validate → normalize → run on the
+//! engine, the five-rung runnability ladder and the per-cell failure-kind
+//! rollup.  If a refactor shifts a score, a ladder rung or a diagnostic
+//! code, this test shows the exact diff.  Regenerate deliberately with:
+//!
+//! ```text
+//! cargo run --release -p wfspeak-bench --bin repro -- execute --trials 1 \
+//!     > tests/golden/execute_trials1.txt
+//! ```
+
+use wfspeak::core::{Benchmark, BenchmarkConfig, PromptVariant};
+
+#[test]
+fn execute_trials1_summary_matches_the_golden_snapshot() {
+    let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
+        trials: 1,
+        ..BenchmarkConfig::default()
+    });
+    // Reconstruct exactly what `repro execute --trials 1` prints: the
+    // execution summary and the diagnostics rollup, each via println!.
+    let grid = benchmark.run_execution(PromptVariant::Original);
+    let mut rendered = String::new();
+    rendered.push_str(&grid.render_summary(
+        "Execution: configuration artifacts on the runtime engine (1 trials per cell)",
+    ));
+    rendered.push('\n');
+    rendered
+        .push_str(&grid.render_diagnostics("Diagnostics: top failure kinds per model × system"));
+    rendered.push('\n');
+
+    let golden = include_str!("golden/execute_trials1.txt");
+    if rendered != golden {
+        let diff: Vec<String> = golden
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .filter(|(_, (g, r))| g != r)
+            .map(|(i, (g, r))| format!("line {}:\n  golden: {g}\n  actual: {r}", i + 1))
+            .collect();
+        panic!(
+            "execute --trials 1 output drifted from the golden snapshot \
+             ({} golden lines, {} actual):\n{}",
+            golden.lines().count(),
+            rendered.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn execute_snapshot_has_the_expected_shape() {
+    // Belt and braces on the snapshot file itself, so an accidental
+    // truncation of the golden file cannot silently weaken the pin.
+    let golden = include_str!("golden/execute_trials1.txt");
+    assert!(
+        golden.contains("Execution: configuration artifacts on the runtime engine"),
+        "snapshot is missing the execution summary header"
+    );
+    assert!(
+        golden.contains("Diagnostics: top failure kinds per model × system"),
+        "snapshot is missing the diagnostics rollup"
+    );
+    assert!(
+        golden.contains("overall:"),
+        "snapshot is missing the grid footer"
+    );
+    // The diagnostics rollup must prove the execute path surfaces at
+    // least three distinct machine-readable failure kinds.
+    for kind in ["parse-error", "unknown-field", "unknown-directive"] {
+        assert!(
+            golden.contains(&format!("{kind}×")),
+            "snapshot is missing the {kind} diagnostic kind"
+        );
+    }
+    // Paper row order within each table.
+    let rows: Vec<usize> = ["ADIOS2", "Henson", "Wilkins"]
+        .iter()
+        .map(|row| golden.find(&format!("\n{row} ")).expect("row present"))
+        .collect();
+    assert!(rows.windows(2).all(|w| w[0] < w[1]));
+}

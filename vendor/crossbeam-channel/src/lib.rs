@@ -59,6 +59,40 @@ impl std::fmt::Display for SendTimeoutError {
 
 impl std::error::Error for SendTimeoutError {}
 
+/// Why a non-blocking send failed; carries the unsent message back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel buffer is full.
+    Full(T),
+    /// All receivers dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+        }
+    }
+
+    /// Whether the failure was a full buffer (as opposed to disconnection).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
 /// Why a receive failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
@@ -85,6 +119,14 @@ impl<T> Sender<T> {
     /// Blocking send; waits while the channel is full.
     pub fn send(&self, message: T) -> Result<(), SendError> {
         self.0.send(message).map_err(|_| SendError)
+    }
+
+    /// Non-blocking send; fails immediately when the buffer is full.
+    pub fn try_send(&self, message: T) -> Result<(), TrySendError<T>> {
+        self.0.try_send(message).map_err(|e| match e {
+            mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+            mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+        })
     }
 
     /// Send, waiting at most `timeout` for buffer space.
@@ -159,6 +201,18 @@ mod tests {
         tx.send(1).unwrap();
         let err = tx.send_timeout(2, Duration::from_millis(10)).unwrap_err();
         assert_eq!(err, SendTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert!(tx.try_send(2).unwrap_err().is_full());
+        drop(rx);
+        let err = tx.try_send(3).unwrap_err();
+        assert_eq!(err, TrySendError::Disconnected(3));
+        assert_eq!(err.into_inner(), 3);
     }
 
     #[test]

@@ -16,8 +16,16 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable with the `PROPTEST_CASES` environment
+    /// variable (matching the real crate, so CI can raise coverage
+    /// without touching test sources).
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
