@@ -45,10 +45,12 @@ Evaluation pipeline:
         --trials N     trials per cell       [default: 5]
         --execute      also run every generated configuration on the
                        runtime engine and report runnability/fidelity
-    execute        dynamic execution only: parse each generated
-                   configuration into a workflow spec, run it on the
+    execute        dynamic execution only: parse each generated artifact
+                   (configuration file, or annotated Python task code for
+                   Parsl/PyCOMPSs) into a workflow spec, run it on the
                    runtime engine under a bounded sandbox, and score
-                   runnability plus trace fidelity vs the reference run
+                   runnability plus trace fidelity vs the reference run,
+                   across all five workflow systems
         --trials N     trials per cell       [default: 5]
 
 Performance artifacts (rewrite tracked BENCH_N.json snapshots):
@@ -56,6 +58,8 @@ Performance artifacts (rewrite tracked BENCH_N.json snapshots):
     bench-service  scoring-service throughput over loopback -> BENCH_2.json
     bench-evaluate evaluation-pipeline throughput -> BENCH_3.json
     bench-execute  dynamic-execution throughput -> BENCH_4.json
+    bench-scaling  engine scaling over synthetic topologies -> BENCH_5.json
+                   (honours WFSPEAK_SCALING_MAX as a task-count bound)
 
 Scoring service:
     serve          run the batch scoring server (newline-delimited JSON/TCP)
@@ -185,6 +189,10 @@ fn bench_execute() {
     wfspeak_bench::run_execution_bench("BENCH_4.json");
 }
 
+fn bench_scaling() {
+    wfspeak_bench::run_runtime_scaling_bench("BENCH_5.json");
+}
+
 fn json(benchmark: &Benchmark) {
     let report = FullReport {
         config: benchmark.config().clone(),
@@ -303,15 +311,15 @@ fn evaluate(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
-/// Run the configuration grid through dynamic execution and print the
-/// runnability/fidelity summary (shared by `execute` and
+/// Run the five-system execution grid through dynamic execution and print
+/// the runnability/fidelity summary (shared by `execute` and
 /// `evaluate --execute`).
 fn print_execution_grid(benchmark: &Benchmark, trials: usize) {
     let grid = benchmark.run_execution(PromptVariant::Original);
     println!(
         "{}",
         grid.render_summary(&format!(
-            "Execution: configuration artifacts on the runtime engine ({trials} trials per cell)"
+            "Execution: generated artifacts on the runtime engine ({trials} trials per cell)"
         ))
     );
     println!(
@@ -320,7 +328,7 @@ fn print_execution_grid(benchmark: &Benchmark, trials: usize) {
     );
 }
 
-/// Dynamic execution only: every generated configuration is parsed into a
+/// Dynamic execution only: every generated artifact is parsed into a
 /// workflow spec and run on the runtime engine under the bounded sandbox.
 fn execute(options: &CliOptions) -> Result<(), String> {
     let benchmark = Benchmark::with_simulated_models(BenchmarkConfig {
@@ -460,7 +468,7 @@ fn main() {
 
     // Artifact subcommands: validate everything before running anything, so
     // a typo late in the list doesn't waste a full benchmark run.
-    const ARTIFACTS: [&str; 13] = [
+    const ARTIFACTS: [&str; 14] = [
         "run",
         "table1",
         "table2",
@@ -474,6 +482,7 @@ fn main() {
         "bench-service",
         "bench-evaluate",
         "bench-execute",
+        "bench-scaling",
     ];
     let selections: Vec<&str> = if args.is_empty() {
         vec!["run"]
@@ -513,6 +522,7 @@ fn main() {
             "bench-service" => bench_service(),
             "bench-evaluate" => bench_evaluate(),
             "bench-execute" => bench_execute(),
+            "bench-scaling" => bench_scaling(),
             _ => unreachable!("validated above"),
         }
     }

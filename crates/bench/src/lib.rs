@@ -22,16 +22,32 @@
 //!   (later passes re-hit the references the first pass prepared).
 //! * **`BENCH_4.json`** ([`ExecutionBenchReport`], written by the
 //!   `execution_throughput` bench or `repro bench-execute`) —
-//!   dynamic-execution throughput over repeated passes of the
-//!   configuration-experiment grid: every generated configuration is
-//!   parsed into a workflow spec and *run* on the runtime engine under the
-//!   evaluation sandbox.  `executions` / `executions_per_sec` count full
-//!   extract → parse → run → trace-score pipelines (the headline number;
-//!   each completed run spawns real threads and moves real messages),
-//!   `completed` / `unparsed` split the workload by outcome and —
-//!   together with `mean_runnability` / `mean_fidelity` — act as a
-//!   determinism checksum: they must not drift between runs of the same
-//!   seed.
+//!   dynamic-execution throughput over repeated passes of the five-system
+//!   execution grid: every generated artifact (configuration file or
+//!   annotated Python task code) is parsed into a workflow spec and *run*
+//!   on the runtime engine under the evaluation sandbox.
+//!   `executions` / `executions_per_sec` count full extract → parse → run
+//!   → trace-score pipelines (the headline number; each completed run
+//!   spawns real threads and moves real messages), `completed` /
+//!   `unparsed` split the workload by outcome and — together with
+//!   `mean_runnability` / `mean_fidelity` — act as a determinism checksum:
+//!   they must not drift between runs of the same seed.
+//! * **`BENCH_5.json`** ([`RuntimeScalingReport`], written by the
+//!   `runtime_scaling` bench or `repro bench-scaling`) — engine scaling
+//!   over synthetic topologies: every acyclic [`wfspeak_systems::topo`]
+//!   shape (fan-out, chain, diamond, random) at 10/100/1000 tasks is taken
+//!   through validate → normalize → engine run → trace summary, twice at
+//!   different channel capacities.  Each `tiers[]` entry carries the
+//!   tier's exact workload counters (`tasks`, `edges`, `published`,
+//!   `received`), its `checksum` (an FNV-1a fold of the run's
+//!   [`wfspeak_runtime::TraceSummary`] as a `0x`-prefixed hex string,
+//!   bit-identical across capacities and repeat runs of the same seed)
+//!   and its `tasks_per_sec` / `messages_per_sec` rates; the report-level
+//!   `checksum` folds all tier checksums, and `deterministic` asserts
+//!   that both capacity runs of every tier summarised identically (trace
+//!   fidelity exactly 1.0). `max_tasks` records any tier bound in force
+//!   (the CI smoke caps the sweep at the 100-task tier via
+//!   `WFSPEAK_SCALING_MAX`; `null` means unbounded).
 //!
 //! Shared schema conventions:
 //!
@@ -353,6 +369,249 @@ pub fn run_execution_bench(path: &str) {
     }
 }
 
+/// One topology tier of the runtime-scaling measurement: a shape at a task
+/// count, run through validate → normalize → engine → trace summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingTierReport {
+    /// Topology shape label (`fan-out`, `chain`, `diamond`, `random`).
+    pub shape: String,
+    /// Tasks in the generated workflow.
+    pub tasks: usize,
+    /// Producer→consumer edges in the generated workflow.
+    pub edges: usize,
+    /// Dataset messages published during the run (exact counter).
+    pub published: usize,
+    /// Dataset messages received during the run (exact counter).
+    pub received: usize,
+    /// FNV-1a fold of the run's [`wfspeak_runtime::TraceSummary`], as a
+    /// `0x`-prefixed hex string (JSON numbers would lose the top bit): the
+    /// tier's determinism checksum, identical across channel capacities
+    /// and repeat runs of the same seed.
+    pub checksum: String,
+    /// Wall-clock seconds for the measured (first-capacity) run.
+    pub wall_time_secs: f64,
+    /// Tasks executed per second in the measured run.
+    pub tasks_per_sec: f64,
+    /// Dataset messages moved (published + received) per second.
+    pub messages_per_sec: f64,
+}
+
+/// Machine-readable engine-scaling report emitted as `BENCH_5.json` (see
+/// the crate docs for the schema conventions).
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeScalingReport {
+    /// Report schema / sequence tag (`BENCH_5` for the scaling bench).
+    pub bench_id: String,
+    /// Seed the topology generator and the engine ran under.
+    pub seed: u64,
+    /// Timesteps per run.
+    pub timesteps: usize,
+    /// Upper bound on tier size in force (`WFSPEAK_SCALING_MAX`), absent
+    /// for the unbounded full sweep.
+    pub max_tasks: Option<usize>,
+    /// Per-tier workload counters, checksums and rates.
+    pub tiers: Vec<ScalingTierReport>,
+    /// Tasks executed across all measured tiers.
+    pub total_tasks: usize,
+    /// Dataset messages moved across all measured tiers.
+    pub total_messages: usize,
+    /// True when every tier's two capacity runs summarised identically
+    /// (trace fidelity exactly 1.0) — the report's headline determinism
+    /// claim.
+    pub deterministic: bool,
+    /// FNV-1a fold of every tier checksum, in tier order, as a
+    /// `0x`-prefixed hex string.
+    pub checksum: String,
+    /// Wall-clock seconds for all measured runs (both capacities).
+    pub wall_time_secs: f64,
+    /// Tasks executed per second across the measured (first-capacity) runs.
+    pub tasks_per_sec: f64,
+}
+
+impl RuntimeScalingReport {
+    /// Pretty JSON for the `BENCH_5.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// FNV-1a over a byte slice, seeded with `hash` (chainable).
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Fold a [`wfspeak_runtime::TraceSummary`] into a stable u64: every map is
+/// ordered (`BTreeMap`), so the fold is a pure function of the counts.
+fn summary_checksum(summary: &wfspeak_runtime::TraceSummary) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for (label, count) in &summary.events {
+        hash = fnv1a(hash, label.as_bytes());
+        hash = fnv1a(hash, &(*count as u64).to_le_bytes());
+    }
+    for map in [&summary.published, &summary.received] {
+        for (dataset, count) in map {
+            hash = fnv1a(hash, dataset.as_bytes());
+            hash = fnv1a(hash, &(*count as u64).to_le_bytes());
+        }
+    }
+    for map in [
+        &summary.tasks_started,
+        &summary.tasks_finished,
+        &summary.tasks_failed,
+    ] {
+        for (task, count) in map {
+            hash = fnv1a(hash, task.as_bytes());
+            hash = fnv1a(hash, &(*count as u64).to_le_bytes());
+        }
+    }
+    hash
+}
+
+/// Run the synthetic-topology suite (every acyclic shape at every
+/// [`wfspeak_systems::topo::BENCH_SIZES`] tier up to `max_tasks`) through
+/// validate → normalize → engine → [`wfspeak_runtime::TraceSummary`], each
+/// tier twice at different channel capacities, and report per-tier
+/// throughput plus determinism checksums.
+///
+/// Panics if a generated spec fails validation or an engine run errors —
+/// the suite is the engine's own test corpus, so either is a bug, not a
+/// measurement.
+pub fn measure_runtime_scaling(max_tasks: usize, seed: u64) -> RuntimeScalingReport {
+    use wfspeak_runtime::{Engine, EngineConfig};
+    use wfspeak_systems::topo::bench_suite;
+
+    let engine_config = |channel_capacity: usize| EngineConfig {
+        channel_capacity,
+        elements: 16,
+        // Generous: the 1000-task tiers run thousands of threads through
+        // one scheduler; a receive is only "stuck" if nothing moves for
+        // minutes.
+        timeout_ms: 120_000,
+        seed,
+        ..EngineConfig::default()
+    };
+
+    let start = Instant::now();
+    let mut tiers = Vec::new();
+    let mut deterministic = true;
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut total_tasks = 0usize;
+    let mut total_messages = 0usize;
+    let mut measured_wall = 0.0f64;
+    let mut timesteps = 0usize;
+
+    for topo in bench_suite(seed) {
+        if topo.tasks > max_tasks {
+            continue;
+        }
+        let spec = topo.generate();
+        assert!(
+            spec.is_structurally_valid(),
+            "{}: generated spec failed validation",
+            topo.name()
+        );
+        let spec = spec.normalized();
+
+        let tier_start = Instant::now();
+        let outcome = Engine::new(engine_config(8))
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("{}: engine run failed: {e}", topo.name()));
+        let tier_wall = tier_start.elapsed().as_secs_f64();
+        assert!(outcome.completed, "{}: run did not complete", topo.name());
+        let summary = outcome.summary();
+        timesteps = outcome.timesteps;
+
+        // Determinism recheck: a different channel capacity only reorders
+        // scheduling, so the summary must be bit-identical.
+        let recheck = Engine::new(engine_config(2))
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("{}: recheck run failed: {e}", topo.name()))
+            .summary();
+        deterministic &= summary == recheck && (summary.fidelity(&recheck) - 1.0).abs() < 1e-12;
+
+        let published = summary.total_published();
+        let received = summary.total_received();
+        let messages = published + received;
+        let tier_checksum = summary_checksum(&summary);
+        checksum = fnv1a(checksum, &tier_checksum.to_le_bytes());
+        total_tasks += spec.tasks.len();
+        total_messages += messages;
+        measured_wall += tier_wall;
+        tiers.push(ScalingTierReport {
+            shape: topo.shape.label().to_owned(),
+            tasks: spec.tasks.len(),
+            edges: spec.edges().len(),
+            published,
+            received,
+            checksum: format!("{tier_checksum:#018x}"),
+            wall_time_secs: tier_wall,
+            tasks_per_sec: spec.tasks.len() as f64 / tier_wall,
+            messages_per_sec: messages as f64 / tier_wall,
+        });
+    }
+
+    RuntimeScalingReport {
+        bench_id: "BENCH_5".to_owned(),
+        seed,
+        timesteps,
+        max_tasks: (max_tasks != usize::MAX).then_some(max_tasks),
+        tiers,
+        total_tasks,
+        total_messages,
+        deterministic,
+        checksum: format!("{checksum:#018x}"),
+        wall_time_secs: start.elapsed().as_secs_f64(),
+        tasks_per_sec: total_tasks as f64 / measured_wall.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// The tier bound the scaling bench honours: `WFSPEAK_SCALING_MAX` (used by
+/// the CI smoke to stop at the 100-task tier), unbounded by default.
+pub fn scaling_max_tasks() -> usize {
+    std::env::var("WFSPEAK_SCALING_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Run the runtime-scaling bench over the full suite (bounded by
+/// `WFSPEAK_SCALING_MAX` when set), print the headline numbers and write
+/// the report to `path`. Shared by `repro bench-scaling` and the
+/// `runtime_scaling` bench binary so the two artifacts cannot drift.
+pub fn run_runtime_scaling_bench(path: &str) {
+    let report = measure_runtime_scaling(scaling_max_tasks(), 42);
+    println!(
+        "Runtime scaling: {} tiers, {} tasks, {} messages in {:.2}s \
+         = {:.1} tasks/s (deterministic: {}, checksum {})",
+        report.tiers.len(),
+        report.total_tasks,
+        report.total_messages,
+        report.wall_time_secs,
+        report.tasks_per_sec,
+        report.deterministic,
+        report.checksum,
+    );
+    for tier in &report.tiers {
+        println!(
+            "  {:>8} × {:>4}: {:>6} msgs in {:>7.3}s = {:>8.1} msgs/s (checksum {})",
+            tier.shape,
+            tier.tasks,
+            tier.published + tier.received,
+            tier.wall_time_secs,
+            tier.messages_per_sec,
+            tier.checksum,
+        );
+    }
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
+    }
+}
+
 /// Machine-readable scoring-service throughput report emitted as
 /// `BENCH_2.json` (see the crate docs for the schema conventions).
 #[derive(Debug, Clone, Serialize)]
@@ -579,8 +838,8 @@ mod tests {
     fn execution_throughput_report_is_consistent() {
         let report = measure_execution_throughput(2);
         assert_eq!(report.passes, 2);
-        // 3 configuration systems × 4 models, per pass.
-        assert_eq!(report.grid_cells, 3 * 4 * 2);
+        // 5 execution systems × 4 models, per pass.
+        assert_eq!(report.grid_cells, 5 * 4 * 2);
         assert_eq!(report.executions, report.grid_cells * report.trials);
         assert!(report.completed > 0, "exact-tier artifacts must complete");
         assert!(report.unparsed > 0, "wrong-tier artifacts must fail parse");
@@ -619,5 +878,32 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench_id\": \"BENCH_1\""));
         assert!(json.contains("cells_per_sec"));
+    }
+
+    #[test]
+    fn runtime_scaling_report_is_deterministic_at_the_smoke_tier() {
+        let report = measure_runtime_scaling(100, 42);
+        // 2 sizes (10, 100) × 4 acyclic shapes.
+        assert_eq!(report.tiers.len(), 8);
+        assert_eq!(report.max_tasks, Some(100));
+        assert!(
+            report.deterministic,
+            "summaries must match across capacities"
+        );
+        assert!(report.total_tasks > 0 && report.total_messages > 0);
+        assert!(report.wall_time_secs > 0.0 && report.tasks_per_sec > 0.0);
+        for tier in &report.tiers {
+            assert!(tier.tasks <= 100);
+            assert!(tier.published > 0 && tier.received > 0);
+            assert!(tier.messages_per_sec > 0.0);
+        }
+        // The checksum is a pure fold over trace summaries, so a rerun with
+        // the same seed reproduces it bit-for-bit.
+        let again = measure_runtime_scaling(100, 42);
+        assert_eq!(report.checksum, again.checksum);
+        assert!(report.checksum.starts_with("0x"));
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_5\""));
+        assert!(json.contains("messages_per_sec"));
     }
 }

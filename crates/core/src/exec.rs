@@ -1,5 +1,6 @@
-//! Dynamic execution: run generated configuration artifacts on the runtime
-//! engine and score them by what the run actually did.
+//! Dynamic execution: run generated artifacts (configuration files, or
+//! annotated task code for Parsl/PyCOMPSs) on the runtime engine and score
+//! them by what the run actually did.
 //!
 //! Static evaluation ([`crate::eval`]) asks whether a generated artifact
 //! *reads* like the reference; this module asks whether it *runs* like it.
@@ -36,8 +37,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use wfspeak_codemodel::extract_code;
-use wfspeak_corpus::prompts::{configuration_prompt, PromptVariant};
-use wfspeak_corpus::references::configuration_reference;
+use wfspeak_corpus::prompts::{execution_prompt, PromptVariant};
+use wfspeak_corpus::references::execution_reference;
 use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_llm::{CompletionRequest, LlmClient, SamplingParams};
 use wfspeak_runtime::{Engine, EngineConfig, TraceSummary};
@@ -621,28 +622,30 @@ struct ExecCellJob<'a> {
 }
 
 impl Benchmark {
-    /// Take the configuration experiment through dynamic execution: every
+    /// Take the full five-system grid through dynamic execution: every
     /// `(system × model × trial)` response is parsed, run on the runtime
     /// engine under the benchmark's sandbox and scored against the
     /// reference artifact's run.
     ///
-    /// Only the configuration experiment executes — annotation and
-    /// translation artifacts are task codes, which have no workflow
-    /// structure to run.  Cells are executed in parallel on the worker pool
+    /// The configuration systems (Wilkins, ADIOS2, Henson) execute the
+    /// responses to their configuration prompt; Parsl and PyCOMPSs execute
+    /// the responses to their annotation prompt, since their workflow
+    /// structure lives in annotated task code rather than a configuration
+    /// file (see [`execution_prompt`] / [`execution_reference`]).  Cells
+    /// are executed in parallel on the worker pool
     /// ([`crate::parallel::par_map`]) while the result preserves declared
     /// order (system-major, model-minor, trials in seed order), and each
     /// system's reference run happens once through the benchmark's shared
     /// [`ExecutionPipeline`].
     pub fn run_execution(&self, variant: PromptVariant) -> ExecutionGrid {
         let mut jobs = Vec::new();
-        for system in WorkflowSystemId::configuration_systems() {
-            let reference = configuration_reference(system)
-                .expect("configuration systems always have a reference");
+        for system in WorkflowSystemId::execution_systems() {
+            let reference = execution_reference(system);
             let summary = self
                 .executions
                 .reference_summary(system, reference)
-                .expect("reference configurations are executable");
-            let prompt = configuration_prompt(system, variant);
+                .expect("reference artifacts are executable");
+            let prompt = execution_prompt(system, variant);
             for client in &self.clients {
                 jobs.push(ExecCellJob {
                     row: system.name().to_owned(),
@@ -701,6 +704,7 @@ mod tests {
     use super::*;
     use crate::config::BenchmarkConfig;
     use wfspeak_corpus::references::configs::WILKINS_3NODE;
+    use wfspeak_corpus::references::configuration_reference;
 
     fn quick_benchmark() -> Benchmark {
         Benchmark::with_simulated_models(BenchmarkConfig {
@@ -712,8 +716,8 @@ mod tests {
     #[test]
     fn reference_artifacts_execute_perfectly() {
         let pipeline = ExecutionPipeline::new();
-        for system in WorkflowSystemId::configuration_systems() {
-            let reference = configuration_reference(system).unwrap();
+        for system in WorkflowSystemId::execution_systems() {
+            let reference = execution_reference(system);
             let score = pipeline.execute(system, reference, reference).unwrap();
             assert!(
                 score.parsed && score.valid && score.validated && score.ran && score.completed,
@@ -728,12 +732,22 @@ mod tests {
                 "{system}: {:?}",
                 score.diagnostics
             );
+            // Configuration references describe the paper's 3-node workflow
+            // (two datasets streamed producer → consumers); the Python
+            // annotation references are a solo producer publishing one
+            // dataset into the void.
+            let datasets = if system.uses_python_tasks() { 1 } else { 2 };
+            let consumed = if system.uses_python_tasks() { 0 } else { 2 };
             assert_eq!(
                 score.published,
-                2 * pipeline.sandbox().timesteps,
+                datasets * pipeline.sandbox().timesteps,
                 "{system}"
             );
-            assert_eq!(score.received, 2 * pipeline.sandbox().timesteps, "{system}");
+            assert_eq!(
+                score.received,
+                consumed * pipeline.sandbox().timesteps,
+                "{system}"
+            );
             assert_eq!(score.failed_tasks, 0);
         }
     }
@@ -855,10 +869,10 @@ mod tests {
     }
 
     #[test]
-    fn execution_grid_has_configuration_shape() {
+    fn execution_grid_covers_the_five_system_grid() {
         let grid = quick_benchmark().run_execution(PromptVariant::Original);
-        assert_eq!(grid.cells.len(), 3 * 4, "3 systems × 4 models");
-        assert_eq!(grid.total_executions(), 3 * 4 * 2);
+        assert_eq!(grid.cells.len(), 5 * 4, "5 systems × 4 models");
+        assert_eq!(grid.total_executions(), 5 * 4 * 2);
         assert!(grid.mean_runnability() > 0.0);
         // Simulated models include exact-tier outputs, so some runs complete.
         assert!(grid.completed_executions() > 0);
@@ -884,6 +898,8 @@ mod tests {
         let summary = grid.render_summary("Execution: configuration");
         assert!(summary.starts_with("Execution: configuration"));
         assert!(summary.contains("Wilkins"));
+        assert!(summary.contains("Parsl"));
+        assert!(summary.contains("PyCOMPSs"));
         assert!(summary.contains("o3"));
         assert!(summary.contains("overall:"));
     }

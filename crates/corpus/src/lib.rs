@@ -109,6 +109,21 @@ impl WorkflowSystemId {
         ]
     }
 
+    /// Systems included in the dynamic-execution grid: all five.  The three
+    /// configuration systems reconstruct workflow specs from their config
+    /// files; Parsl and PyCOMPSs reconstruct them from annotated task code
+    /// (`@python_app` dataflow and `@task` parameter directions), so the
+    /// whole paper grid is execution-validated.
+    pub fn execution_systems() -> Vec<WorkflowSystemId> {
+        vec![
+            WorkflowSystemId::Adios2,
+            WorkflowSystemId::Henson,
+            WorkflowSystemId::Parsl,
+            WorkflowSystemId::PyCompss,
+            WorkflowSystemId::Wilkins,
+        ]
+    }
+
     /// Whether task codes for this system are written in Python (true) or C
     /// (false).
     pub fn uses_python_tasks(&self) -> bool {
@@ -181,6 +196,15 @@ mod tests {
             translation_pair_label(pairs[3].0, pairs[3].1),
             "PyCOMPSs to Parsl"
         );
+    }
+
+    #[test]
+    fn execution_systems_cover_the_whole_grid() {
+        let systems = WorkflowSystemId::execution_systems();
+        assert_eq!(systems.len(), 5);
+        for sys in WorkflowSystemId::ALL {
+            assert!(systems.contains(&sys), "{sys} missing from execution grid");
+        }
     }
 
     #[test]

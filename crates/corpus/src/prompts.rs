@@ -176,6 +176,18 @@ pub fn translation_prompt(
     format!("{instruction}\n\n```\n{code}```\n")
 }
 
+/// The prompt whose responses the dynamic-execution grid runs on the engine.
+/// Configuration systems reuse the configuration request (their artifacts
+/// describe the graph directly); Parsl and PyCOMPSs reuse the annotation
+/// request, because their workflow structure lives in annotated task code
+/// rather than a configuration file.
+pub fn execution_prompt(system: WorkflowSystemId, variant: PromptVariant) -> String {
+    match system {
+        WorkflowSystemId::Parsl | WorkflowSystemId::PyCompss => annotation_prompt(system, variant),
+        _ => configuration_prompt(system, variant),
+    }
+}
+
 /// The annotated producer used as translation source material.
 pub fn annotated_producer(system: WorkflowSystemId) -> &'static str {
     match system {
@@ -258,6 +270,18 @@ mod tests {
                 "reordered"
             ]
         );
+    }
+
+    #[test]
+    fn execution_prompts_route_python_systems_to_annotation() {
+        for sys in WorkflowSystemId::execution_systems() {
+            let prompt = execution_prompt(sys, PromptVariant::Original);
+            if sys.uses_python_tasks() {
+                assert_eq!(prompt, annotation_prompt(sys, PromptVariant::Original));
+            } else {
+                assert_eq!(prompt, configuration_prompt(sys, PromptVariant::Original));
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,17 @@ pub fn translation_reference(target: WorkflowSystemId) -> Option<&'static str> {
     annotation_reference(target)
 }
 
+/// The reference artifact the dynamic-execution grid reconstructs a
+/// [`crate::WorkflowSystemId`]-specific workflow spec from: the configuration
+/// file where one exists, and the annotated producer code for Parsl and
+/// PyCOMPSs (whose config files describe the environment, not the graph).
+/// Every system has one.
+pub fn execution_reference(system: WorkflowSystemId) -> &'static str {
+    configuration_reference(system)
+        .or_else(|| annotation_reference(system))
+        .expect("every system has a configuration or annotation reference")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +77,27 @@ mod tests {
             );
         }
         assert!(annotation_reference(WorkflowSystemId::Wilkins).is_none());
+    }
+
+    #[test]
+    fn execution_references_cover_every_system() {
+        for sys in WorkflowSystemId::execution_systems() {
+            assert!(!execution_reference(sys).is_empty(), "{sys}");
+        }
+        // Config systems execute their configuration reference; the Python
+        // systems execute their annotated producer.
+        assert_eq!(
+            execution_reference(WorkflowSystemId::Wilkins),
+            configuration_reference(WorkflowSystemId::Wilkins).unwrap()
+        );
+        assert_eq!(
+            execution_reference(WorkflowSystemId::Parsl),
+            annotation_reference(WorkflowSystemId::Parsl).unwrap()
+        );
+        assert_eq!(
+            execution_reference(WorkflowSystemId::PyCompss),
+            annotation_reference(WorkflowSystemId::PyCompss).unwrap()
+        );
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub mod trace;
 
 pub use data::{DataMessage, Dataset};
 pub use engine::{Engine, EngineConfig, EngineError, RunOutcome};
-pub use task::{ConsumerBehavior, ProducerBehavior, TaskBehavior, TaskContext};
+pub use task::{ConsumerBehavior, ProducerBehavior, RelayBehavior, TaskBehavior, TaskContext};
 pub use trace::{Event, EventKind, ExecutionTrace, TraceSummary};

@@ -228,6 +228,68 @@ impl TaskBehavior for ConsumerBehavior {
     }
 }
 
+/// A task that both consumes and produces: per round, drain one message
+/// from every open input, then publish a fresh array downstream — the
+/// interior stage of a chain or diamond.  The relay paces itself entirely
+/// off its inputs (one publish round per received data round), so every
+/// downstream consumer still sees exactly `timesteps` messages per dataset
+/// without the relay needing its own step loop.
+#[derive(Debug, Default)]
+pub struct RelayBehavior;
+
+impl TaskBehavior for RelayBehavior {
+    fn run(&self, ctx: &mut TaskContext) -> Result<(), String> {
+        if ctx.rank != 0 {
+            return Ok(());
+        }
+        // Sorted like the other behaviours so receive and publish order are
+        // functions of the spec, not of HashMap state.
+        let mut inputs: Vec<String> = ctx.inputs.keys().cloned().collect();
+        inputs.sort();
+        let mut outputs: Vec<String> = ctx.outputs.keys().cloned().collect();
+        outputs.sort();
+        let mut open: HashMap<String, bool> = inputs.iter().map(|d| (d.clone(), true)).collect();
+        let mut step = 0usize;
+        while open.values().any(|&o| o) {
+            if ctx.fail_at_step == Some(step) {
+                return Err(format!("injected failure at timestep {step}"));
+            }
+            let mut got_data = false;
+            for name in &inputs {
+                if !open[name] {
+                    continue;
+                }
+                match ctx.receive(name)? {
+                    DataMessage::Step { timestep, dataset } => {
+                        ctx.trace.record(
+                            &ctx.task,
+                            ctx.rank,
+                            EventKind::DataReceived {
+                                dataset: name.clone(),
+                                timestep,
+                            },
+                        );
+                        ctx.received_sums.push(dataset.sum());
+                        got_data = true;
+                    }
+                    DataMessage::EndOfStream => {
+                        open.insert(name.clone(), false);
+                    }
+                }
+            }
+            if got_data {
+                let array: Vec<f32> = (0..ctx.elements).map(|_| ctx.rng.gen::<f32>()).collect();
+                for name in &outputs {
+                    ctx.publish(name, step, &array)?;
+                }
+            }
+            step += 1;
+        }
+        ctx.close_outputs();
+        Ok(())
+    }
+}
+
 /// Create the deterministic per-rank RNG used by behaviours.
 pub fn rank_rng(seed: u64, task: &str, rank: usize) -> StdRng {
     let mut hash = seed ^ 0x9e3779b97f4a7c15;

@@ -29,7 +29,7 @@
 
 use serde::{Deserialize, Serialize};
 use wfspeak_corpus::references::{
-    annotation_reference, configuration_reference, translation_reference,
+    annotation_reference, configuration_reference, execution_reference, translation_reference,
 };
 use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_metrics::CacheStats;
@@ -46,6 +46,10 @@ pub enum TaskKind {
     Annotation,
     /// Translation targets (Table 3; identical to annotation references).
     Translation,
+    /// Dynamic-execution references: the configuration file where one
+    /// exists, the annotated producer code for Parsl/PyCOMPSs.  Every
+    /// system resolves.
+    Execution,
     /// Server statistics snapshot; carries no reference or hypotheses.
     Stats,
 }
@@ -57,6 +61,7 @@ impl TaskKind {
             "configuration" | "config" => Some(TaskKind::Configuration),
             "annotation" | "annotate" => Some(TaskKind::Annotation),
             "translation" | "translate" => Some(TaskKind::Translation),
+            "execution" | "execute" => Some(TaskKind::Execution),
             "stats" => Some(TaskKind::Stats),
             _ => None,
         }
@@ -68,6 +73,7 @@ impl TaskKind {
             TaskKind::Configuration => "configuration",
             TaskKind::Annotation => "annotation",
             TaskKind::Translation => "translation",
+            TaskKind::Execution => "execution",
             TaskKind::Stats => "stats",
         }
     }
@@ -93,8 +99,8 @@ pub struct ScoreRequest {
     /// Client-chosen request id, echoed in the response. Ids let a client
     /// pipeline requests and match responses arriving out of order.
     pub id: u64,
-    /// Experiment namespace: `configuration`, `annotation`, `translation`
-    /// or `stats`. Ignored when `reference_id` is given.
+    /// Experiment namespace: `configuration`, `annotation`, `translation`,
+    /// `execution` or `stats`. Ignored when `reference_id` is given.
     pub task: String,
     /// Workflow system whose ground-truth artifact is the reference (for
     /// `translation`, the *target* system). Ignored when `reference_id` or
@@ -170,13 +176,13 @@ impl ScoreRequest {
         }
     }
 
-    /// A dynamic-execution request addressing a built-in configuration
+    /// A dynamic-execution request addressing a built-in execution
     /// reference: each entry of `responses` is a raw model response whose
-    /// configuration payload will be run on the runtime engine.
+    /// extracted artifact will be run on the runtime engine.
     pub fn execute(id: u64, system: &str, responses: Vec<String>) -> Self {
         ScoreRequest {
             mode: "execute".to_owned(),
-            ..ScoreRequest::by_id(id, TaskKind::Configuration, system, responses)
+            ..ScoreRequest::by_id(id, TaskKind::Execution, system, responses)
         }
     }
 
@@ -233,7 +239,7 @@ impl ScoreRequest {
             None => (self.task.as_str(), self.system.as_str()),
         };
         let task = TaskKind::parse(task_name).ok_or_else(|| {
-            format!("unknown task `{task_name}` (expected configuration, annotation, translation or stats)")
+            format!("unknown task `{task_name}` (expected configuration, annotation, translation, execution or stats)")
         })?;
         if task == TaskKind::Stats {
             return Ok(None);
@@ -244,6 +250,7 @@ impl ScoreRequest {
             TaskKind::Configuration => configuration_reference(system),
             TaskKind::Annotation => annotation_reference(system),
             TaskKind::Translation => translation_reference(system),
+            TaskKind::Execution => Some(execution_reference(system)),
             TaskKind::Stats => unreachable!("handled above"),
         };
         reference
@@ -607,6 +614,7 @@ mod tests {
         );
         assert_eq!(TaskKind::parse("ANNOTATION"), Some(TaskKind::Annotation));
         assert_eq!(TaskKind::parse("translate"), Some(TaskKind::Translation));
+        assert_eq!(TaskKind::parse("Execute"), Some(TaskKind::Execution));
         assert_eq!(TaskKind::parse("stats"), Some(TaskKind::Stats));
         assert_eq!(TaskKind::parse("nope"), None);
     }
@@ -810,7 +818,7 @@ mod tests {
     fn execute_requests_resolve_their_mode_and_system() {
         let request = ScoreRequest::execute(3, "Wilkins", vec!["tasks: []".into()]);
         assert_eq!(request.resolve_mode(), Ok(RequestMode::Execute));
-        assert_eq!(request.task, "configuration");
+        assert_eq!(request.task, "execution");
         let decoded: ScoreRequest = decode_line(&encode_line(&request)).unwrap();
         assert_eq!(decoded.resolve_mode(), Ok(RequestMode::Execute));
         assert_eq!(decoded.resolve_system_name(), Some("Wilkins"));
@@ -818,6 +826,21 @@ mod tests {
         let inline = ScoreRequest::execute_text(4, "tasks: []", "Wilkins", vec![]);
         assert_eq!(inline.resolve_mode(), Ok(RequestMode::Execute));
         assert_eq!(inline.resolve_reference().unwrap(), Some("tasks: []"));
+    }
+
+    #[test]
+    fn execution_references_resolve_for_every_system() {
+        // Unlike `configuration` (no Parsl/PyCOMPSs entry), the execution
+        // namespace covers the whole five-system grid.
+        for system in WorkflowSystemId::execution_systems() {
+            let request = ScoreRequest::execute(1, system.name(), vec![]);
+            let reference = request.resolve_reference().unwrap();
+            assert!(
+                reference.is_some_and(|r| !r.is_empty()),
+                "{} has no execution reference",
+                system.name()
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! trace scoring — directly from their home crates.
 
 use wfspeak_codemodel::extract_code;
-use wfspeak_corpus::references::configuration_reference;
+use wfspeak_corpus::references::{configuration_reference, execution_reference};
 use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_runtime::{Engine, TraceSummary};
 use wfspeak_service::{ExecutionScore, ScoreRequest, ScoringClient, ScoringServer, ServiceConfig};
@@ -17,7 +17,7 @@ use wfspeak_systems::workflow_spec_from_config;
 fn responses_for(reference: &str) -> Vec<String> {
     vec![
         reference.to_owned(),
-        format!("Here is the configuration:\n```yaml\n{reference}\n```\nHope this helps!"),
+        format!("Here is the artifact:\n```\n{reference}\n```\nHope this helps!"),
         "tasks:\n  - func: producer\n    nprocs: 2\n    command: ./p\n".to_owned(),
         // First half of the reference: often parseable with fewer tasks.
         reference.chars().take(reference.len() / 2).collect(),
@@ -130,8 +130,8 @@ fn served_executions_match_direct_stage_composition() {
     let mut client = ScoringClient::connect(server.addr()).unwrap();
     let sandbox = wfspeak_core::exec::SandboxConfig::default();
 
-    for system in WorkflowSystemId::configuration_systems() {
-        let reference = configuration_reference(system).unwrap();
+    for system in WorkflowSystemId::execution_systems() {
+        let reference = execution_reference(system);
         let summary = reference_summary(&sandbox, system, reference);
         let responses = responses_for(reference);
         let response = client.execute(system.name(), responses.clone()).unwrap();
@@ -143,7 +143,7 @@ fn served_executions_match_direct_stage_composition() {
             system,
             &summary,
             &responses,
-            &format!("configuration/{system}"),
+            &format!("execution/{system}"),
         );
         // The perfect artifact must be recognised as such over the wire.
         assert_eq!(response.executions[0].runnability, 100.0, "{system}");

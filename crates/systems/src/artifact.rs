@@ -1,22 +1,26 @@
-//! From configuration artifact to executable workflow specification.
+//! From generated artifact to executable workflow specification.
 //!
 //! The execution-validated evaluation needs one entry point that takes a
-//! *generated* configuration file for any of the structural-configuration
-//! systems (Wilkins, ADIOS2, Henson) and recovers the neutral
-//! [`WorkflowSpec`] it describes, reporting the same diagnostics the
-//! system's validator produces along the way.  Systems whose configuration
-//! describes the execution environment rather than workflow structure
-//! (Parsl, PyCOMPSs) have nothing to execute and report that as an error.
+//! *generated* artifact for any of the five systems and recovers the
+//! neutral [`WorkflowSpec`] it describes, reporting the same diagnostics
+//! the system's validator produces along the way.  For the
+//! structural-configuration systems (Wilkins, ADIOS2, Henson) the artifact
+//! is a configuration file; for Parsl and PyCOMPSs — whose configuration
+//! files describe the execution environment, not the graph — it is the
+//! annotated task code, whose app decorators and parameter directions carry
+//! the workflow structure instead.
 
 use wfspeak_corpus::WorkflowSystemId;
 
 use crate::adios2::Adios2Config;
-use crate::diagnostics::{Diagnostic, DiagnosticKind, ValidationReport};
+use crate::diagnostics::{Diagnostic, ValidationReport};
 use crate::henson::HensonScript;
+use crate::parsl::ParslScript;
+use crate::pycompss::PyCompssScript;
 use crate::spec::WorkflowSpec;
 use crate::wilkins::WilkinsConfig;
 
-/// Parse a configuration artifact for `system` into a [`WorkflowSpec`].
+/// Parse a generated artifact for `system` into a [`WorkflowSpec`].
 ///
 /// Returns the recovered spec (when the artifact's structure could be
 /// parsed at all) together with the validator's full diagnostic report; a
@@ -43,17 +47,15 @@ pub fn workflow_spec_from_config(
             let spec = script.and_then(|s| unwrap_spec(s.to_spec(&spec_name), &mut report));
             (spec, report)
         }
-        WorkflowSystemId::Parsl | WorkflowSystemId::PyCompss => {
-            let mut report = ValidationReport::valid();
-            report.push(Diagnostic::error(
-                DiagnosticKind::NoStructuralConfig,
-                format!(
-                    "{} configurations describe the execution environment, \
-                     not workflow structure; there is nothing to execute",
-                    system.name()
-                ),
-            ));
-            (None, report)
+        WorkflowSystemId::Parsl => {
+            let (script, mut report) = ParslScript::parse(source);
+            let spec = script.and_then(|s| unwrap_spec(s.to_spec(&spec_name), &mut report));
+            (spec, report)
+        }
+        WorkflowSystemId::PyCompss => {
+            let (script, mut report) = PyCompssScript::parse(source);
+            let spec = script.and_then(|s| unwrap_spec(s.to_spec(&spec_name), &mut report));
+            (spec, report)
         }
     }
 }
@@ -153,11 +155,40 @@ mod tests {
     }
 
     #[test]
-    fn environment_config_systems_are_not_executable() {
+    fn python_systems_reconstruct_specs_from_annotated_code() {
+        use wfspeak_corpus::references::annotated::{PARSL_PRODUCER, PYCOMPSS_PRODUCER};
+        for (system, reference) in [
+            (WorkflowSystemId::Parsl, PARSL_PRODUCER),
+            (WorkflowSystemId::PyCompss, PYCOMPSS_PRODUCER),
+        ] {
+            let (spec, report) = workflow_spec_from_config(system, reference);
+            assert!(report.is_valid(), "{system}: {report}");
+            let spec = spec.unwrap();
+            assert_eq!(
+                spec.name,
+                format!("{}-workflow", system.name().to_lowercase())
+            );
+            assert_eq!(spec.tasks.len(), 1, "{system}");
+            assert_eq!(spec.tasks[0].name, "produce");
+            assert_eq!(spec.tasks[0].nprocs, 1);
+            assert_eq!(spec.tasks[0].data[0].dataset, "output");
+            // A solo producer's unconsumed output is a warning, not an
+            // error: the spec still executes.
+            assert!(
+                spec.is_structurally_valid(),
+                "{system}: {:?}",
+                spec.validate()
+            );
+        }
+    }
+
+    #[test]
+    fn python_systems_reject_unannotated_code() {
         for system in [WorkflowSystemId::Parsl, WorkflowSystemId::PyCompss] {
-            let (spec, report) = workflow_spec_from_config(system, "anything");
-            assert!(spec.is_none());
-            assert!(report.has_code("no-structural-config"));
+            let (spec, report) =
+                workflow_spec_from_config(system, "def produce(n):\n    return n\n");
+            assert!(spec.is_none(), "{system}");
+            assert!(!report.is_valid(), "{system}");
         }
     }
 }

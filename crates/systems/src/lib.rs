@@ -42,7 +42,9 @@ pub mod diagnostics;
 pub mod henson;
 pub mod parsl;
 pub mod pycompss;
+pub mod pyflow;
 pub mod spec;
+pub mod topo;
 pub mod translate;
 pub mod wilkins;
 

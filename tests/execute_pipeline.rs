@@ -7,8 +7,8 @@
 
 use wfspeak::codemodel::extract_code;
 use wfspeak::core::{Benchmark, BenchmarkConfig, PromptVariant, SandboxConfig};
-use wfspeak::corpus::prompts::configuration_prompt;
-use wfspeak::corpus::references::configuration_reference;
+use wfspeak::corpus::prompts::execution_prompt;
+use wfspeak::corpus::references::execution_reference;
 use wfspeak::corpus::WorkflowSystemId;
 use wfspeak::llm::{CompletionRequest, LlmClient, SamplingParams, SimulatedLlm};
 use wfspeak::runtime::{Engine, TraceSummary};
@@ -68,15 +68,15 @@ fn grid_execution_matches_direct_stage_composition() {
     let grid = benchmark.run_execution(PromptVariant::Original);
     let sandbox = SandboxConfig::default();
 
-    for system in WorkflowSystemId::configuration_systems() {
-        let reference_text = configuration_reference(system).unwrap();
+    for system in WorkflowSystemId::execution_systems() {
+        let reference_text = execution_reference(system);
         let (reference_spec, report) = workflow_spec_from_config(system, reference_text);
         assert!(report.is_valid(), "{system} reference must be executable");
         let reference = Engine::new(sandbox.engine_config())
             .run(&reference_spec.unwrap().normalized())
             .unwrap()
             .summary();
-        let prompt = configuration_prompt(system, PromptVariant::Original);
+        let prompt = execution_prompt(system, PromptVariant::Original);
         for client in SimulatedLlm::all() {
             let cell = grid
                 .cell(system.name(), client.model().name())
@@ -138,8 +138,8 @@ fn reference_artifacts_top_the_execution_scale_end_to_end() {
     // The scale is anchored: feeding the ground-truth artifact through the
     // whole umbrella-crate surface scores a perfect run for every system.
     let pipeline = wfspeak::core::ExecutionPipeline::new();
-    for system in WorkflowSystemId::configuration_systems() {
-        let reference = configuration_reference(system).unwrap();
+    for system in WorkflowSystemId::execution_systems() {
+        let reference = execution_reference(system);
         let score = pipeline.execute(system, reference, reference).unwrap();
         assert_eq!(score.runnability, 100.0, "{system}");
         assert_eq!(score.trace_fidelity, 100.0, "{system}");

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use wfspeak_core::exec::{execute_artifact, SandboxConfig};
-use wfspeak_corpus::references::configuration_reference;
+use wfspeak_corpus::references::execution_reference;
 use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_runtime::{Engine, TraceSummary};
 use wfspeak_systems::{
@@ -36,15 +36,17 @@ fn reference_summary() -> &'static TraceSummary {
     })
 }
 
-fn systems() -> [WorkflowSystemId; 3] {
+fn systems() -> [WorkflowSystemId; 5] {
     [
         WorkflowSystemId::Wilkins,
         WorkflowSystemId::Adios2,
         WorkflowSystemId::Henson,
+        WorkflowSystemId::Parsl,
+        WorkflowSystemId::PyCompss,
     ]
 }
 
-/// Push one artifact through the full lifecycle for every configuration
+/// Push one artifact through the full lifecycle for every execution
 /// system and check the invariants that must hold for *any* input.
 fn check_artifact(artifact: &str) -> Result<(), proptest::test_runner::TestCaseError> {
     let start = Instant::now();
@@ -183,18 +185,19 @@ proptest! {
         check_artifact(&lines.join("\n"))?;
     }
 
-    // Reference configurations with random mutations applied (deletions,
-    // insertions, replacements, truncations): mostly-valid inputs probe
-    // far deeper parser and validator paths than noise.
+    // Reference artifacts (configuration files and annotated Python
+    // scripts) with random mutations applied (deletions, insertions,
+    // replacements, truncations): mostly-valid inputs probe far deeper
+    // parser and validator paths than noise.
     #[test]
     fn mutated_references_never_panic(
-        system_pick in 0usize..3,
+        system_pick in 0usize..5,
         ops in proptest::collection::vec(
             ((0usize..4096), (0u8..8), proptest::char::range(' ', '~')),
             0..8,
         ),
     ) {
-        let reference = configuration_reference(systems()[system_pick]).unwrap();
+        let reference = execution_reference(systems()[system_pick]);
         check_artifact(&mutate(reference, &ops))?;
     }
 

@@ -25,7 +25,7 @@ fn execute_trials1_summary_matches_the_golden_snapshot() {
     let grid = benchmark.run_execution(PromptVariant::Original);
     let mut rendered = String::new();
     rendered.push_str(&grid.render_summary(
-        "Execution: configuration artifacts on the runtime engine (1 trials per cell)",
+        "Execution: generated artifacts on the runtime engine (1 trials per cell)",
     ));
     rendered.push('\n');
     rendered
@@ -57,7 +57,7 @@ fn execute_snapshot_has_the_expected_shape() {
     // truncation of the golden file cannot silently weaken the pin.
     let golden = include_str!("golden/execute_trials1.txt");
     assert!(
-        golden.contains("Execution: configuration artifacts on the runtime engine"),
+        golden.contains("Execution: generated artifacts on the runtime engine"),
         "snapshot is missing the execution summary header"
     );
     assert!(
@@ -77,7 +77,7 @@ fn execute_snapshot_has_the_expected_shape() {
         );
     }
     // Paper row order within each table.
-    let rows: Vec<usize> = ["ADIOS2", "Henson", "Wilkins"]
+    let rows: Vec<usize> = ["ADIOS2", "Henson", "Parsl", "PyCOMPSs", "Wilkins"]
         .iter()
         .map(|row| golden.find(&format!("\n{row} ")).expect("row present"))
         .collect();

@@ -1,0 +1,114 @@
+//! Property tests for the synthetic workflow-topology generator
+//! (`wfspeak_systems::topo`): every acyclic generator spec yields a
+//! structurally clean, deterministically regenerable workflow; the cyclic
+//! negatives always trip the validator's cycle detector; and normalization
+//! stays idempotent all the way up to the 1000-task benchmark tier.
+//!
+//! Case count defaults to the vendored proptest's 256 and scales with
+//! `PROPTEST_CASES` (CI's `fuzz-smoke` job runs 512).
+
+use proptest::prelude::*;
+use wfspeak_systems::topo::{bench_suite, TopoShape, TopoSpec, BENCH_SIZES};
+use wfspeak_systems::DiagnosticKind;
+
+/// Strategy over acyclic generator specs at property-test-friendly sizes.
+fn acyclic_spec() -> impl Strategy<Value = TopoSpec> {
+    (
+        0usize..TopoShape::ACYCLIC.len(),
+        0usize..120,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(shape, tasks, seed)| TopoSpec::new(TopoShape::ACYCLIC[shape], tasks, seed))
+}
+
+proptest! {
+    // Any acyclic generator spec produces a workflow the validator accepts
+    // outright: no error diagnostics, structural validity, and the task
+    // count the (clamped) spec promised.
+    #[test]
+    fn acyclic_specs_validate_clean(topo in acyclic_spec()) {
+        let spec = topo.generate();
+        let errors: Vec<_> = spec.validate().into_iter().filter(|d| d.is_error()).collect();
+        prop_assert!(errors.is_empty(), "{}: {errors:?}", topo.name());
+        prop_assert!(spec.is_structurally_valid(), "{}", topo.name());
+        prop_assert_eq!(spec.tasks.len(), topo.tasks);
+        prop_assert!(topo.tasks >= topo.shape.min_tasks());
+        prop_assert!(!spec.edges().is_empty(), "{}: no dataflow edges", topo.name());
+    }
+
+    // Generation is a pure function of the spec: the same (shape, tasks,
+    // seed) always regenerates the identical workflow, and the stable name
+    // embeds the clamped task count.
+    #[test]
+    fn generation_is_deterministic(topo in acyclic_spec()) {
+        prop_assert_eq!(topo.generate(), topo.generate());
+        prop_assert_eq!(
+            topo.name(),
+            format!("topo-{}-{}", topo.shape.label(), topo.tasks)
+        );
+    }
+
+    // Every cyclic negative trips the validator's cycle detector with the
+    // machine-readable `cycle` code, and never passes structural validation.
+    #[test]
+    fn cyclic_negatives_emit_the_cycle_diagnostic(
+        tasks in 0usize..120,
+        seed in 0u64..u64::MAX,
+    ) {
+        let topo = TopoSpec::new(TopoShape::Cyclic, tasks, seed);
+        let spec = topo.generate();
+        prop_assert!(!spec.is_structurally_valid(), "{}", topo.name());
+        prop_assert!(
+            spec.validate()
+                .iter()
+                .any(|d| d.is_error() && d.code() == DiagnosticKind::Cycle.code()),
+            "{}: no cycle diagnostic in {:?}",
+            topo.name(),
+            spec.validate()
+        );
+    }
+
+    // Normalization is idempotent on generated topologies and preserves the
+    // task set.
+    #[test]
+    fn normalization_is_idempotent_on_generated_topologies(topo in acyclic_spec()) {
+        let spec = topo.generate();
+        let normalized = spec.normalized();
+        prop_assert_eq!(&normalized.normalized(), &normalized, "{}", topo.name());
+        prop_assert_eq!(normalized.tasks.len(), spec.tasks.len());
+    }
+}
+
+#[test]
+fn the_full_bench_suite_is_clean_up_to_a_thousand_tasks() {
+    // The exact tiers the scaling benchmark sweeps — including the
+    // 1000-task tier the proptest strategies keep small — validate clean
+    // and normalize idempotently.
+    let suite = bench_suite(42);
+    assert_eq!(suite.len(), BENCH_SIZES.len() * TopoShape::ACYCLIC.len());
+    for topo in suite {
+        let spec = topo.generate();
+        assert!(spec.is_structurally_valid(), "{}", topo.name());
+        let normalized = spec.normalized();
+        assert_eq!(
+            normalized.normalized(),
+            normalized,
+            "{}: normalize not idempotent",
+            topo.name()
+        );
+        assert_eq!(normalized.tasks.len(), topo.tasks, "{}", topo.name());
+    }
+}
+
+#[test]
+fn cyclic_negatives_scale_to_a_thousand_tasks() {
+    for tasks in BENCH_SIZES {
+        let spec = TopoSpec::new(TopoShape::Cyclic, tasks, 42).generate();
+        assert!(
+            spec.validate()
+                .iter()
+                .any(|d| d.code() == DiagnosticKind::Cycle.code()),
+            "cyclic-{tasks}: cycle diagnostic missing"
+        );
+    }
+}

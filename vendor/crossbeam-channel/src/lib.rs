@@ -1,31 +1,94 @@
 //! Offline stand-in for `crossbeam-channel`.
 //!
-//! Implements the bounded-channel surface this workspace uses over
-//! `std::sync::mpsc::sync_channel`: cloneable senders, blocking `send`,
-//! `send_timeout` (polled), `recv`, `recv_timeout` and `try_recv`.
+//! Implements the bounded-channel surface this workspace uses — cloneable
+//! senders, blocking `send`, `send_timeout`, `recv`, `recv_timeout` and
+//! `try_recv` — over a `Mutex<VecDeque>` plus two condvars.  Every blocking
+//! operation *parks* on a condvar rather than polling: with hundreds of
+//! senders blocked on full channels (the 1000-task scaling topologies at
+//! small capacities), a polled send starves the draining receiver of CPU
+//! and the whole workflow livelocks into timeouts.
 
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Create a bounded channel with the given capacity.
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a bounded channel with the given capacity (clamped to at least 1;
+/// rendezvous channels are not supported).
 pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::sync_channel(capacity);
-    (Sender(tx), Receiver(rx))
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
 }
 
 /// Sending half of a bounded channel.
-#[derive(Debug)]
-pub struct Sender<T>(mpsc::SyncSender<T>);
+pub struct Sender<T>(Arc<Shared<T>>);
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender(..)")
+    }
+}
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().senders += 1;
         Sender(self.0.clone())
     }
 }
 
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake a receiver blocked on an empty queue so it observes the
+            // disconnect.
+            drop(inner);
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
 /// Receiving half of a bounded channel.
-#[derive(Debug)]
-pub struct Receiver<T>(mpsc::Receiver<T>);
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver(..)")
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().unwrap();
+        inner.receiver_alive = false;
+        drop(inner);
+        // Wake every sender blocked on a full queue so they observe the
+        // disconnect.
+        self.0.not_full.notify_all();
+    }
+}
 
 /// The channel is disconnected (all receivers dropped).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,61 +179,120 @@ impl std::fmt::Display for RecvError {
 impl std::error::Error for RecvError {}
 
 impl<T> Sender<T> {
-    /// Blocking send; waits while the channel is full.
+    /// Blocking send; parks while the channel is full.
     pub fn send(&self, message: T) -> Result<(), SendError> {
-        self.0.send(message).map_err(|_| SendError)
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if !inner.receiver_alive {
+                return Err(SendError);
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(message);
+                drop(inner);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.0.not_full.wait(inner).unwrap();
+        }
     }
 
     /// Non-blocking send; fails immediately when the buffer is full.
     pub fn try_send(&self, message: T) -> Result<(), TrySendError<T>> {
-        self.0.try_send(message).map_err(|e| match e {
-            mpsc::TrySendError::Full(m) => TrySendError::Full(m),
-            mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
-        })
+        let mut inner = self.0.inner.lock().unwrap();
+        if !inner.receiver_alive {
+            return Err(TrySendError::Disconnected(message));
+        }
+        if inner.queue.len() >= inner.capacity {
+            return Err(TrySendError::Full(message));
+        }
+        inner.queue.push_back(message);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
     }
 
-    /// Send, waiting at most `timeout` for buffer space.
+    /// Send, parked for at most `timeout` waiting for buffer space.
     pub fn send_timeout(&self, message: T, timeout: Duration) -> Result<(), SendTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut message = message;
+        let mut inner = self.0.inner.lock().unwrap();
         loop {
-            match self.0.try_send(message) {
-                Ok(()) => return Ok(()),
-                Err(mpsc::TrySendError::Disconnected(_)) => {
-                    return Err(SendTimeoutError::Disconnected)
-                }
-                Err(mpsc::TrySendError::Full(m)) => {
-                    if Instant::now() >= deadline {
-                        return Err(SendTimeoutError::Timeout);
-                    }
-                    message = m;
-                    std::thread::sleep(Duration::from_micros(200));
-                }
+            if !inner.receiver_alive {
+                return Err(SendTimeoutError::Disconnected);
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(message);
+                drop(inner);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(SendTimeoutError::Timeout);
+            };
+            let (guard, result) = self.0.not_full.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+            if result.timed_out()
+                && inner.queue.len() >= inner.capacity
+                && Instant::now() >= deadline
+            {
+                return Err(SendTimeoutError::Timeout);
             }
         }
     }
 }
 
 impl<T> Receiver<T> {
-    /// Blocking receive.
+    /// Blocking receive; parks while the channel is empty.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.0.recv().map_err(|_| RecvError::Disconnected)
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(message) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(message);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            inner = self.0.not_empty.wait(inner).unwrap();
+        }
     }
 
-    /// Receive, waiting at most `timeout`.
+    /// Receive, parked for at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
-        self.0.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
-            mpsc::RecvTimeoutError::Disconnected => RecvError::Disconnected,
-        })
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().unwrap();
+        loop {
+            if let Some(message) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(message);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvError::Timeout);
+            };
+            let (guard, result) = self.0.not_empty.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+            if result.timed_out() && inner.queue.is_empty() && Instant::now() >= deadline {
+                return Err(RecvError::Timeout);
+            }
+        }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, RecvError> {
-        self.0.try_recv().map_err(|e| match e {
-            mpsc::TryRecvError::Empty => RecvError::Timeout,
-            mpsc::TryRecvError::Disconnected => RecvError::Disconnected,
-        })
+        let mut inner = self.0.inner.lock().unwrap();
+        if let Some(message) = inner.queue.pop_front() {
+            drop(inner);
+            self.0.not_full.notify_one();
+            return Ok(message);
+        }
+        if inner.senders == 0 {
+            return Err(RecvError::Disconnected);
+        }
+        Err(RecvError::Timeout)
     }
 }
 
@@ -223,5 +345,69 @@ mod tests {
         let (tx2, rx2) = bounded::<u8>(1);
         drop(tx2);
         assert_eq!(rx2.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn buffered_messages_survive_sender_drop() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn parked_send_completes_when_receiver_drains() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send_timeout(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(sender.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn parked_recv_wakes_on_send() {
+        let (tx, rx) = bounded(1);
+        let receiver = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(receiver.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn dropping_the_receiver_wakes_blocked_senders() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send_timeout(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(SendTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn many_parked_senders_all_drain() {
+        // The scaling topologies block hundreds of senders on one consumer;
+        // every parked sender must eventually get buffer space.
+        let (tx, rx) = bounded(1);
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send_timeout(i, Duration::from_secs(30)))
+            })
+            .collect();
+        drop(tx);
+        let mut received = Vec::new();
+        while let Ok(v) = rx.recv() {
+            received.push(v);
+        }
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), Ok(()));
+        }
+        received.sort_unstable();
+        assert_eq!(received, (0..64).collect::<Vec<_>>());
     }
 }
