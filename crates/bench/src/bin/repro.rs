@@ -13,12 +13,16 @@
 
 use std::io::Read;
 
+use wfspeak_bench::chaos::{run_chaos_cli, ChaosOptions};
 use wfspeak_bench::{measure_grid_throughput, paper_benchmark};
 use wfspeak_core::report::{
     qualitative_configurations, qualitative_translations, render_samples, FullReport,
 };
 use wfspeak_core::{Benchmark, BenchmarkConfig, ExperimentKind, PromptVariant};
-use wfspeak_service::{ScoringClient, ScoringServer, ServiceConfig, TaskKind, DEFAULT_ADDR};
+use wfspeak_service::{
+    ResilientClient, RetryPolicy, ScoreRequest, ScoringServer, ServiceConfig, TaskKind,
+    DEFAULT_ADDR,
+};
 
 const USAGE: &str = "\
 repro — reproduce the paper's evaluation and serve its scoring core
@@ -45,6 +49,10 @@ Evaluation pipeline:
         --trials N     trials per cell       [default: 5]
         --execute      also run every generated configuration on the
                        runtime engine and report runnability/fidelity
+        --addr A       client mode: evaluate raw responses from stdin
+                       against a running server instead of the local grid
+                       (honours --task, --system, --lines, --retries,
+                       --deadline-ms)
     execute        dynamic execution only: parse each generated artifact
                    (configuration file, or annotated Python task code for
                    Parsl/PyCOMPSs) into a workflow spec, run it on the
@@ -52,6 +60,9 @@ Evaluation pipeline:
                    runnability plus trace fidelity vs the reference run,
                    across all five workflow systems
         --trials N     trials per cell       [default: 5]
+        --addr A       client mode: execute raw responses from stdin
+                       against a running server instead of the local grid
+                       (honours --system, --lines, --retries, --deadline-ms)
 
 Performance artifacts (rewrite tracked BENCH_N.json snapshots):
     bench          grid throughput -> BENCH_1.json
@@ -73,6 +84,28 @@ Scoring service:
         --lines        treat each stdin line as its own hypothesis
                        (default: all of stdin is one hypothesis)
         --stats        also print server cache/throughput statistics
+        --retries N    client retries after a transport failure or an
+                       `overloaded` shed (reconnect + capped deterministic
+                       exponential backoff)         [default: 3]
+        --deadline-ms M
+                       per-request deadline, sent on the wire (the server
+                       answers expired queued jobs with a typed `deadline`
+                       error) and used as the read timeout
+                                             [default: none]
+    chaos          deterministic fault-injection sweep: for each seed, run
+                   a mixed score/evaluate/execute workload against a
+                   fault-injected in-process server (torn/partial frames,
+                   dropped and delayed writes, mid-request disconnects,
+                   worker panics) and assert every request terminates,
+                   survivors are bit-identical to a no-fault baseline, and
+                   the fault schedule replays exactly; exits non-zero
+                   naming the failing seed
+        --seeds N      seeds to sweep (0..N)  [default: 8]
+        --requests N   requests per run       [default: 48]
+        --workers N    server worker threads  [default: 2]
+        --retries N    client retries         [default: 4]
+        --deadline-ms M
+                       per-request deadline   [default: 750]
 
 Misc:
     help           print this message
@@ -205,9 +238,13 @@ fn json(benchmark: &Benchmark) {
     println!("{}", report.to_json());
 }
 
-/// Options shared by `serve` and `score`, parsed from `--flag value` pairs.
+/// Options shared by the service-facing subcommands, parsed from
+/// `--flag value` pairs.
 struct CliOptions {
     addr: String,
+    /// Whether `--addr` was passed explicitly (switches `evaluate` /
+    /// `execute` into client mode).
+    addr_set: bool,
     workers: usize,
     task: String,
     system: String,
@@ -215,14 +252,32 @@ struct CliOptions {
     lines: bool,
     stats: bool,
     execute: bool,
+    retries: u32,
+    /// Whether `--retries` was passed explicitly (`chaos` has a higher
+    /// default than the plain client subcommands).
+    retries_set: bool,
+    /// 0 = no deadline on the wire.
+    deadline_ms: u64,
+    seeds: u64,
+    requests: usize,
 }
 
 impl CliOptions {
+    /// The client retry/deadline policy the subcommand's flags describe.
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            retries: self.retries,
+            deadline_ms: (self.deadline_ms > 0).then_some(self.deadline_ms),
+            ..RetryPolicy::default()
+        }
+    }
+
     /// Parse `--flag [value]` pairs, rejecting flags outside `allowed` so
     /// each subcommand only accepts the options it actually honours.
     fn parse(args: &[String], allowed: &[&str]) -> Result<CliOptions, String> {
         let mut options = CliOptions {
             addr: DEFAULT_ADDR.to_owned(),
+            addr_set: false,
             workers: 0,
             task: "configuration".to_owned(),
             system: "Henson".to_owned(),
@@ -230,6 +285,11 @@ impl CliOptions {
             lines: false,
             stats: false,
             execute: false,
+            retries: 3,
+            retries_set: false,
+            deadline_ms: 0,
+            seeds: 8,
+            requests: 48,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -242,7 +302,10 @@ impl CliOptions {
                     .ok_or_else(|| format!("{flag} requires a value"))
             };
             match flag.as_str() {
-                "--addr" => options.addr = value_of("--addr")?,
+                "--addr" => {
+                    options.addr = value_of("--addr")?;
+                    options.addr_set = true;
+                }
                 "--workers" => {
                     options.workers = value_of("--workers")?
                         .parse()
@@ -261,6 +324,36 @@ impl CliOptions {
                 "--lines" => options.lines = true,
                 "--stats" => options.stats = true,
                 "--execute" => options.execute = true,
+                "--retries" => {
+                    options.retries = value_of("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?;
+                    options.retries_set = true;
+                }
+                "--deadline-ms" => {
+                    options.deadline_ms = value_of("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?;
+                    if options.deadline_ms == 0 {
+                        return Err("--deadline-ms must be at least 1".to_owned());
+                    }
+                }
+                "--seeds" => {
+                    options.seeds = value_of("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("--seeds: {e}"))?;
+                    if options.seeds == 0 {
+                        return Err("--seeds must be at least 1".to_owned());
+                    }
+                }
+                "--requests" => {
+                    options.requests = value_of("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?;
+                    if options.requests == 0 {
+                        return Err("--requests must be at least 1".to_owned());
+                    }
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -355,14 +448,22 @@ fn serve(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn score(options: &CliOptions) -> Result<(), String> {
-    let task = match TaskKind::parse(&options.task) {
+/// The scoring task a client subcommand addresses (`--task`), rejecting
+/// the pseudo-task `stats`.
+fn client_task(options: &CliOptions) -> Result<TaskKind, String> {
+    match TaskKind::parse(&options.task) {
         Some(TaskKind::Stats) => {
-            return Err("`--task stats` is not a scoring task; use `--stats` instead".to_owned())
+            Err("`--task stats` is not a scoring task; use `--stats` instead".to_owned())
         }
-        Some(task) => task,
-        None => return Err(format!("unknown task `{}`", options.task)),
-    };
+        Some(task) => Ok(task),
+        None => Err(format!("unknown task `{}`", options.task)),
+    }
+}
+
+/// Read hypotheses / raw responses from stdin: the whole stream as one, or
+/// one per line with `--lines`. Non-empty stdin yields at least one entry
+/// in both modes.
+fn stdin_hypotheses(lines: bool) -> Result<Vec<String>, String> {
     let mut input = String::new();
     std::io::stdin()
         .read_to_string(&mut input)
@@ -370,17 +471,37 @@ fn score(options: &CliOptions) -> Result<(), String> {
     if input.is_empty() {
         return Err("no hypotheses on stdin".to_owned());
     }
-    // Non-empty stdin yields at least one hypothesis in both modes.
-    let hypotheses: Vec<String> = if options.lines {
+    Ok(if lines {
         input.lines().map(str::to_owned).collect()
     } else {
         vec![input]
-    };
+    })
+}
 
-    let mut client = ScoringClient::connect(options.addr.as_str())
-        .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+fn print_server_stats(client: &mut ResilientClient) -> Result<(), String> {
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    println!(
+        "server: {} requests, {} hypotheses, cache {}/{} hits ({:.1}% hit rate), \
+         {} worker restart(s), {} injected fault(s)",
+        stats.requests,
+        stats.hypotheses,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+        100.0 * stats.cache_hit_rate(),
+        stats.worker_restarts,
+        stats.faults_injected,
+    );
+    Ok(())
+}
+
+fn score(options: &CliOptions) -> Result<(), String> {
+    let task = client_task(options)?;
+    let hypotheses = stdin_hypotheses(options.lines)?;
+
+    let mut client = ResilientClient::new(options.addr.clone(), options.retry_policy());
+    let request = ScoreRequest::by_id(client.fresh_id(), task, &options.system, hypotheses);
     let response = client
-        .score(task, &options.system, hypotheses)
+        .call(request)
         .map_err(|e| format!("scoring failed: {e}"))?;
     if !response.ok {
         return Err(response.error.unwrap_or_else(|| "unknown error".to_owned()));
@@ -397,18 +518,100 @@ fn score(options: &CliOptions) -> Result<(), String> {
         println!("{:>4}  {:>8.2}  {:>8.2}", i + 1, s.bleu, s.chrf);
     }
     if options.stats {
-        let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+        print_server_stats(&mut client)?;
+    }
+    Ok(())
+}
+
+/// `repro evaluate --addr …`: run raw responses from stdin through a
+/// running server's full evaluation pipeline.
+fn evaluate_client(options: &CliOptions) -> Result<(), String> {
+    let task = client_task(options)?;
+    let responses = stdin_hypotheses(options.lines)?;
+
+    let mut client = ResilientClient::new(options.addr.clone(), options.retry_policy());
+    let request = ScoreRequest::evaluate(client.fresh_id(), task, &options.system, responses);
+    let response = client
+        .call(request)
+        .map_err(|e| format!("evaluation failed: {e}"))?;
+    if !response.ok {
+        return Err(response.error.unwrap_or_else(|| "unknown error".to_owned()));
+    }
+    println!(
+        "{:>4}  {:>8}  {:>8}  {:>8}  {:>8}  {:>12}   (task {}, system {})",
+        "#",
+        "BLEU",
+        "ChrF",
+        "recall",
+        "precis.",
+        "hallucinated",
+        task.name(),
+        options.system
+    );
+    for (i, e) in response.evaluations.iter().enumerate() {
         println!(
-            "server: {} requests, {} hypotheses, cache {}/{} hits ({:.1}% hit rate)",
-            stats.requests,
-            stats.hypotheses,
-            stats.cache_hits,
-            stats.cache_hits + stats.cache_misses,
-            100.0 * stats.cache_hit_rate()
+            "{:>4}  {:>8.2}  {:>8.2}  {:>8.2}  {:>8.2}  {:>12}",
+            i + 1,
+            e.bleu,
+            e.chrf,
+            e.call_recall,
+            e.call_precision,
+            e.hallucinated.len(),
         );
     }
-    client.close();
     Ok(())
+}
+
+/// `repro execute --addr …`: run raw responses from stdin through a
+/// running server's dynamic-execution pipeline.
+fn execute_client(options: &CliOptions) -> Result<(), String> {
+    let responses = stdin_hypotheses(options.lines)?;
+
+    let mut client = ResilientClient::new(options.addr.clone(), options.retry_policy());
+    let request = ScoreRequest::execute(client.fresh_id(), &options.system, responses);
+    let response = client
+        .call(request)
+        .map_err(|e| format!("execution failed: {e}"))?;
+    if !response.ok {
+        return Err(response.error.unwrap_or_else(|| "unknown error".to_owned()));
+    }
+    println!(
+        "{:>4}  {:>11}  {:>8}  {:>9}   (system {})",
+        "#", "runnability", "fidelity", "outcome", options.system
+    );
+    for (i, e) in response.executions.iter().enumerate() {
+        println!(
+            "{:>4}  {:>11.1}  {:>8.1}  {:>9}",
+            i + 1,
+            e.runnability,
+            e.trace_fidelity,
+            e.failure_kind.as_deref().unwrap_or("completed"),
+        );
+    }
+    Ok(())
+}
+
+fn chaos(options: &CliOptions) -> Result<(), String> {
+    let defaults = ChaosOptions::default();
+    run_chaos_cli(&ChaosOptions {
+        seeds: options.seeds,
+        requests: options.requests,
+        workers: if options.workers == 0 {
+            defaults.workers
+        } else {
+            options.workers
+        },
+        retries: if options.retries_set {
+            options.retries
+        } else {
+            defaults.retries
+        },
+        deadline_ms: if options.deadline_ms == 0 {
+            defaults.deadline_ms
+        } else {
+            options.deadline_ms
+        },
+    })
 }
 
 fn main() {
@@ -426,13 +629,33 @@ fn main() {
             return;
         }
         Some("evaluate") => {
-            // Without an explicit --task, evaluate covers every experiment.
+            // Without an explicit --task, grid-mode evaluate covers every
+            // experiment; client mode keeps the single-task default.
+            let client_mode = args.iter().any(|a| a == "--addr");
             let mut args = args[1..].to_vec();
-            if !args.iter().any(|a| a == "--task") {
+            if !client_mode && !args.iter().any(|a| a == "--task") {
                 args.extend(["--task".to_owned(), "all".to_owned()]);
             }
-            let result = CliOptions::parse(&args, &["--task", "--trials", "--execute"])
-                .and_then(|o| evaluate(&o));
+            let result = CliOptions::parse(
+                &args,
+                &[
+                    "--task",
+                    "--trials",
+                    "--execute",
+                    "--addr",
+                    "--system",
+                    "--lines",
+                    "--retries",
+                    "--deadline-ms",
+                ],
+            )
+            .and_then(|o| {
+                if o.addr_set {
+                    evaluate_client(&o)
+                } else {
+                    evaluate(&o)
+                }
+            });
             if let Err(message) = result {
                 eprintln!("repro evaluate: {message}");
                 std::process::exit(1);
@@ -440,7 +663,24 @@ fn main() {
             return;
         }
         Some("execute") => {
-            let result = CliOptions::parse(&args[1..], &["--trials"]).and_then(|o| execute(&o));
+            let result = CliOptions::parse(
+                &args[1..],
+                &[
+                    "--trials",
+                    "--addr",
+                    "--system",
+                    "--lines",
+                    "--retries",
+                    "--deadline-ms",
+                ],
+            )
+            .and_then(|o| {
+                if o.addr_set {
+                    execute_client(&o)
+                } else {
+                    execute(&o)
+                }
+            });
             if let Err(message) = result {
                 eprintln!("repro execute: {message}");
                 std::process::exit(1);
@@ -450,11 +690,37 @@ fn main() {
         Some("score") => {
             let result = CliOptions::parse(
                 &args[1..],
-                &["--addr", "--task", "--system", "--lines", "--stats"],
+                &[
+                    "--addr",
+                    "--task",
+                    "--system",
+                    "--lines",
+                    "--stats",
+                    "--retries",
+                    "--deadline-ms",
+                ],
             )
             .and_then(|o| score(&o));
             if let Err(message) = result {
                 eprintln!("repro score: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("chaos") => {
+            let result = CliOptions::parse(
+                &args[1..],
+                &[
+                    "--seeds",
+                    "--requests",
+                    "--workers",
+                    "--retries",
+                    "--deadline-ms",
+                ],
+            )
+            .and_then(|o| chaos(&o));
+            if let Err(message) = result {
+                eprintln!("repro chaos: {message}");
                 std::process::exit(1);
             }
             return;

@@ -70,6 +70,8 @@
 //! run-dependent timings: a default `repro` run must not dirty the tracked
 //! perf trajectory.
 
+pub mod chaos;
+
 use std::time::Instant;
 
 use serde::Serialize;

@@ -9,10 +9,20 @@
 //!   back, then [`collect`](ScoringClient::collect) the responses. Responses
 //!   may arrive in any order (the server's worker pool races); `collect`
 //!   returns them sorted by request id.
+//!
+//! The client tracks which request ids are still **in flight** (sent, not
+//! yet answered). When the server disconnects mid-read — an abrupt EOF or a
+//! torn frame — [`recv`](ScoringClient::recv) surfaces a distinct
+//! connection-lost error ([`std::io::ErrorKind::ConnectionAborted`]) whose
+//! message carries those ids, so callers know exactly which requests to
+//! retry; [`ResilientClient`](crate::ResilientClient) builds its reconnect
+//! and retry logic on top of this.
 
+use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     decode_line, encode_line, ScoreRequest, ScoreResponse, ServiceStats, TaskKind,
@@ -23,6 +33,7 @@ pub struct ScoringClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    in_flight: BTreeSet<u64>,
 }
 
 impl ScoringClient {
@@ -34,6 +45,7 @@ impl ScoringClient {
             reader,
             writer: BufWriter::new(stream),
             next_id: 1,
+            in_flight: BTreeSet::new(),
         })
     }
 
@@ -44,10 +56,27 @@ impl ScoringClient {
         id
     }
 
+    /// Request ids sent on this connection and not yet answered, in
+    /// ascending order. These are the requests a caller must re-issue after
+    /// a connection-lost error.
+    pub fn in_flight(&self) -> Vec<u64> {
+        self.in_flight.iter().copied().collect()
+    }
+
+    /// Bound how long [`recv`](ScoringClient::recv) blocks waiting for a
+    /// response line (`None` restores blocking reads). A timed-out read
+    /// surfaces as [`std::io::ErrorKind::TimedOut`]; the connection itself
+    /// stays usable.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Send one request without waiting for its response (pipelining).
     pub fn send(&mut self, request: &ScoreRequest) -> std::io::Result<()> {
         self.writer.write_all(encode_line(request).as_bytes())?;
-        self.writer.flush()
+        self.writer.flush()?;
+        self.in_flight.insert(request.id);
+        Ok(())
     }
 
     /// Receive the next response, whichever request it answers.
@@ -55,18 +84,59 @@ impl ScoringClient {
         let mut line = String::new();
         loop {
             line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ));
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err(self.connection_lost("server closed the connection")),
+                Ok(_) if !line.ends_with('\n') => {
+                    // Bytes arrived but the frame never finished before EOF:
+                    // the connection died mid-response (a torn frame), which
+                    // is a transport failure, not a protocol error.
+                    return Err(self.connection_lost("connection lost mid-frame"));
+                }
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    // A reset is a lost connection too — surface it with
+                    // the same retry-friendly shape as an abrupt EOF.
+                    return Err(self.connection_lost("connection reset"));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!(
+                            "timed out waiting for a response ({} request(s) in flight)",
+                            self.in_flight.len()
+                        ),
+                    ));
+                }
+                Err(e) => return Err(e),
             }
             if line.trim().is_empty() {
                 continue;
             }
-            return decode_line(&line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            let response: ScoreResponse = decode_line(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            self.in_flight.remove(&response.id);
+            return Ok(response);
         }
+    }
+
+    /// The typed connection-lost error: [`std::io::ErrorKind::ConnectionAborted`]
+    /// carrying every request id still awaiting a response.
+    fn connection_lost(&self, cause: &str) -> std::io::Error {
+        let ids = self.in_flight();
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            format!("{cause} with {} request(s) in flight: {ids:?}", ids.len()),
+        )
     }
 
     /// Receive `count` responses and return them sorted by request id.

@@ -1,0 +1,300 @@
+//! Deterministic fault injection for chaos testing the service.
+//!
+//! A [`FaultPlan`] describes *which* faults a server may inject and *how
+//! often*; a [`FaultInjector`] turns the plan into a reproducible schedule:
+//! every job the worker pool dequeues draws the next value of a request
+//! counter, and the (seed, counter) pair is hashed — never wall-clock
+//! randomness — into at most one [`FaultAction`]. Two servers built from
+//! the same plan inject exactly the same fault sequence, so every chaos run
+//! replays from its seed (`repro chaos` pins this).
+//!
+//! Faults are **off by default**: [`ServiceConfig`](crate::ServiceConfig)
+//! carries `faults: None` unless a harness opts in, and the golden snapshot
+//! tests pin that the plumbing is invisible when disabled.
+//!
+//! The injectable faults mirror the real-world failure domains of a
+//! line-oriented TCP service:
+//!
+//! | Fault | What the client observes |
+//! |---|---|
+//! | [`FaultAction::WorkerPanic`] | a typed `error_kind: "internal"` response (the job panicked under `catch_unwind`; the pool replaces the worker) |
+//! | [`WriteFault::Torn`] | the response line arrives in two TCP writes (frame reassembly must cope) |
+//! | [`WriteFault::Delay`] | the response is late by a bounded, deterministic number of milliseconds |
+//! | [`WriteFault::Drop`] | the response never arrives (clients need deadlines/retries) |
+//! | [`WriteFault::Disconnect`] | a partial frame, then mid-request EOF (connection-lost handling + reconnect) |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rates and seed for one deterministic fault schedule.
+///
+/// Each `*_per_1024` field is the probability numerator out of 1024 that a
+/// given request draws that fault; the rates are applied as **disjoint
+/// ranges** of the hash, so a request suffers at most one fault and the
+/// rates must sum to ≤ 1024 ([`FaultPlan::validate`] checks this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-request hash; the whole schedule replays
+    /// from it.
+    pub seed: u64,
+    /// Rate of injected worker panics (caught, answered as `"internal"`).
+    pub worker_panic_per_1024: u16,
+    /// Rate of mid-request disconnects (partial frame, then EOF).
+    pub disconnect_per_1024: u16,
+    /// Rate of silently dropped response writes.
+    pub dropped_write_per_1024: u16,
+    /// Rate of torn frames (response written in two flushes).
+    pub torn_frame_per_1024: u16,
+    /// Rate of delayed response writes.
+    pub delayed_write_per_1024: u16,
+    /// Upper bound (exclusive of 0: delays are `1..=max`) on injected write
+    /// delays, in milliseconds. The delay length is derived from the same
+    /// hash, so it too replays deterministically.
+    pub max_delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// The mixed chaos preset used by `repro chaos`: every fault class
+    /// enabled at single-digit-percent rates.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            worker_panic_per_1024: 48,  // ~4.7%
+            disconnect_per_1024: 48,    // ~4.7%
+            dropped_write_per_1024: 32, // ~3.1%
+            torn_frame_per_1024: 96,    // ~9.4%
+            delayed_write_per_1024: 96, // ~9.4%
+            max_delay_ms: 15,
+        }
+    }
+
+    /// A plan that injects nothing; useful as a baseline in sweeps.
+    pub fn disabled(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            worker_panic_per_1024: 0,
+            disconnect_per_1024: 0,
+            dropped_write_per_1024: 0,
+            torn_frame_per_1024: 0,
+            delayed_write_per_1024: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Check the rates fit in the hash range (sum ≤ 1024), so the disjoint
+    /// range mapping in [`FaultInjector`] stays well defined.
+    pub fn validate(&self) -> Result<(), String> {
+        let total = u64::from(self.worker_panic_per_1024)
+            + u64::from(self.disconnect_per_1024)
+            + u64::from(self.dropped_write_per_1024)
+            + u64::from(self.torn_frame_per_1024)
+            + u64::from(self.delayed_write_per_1024);
+        if total > 1024 {
+            return Err(format!(
+                "fault rates sum to {total}/1024; they must sum to at most 1024"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A write-path fault the connection's writer thread applies to one
+/// response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write the line in two flushes split at a deterministic byte offset
+    /// fraction (0–99, scaled to the line length at write time).
+    Torn { split_percent: u8 },
+    /// Sleep this many milliseconds before writing the line.
+    Delay { millis: u64 },
+    /// Never write the line.
+    Drop,
+    /// Write a deterministic prefix of the line (same percent scaling as
+    /// [`WriteFault::Torn`]), then shut the socket down mid-frame.
+    Disconnect { truncate_percent: u8 },
+}
+
+/// The fault (if any) scheduled for one dequeued job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: the job runs and replies normally.
+    None,
+    /// Panic inside the worker while handling the job.
+    WorkerPanic,
+    /// Apply a fault to the response write.
+    Write(WriteFault),
+}
+
+impl FaultAction {
+    /// The write-path component of this action, if it has one.
+    pub fn write_fault(&self) -> Option<WriteFault> {
+        match self {
+            FaultAction::Write(fault) => Some(*fault),
+            FaultAction::None | FaultAction::WorkerPanic => None,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed hash/PRNG step. Distinct from the
+/// vendored `rand` on purpose — the injector must never share (and thereby
+/// disturb) an experiment's seeded RNG streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A [`FaultPlan`] bound to a live request counter.
+///
+/// [`next_action`](FaultInjector::next_action) is the only way the counter
+/// advances, and the worker pool calls it exactly once per dequeued job, so
+/// the Nth job a server processes always draws the Nth schedule entry.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Bind a validated plan; rejects rate sums over 1024.
+    pub fn new(plan: FaultPlan) -> Result<Self, String> {
+        plan.validate()?;
+        Ok(FaultInjector {
+            plan,
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Faults scheduled so far (every non-[`FaultAction::None`] draw).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Draw the schedule entry for the next request counter value.
+    pub fn next_action(&self) -> FaultAction {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let action = self.action_at(n);
+        if action != FaultAction::None {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+
+    /// The pure schedule: what fault (if any) fires at counter value `n`.
+    /// Exposed so tests and harnesses can predict a seed's schedule without
+    /// running a server.
+    pub fn action_at(&self, n: u64) -> FaultAction {
+        let hash = splitmix64(self.plan.seed ^ splitmix64(n));
+        let draw = (hash % 1024) as u16;
+        // Secondary entropy for fault parameters, independent of the draw.
+        let param = splitmix64(hash);
+        let plan = &self.plan;
+        let mut threshold = plan.worker_panic_per_1024;
+        if draw < threshold {
+            return FaultAction::WorkerPanic;
+        }
+        threshold += plan.disconnect_per_1024;
+        if draw < threshold {
+            return FaultAction::Write(WriteFault::Disconnect {
+                truncate_percent: (param % 100) as u8,
+            });
+        }
+        threshold += plan.dropped_write_per_1024;
+        if draw < threshold {
+            return FaultAction::Write(WriteFault::Drop);
+        }
+        threshold += plan.torn_frame_per_1024;
+        if draw < threshold {
+            return FaultAction::Write(WriteFault::Torn {
+                split_percent: (param % 100) as u8,
+            });
+        }
+        threshold += plan.delayed_write_per_1024;
+        if draw < threshold {
+            let millis = 1 + param % plan.max_delay_ms.max(1);
+            return FaultAction::Write(WriteFault::Delay { millis });
+        }
+        FaultAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let a = FaultInjector::new(FaultPlan::chaos(42)).unwrap();
+        let b = FaultInjector::new(FaultPlan::chaos(42)).unwrap();
+        let schedule_a: Vec<FaultAction> = (0..512).map(|_| a.next_action()).collect();
+        let schedule_b: Vec<FaultAction> = (0..512).map(|_| b.next_action()).collect();
+        assert_eq!(schedule_a, schedule_b);
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "chaos preset injects at these lengths");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultInjector::new(FaultPlan::chaos(1)).unwrap();
+        let b = FaultInjector::new(FaultPlan::chaos(2)).unwrap();
+        let schedule_a: Vec<FaultAction> = (0..512).map(|n| a.action_at(n)).collect();
+        let schedule_b: Vec<FaultAction> = (0..512).map(|n| b.action_at(n)).collect();
+        assert_ne!(schedule_a, schedule_b);
+    }
+
+    #[test]
+    fn next_action_advances_through_action_at_in_order() {
+        let injector = FaultInjector::new(FaultPlan::chaos(7)).unwrap();
+        let predicted: Vec<FaultAction> = (0..64).map(|n| injector.action_at(n)).collect();
+        let drawn: Vec<FaultAction> = (0..64).map(|_| injector.next_action()).collect();
+        assert_eq!(predicted, drawn);
+    }
+
+    #[test]
+    fn disabled_plan_never_injects() {
+        let injector = FaultInjector::new(FaultPlan::disabled(9)).unwrap();
+        for _ in 0..2048 {
+            assert_eq!(injector.next_action(), FaultAction::None);
+        }
+        assert_eq!(injector.injected(), 0);
+    }
+
+    #[test]
+    fn every_fault_class_fires_under_the_chaos_preset() {
+        let injector = FaultInjector::new(FaultPlan::chaos(3)).unwrap();
+        let mut panic = 0;
+        let mut disconnect = 0;
+        let mut drop = 0;
+        let mut torn = 0;
+        let mut delay = 0;
+        let mut none = 0;
+        for n in 0..4096 {
+            match injector.action_at(n) {
+                FaultAction::WorkerPanic => panic += 1,
+                FaultAction::Write(WriteFault::Disconnect { .. }) => disconnect += 1,
+                FaultAction::Write(WriteFault::Drop) => drop += 1,
+                FaultAction::Write(WriteFault::Torn { .. }) => torn += 1,
+                FaultAction::Write(WriteFault::Delay { millis }) => {
+                    assert!(millis >= 1 && millis <= FaultPlan::chaos(3).max_delay_ms);
+                    delay += 1;
+                }
+                FaultAction::None => none += 1,
+            }
+        }
+        assert!(panic > 0 && disconnect > 0 && drop > 0 && torn > 0 && delay > 0);
+        assert!(none > 2048, "most requests stay clean: {none}");
+    }
+
+    #[test]
+    fn oversubscribed_rates_are_rejected() {
+        let plan = FaultPlan {
+            worker_panic_per_1024: 1000,
+            torn_frame_per_1024: 1000,
+            ..FaultPlan::chaos(0)
+        };
+        assert!(plan.validate().is_err());
+        assert!(FaultInjector::new(plan).is_err());
+    }
+}

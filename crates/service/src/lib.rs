@@ -30,6 +30,18 @@
 //!   with the same shared cache and backpressure rules, answering with
 //!   [`EvaluationScore`]s that are bit-identical to composing the stages
 //!   in-process.
+//! * **Fault tolerance** ([`faults`], [`resilient`]) — workers run each
+//!   job under `catch_unwind`, so a panicking request answers with a typed
+//!   `error_kind: "internal"` response and the pool replaces the worker
+//!   instead of dying; requests may carry a `deadline_ms` after which
+//!   still-queued jobs are answered with `error_kind: "deadline"` instead
+//!   of being scored late; shutdown drains in-flight work before
+//!   force-disconnecting stragglers. For chaos testing, a seeded
+//!   [`FaultPlan`] (off by default) makes the server deterministically
+//!   inject torn/partial frames, delayed and dropped writes, mid-request
+//!   disconnects and worker panics; [`ResilientClient`] is the matching
+//!   client with reconnect, capped deterministic backoff and retry of
+//!   idempotent requests (`repro chaos` sweeps seeds end to end).
 //! * **Dynamic-execution `execute` requests** — a request with
 //!   `mode: "execute"` treats each hypothesis as a raw model response whose
 //!   configuration payload is parsed into a workflow spec and *run* on the
@@ -67,12 +79,16 @@
 //! ```
 
 pub mod client;
+pub mod faults;
 pub mod protocol;
+pub mod resilient;
 pub mod server;
 
 pub use client::ScoringClient;
+pub use faults::{FaultAction, FaultInjector, FaultPlan, WriteFault};
 pub use protocol::{
     EvaluationScore, ExecutionScore, HypothesisScore, RequestMode, ScoreRequest, ScoreResponse,
     ServiceStats, TaskKind, DEFAULT_ADDR,
 };
+pub use resilient::{ResilientClient, RetriesExhausted, RetryPolicy};
 pub use server::{ScoringServer, ServiceConfig};

@@ -117,6 +117,13 @@ pub struct ScoreRequest {
     /// The hypotheses to score, in order. For `evaluate` requests these are
     /// raw model responses (fences and prose are stripped server-side).
     pub hypotheses: Vec<String>,
+    /// Per-request deadline in milliseconds, measured server-side from
+    /// admission to the job queue. A job still queued when its deadline
+    /// expires is dropped before scoring and answered with a typed
+    /// `error_kind: "deadline"` protocol error, so a backlogged server
+    /// never burns workers on results the client has stopped waiting for.
+    /// `None` (the default) means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ScoreRequest {
@@ -130,6 +137,15 @@ impl ScoreRequest {
             reference_text: None,
             mode: String::new(),
             hypotheses,
+            deadline_ms: None,
+        }
+    }
+
+    /// The same request with a per-request deadline attached.
+    pub fn with_deadline(self, deadline_ms: u64) -> Self {
+        ScoreRequest {
+            deadline_ms: Some(deadline_ms),
+            ..self
         }
     }
 
@@ -251,7 +267,10 @@ impl ScoreRequest {
             TaskKind::Annotation => annotation_reference(system),
             TaskKind::Translation => translation_reference(system),
             TaskKind::Execution => Some(execution_reference(system)),
-            TaskKind::Stats => unreachable!("handled above"),
+            // Already handled by the early return above; answering again
+            // (rather than `unreachable!`) keeps request addressing
+            // panic-free even if that early return is refactored away.
+            TaskKind::Stats => return Ok(None),
         };
         reference
             .map(Some)
@@ -288,6 +307,7 @@ impl Deserialize for ScoreRequest {
             )?,
             mode: field_or_default(obj.field("mode"), "ScoreRequest.mode")?,
             hypotheses: field_or_default(obj.field("hypotheses"), "ScoreRequest.hypotheses")?,
+            deadline_ms: field_or_default(obj.field("deadline_ms"), "ScoreRequest.deadline_ms")?,
         })
     }
 }
@@ -455,6 +475,13 @@ pub struct ServiceStats {
     /// Jobs sitting in the bounded queue right now (admitted but not yet
     /// picked up by a worker).
     pub queue_depth: u64,
+    /// Worker-pool replacements: each panicking job is caught, answered
+    /// with `error_kind: "internal"`, and the pool restores its worker —
+    /// this counts those recoveries over the server's lifetime.
+    pub worker_restarts: u64,
+    /// Faults scheduled by the server's [`FaultPlan`](crate::FaultPlan)
+    /// so far; always 0 when fault injection is disabled (the default).
+    pub faults_injected: u64,
 }
 
 impl ServiceStats {
@@ -561,6 +588,36 @@ impl ScoreResponse {
             ..ScoreResponse::failure(
                 id,
                 format!("server overloaded: job queue full ({queue_depth} queued); retry later"),
+            )
+        }
+    }
+
+    /// A typed internal-error response: the job panicked while being
+    /// handled. The worker pool caught the panic and recovered, so the
+    /// connection survives; the request itself is answered with this
+    /// terminal error instead of hanging.
+    pub fn internal_error(id: u64, detail: &str) -> Self {
+        ScoreResponse {
+            error_kind: Some("internal".to_owned()),
+            ..ScoreResponse::failure(
+                id,
+                format!("internal error: request handler panicked: {detail}"),
+            )
+        }
+    }
+
+    /// A typed deadline response: the job's
+    /// [`deadline_ms`](ScoreRequest::deadline_ms) expired while it sat in
+    /// the queue, so it was dropped before scoring.
+    pub fn deadline_exceeded(id: u64, deadline_ms: u64, waited_ms: u64) -> Self {
+        ScoreResponse {
+            error_kind: Some("deadline".to_owned()),
+            ..ScoreResponse::failure(
+                id,
+                format!(
+                    "deadline of {deadline_ms}ms exceeded: request waited {waited_ms}ms \
+                     before a worker picked it up"
+                ),
             )
         }
     }
@@ -851,13 +908,49 @@ mod tests {
             cache_hits: 9,
             cache_misses: 1,
             queue_depth: 3,
+            worker_restarts: 2,
+            faults_injected: 5,
         };
         let line = encode_line(&ScoreResponse::stats(1, stats));
         let decoded: ScoreResponse = decode_line(&line).unwrap();
         let snapshot = decoded.stats.expect("stats present");
         assert_eq!(snapshot.requests, 10);
         assert_eq!(snapshot.queue_depth, 3);
+        assert_eq!(snapshot.worker_restarts, 2);
+        assert_eq!(snapshot.faults_injected, 5);
         assert!((snapshot.cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_and_deadline_responses_carry_typed_error_kinds() {
+        let internal: ScoreResponse =
+            decode_line(&encode_line(&ScoreResponse::internal_error(3, "boom"))).unwrap();
+        assert!(!internal.ok);
+        assert_eq!(internal.error_kind.as_deref(), Some("internal"));
+        assert!(internal.error.unwrap().contains("boom"));
+
+        let expired: ScoreResponse =
+            decode_line(&encode_line(&ScoreResponse::deadline_exceeded(4, 250, 300))).unwrap();
+        assert!(!expired.ok);
+        assert_eq!(expired.id, 4);
+        assert_eq!(expired.error_kind.as_deref(), Some("deadline"));
+        let message = expired.error.unwrap();
+        assert!(
+            message.contains("250ms") && message.contains("300ms"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn deadlines_ride_the_wire_and_default_to_none() {
+        let request = ScoreRequest::by_text(5, "ref", vec!["x".into()]).with_deadline(750);
+        let decoded: ScoreRequest = decode_line(&encode_line(&request)).unwrap();
+        assert_eq!(decoded.deadline_ms, Some(750));
+
+        // Hand-rolled clients that never mention the field get no deadline.
+        let sparse: ScoreRequest =
+            decode_line(r#"{"id": 1, "reference_text": "ref", "hypotheses": ["x"]}"#).unwrap();
+        assert_eq!(sparse.deadline_ms, None);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -46,6 +47,7 @@ use wfspeak_core::exec::ExecutionPipeline;
 use wfspeak_core::{ReferenceCache, WorkflowSystemId};
 use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
 
+use crate::faults::{FaultAction, FaultInjector, FaultPlan, WriteFault};
 use crate::protocol::{
     decode_line, encode_line, salvage_request_id, EvaluationScore, ExecutionScore, HypothesisScore,
     RequestMode, ScoreRequest, ScoreResponse, ServiceStats,
@@ -85,6 +87,14 @@ pub struct ServiceConfig {
     /// worker indefinitely; larger batches are rejected with an error and
     /// should be split across pipelined requests.
     pub max_execute_batch: usize,
+    /// How long [`shutdown`](ScoringServer::shutdown) waits for admitted
+    /// work to finish (queue drained, in-flight jobs replied) before
+    /// force-disconnecting the remaining connections.
+    pub drain_timeout: std::time::Duration,
+    /// Deterministic fault-injection plan for chaos testing; `None` (the
+    /// default) disables injection entirely and the fault plumbing is
+    /// invisible (the golden snapshot tests pin this).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +107,8 @@ impl Default for ServiceConfig {
             reply_queue_depth: 256,
             admission_timeout: std::time::Duration::from_millis(250),
             max_execute_batch: 64,
+            drain_timeout: std::time::Duration::from_secs(5),
+            faults: None,
         }
     }
 }
@@ -128,11 +140,24 @@ struct ServiceState {
     /// worker. Incremented at admission, decremented at dequeue, so a
     /// `stats` snapshot can report live queue pressure.
     queue_depth: AtomicU64,
+    /// Jobs a worker has dequeued and not yet replied to. Together with
+    /// `queue_depth` this is the shutdown drain condition: both at zero
+    /// means every admitted job has been answered.
+    inflight: AtomicU64,
+    /// Panicking jobs caught and answered as `"internal"`; each one stands
+    /// for a worker the pool had to replace.
+    worker_restarts: AtomicU64,
+    /// The deterministic fault schedule, when chaos testing is enabled.
+    injector: Option<FaultInjector>,
 }
 
 impl ServiceState {
-    fn new(config: &ServiceConfig) -> Self {
-        ServiceState {
+    fn new(config: &ServiceConfig) -> Result<Self, String> {
+        let injector = match &config.faults {
+            Some(plan) => Some(FaultInjector::new(plan.clone())?),
+            None => None,
+        };
+        Ok(ServiceState {
             bleu: BleuScorer::default(),
             chrf: ChrfScorer::default(),
             cache: ReferenceCache::default(),
@@ -144,7 +169,10 @@ impl ServiceState {
             requests: AtomicU64::new(0),
             hypotheses: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
-        }
+            inflight: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            injector,
+        })
     }
 
     fn stats(&self) -> ServiceStats {
@@ -155,6 +183,8 @@ impl ServiceState {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            faults_injected: self.injector.as_ref().map_or(0, FaultInjector::injected),
         }
     }
 
@@ -197,7 +227,17 @@ impl ServiceState {
             }
         };
         if mode == RequestMode::Execute {
-            let system = system_id.expect("resolved above for execute mode");
+            // `system_id` is always `Some` here (resolved just above for
+            // execute mode), but the invariant is guarded by a typed
+            // protocol error rather than an `expect`: no request shape may
+            // ever panic a worker, even without the `catch_unwind` backstop.
+            let Some(system) = system_id else {
+                return ScoreResponse::failure(
+                    request.id,
+                    "execute requests must name a workflow system \
+                     (`system` or `reference_id`)",
+                );
+            };
             // Executions cost real threads and (for stalling specs) real
             // sandbox-timeout seconds each; bound what one request can pin
             // a worker with.
@@ -281,8 +321,24 @@ impl ServiceState {
 /// and the connection's socket so a stalled connection can be disconnected.
 struct Job {
     request: Result<ScoreRequest, ScoreResponse>,
-    reply: Sender<String>,
+    reply: Sender<Reply>,
     peer: Arc<TcpStream>,
+    /// When the reader admitted this job to the queue; the worker checks
+    /// the request's `deadline_ms` against it before scoring.
+    admitted: Instant,
+}
+
+/// One response line on its way to a connection's writer thread, plus the
+/// write-path fault (if any) the writer must apply to it.
+struct Reply {
+    line: String,
+    fault: Option<WriteFault>,
+}
+
+impl Reply {
+    fn clean(line: String) -> Self {
+        Reply { line, fault: None }
+    }
 }
 
 /// Live connections, so shutdown can force-disconnect stragglers instead of
@@ -332,6 +388,7 @@ pub struct ScoringServer {
     connections: Arc<ConnectionRegistry>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    drain_timeout: Duration,
 }
 
 impl ScoringServer {
@@ -340,7 +397,9 @@ impl ScoringServer {
     pub fn spawn(addr: impl ToSocketAddrs, config: ServiceConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServiceState::new(&config));
+        let state = ServiceState::new(&config)
+            .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidInput, message))?;
+        let state = Arc::new(state);
         let stop = Arc::new(AtomicBool::new(false));
 
         let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
@@ -385,6 +444,7 @@ impl ScoringServer {
             connections,
             accept_handle: Some(accept_handle),
             worker_handles,
+            drain_timeout: config.drain_timeout,
         })
     }
 
@@ -406,8 +466,9 @@ impl ScoringServer {
         }
     }
 
-    /// Stop accepting connections, disconnect remaining clients, drain the
-    /// job queue and join every server thread.
+    /// Shut down as a drain: stop accepting connections, let admitted work
+    /// finish and its replies flush, then force-disconnect stragglers past
+    /// [`ServiceConfig::drain_timeout`] and join every server thread.
     ///
     /// Queued work is still scored (responses to disconnected clients are
     /// dropped at the writer), so counters in [`stats`](ScoringServer::stats)
@@ -423,6 +484,24 @@ impl ScoringServer {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
+        // Drain phase: wait (bounded by the drain deadline) until every
+        // admitted job has left the queue and been replied to, so clients
+        // that are reading receive everything they were promised. Clients
+        // may still submit new work on live connections during the drain;
+        // the deadline bounds how long they can prolong it.
+        let deadline = Instant::now() + self.drain_timeout;
+        loop {
+            let quiesced = self.state.queue_depth.load(Ordering::SeqCst) == 0
+                && self.state.inflight.load(Ordering::SeqCst) == 0;
+            if quiesced || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Brief grace so connection writers can flush replies that are
+        // queued but not yet on the wire; best-effort only — the
+        // force-disconnect below is the correctness backstop.
+        std::thread::sleep(Duration::from_millis(20).min(self.drain_timeout));
         // Force-disconnect clients that have not hung up; their reader
         // threads exit, releasing the last job senders so workers drain the
         // queue and observe disconnect.
@@ -454,11 +533,18 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => return, // queue disconnected: server shutting down
         };
+        // Mark in-flight *before* leaving the queue so the shutdown drain
+        // never observes queue_depth and inflight both zero while a job is
+        // mid-handoff.
+        state.inflight.fetch_add(1, Ordering::SeqCst);
         state.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        let response = match &job.request {
-            Ok(request) => state.handle(request),
-            Err(failure) => failure.clone(),
-        };
+        // One schedule draw per dequeued job: the Nth job a server handles
+        // always gets the Nth fault decision, so chaos runs replay.
+        let action = state
+            .injector
+            .as_ref()
+            .map_or(FaultAction::None, FaultInjector::next_action);
+        let response = respond_to_job(state, &job, action);
         // A disconnected error means the connection writer is gone (client
         // hung up mid-flight); the response is dropped, matching TCP
         // semantics. A timeout means the client's reply buffer stayed full
@@ -466,12 +552,62 @@ fn worker_loop(
         // so disconnect it rather than let one slow reader wedge the shared
         // pool.
         use crossbeam_channel::SendTimeoutError;
-        if let Err(SendTimeoutError::Timeout) = job
-            .reply
-            .send_timeout(encode_line(&response), stall_timeout)
-        {
+        let reply = Reply {
+            line: encode_line(&response),
+            fault: action.write_fault(),
+        };
+        if let Err(SendTimeoutError::Timeout) = job.reply.send_timeout(reply, stall_timeout) {
             let _ = job.peer.shutdown(Shutdown::Both);
         }
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Produce the response for one dequeued job: enforce the request deadline,
+/// then run the handler under `catch_unwind` so a panicking job — injected
+/// by the fault plan or a genuine bug — yields a typed
+/// `error_kind: "internal"` response instead of a hung connection.
+///
+/// The unwind poisons nothing: all per-job state lives on the unwound
+/// stack, the shared caches use panic-safe locks, and the worker re-enters
+/// its loop with a clean frame — the pool's "respawn", counted in
+/// [`ServiceStats::worker_restarts`].
+fn respond_to_job(state: &ServiceState, job: &Job, action: FaultAction) -> ScoreResponse {
+    let request = match &job.request {
+        Ok(request) => request,
+        Err(failure) => return failure.clone(),
+    };
+    if let Some(deadline_ms) = request.deadline_ms {
+        let waited_ms = job.admitted.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        if waited_ms >= deadline_ms {
+            // Expired while queued: drop it before scoring so a backlogged
+            // server stops burning workers on answers nobody waits for.
+            return ScoreResponse::deadline_exceeded(request.id, deadline_ms, waited_ms);
+        }
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if action == FaultAction::WorkerPanic {
+            panic!("injected fault: worker panic");
+        }
+        state.handle(request)
+    }));
+    match outcome {
+        Ok(response) => response,
+        Err(payload) => {
+            state.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            ScoreResponse::internal_error(request.id, panic_detail(payload.as_ref()))
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "opaque panic payload"
     }
 }
 
@@ -520,7 +656,7 @@ fn handle_connection(
     let peer = Arc::new(peer);
     // Writer capacity is independent of the job queue: it only buffers
     // responses the client has not read yet.
-    let (reply_tx, reply_rx) = bounded::<String>(reply_depth);
+    let (reply_tx, reply_rx) = bounded::<Reply>(reply_depth);
     let writer_handle = std::thread::spawn(move || writer_loop(write_stream, &reply_rx));
 
     let reader = BufReader::new(stream);
@@ -543,6 +679,7 @@ fn handle_connection(
             request,
             reply: reply_tx.clone(),
             peer: Arc::clone(&peer),
+            admitted: Instant::now(),
         };
         // Count the job before handing it over so the depth can never read
         // negative: increment → enqueue → (worker dequeues → decrement).
@@ -556,7 +693,7 @@ fn handle_connection(
                 // (and with it the client's TCP window) indefinitely.
                 let depth = state.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
                 let shed = ScoreResponse::overloaded(request_id, depth as usize);
-                if reply_tx.send(encode_line(&shed)).is_err() {
+                if reply_tx.send(Reply::clean(encode_line(&shed))).is_err() {
                     break;
                 }
             }
@@ -572,14 +709,50 @@ fn handle_connection(
     let _ = writer_handle.join();
 }
 
-fn writer_loop(stream: TcpStream, replies: &Receiver<String>) {
+fn writer_loop(stream: TcpStream, replies: &Receiver<Reply>) {
     let mut writer = BufWriter::new(&stream);
-    while let Ok(line) = replies.recv() {
-        if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+    while let Ok(reply) = replies.recv() {
+        let bytes = reply.line.as_bytes();
+        let written = match reply.fault {
+            None => writer.write_all(bytes).and_then(|()| writer.flush()),
+            Some(WriteFault::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                writer.write_all(bytes).and_then(|()| writer.flush())
+            }
+            // The response evaporates; clients need deadlines + retries.
+            Some(WriteFault::Drop) => Ok(()),
+            // Two flushes exercise the client's frame reassembly; the bytes
+            // on the wire are identical.
+            Some(WriteFault::Torn { split_percent }) => {
+                let split = fault_offset(bytes.len(), split_percent);
+                writer
+                    .write_all(&bytes[..split])
+                    .and_then(|()| writer.flush())
+                    .and_then(|()| writer.write_all(&bytes[split..]))
+                    .and_then(|()| writer.flush())
+            }
+            // A torn frame with no continuation: partial bytes, then a
+            // mid-request disconnect (both directions, so the reader tears
+            // the connection down too).
+            Some(WriteFault::Disconnect { truncate_percent }) => {
+                let cut =
+                    fault_offset(bytes.len(), truncate_percent).min(bytes.len().saturating_sub(1));
+                let _ = writer.write_all(&bytes[..cut]);
+                let _ = writer.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        if written.is_err() {
             break;
         }
     }
     let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Scale a 0–99 fault percentage to a byte offset within a response line.
+fn fault_offset(len: usize, percent: u8) -> usize {
+    len * usize::from(percent % 100) / 100
 }
 
 #[cfg(test)]
@@ -589,7 +762,7 @@ mod tests {
 
     #[test]
     fn state_scores_match_direct_prepared_scoring() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let request = ScoreRequest::by_text(
             5,
             "tasks:\n  - func: producer",
@@ -617,7 +790,7 @@ mod tests {
 
     #[test]
     fn state_counts_requests_hypotheses_and_cache_traffic() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let request = ScoreRequest::by_id(
             1,
             TaskKind::Configuration,
@@ -639,7 +812,8 @@ mod tests {
         let state = ServiceState::new(&ServiceConfig {
             max_cached_references: 1,
             ..ServiceConfig::default()
-        });
+        })
+        .unwrap();
         assert!(
             state
                 .handle(&ScoreRequest::by_text(1, "ref a", vec!["x".into()]))
@@ -669,7 +843,7 @@ mod tests {
 
     #[test]
     fn state_reports_failures_without_counting_them() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let response = state.handle(&ScoreRequest::by_id(
             3,
             TaskKind::Configuration,
@@ -683,7 +857,7 @@ mod tests {
 
     #[test]
     fn evaluate_mode_runs_full_pipeline_bit_identically() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let reference = "henson_save_int(\"t\", t);\nhenson_yield();";
         let responses = vec![
             "Here is the code:\n```c\nhenson_put(\"t\", t);\nhenson_yield();\n```".to_owned(),
@@ -719,7 +893,7 @@ mod tests {
 
     #[test]
     fn evaluate_mode_requires_a_known_system() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let missing = state.handle(&ScoreRequest {
             id: 1,
             reference_text: Some("ref".into()),
@@ -743,7 +917,7 @@ mod tests {
 
     #[test]
     fn evaluate_via_reference_id_uses_that_system_for_the_catalogue() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let request = ScoreRequest {
             id: 3,
             reference_id: Some("annotation/Henson".into()),
@@ -761,7 +935,7 @@ mod tests {
 
     #[test]
     fn unknown_mode_is_rejected() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let response = state.handle(&ScoreRequest {
             id: 4,
             mode: "translate".into(),
@@ -773,7 +947,7 @@ mod tests {
 
     #[test]
     fn evaluate_requests_share_the_cache_with_score_requests() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let reference = "henson_yield();";
         assert!(
             state
@@ -801,7 +975,7 @@ mod tests {
         use wfspeak_core::exec::{execute_artifact, ExecutionPipeline};
         use wfspeak_corpus::references::configuration_reference;
 
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let reference = configuration_reference(WorkflowSystemId::Wilkins).unwrap();
         let responses = vec![
             reference.to_owned(),
@@ -849,7 +1023,7 @@ mod tests {
 
     #[test]
     fn execute_mode_rejects_non_executable_references_without_counting() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         // Annotation references are task codes, not configurations.
         let request = ScoreRequest {
             id: 5,
@@ -878,7 +1052,8 @@ mod tests {
         let state = ServiceState::new(&ServiceConfig {
             max_execute_batch: 2,
             ..ServiceConfig::default()
-        });
+        })
+        .unwrap();
         let oversized = ScoreRequest::execute(9, "Wilkins", vec!["x".into(); 3]);
         let response = state.handle(&oversized);
         assert!(!response.ok);
@@ -891,16 +1066,114 @@ mod tests {
 
     #[test]
     fn execute_reference_runs_are_cached_across_requests() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let request = ScoreRequest::execute(1, "Henson", vec!["x".into()]);
         assert!(state.handle(&request).ok);
         assert!(state.handle(&request).ok);
         assert_eq!(state.executor.cached_references(), 1);
     }
 
+    /// A connected-but-idle loopback socket for building test [`Job`]s.
+    fn loopback_peer() -> Arc<TcpStream> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let _accepted = listener.accept().unwrap();
+        Arc::new(stream)
+    }
+
+    fn test_job(request: ScoreRequest, reply: Sender<Reply>) -> Job {
+        Job {
+            request: Ok(request),
+            reply,
+            peer: loopback_peer(),
+            admitted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_are_dropped_before_scoring() {
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
+        let (reply_tx, _reply_rx) = bounded::<Reply>(1);
+        // deadline_ms = 0 is expired the instant a worker dequeues it.
+        let job = test_job(
+            ScoreRequest::by_text(9, "ref", vec!["x".into()]).with_deadline(0),
+            reply_tx,
+        );
+        let response = respond_to_job(&state, &job, FaultAction::None);
+        assert!(!response.ok);
+        assert_eq!(response.error_kind.as_deref(), Some("deadline"));
+        assert_eq!(response.id, 9);
+        assert_eq!(state.stats().requests, 0, "expired jobs are never scored");
+    }
+
+    #[test]
+    fn generous_deadlines_do_not_interfere_with_scoring() {
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
+        let (reply_tx, _reply_rx) = bounded::<Reply>(1);
+        let job = test_job(
+            ScoreRequest::by_text(3, "ref", vec!["ref".into()]).with_deadline(60_000),
+            reply_tx,
+        );
+        let response = respond_to_job(&state, &job, FaultAction::None);
+        assert!(response.ok, "{:?}", response.error);
+        assert_eq!(response.scores.len(), 1);
+    }
+
+    #[test]
+    fn panicking_jobs_yield_typed_internal_errors_and_count_a_restart() {
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
+        let (reply_tx, _reply_rx) = bounded::<Reply>(2);
+        let job = test_job(
+            ScoreRequest::by_text(4, "ref", vec!["x".into()]),
+            reply_tx.clone(),
+        );
+        let response = respond_to_job(&state, &job, FaultAction::WorkerPanic);
+        assert!(!response.ok);
+        assert_eq!(response.id, 4);
+        assert_eq!(response.error_kind.as_deref(), Some("internal"));
+        assert!(response.error.unwrap().contains("panicked"));
+        assert_eq!(state.stats().worker_restarts, 1);
+
+        // The pool state survives the unwind: the next job scores cleanly.
+        let next = test_job(
+            ScoreRequest::by_text(5, "ref", vec!["ref".into()]),
+            reply_tx,
+        );
+        let response = respond_to_job(&state, &next, FaultAction::None);
+        assert!(response.ok, "{:?}", response.error);
+    }
+
+    #[test]
+    fn fault_offsets_stay_within_the_line() {
+        assert_eq!(fault_offset(0, 50), 0);
+        assert_eq!(fault_offset(100, 0), 0);
+        assert_eq!(fault_offset(100, 99), 99);
+        assert_eq!(fault_offset(7, 50), 3);
+    }
+
+    #[test]
+    fn invalid_fault_plans_fail_spawn_with_invalid_input() {
+        let result = ScoringServer::spawn(
+            "127.0.0.1:0",
+            ServiceConfig {
+                faults: Some(FaultPlan {
+                    worker_panic_per_1024: 1024,
+                    torn_frame_per_1024: 1024,
+                    ..FaultPlan::chaos(0)
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        let error = match result {
+            Err(error) => error,
+            Ok(_) => panic!("an oversubscribed fault plan must fail spawn"),
+        };
+        assert_eq!(error.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
     #[test]
     fn stats_requests_do_not_inflate_request_counters() {
-        let state = ServiceState::new(&ServiceConfig::default());
+        let state = ServiceState::new(&ServiceConfig::default()).unwrap();
         let response = state.handle(&ScoreRequest::stats(8));
         assert!(response.ok);
         assert_eq!(response.stats.unwrap().requests, 0);

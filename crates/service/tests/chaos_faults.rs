@@ -1,0 +1,363 @@
+//! Wire-level pinning tests for the fault-tolerance subsystem: injected
+//! worker panics answer as typed `"internal"` errors and the pool
+//! respawns, deadlines expire queued jobs with typed `"deadline"` errors,
+//! torn frames reassemble, fault schedules replay bit-for-bit from their
+//! seed, the resilient client drives every request to a terminal state
+//! under drop/disconnect faults, and shutdown drains in-flight work.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use wfspeak_service::{
+    FaultPlan, ResilientClient, RetryPolicy, ScoreRequest, ScoringClient, ScoringServer,
+    ServiceConfig, TaskKind,
+};
+
+/// Keep expected, injected panics out of the test output; real panics
+/// still print. Hooks are process-global, so install the filter once.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected fault:"))
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A plan that fires exactly one fault class on every request.
+fn always(class: &str) -> FaultPlan {
+    let mut plan = FaultPlan::disabled(0);
+    match class {
+        "panic" => plan.worker_panic_per_1024 = 1024,
+        "torn" => plan.torn_frame_per_1024 = 1024,
+        "drop" => plan.dropped_write_per_1024 = 1024,
+        "disconnect" => plan.disconnect_per_1024 = 1024,
+        other => panic!("unknown fault class {other}"),
+    }
+    plan
+}
+
+#[test]
+fn injected_panics_answer_typed_internal_errors_and_the_pool_survives() {
+    silence_injected_panics();
+    let server = ScoringServer::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            faults: Some(always("panic")),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+
+    // Every request panics inside a worker; every panic must come back as
+    // a typed protocol error on the same connection, in order.
+    for id in 1..=4u64 {
+        let request = ScoreRequest::by_text(id, "reference text", vec!["hypothesis".to_owned()]);
+        client.send(&request).unwrap();
+        let response = client.recv().unwrap();
+        assert_eq!(response.id, id);
+        assert!(!response.ok);
+        assert_eq!(response.error_kind.as_deref(), Some("internal"));
+        let message = response.error.expect("internal errors carry a message");
+        assert!(message.contains("panicked"), "{message}");
+        assert!(response.scores.is_empty());
+    }
+
+    // Each panic logically respawned a worker, and the pool is still
+    // taking connections (the panics never killed the OS threads' loop).
+    let stats = server.stats();
+    assert_eq!(stats.worker_restarts, 4);
+    assert_eq!(stats.faults_injected, 4);
+    let mut second = ScoringClient::connect(server.addr()).unwrap();
+    second
+        .send(&ScoreRequest::by_text(9, "ref", vec!["x".to_owned()]))
+        .unwrap();
+    assert_eq!(
+        second.recv().unwrap().error_kind.as_deref(),
+        Some("internal")
+    );
+
+    client.close();
+    second.close();
+    server.shutdown();
+}
+
+#[test]
+fn queued_requests_past_their_deadline_get_typed_deadline_errors() {
+    let server = ScoringServer::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let reference_block = "reference text line\n".repeat(64);
+
+    // Pin the single worker with a slow batch.
+    let mut busy = ScoringClient::connect(server.addr()).unwrap();
+    busy.send(&ScoreRequest::by_text(
+        1,
+        &reference_block,
+        vec![reference_block.clone(); 256],
+    ))
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.stats().requests < 1 {
+        assert!(Instant::now() < deadline, "worker never started");
+        std::thread::yield_now();
+    }
+
+    // A 1ms-deadline request parks in the queue behind the slow batch;
+    // by the time a worker frees up it has long expired, so it must be
+    // answered with the typed deadline error instead of being scored.
+    let mut expired = ScoringClient::connect(server.addr()).unwrap();
+    expired
+        .send(&ScoreRequest::by_text(2, "ref", vec!["x".to_owned()]).with_deadline(1))
+        .unwrap();
+    let response = expired.recv().unwrap();
+    assert_eq!(response.id, 2);
+    assert!(!response.ok);
+    assert_eq!(response.error_kind.as_deref(), Some("deadline"));
+    let message = response.error.expect("deadline errors carry a message");
+    assert!(message.contains("deadline of 1ms"), "{message}");
+    assert!(response.scores.is_empty());
+
+    // The slow batch itself is unaffected, and expired requests do not
+    // count as handled work.
+    let slow = busy.recv().unwrap();
+    assert!(slow.ok, "{:?}", slow.error);
+    assert_eq!(server.stats().requests, 1);
+
+    busy.close();
+    expired.close();
+    server.shutdown();
+}
+
+#[test]
+fn torn_frames_reassemble_into_bit_identical_responses() {
+    let request = ScoreRequest::by_text(
+        5,
+        "shared reference",
+        vec!["shared reference".to_owned(), "other".to_owned()],
+    );
+
+    let respond = |faults: Option<FaultPlan>| {
+        let server = ScoringServer::spawn(
+            "127.0.0.1:0",
+            ServiceConfig {
+                faults,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ScoringClient::connect(server.addr()).unwrap();
+        client.send(&request).unwrap();
+        let response = client.recv().unwrap();
+        client.close();
+        server.shutdown();
+        response
+    };
+
+    // Every response line is written in two TCP flushes; the client's
+    // frame reassembly must hand back exactly the clean server's bytes.
+    let torn = respond(Some(always("torn")));
+    let clean = respond(None);
+    assert!(torn.ok, "{:?}", torn.error);
+    assert_eq!(
+        wfspeak_service::protocol::encode_line(&torn),
+        wfspeak_service::protocol::encode_line(&clean)
+    );
+}
+
+#[test]
+fn fault_schedules_replay_bit_for_bit_from_their_seed() {
+    silence_injected_panics();
+    let run = || {
+        let server = ScoringServer::spawn(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 1,
+                faults: Some(FaultPlan::chaos(77)),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = ResilientClient::new(
+            server.addr().to_string(),
+            RetryPolicy {
+                retries: 3,
+                deadline_ms: Some(500),
+                backoff_base: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+        );
+        let mut outcomes = Vec::new();
+        for id in 1..=24u64 {
+            let request = ScoreRequest::by_id(
+                id,
+                TaskKind::Configuration,
+                "Henson",
+                vec![format!("h{id}")],
+            );
+            outcomes.push(match client.call(request) {
+                Ok(response) => (response.ok, response.error_kind),
+                Err(_) => (false, Some("exhausted".to_owned())),
+            });
+        }
+        client.disconnect();
+        let stats = server.stats();
+        server.shutdown();
+        (outcomes, stats.faults_injected, stats.worker_restarts)
+    };
+
+    // A sequential client makes the whole run a pure function of the
+    // seed: same outcomes, same fault count, same restarts.
+    let (outcomes_a, faults_a, restarts_a) = run();
+    let (outcomes_b, faults_b, restarts_b) = run();
+    assert_eq!(outcomes_a, outcomes_b);
+    assert_eq!(faults_a, faults_b);
+    assert_eq!(restarts_a, restarts_b);
+    assert!(faults_a > 0, "seed 77 injects at this workload size");
+}
+
+#[test]
+fn resilient_client_terminates_every_request_under_drop_and_disconnect_faults() {
+    // Half the responses vanish, half the connections die mid-frame: the
+    // worst transport weather the injector can brew.
+    let mut plan = FaultPlan::disabled(13);
+    plan.dropped_write_per_1024 = 256;
+    plan.disconnect_per_1024 = 256;
+    let server = ScoringServer::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            faults: Some(plan),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ResilientClient::new(
+        server.addr().to_string(),
+        RetryPolicy {
+            retries: 6,
+            deadline_ms: Some(300),
+            backoff_base: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+    );
+
+    let mut scored = 0;
+    for id in 1..=16u64 {
+        match client.call(ScoreRequest::by_text(
+            id,
+            "reference",
+            vec!["reference".to_owned()],
+        )) {
+            Ok(response) if response.ok => scored += 1,
+            Ok(response) => panic!("unexpected server error: {:?}", response.error),
+            Err(exhausted) => {
+                // Terminal too — but with 7 attempts at 50% transport
+                // loss it should be vanishingly rare.
+                eprintln!("request exhausted retries: {exhausted}");
+            }
+        }
+    }
+    assert!(scored >= 12, "retries recover most requests: {scored}/16");
+    client.disconnect();
+    server.shutdown();
+}
+
+#[test]
+fn mid_read_eof_surfaces_connection_lost_with_in_flight_ids() {
+    // A hand-rolled "server" that answers with half a frame and hangs up.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Read both request lines first: dropping a socket with unread
+        // inbound data sends RST instead of FIN, which would race the
+        // partial frame out of the client's receive buffer.
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        for _ in 0..2 {
+            line.clear();
+            std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        }
+        stream.write_all(b"{\"id\":3,\"ok\":tr").unwrap();
+        stream.flush().unwrap();
+        // Dropping the stream closes it mid-frame.
+    });
+
+    let mut client = ScoringClient::connect(addr).unwrap();
+    client
+        .send(&ScoreRequest::by_text(3, "ref", vec!["x".to_owned()]))
+        .unwrap();
+    client
+        .send(&ScoreRequest::by_text(4, "ref", vec!["y".to_owned()]))
+        .unwrap();
+    assert_eq!(client.in_flight(), vec![3, 4]);
+
+    let error = client.recv().unwrap_err();
+    assert_eq!(error.kind(), std::io::ErrorKind::ConnectionAborted);
+    let message = error.to_string();
+    assert!(message.contains("mid-frame"), "{message}");
+    assert!(message.contains("2 request(s) in flight"), "{message}");
+    assert!(message.contains("[3, 4]"), "{message}");
+    fake.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_disconnecting() {
+    let server = ScoringServer::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 1,
+            drain_timeout: Duration::from_secs(30),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let reference_block = "reference text line\n".repeat(32);
+
+    let mut client = ScoringClient::connect(server.addr()).unwrap();
+    client
+        .send(&ScoreRequest::by_text(
+            11,
+            &reference_block,
+            vec![reference_block.clone(); 64],
+        ))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.stats().requests < 1 {
+        assert!(Instant::now() < deadline, "worker never started");
+        std::thread::yield_now();
+    }
+
+    // Shut down while the batch is mid-score. Drain semantics: the reply
+    // must still reach the client before the connection is closed.
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    let response = client.recv().unwrap();
+    assert_eq!(response.id, 11);
+    assert!(response.ok, "{:?}", response.error);
+    assert_eq!(response.scores.len(), 64);
+    shutdown.join().unwrap();
+
+    // After the drain the listener is gone: the next read sees EOF as a
+    // typed connection-lost error (nothing in flight).
+    let error = client.recv().unwrap_err();
+    assert_eq!(error.kind(), std::io::ErrorKind::ConnectionAborted);
+    assert!(error.to_string().contains("0 request(s) in flight"));
+}

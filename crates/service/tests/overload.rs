@@ -104,3 +104,86 @@ fn full_queue_sheds_with_typed_overloaded_error() {
     shed.close();
     server.shutdown();
 }
+
+/// A shed client that hangs up without ever reading its `"overloaded"`
+/// reply must not leak anything: the undeliverable reply is discarded with
+/// the connection, the queue slot it never held stays free, and the
+/// server's counters come back to rest exactly as if the client had
+/// behaved.
+#[test]
+fn shed_clients_that_disconnect_immediately_leak_nothing() {
+    let config = ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        admission_timeout: Duration::ZERO,
+        ..ServiceConfig::default()
+    };
+    let server = ScoringServer::spawn("127.0.0.1:0", config).unwrap();
+    let reference = configuration_reference(WorkflowSystemId::Wilkins).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+
+    // Pin the single worker with a slow batch, then park a second request
+    // in the only queue slot (same choreography as the test above).
+    let mut busy = ScoringClient::connect(server.addr()).unwrap();
+    busy.send(&ScoreRequest::by_text(
+        1,
+        reference,
+        vec![reference.to_owned(); 512],
+    ))
+    .unwrap();
+    while server.stats().requests < 1 {
+        assert!(Instant::now() < deadline, "worker never started");
+        std::thread::yield_now();
+    }
+    let mut parked = ScoringClient::connect(server.addr()).unwrap();
+    parked
+        .send(&ScoreRequest::by_text(
+            2,
+            reference,
+            vec!["x".to_owned(); 16],
+        ))
+        .unwrap();
+    while server.stats().queue_depth < 1 {
+        assert!(Instant::now() < deadline, "job queue never filled");
+        std::thread::yield_now();
+    }
+
+    // Several impatient clients: each is shed, and each disconnects
+    // without reading the overloaded reply. The writer thread discovers
+    // the dead socket when it tries to deliver and tears the connection
+    // down; nothing may leak into the job queue or block the pool.
+    for round in 0..3u64 {
+        let mut impatient = ScoringClient::connect(server.addr()).unwrap();
+        impatient
+            .send(&ScoreRequest::by_text(
+                100 + round,
+                reference,
+                vec!["x".to_owned()],
+            ))
+            .unwrap();
+        impatient.close();
+    }
+
+    // The pinned and parked work is untouched by the churn.
+    let slow = busy.recv().unwrap();
+    assert!(slow.ok, "{:?}", slow.error);
+    let queued = parked.recv().unwrap();
+    assert!(queued.ok, "{:?}", queued.error);
+
+    // At rest: no queued jobs left behind, no in-flight work, and the
+    // request counter shows the shed requests never reached a worker.
+    let stats = server.stats();
+    assert_eq!(stats.queue_depth, 0, "shed requests must not leak jobs");
+    assert_eq!(stats.requests, 2, "only the real batches were handled");
+
+    // The pool still serves fresh connections.
+    let mut probe = ScoringClient::connect(server.addr()).unwrap();
+    let scored = probe.score_text(reference, vec!["x".to_owned()]).unwrap();
+    assert!(scored.ok, "{:?}", scored.error);
+    assert_eq!(probe.stats().unwrap().queue_depth, 0);
+
+    busy.close();
+    parked.close();
+    probe.close();
+    server.shutdown();
+}
