@@ -71,11 +71,19 @@ Performance artifacts (rewrite tracked BENCH_N.json snapshots):
     bench-execute  dynamic-execution throughput -> BENCH_4.json
     bench-scaling  engine scaling over synthetic topologies -> BENCH_5.json
                    (honours WFSPEAK_SCALING_MAX as a task-count bound)
+    bench-connections
+                   high-connection scaling of the event-driven server over
+                   loopback, 4 -> 256 -> 1024 closed-loop clients
+                   -> BENCH_6.json (honours WFSPEAK_CONNECTIONS_MAX as a
+                   client-count bound)
+        --io-threads N event-loop threads    [default: 1]
 
 Scoring service:
     serve          run the batch scoring server (newline-delimited JSON/TCP)
         --addr A       listen address        [default: 127.0.0.1:7878]
         --workers N    scoring threads       [default: one per core]
+        --io-threads N event-loop threads multiplexing the connections
+                                             [default: 1]
     score          score hypotheses from stdin against a running server
         --addr A       server address        [default: 127.0.0.1:7878]
         --task T       configuration | annotation | translation
@@ -226,6 +234,11 @@ fn bench_scaling() {
     wfspeak_bench::run_runtime_scaling_bench("BENCH_5.json");
 }
 
+fn bench_connections(options: &CliOptions) -> Result<(), String> {
+    wfspeak_bench::run_connection_bench("BENCH_6.json", options.io_threads);
+    Ok(())
+}
+
 fn json(benchmark: &Benchmark) {
     let report = FullReport {
         config: benchmark.config().clone(),
@@ -246,6 +259,7 @@ struct CliOptions {
     /// `execute` into client mode).
     addr_set: bool,
     workers: usize,
+    io_threads: usize,
     task: String,
     system: String,
     trials: usize,
@@ -279,6 +293,7 @@ impl CliOptions {
             addr: DEFAULT_ADDR.to_owned(),
             addr_set: false,
             workers: 0,
+            io_threads: 1,
             task: "configuration".to_owned(),
             system: "Henson".to_owned(),
             trials: 5,
@@ -310,6 +325,14 @@ impl CliOptions {
                     options.workers = value_of("--workers")?
                         .parse()
                         .map_err(|e| format!("--workers: {e}"))?;
+                }
+                "--io-threads" => {
+                    options.io_threads = value_of("--io-threads")?
+                        .parse()
+                        .map_err(|e| format!("--io-threads: {e}"))?;
+                    if options.io_threads == 0 {
+                        return Err("--io-threads must be at least 1".to_owned());
+                    }
                 }
                 "--task" => options.task = value_of("--task")?,
                 "--system" => options.system = value_of("--system")?,
@@ -435,6 +458,7 @@ fn execute(options: &CliOptions) -> Result<(), String> {
 fn serve(options: &CliOptions) -> Result<(), String> {
     let config = ServiceConfig {
         workers: options.workers,
+        io_threads: options.io_threads,
         ..ServiceConfig::default()
     };
     let server = ScoringServer::spawn(options.addr.as_str(), config)
@@ -490,6 +514,10 @@ fn print_server_stats(client: &mut ResilientClient) -> Result<(), String> {
         100.0 * stats.cache_hit_rate(),
         stats.worker_restarts,
         stats.faults_injected,
+    );
+    println!(
+        "latency: p50 {}us, p95 {}us, p99 {}us over {} sample(s)",
+        stats.latency_p50_us, stats.latency_p95_us, stats.latency_p99_us, stats.latency_samples,
     );
     Ok(())
 }
@@ -620,10 +648,19 @@ fn main() {
     // `serve` and `score` consume the rest of the argument list as options.
     match args.first().map(String::as_str) {
         Some("serve") => {
-            let result =
-                CliOptions::parse(&args[1..], &["--addr", "--workers"]).and_then(|o| serve(&o));
+            let result = CliOptions::parse(&args[1..], &["--addr", "--workers", "--io-threads"])
+                .and_then(|o| serve(&o));
             if let Err(message) = result {
                 eprintln!("repro serve: {message}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("bench-connections") => {
+            let result = CliOptions::parse(&args[1..], &["--io-threads"])
+                .and_then(|o| bench_connections(&o));
+            if let Err(message) = result {
+                eprintln!("repro bench-connections: {message}");
                 std::process::exit(1);
             }
             return;

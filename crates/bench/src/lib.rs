@@ -48,6 +48,29 @@
 //!   fidelity exactly 1.0). `max_tasks` records any tier bound in force
 //!   (the CI smoke caps the sweep at the 100-task tier via
 //!   `WFSPEAK_SCALING_MAX`; `null` means unbounded).
+//! * **`BENCH_6.json`** ([`ConnectionScalingReport`], written by the
+//!   `connection_scaling` bench or `repro bench-connections`) —
+//!   high-connection scaling of the event-driven server: the same fixed
+//!   request budget is pushed through 4, then 256, then 1024 concurrent
+//!   closed-loop clients (each sends one request, reads the reply, thinks
+//!   for `think_time_ms`, and repeats — the textbook closed-loop load
+//!   model, so a small client count is latency-bound while large counts
+//!   saturate the worker pool through one multiplexed event loop), one
+//!   fresh server per tier so latency percentiles don't bleed across
+//!   tiers. Each `tiers[]` entry carries exact workload
+//!   counters (`clients`, `requests`, `hypotheses`), the tier's
+//!   `requests_per_sec` / `hypotheses_per_sec` rates, and the server-side
+//!   `latency_p50_us` / `latency_p95_us` / `latency_p99_us` percentiles
+//!   from the power-of-two latency histogram (admission → reply handoff).
+//!   `io_threads` records the event-loop count the servers ran with,
+//!   `max_clients` any tier bound in force (the CI smoke caps at 64
+//!   clients via `WFSPEAK_CONNECTIONS_MAX`; `null` means the full 1024
+//!   sweep), and `summary_checksum` folds the deterministic workload
+//!   counters (not the timings) so two runs of the same configuration are
+//!   comparable at a glance. The scaling claim BENCH_6 exists to track:
+//!   per-request throughput at ≥256 connections must beat the 4-client
+//!   figure, because the readiness loop amortises wakeups and keeps the
+//!   worker pool's queue from ever running dry.
 //!
 //! Shared schema conventions:
 //!
@@ -787,6 +810,290 @@ pub fn measure_service_throughput(
     }
 }
 
+/// One client-count tier of the connection-scaling bench.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConnectionTierReport {
+    /// Concurrent closed-loop client connections in this tier.
+    pub clients: usize,
+    /// Total requests completed across all clients (exact counter).
+    pub requests: usize,
+    /// Hypotheses scored (`requests × batch_size`), as counted by the server.
+    pub hypotheses: usize,
+    /// Wall-clock seconds from barrier release to last response read.
+    pub wall_time_secs: f64,
+    /// Requests completed per second — the scaling-curve signal.
+    pub requests_per_sec: f64,
+    /// Hypotheses scored per second.
+    pub hypotheses_per_sec: f64,
+    /// Server-side p50 admission→reply latency, microseconds (power-of-two
+    /// bucket upper bound).
+    pub latency_p50_us: u64,
+    /// Server-side p95 admission→reply latency, microseconds.
+    pub latency_p95_us: u64,
+    /// Server-side p99 admission→reply latency, microseconds.
+    pub latency_p99_us: u64,
+}
+
+/// Machine-readable connection-scaling report emitted as `BENCH_6.json`
+/// (see the crate docs for the schema conventions).
+#[derive(Debug, Clone, Serialize)]
+pub struct ConnectionScalingReport {
+    /// Report schema / sequence tag (`BENCH_6` for the connection bench).
+    pub bench_id: String,
+    /// Event-loop threads each tier's server ran with.
+    pub io_threads: usize,
+    /// Hypotheses per request.
+    pub batch_size: usize,
+    /// Closed-loop client think time between requests, milliseconds: the
+    /// idle gap each connection holds open, which the event loop must
+    /// multiplex without burning a thread on it.
+    pub think_time_ms: u64,
+    /// Client-count bound in force (`WFSPEAK_CONNECTIONS_MAX`), absent for
+    /// the full 4→1024 sweep.
+    pub max_clients: Option<usize>,
+    /// Per-tier workload counters, rates and latency percentiles.
+    pub tiers: Vec<ConnectionTierReport>,
+    /// Requests completed across all tiers.
+    pub total_requests: usize,
+    /// Hypotheses scored across all tiers.
+    pub total_hypotheses: usize,
+    /// FNV-1a fold of every tier's deterministic counters (clients,
+    /// requests, hypotheses — never the timings), as a `0x`-prefixed hex
+    /// string: two runs of the same configuration must match.
+    pub summary_checksum: String,
+    /// Wall-clock seconds across all tiers (including connection setup).
+    pub wall_time_secs: f64,
+}
+
+impl ConnectionScalingReport {
+    /// Pretty JSON for the `BENCH_6.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// The full-sweep client tiers for the connection bench.
+pub const CONNECTION_TIERS: [usize; 3] = [4, 256, 1024];
+
+/// The client-count bound the connection bench honours:
+/// `WFSPEAK_CONNECTIONS_MAX` (used by the CI smoke to stop at 64 clients),
+/// unbounded by default.
+pub fn connections_max() -> usize {
+    std::env::var("WFSPEAK_CONNECTIONS_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Drive one server with `clients` concurrent closed-loop connections
+/// (connect, barrier, then send→recv→think loops) until `total_requests`
+/// complete, and return the tier's counters, rates and server-side latency
+/// percentiles. One fresh server per tier keeps the latency histogram
+/// scoped to the tier.
+fn measure_connection_tier(
+    io_threads: usize,
+    clients: usize,
+    total_requests: usize,
+    batch_size: usize,
+    think_time: std::time::Duration,
+) -> ConnectionTierReport {
+    use std::sync::Barrier;
+
+    // The bench measures the event loop and worker pool, not admission
+    // shedding: size the queue to the client count so a closed-loop
+    // request never parks, and keep the admission timeout generous in
+    // case it ever does.
+    let config = ServiceConfig {
+        io_threads,
+        queue_depth: clients.max(256),
+        admission_timeout: std::time::Duration::from_secs(30),
+        ..ServiceConfig::default()
+    };
+    let server = ScoringServer::spawn("127.0.0.1:0", config).expect("loopback bind cannot fail");
+    let addr = server.addr();
+    let reference = wfspeak_corpus::references::configuration_reference(
+        wfspeak_corpus::WorkflowSystemId::Wilkins,
+    )
+    .expect("configuration reference");
+    let requests_per_client = (total_requests / clients).max(1);
+    let requests = requests_per_client * clients;
+
+    // All clients connect before any sends: the measured window is pure
+    // request traffic, not connection setup.
+    let barrier = Barrier::new(clients + 1);
+    let start = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client =
+                        ScoringClient::connect(addr).expect("loopback connect cannot fail");
+                    barrier.wait();
+                    for request_index in 0..requests_per_client {
+                        let hypotheses = (0..batch_size)
+                            .map(|i| {
+                                format!("workflow step {i} of request {request_index} from client {client_index}")
+                            })
+                            .collect();
+                        let request =
+                            ScoreRequest::by_text(client.fresh_id(), reference, hypotheses);
+                        client.send(&request).expect("send over loopback");
+                        let response = client.recv().expect("recv over loopback");
+                        assert!(response.ok, "bench request failed: {:?}", response.error);
+                        // Closed-loop think time: the connection sits idle
+                        // (but open) between requests, so aggregate
+                        // throughput scales with the number of connections
+                        // the event loop can hold until the worker pool
+                        // saturates.
+                        if !think_time.is_zero() && request_index + 1 < requests_per_client {
+                            std::thread::sleep(think_time);
+                        }
+                    }
+                    client.close();
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            handle.join().expect("bench client panicked");
+        }
+        start
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    server.shutdown();
+    assert_eq!(
+        stats.requests, requests as u64,
+        "server counted every request"
+    );
+    assert_eq!(
+        stats.latency_samples, requests as u64,
+        "every request recorded a latency sample"
+    );
+    ConnectionTierReport {
+        clients,
+        requests,
+        hypotheses: stats.hypotheses as usize,
+        wall_time_secs: wall,
+        requests_per_sec: requests as f64 / wall,
+        hypotheses_per_sec: stats.hypotheses as f64 / wall,
+        latency_p50_us: stats.latency_p50_us,
+        latency_p95_us: stats.latency_p95_us,
+        latency_p99_us: stats.latency_p99_us,
+    }
+}
+
+/// The client tiers a sweep bounded at `max_clients` actually runs: the
+/// sweep points of [`CONNECTION_TIERS`] up to the bound, with the bound
+/// itself appended as a final tier when it falls between sweep points (so
+/// a CI cap of 64 still measures a >4-client tier), and the bound alone
+/// when it sits below the smallest sweep point.
+pub fn connection_tiers_for(max_clients: usize) -> Vec<usize> {
+    let mut tiers: Vec<usize> = CONNECTION_TIERS
+        .iter()
+        .copied()
+        .filter(|&clients| clients <= max_clients)
+        .collect();
+    if tiers.last() != Some(&max_clients)
+        && max_clients > CONNECTION_TIERS[0]
+        && max_clients < *CONNECTION_TIERS.last().expect("tiers nonempty")
+    {
+        tiers.push(max_clients);
+    }
+    if tiers.is_empty() {
+        tiers.push(max_clients.max(1));
+    }
+    tiers
+}
+
+/// Run the connection-scaling sweep: the tiers of [`connection_tiers_for`],
+/// each pushing `total_requests` requests of `batch_size` hypotheses
+/// through a fresh event-driven server.
+pub fn measure_connection_scaling(
+    io_threads: usize,
+    max_clients: usize,
+    total_requests: usize,
+    batch_size: usize,
+    think_time: std::time::Duration,
+) -> ConnectionScalingReport {
+    let tiers_to_run = connection_tiers_for(max_clients);
+    let start = Instant::now();
+    let tiers: Vec<ConnectionTierReport> = tiers_to_run
+        .iter()
+        .map(|&clients| {
+            measure_connection_tier(io_threads, clients, total_requests, batch_size, think_time)
+        })
+        .collect();
+
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    for tier in &tiers {
+        for counter in [
+            tier.clients as u64,
+            tier.requests as u64,
+            tier.hypotheses as u64,
+        ] {
+            checksum = fnv1a(checksum, &counter.to_le_bytes());
+        }
+    }
+    ConnectionScalingReport {
+        bench_id: "BENCH_6".to_owned(),
+        io_threads,
+        batch_size,
+        think_time_ms: think_time.as_millis() as u64,
+        max_clients: (max_clients != usize::MAX).then_some(max_clients),
+        total_requests: tiers.iter().map(|t| t.requests).sum(),
+        total_hypotheses: tiers.iter().map(|t| t.hypotheses).sum(),
+        summary_checksum: format!("{checksum:#018x}"),
+        wall_time_secs: start.elapsed().as_secs_f64(),
+        tiers,
+    }
+}
+
+/// Run the connection-scaling bench at its standard scale (4096 requests ×
+/// 4 hypotheses per tier, 2ms closed-loop think time, tiers bounded by
+/// `WFSPEAK_CONNECTIONS_MAX` when set), print the scaling curve and write
+/// the report to `path`. Shared by `repro bench-connections` and the
+/// `connection_scaling` bench binary so the two artifacts cannot drift.
+pub fn run_connection_bench(path: &str, io_threads: usize) {
+    let report = measure_connection_scaling(
+        io_threads,
+        connections_max(),
+        4096,
+        4,
+        std::time::Duration::from_millis(2),
+    );
+    println!(
+        "Connection scaling: {} tiers, {} requests ({} hypotheses) in {:.2}s \
+         with {} io thread(s) (checksum {})",
+        report.tiers.len(),
+        report.total_requests,
+        report.total_hypotheses,
+        report.wall_time_secs,
+        report.io_threads,
+        report.summary_checksum,
+    );
+    for tier in &report.tiers {
+        println!(
+            "  {:>5} clients: {:>6} reqs in {:>7.3}s = {:>8.1} req/s, {:>9.1} hyp/s \
+             (p50 {}us, p95 {}us, p99 {}us)",
+            tier.clients,
+            tier.requests,
+            tier.wall_time_secs,
+            tier.requests_per_sec,
+            tier.hypotheses_per_sec,
+            tier.latency_p50_us,
+            tier.latency_p95_us,
+            tier.latency_p99_us,
+        );
+    }
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,6 +1121,49 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench_id\": \"BENCH_2\""));
         assert!(json.contains("hypotheses_per_sec"));
+    }
+
+    #[test]
+    fn connection_scaling_report_is_consistent() {
+        // Tiny sweep: a 2-client cap falls below every sweep point, so the
+        // bench runs a single 2-client tier.
+        let report = measure_connection_scaling(1, 2, 8, 2, std::time::Duration::ZERO);
+        assert_eq!(report.bench_id, "BENCH_6");
+        assert_eq!(report.io_threads, 1);
+        assert_eq!(report.max_clients, Some(2));
+        assert_eq!(report.tiers.len(), 1);
+        let tier = &report.tiers[0];
+        assert_eq!(tier.clients, 2);
+        assert_eq!(tier.requests, 8);
+        assert_eq!(tier.hypotheses, 16);
+        assert_eq!(report.total_requests, 8);
+        assert_eq!(report.total_hypotheses, 16);
+        // Latency percentiles come from the power-of-two histogram: with
+        // samples recorded they are nonzero bucket bounds and monotone.
+        assert!(tier.latency_p50_us >= 1);
+        assert!(tier.latency_p50_us <= tier.latency_p95_us);
+        assert!(tier.latency_p95_us <= tier.latency_p99_us);
+        assert!(tier.wall_time_secs > 0.0 && tier.requests_per_sec > 0.0);
+        // The checksum folds only workload counters, so a re-run of the
+        // same configuration matches bit for bit.
+        let rerun = measure_connection_scaling(1, 2, 8, 2, std::time::Duration::ZERO);
+        assert_eq!(report.summary_checksum, rerun.summary_checksum);
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_6\""));
+        assert!(json.contains("latency_p99_us"));
+        assert!(json.contains("summary_checksum"));
+    }
+
+    #[test]
+    fn connection_tier_selection_honours_the_cap() {
+        // Full sweep when unbounded; cut-and-append when capped between
+        // sweep points; smallest tier only when capped below it.
+        assert_eq!(connection_tiers_for(usize::MAX), vec![4, 256, 1024]);
+        assert_eq!(connection_tiers_for(1024), vec![4, 256, 1024]);
+        assert_eq!(connection_tiers_for(512), vec![4, 256, 512]);
+        assert_eq!(connection_tiers_for(64), vec![4, 64]);
+        assert_eq!(connection_tiers_for(4), vec![4]);
+        assert_eq!(connection_tiers_for(2), vec![2]);
     }
 
     #[test]

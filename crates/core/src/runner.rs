@@ -14,8 +14,10 @@
 //!   scheduling.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use wfspeak_codemodel::extract_code;
 use wfspeak_corpus::prompts::{
@@ -43,6 +45,10 @@ pub struct PreparedPair {
     pub chrf: PreparedReference,
 }
 
+/// Number of independent lock shards in a [`ReferenceCache`]. A power of
+/// two so the shard index is a mask of the key hash.
+const CACHE_SHARDS: usize = 16;
+
 /// Caches [`PreparedPair`]s keyed by reference text.
 ///
 /// The paper's experiments reuse a handful of ground-truth artifacts across
@@ -50,14 +56,51 @@ pub struct PreparedPair {
 /// reference once and sharing the result is most of the scoring speedup. The
 /// cache is shared across experiments (the prompt-sensitivity study re-runs
 /// every experiment five times over the same references).
-#[derive(Debug, Default)]
+///
+/// The map is split into 16 independently locked shards,
+/// selected by an FNV-1a hash of the reference text, so the scoring server's
+/// worker pool does not serialise every lookup on one global mutex. The
+/// aggregate accounting is unchanged by sharding: `hits`/`misses` are global
+/// counters, [`stats`](ReferenceCache::stats) reports exactly what the
+/// single-map cache reported, and the bounded variant caps the **total**
+/// entry count across all shards.
+#[derive(Debug)]
 pub struct ReferenceCache {
-    entries: Mutex<HashMap<String, Arc<PreparedPair>>>,
+    shards: Vec<Mutex<HashMap<String, Arc<PreparedPair>>>>,
+    /// Total entries across every shard; insertions reserve a slot through
+    /// a compare-and-swap so the bound is exact even under contention.
+    total_entries: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for ReferenceCache {
+    fn default() -> Self {
+        ReferenceCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            total_entries: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// FNV-1a over the reference text: stable, dependency-free, and spreads the
+/// handful-of-references workloads evenly enough across shards.
+fn shard_hash(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 impl ReferenceCache {
+    fn shard(&self, reference: &str) -> &Mutex<HashMap<String, Arc<PreparedPair>>> {
+        &self.shards[(shard_hash(reference) as usize) & (CACHE_SHARDS - 1)]
+    }
+
     /// Fetch the prepared pair for `reference`, preparing it on first use.
     pub fn get_or_prepare(
         &self,
@@ -69,16 +112,18 @@ impl ReferenceCache {
     }
 
     /// Like [`get_or_prepare`](ReferenceCache::get_or_prepare), but never
-    /// grows the cache beyond `max_entries`: once full, unseen references
-    /// are prepared and returned without being cached (and keep counting as
-    /// misses). Servers accepting arbitrary client-supplied reference text
-    /// use this to bound memory.
+    /// grows the cache beyond `max_entries` **total entries across all
+    /// shards**: once full, unseen references are prepared and returned
+    /// without being cached (and keep counting as misses). Servers
+    /// accepting arbitrary client-supplied reference text use this to bound
+    /// memory.
     ///
-    /// The expensive preparation runs outside the map lock, so concurrent
-    /// misses on *different* references prepare in parallel. Two threads
-    /// racing on the *same* reference may both prepare it; the loser adopts
-    /// the winner's entry (and counts as a hit), so `stats().misses` equals
-    /// the number of distinct references inserted.
+    /// The expensive preparation runs outside any lock, so concurrent
+    /// misses — even on references that hash to the same shard — prepare in
+    /// parallel. Two threads racing on the *same* reference may both
+    /// prepare it; the loser adopts the winner's entry (and counts as a
+    /// hit), so `stats().misses` equals the number of distinct references
+    /// inserted.
     pub fn get_or_prepare_bounded(
         &self,
         bleu: &BleuScorer,
@@ -86,8 +131,9 @@ impl ReferenceCache {
         reference: &str,
         max_entries: usize,
     ) -> Arc<PreparedPair> {
+        let shard = self.shard(reference);
         {
-            let entries = self.entries.lock().expect("reference cache poisoned");
+            let entries = shard.lock();
             if let Some(pair) = entries.get(reference) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(pair);
@@ -97,14 +143,22 @@ impl ReferenceCache {
             bleu: bleu.prepare(reference),
             chrf: chrf.prepare(reference),
         });
-        let mut entries = self.entries.lock().expect("reference cache poisoned");
+        let mut entries = shard.lock();
         if let Some(existing) = entries.get(reference) {
             // Lost a race with another preparer; adopt its entry.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(existing);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        if entries.len() < max_entries {
+        // Reserve a global slot before inserting so the cap stays exact
+        // across shards even when insertions race.
+        let reserved = self
+            .total_entries
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |total| {
+                (total < max_entries).then_some(total + 1)
+            })
+            .is_ok();
+        if reserved {
             entries.insert(reference.to_owned(), Arc::clone(&pair));
         }
         pair
@@ -112,7 +166,7 @@ impl ReferenceCache {
 
     /// Number of distinct references prepared so far.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("reference cache poisoned").len()
+        self.total_entries.load(Ordering::SeqCst)
     }
 
     /// True when nothing has been prepared yet.
@@ -483,6 +537,66 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 3, "a once, b twice");
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn sharded_cache_accounting_is_exact_under_concurrency() {
+        // Many threads hammer overlapping references: the shard split must
+        // not change the aggregate contract — misses equal distinct
+        // insertions, every other lookup is a hit, and the bounded total
+        // never exceeds the cap.
+        let cache = Arc::new(ReferenceCache::default());
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        let references: Vec<String> = (0..24).map(|i| format!("shared reference {i}")).collect();
+        let rounds = 8;
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let cache = Arc::clone(&cache);
+                let bleu = &bleu;
+                let chrf = &chrf;
+                let references = &references;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        for (i, reference) in references.iter().enumerate() {
+                            let pair =
+                                cache.get_or_prepare_bounded(bleu, chrf, reference, usize::MAX);
+                            assert_eq!(pair.bleu.source(), reference, "{worker}/{round}/{i}");
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(cache.len(), references.len());
+        assert_eq!(stats.misses, references.len() as u64, "one insert each");
+        assert_eq!(
+            stats.lookups(),
+            (8 * rounds * references.len()) as u64,
+            "every lookup is accounted as exactly one hit or miss"
+        );
+    }
+
+    #[test]
+    fn sharded_cache_cap_bounds_the_total_across_shards() {
+        let cache = Arc::new(ReferenceCache::default());
+        let bleu = BleuScorer::default();
+        let chrf = ChrfScorer::default();
+        // 32 distinct references race into a cap of 5 from 4 threads: at
+        // rest exactly 5 slots are occupied, never more.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let bleu = &bleu;
+                let chrf = &chrf;
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        cache.get_or_prepare_bounded(bleu, chrf, &format!("capped {i}"), 5);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 5, "the cap is a total across shards");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Incremental newline-delimited frame assembly for the nonblocking server.
+//!
+//! The blocking server used [`BufRead::lines`] to carve the byte stream
+//! into frames; the event loop instead receives arbitrary read chunks and
+//! feeds them to a [`FrameDecoder`], which yields exactly the frames
+//! `lines` would have yielded — newline-stripped, with a trailing `\r`
+//! removed — without copying bytes more than once. Unread tail bytes stay
+//! in the decoder's [`BytesMut`] between reads, and the scan for the next
+//! `\n` resumes where the previous scan left off, so a frame split across
+//! many TCP segments costs one pass over its bytes, not one per segment.
+//!
+//! [`BufRead::lines`]: std::io::BufRead::lines
+
+use bytes::{Bytes, BytesMut};
+
+/// Reassembles newline-delimited frames from arbitrary byte chunks.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+    /// Offset into `buf` up to which we have already scanned for `\n`.
+    scanned: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append a chunk read from the socket.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pop the next complete frame, if one is buffered.
+    ///
+    /// A frame is everything up to (and excluding) the next `\n`; a `\r`
+    /// immediately before the `\n` is stripped too, matching what
+    /// [`BufRead::lines`](std::io::BufRead::lines) hands the blocking
+    /// reader.
+    pub fn next_frame(&mut self) -> Option<Bytes> {
+        let newline = self.buf[self.scanned..]
+            .iter()
+            .position(|b| *b == b'\n')
+            .map(|at| self.scanned + at);
+        let Some(newline) = newline else {
+            // Everything buffered has been scanned; resume there next push.
+            self.scanned = self.buf.len();
+            return None;
+        };
+        let end = if newline > 0 && self.buf[newline - 1] == b'\r' {
+            newline - 1
+        } else {
+            newline
+        };
+        let frame = self.buf.split_to(newline + 1);
+        self.scanned = 0;
+        Some(Bytes::copy_from_slice(&frame[..end]))
+    }
+
+    /// Take the trailing unterminated frame at end-of-stream, if any.
+    ///
+    /// `BufRead::lines` yields a final line even when the peer closes the
+    /// connection without a trailing newline; the event loop calls this on
+    /// EOF so the two servers accept the same byte streams.
+    pub fn finish(&mut self) -> Option<Bytes> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let frame = self.buf.split_to(self.buf.len());
+        self.scanned = 0;
+        let end = if frame.last() == Some(&b'\r') {
+            frame.len() - 1
+        } else {
+            frame.len()
+        };
+        Some(Bytes::copy_from_slice(&frame[..end]))
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FrameDecoder;
+
+    #[test]
+    fn yields_frames_split_across_pushes() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"hel");
+        assert!(decoder.next_frame().is_none());
+        decoder.push(b"lo\nwor");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"hello");
+        assert!(decoder.next_frame().is_none());
+        decoder.push(b"ld\n");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"world");
+        assert!(decoder.next_frame().is_none());
+        assert_eq!(decoder.buffered_len(), 0);
+    }
+
+    #[test]
+    fn strips_carriage_returns_like_bufread_lines() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"a\r\nb\n\r\n");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"a");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"b");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"");
+        assert!(decoder.next_frame().is_none());
+    }
+
+    #[test]
+    fn finish_returns_the_unterminated_tail() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"done\ntail");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"done");
+        assert!(decoder.next_frame().is_none());
+        assert_eq!(&*decoder.finish().unwrap(), b"tail");
+        assert!(decoder.finish().is_none());
+    }
+
+    #[test]
+    fn empty_lines_are_frames() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(b"\n\nx\n");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"");
+        assert_eq!(&*decoder.next_frame().unwrap(), b"x");
+    }
+
+    #[test]
+    fn scan_resumes_without_rescanning_the_prefix() {
+        // Behavioural check: a long frame fed one byte at a time still
+        // comes out whole (the scanned cursor is internal, but this is the
+        // path that exercises it).
+        let mut decoder = FrameDecoder::new();
+        let payload = "x".repeat(4096);
+        for byte in payload.as_bytes() {
+            decoder.push(std::slice::from_ref(byte));
+            assert!(decoder.next_frame().is_none());
+        }
+        decoder.push(b"\n");
+        assert_eq!(&*decoder.next_frame().unwrap(), payload.as_bytes());
+    }
+}

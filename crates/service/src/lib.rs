@@ -14,10 +14,19 @@
 //!   [`ReferenceCache`](wfspeak_core::ReferenceCache) of prepared references
 //!   (tokenised, interned, n-gram-counted once) across *all* connections;
 //!   [`ServiceStats`] reports its hit rate.
+//! * **Event-driven I/O** ([`server`], [`framing`]) — one nonblocking
+//!   event-loop thread (or a few, `ServiceConfig::io_threads`) multiplexes
+//!   every connection via the vendored `polling` shim (epoll/poll); each
+//!   connection is a state machine assembling frames zero-copy with
+//!   [`FrameDecoder`] over the vendored `bytes` crate, so thousands of
+//!   connections cost table entries, not thread pairs.
 //! * **Bounded worker pool** ([`server`]) — scoring runs on a fixed pool fed
-//!   by a bounded queue; when the pool is saturated, connection readers
-//!   block, pushing backpressure into the clients' TCP windows instead of
-//!   buffering unboundedly.
+//!   by a bounded queue; when the pool is saturated, the loop parks the
+//!   connection's request and mutes its read interest, pushing backpressure
+//!   into the clients' TCP windows instead of buffering unboundedly.
+//! * **Latency percentiles** ([`latency`]) — workers record each request's
+//!   admission→reply time in a lock-free power-of-two-bucket
+//!   [`LatencyHistogram`]; `stats` responses surface p50/p95/p99.
 //! * **Bit-identical scores** — the worker calls the exact
 //!   [`Scorer::score_prepared`](wfspeak_metrics::Scorer::score_prepared)
 //!   path the benchmark runner uses, so a score served over the wire equals
@@ -80,12 +89,16 @@
 
 pub mod client;
 pub mod faults;
+pub mod framing;
+pub mod latency;
 pub mod protocol;
 pub mod resilient;
 pub mod server;
 
 pub use client::ScoringClient;
 pub use faults::{FaultAction, FaultInjector, FaultPlan, WriteFault};
+pub use framing::FrameDecoder;
+pub use latency::LatencyHistogram;
 pub use protocol::{
     EvaluationScore, ExecutionScore, HypothesisScore, RequestMode, ScoreRequest, ScoreResponse,
     ServiceStats, TaskKind, DEFAULT_ADDR,

@@ -482,6 +482,17 @@ pub struct ServiceStats {
     /// Faults scheduled by the server's [`FaultPlan`](crate::FaultPlan)
     /// so far; always 0 when fault injection is disabled (the default).
     pub faults_injected: u64,
+    /// Request latencies recorded so far (one per answered request,
+    /// admission → reply handed to the connection's write path).
+    pub latency_samples: u64,
+    /// Median request latency in microseconds, reported as the upper bound
+    /// of the power-of-two histogram bucket the median falls in (0 until
+    /// the first request is answered).
+    pub latency_p50_us: u64,
+    /// 95th-percentile request latency in microseconds (bucket upper bound).
+    pub latency_p95_us: u64,
+    /// 99th-percentile request latency in microseconds (bucket upper bound).
+    pub latency_p99_us: u64,
 }
 
 impl ServiceStats {
@@ -910,6 +921,10 @@ mod tests {
             queue_depth: 3,
             worker_restarts: 2,
             faults_injected: 5,
+            latency_samples: 10,
+            latency_p50_us: 255,
+            latency_p95_us: 1023,
+            latency_p99_us: 4095,
         };
         let line = encode_line(&ScoreResponse::stats(1, stats));
         let decoded: ScoreResponse = decode_line(&line).unwrap();
@@ -918,6 +933,10 @@ mod tests {
         assert_eq!(snapshot.queue_depth, 3);
         assert_eq!(snapshot.worker_restarts, 2);
         assert_eq!(snapshot.faults_injected, 5);
+        assert_eq!(snapshot.latency_samples, 10);
+        assert_eq!(snapshot.latency_p50_us, 255);
+        assert_eq!(snapshot.latency_p95_us, 1023);
+        assert_eq!(snapshot.latency_p99_us, 4095);
         assert!((snapshot.cache_hit_rate() - 0.9).abs() < 1e-12);
     }
 

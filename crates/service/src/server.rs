@@ -1,64 +1,86 @@
-//! The scoring server: accept loop, per-connection I/O threads and the
-//! shared worker pool.
+//! The scoring server: a small set of nonblocking I/O loops multiplexing
+//! every connection, feeding the shared worker pool.
 //!
 //! ```text
-//!                    ┌───────────────────────────────────────────┐
-//!                    │               ScoringServer               │
-//!  client A ──TCP──▶ │ reader A ─┐                 ┌─ writer A   │ ──▶ client A
-//!                    │           ├▶ bounded queue ─┤             │
-//!  client B ──TCP──▶ │ reader B ─┘   (backpressure)└─ writer B   │ ──▶ client B
-//!                    │                 │   │                     │
-//!                    │              worker pool ──▶ ServiceState │
-//!                    │              (N threads)    (scorers +    │
-//!                    │                              shared cache)│
-//!                    └───────────────────────────────────────────┘
+//!                 ┌──────────────────────────────────────────────────┐
+//!                 │                  ScoringServer                   │
+//!  client A ─TCP─▶│  I/O loop(s): epoll/poll readiness, one thread   │─▶ client A
+//!  client B ─TCP─▶│  per loop, every connection a state machine      │─▶ client B
+//!  client C ─TCP─▶│   [decode frames]──▶ bounded job queue ──┐       │─▶ client C
+//!                 │   [flush replies]◀── completion wakeups ◀┤       │
+//!                 │                                     worker pool  │
+//!                 │                                     (N threads,  │
+//!                 │                                      ServiceState│
+//!                 │                                      + cache)    │
+//!                 └──────────────────────────────────────────────────┘
 //! ```
 //!
-//! * Each connection gets a **reader** thread (parses request lines, pushes
-//!   jobs) and a **writer** thread (serialises responses). Readers wait up
-//!   to [`ServiceConfig::admission_timeout`] for space in the bounded job
-//!   queue; while they wait, backpressure propagates to the client's TCP
-//!   window instead of buffering without bound. When the queue stays full
-//!   past the timeout the request is **shed** with a typed `"overloaded"`
-//!   protocol error ([`ScoreResponse::overloaded`]) so clients can back off
-//!   and retry instead of guessing at a stalled TCP window. A client that
-//!   pipelines requests but stops reading responses is disconnected after
-//!   [`ServiceConfig::reply_stall_timeout`] so it cannot wedge the shared
-//!   pool.
-//! * The **worker pool** is shared across connections; each job carries a
-//!   handle to its connection's writer, so responses route back to the right
-//!   client no matter which worker scored them.
+//! * **I/O loops** ([`ServiceConfig::io_threads`], default 1) own the
+//!   listener (loop 0) and all connection sockets, registered with the
+//!   vendored [`polling`] readiness shim. Each connection is a state
+//!   machine: bytes read nonblockingly are assembled into frames by a
+//!   [`FrameDecoder`], parsed requests are
+//!   admitted to the bounded job queue, and encoded replies are flushed
+//!   back through a per-connection write queue. No thread ever blocks on
+//!   one client's socket.
+//! * **Admission control**: when the job queue is full, the connection
+//!   *parks* the decoded request — its read interest is muted, so
+//!   backpressure propagates into the client's TCP window — and retries on
+//!   every queue-space wakeup until [`ServiceConfig::admission_timeout`]
+//!   elapses, at which point the request is **shed** with a typed
+//!   `"overloaded"` protocol error ([`ScoreResponse::overloaded`]).
+//! * **The worker pool** is unchanged: a fixed set of threads dequeue jobs,
+//!   enforce deadlines, run the handler under `catch_unwind`, and hand each
+//!   reply to the owning connection's bounded reply channel. A client that
+//!   pipelines without reading stalls its channel for
+//!   [`ServiceConfig::reply_stall_timeout`] and is then disconnected. After
+//!   every reply the worker pushes a completion token and wakes the
+//!   connection's I/O loop to flush.
 //! * All workers share one [`ReferenceCache`]: the first request against a
 //!   reference prepares it (tokenise + intern + count), every later request
-//!   from *any* connection reuses the prepared form.
+//!   from *any* connection reuses the prepared form. The cache is sharded
+//!   internally, so concurrent workers do not serialise on one lock.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Receiver, Sender};
+use bytes::Bytes;
+use crossbeam_channel::{bounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
+use polling::{Event, Interest, Poller};
 use wfspeak_core::eval::{evaluate_prepared, SystemProfile};
 use wfspeak_core::exec::ExecutionPipeline;
 use wfspeak_core::{ReferenceCache, WorkflowSystemId};
 use wfspeak_metrics::{BleuScorer, ChrfScorer, Scorer};
 
 use crate::faults::{FaultAction, FaultInjector, FaultPlan, WriteFault};
+use crate::framing::FrameDecoder;
+use crate::latency::LatencyHistogram;
 use crate::protocol::{
     decode_line, encode_line, salvage_request_id, EvaluationScore, ExecutionScore, HypothesisScore,
     RequestMode, ScoreRequest, ScoreResponse, ServiceStats,
 };
+
+/// Poller key reserved for the listening socket (loop 0 only).
+const LISTENER_KEY: usize = usize::MAX - 1;
 
 /// Tunables for [`ScoringServer::spawn`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Scoring worker threads. `0` means one per available core.
     pub workers: usize,
-    /// Bounded job-queue depth; readers block (backpressure) when full.
+    /// Nonblocking I/O loop threads multiplexing the connections. Loop 0
+    /// also owns the listener; new connections are dealt round-robin.
+    /// `0` is treated as 1 — one loop comfortably drives hundreds of
+    /// connections because it never blocks on any of them.
+    pub io_threads: usize,
+    /// Bounded job-queue depth; connections park (backpressure) when full.
     pub queue_depth: usize,
     /// Cap on distinct references kept prepared in the shared cache. The
     /// built-in corpus references always fit; the cap bounds memory when
@@ -71,13 +93,13 @@ pub struct ServiceConfig {
     /// pool).
     pub reply_stall_timeout: std::time::Duration,
     /// Per-connection reply-buffer depth: responses queued between the
-    /// worker pool and the connection's writer thread.  When a client stops
+    /// worker pool and the connection's write queue.  When a client stops
     /// reading, this buffer (plus the kernel's socket buffers) is all the
     /// slack it gets before workers start hitting
     /// [`reply_stall_timeout`](ServiceConfig::reply_stall_timeout).
     pub reply_queue_depth: usize,
-    /// How long a reader waits for space in the bounded job queue before
-    /// shedding the request with a typed `"overloaded"` error. Zero sheds
+    /// How long a parked request waits for space in the bounded job queue
+    /// before being shed with a typed `"overloaded"` error. Zero sheds
     /// immediately whenever the queue is full.
     pub admission_timeout: std::time::Duration,
     /// Maximum hypotheses per `mode: "execute"` request.  Unlike scoring
@@ -101,6 +123,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: 0,
+            io_threads: 1,
             queue_depth: 256,
             max_cached_references: 4096,
             reply_stall_timeout: std::time::Duration::from_secs(10),
@@ -122,6 +145,10 @@ impl ServiceConfig {
             .map(|n| n.get())
             .unwrap_or(1)
     }
+
+    fn effective_io_threads(&self) -> usize {
+        self.io_threads.max(1)
+    }
 }
 
 /// Scorers, the shared prepared-reference cache and lifetime counters —
@@ -136,9 +163,9 @@ struct ServiceState {
     max_execute_batch: usize,
     requests: AtomicU64,
     hypotheses: AtomicU64,
-    /// Jobs admitted to the bounded queue and not yet picked up by a
-    /// worker. Incremented at admission, decremented at dequeue, so a
-    /// `stats` snapshot can report live queue pressure.
+    /// Jobs admitted to the bounded queue (or parked waiting for it) and
+    /// not yet picked up by a worker. Incremented at admission, decremented
+    /// at dequeue, so a `stats` snapshot can report live queue pressure.
     queue_depth: AtomicU64,
     /// Jobs a worker has dequeued and not yet replied to. Together with
     /// `queue_depth` this is the shutdown drain condition: both at zero
@@ -147,6 +174,9 @@ struct ServiceState {
     /// Panicking jobs caught and answered as `"internal"`; each one stands
     /// for a worker the pool had to replace.
     worker_restarts: AtomicU64,
+    /// Per-request latency (admission → reply handed to the write path) in
+    /// power-of-two buckets; the `stats` response reports p50/p95/p99.
+    latency: LatencyHistogram,
     /// The deterministic fault schedule, when chaos testing is enabled.
     injector: Option<FaultInjector>,
 }
@@ -171,6 +201,7 @@ impl ServiceState {
             queue_depth: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
             injector,
         })
     }
@@ -185,6 +216,10 @@ impl ServiceState {
             queue_depth: self.queue_depth.load(Ordering::SeqCst),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             faults_injected: self.injector.as_ref().map_or(0, FaultInjector::injected),
+            latency_samples: self.latency.samples(),
+            latency_p50_us: self.latency.percentile(50.0),
+            latency_p95_us: self.latency.percentile(95.0),
+            latency_p99_us: self.latency.percentile(99.0),
         }
     }
 
@@ -316,63 +351,132 @@ impl ServiceState {
     }
 }
 
+/// One I/O loop's cross-thread mailbox: its poller (for wakeups), the
+/// completion tokens workers push after answering a job, and the inbox of
+/// freshly accepted sockets loop 0 deals out.
+#[derive(Debug)]
+struct IoLoopHandle {
+    poller: Poller,
+    completions: Mutex<Vec<usize>>,
+    inbox: Mutex<Vec<TcpStream>>,
+}
+
+impl IoLoopHandle {
+    fn new() -> std::io::Result<Self> {
+        Ok(IoLoopHandle {
+            poller: Poller::new()?,
+            completions: Mutex::default(),
+            inbox: Mutex::default(),
+        })
+    }
+}
+
+/// Lifecycle flags and counters shared by every I/O loop and worker.
+#[derive(Debug, Default)]
+struct IoShared {
+    /// Stop accepting new connections (set first during shutdown).
+    stop: AtomicBool,
+    /// Tear down all connections and exit the I/O loops (set after drain).
+    closing: AtomicBool,
+    /// Connections currently registered with an I/O loop.
+    live_connections: AtomicUsize,
+    /// Requests parked on a full job queue across all loops; workers only
+    /// broadcast queue-space wakeups while this is nonzero.
+    parked: AtomicUsize,
+    /// Round-robin cursor for dealing accepted sockets to loops.
+    next_loop: AtomicUsize,
+}
+
+/// How a finished job finds its way back to the connection that sent it:
+/// decrement the connection's outstanding-job count, push the connection's
+/// token onto its I/O loop's completion list, and wake that loop to flush.
+struct CompletionHandle {
+    io_loop: Arc<IoLoopHandle>,
+    token: usize,
+    outstanding: Arc<AtomicU64>,
+}
+
+impl CompletionHandle {
+    fn complete(&self) {
+        // Decrement *after* the reply was pushed (or deliberately dropped):
+        // an I/O loop that reads zero here can trust the reply channel to
+        // already hold every reply this connection will ever get.
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        self.io_loop.completions.lock().push(self.token);
+        let _ = self.io_loop.poller.notify();
+    }
+}
+
 /// One unit of work for the pool: a parsed (or unparsable) request line,
 /// the sender that routes the response line back to the right connection,
-/// and the connection's socket so a stalled connection can be disconnected.
+/// the connection's socket so a stalled connection can be disconnected, and
+/// the completion handle that wakes the connection's I/O loop afterwards.
 struct Job {
     request: Result<ScoreRequest, ScoreResponse>,
     reply: Sender<Reply>,
     peer: Arc<TcpStream>,
-    /// When the reader admitted this job to the queue; the worker checks
-    /// the request's `deadline_ms` against it before scoring.
+    /// When the I/O loop admitted this job; the worker checks the
+    /// request's `deadline_ms` against it before scoring.
     admitted: Instant,
+    completion: CompletionHandle,
 }
 
-/// One response line on its way to a connection's writer thread, plus the
-/// write-path fault (if any) the writer must apply to it.
+/// One response line on its way to a connection's write queue, plus the
+/// write-path fault (if any) the flusher must apply to it.
 struct Reply {
     line: String,
     fault: Option<WriteFault>,
 }
 
-impl Reply {
-    fn clean(line: String) -> Self {
-        Reply { line, fault: None }
+/// One contiguous chunk of bytes queued for a connection's socket. A
+/// faultless reply is one segment; a torn reply is two (flushed with
+/// separate writes); a disconnect fault is a truncated segment that shuts
+/// the socket down once flushed.
+struct OutSegment {
+    bytes: Bytes,
+    shutdown_after: bool,
+}
+
+impl OutSegment {
+    fn line(line: String) -> Self {
+        OutSegment {
+            bytes: Bytes::from(line.into_bytes()),
+            shutdown_after: false,
+        }
     }
 }
 
-/// Live connections, so shutdown can force-disconnect stragglers instead of
-/// waiting forever on a client that never hangs up.
-#[derive(Default)]
-struct ConnectionRegistry {
-    next_id: AtomicU64,
-    stopping: AtomicBool,
-    sockets: Mutex<HashMap<u64, TcpStream>>,
+/// A request decoded from a connection that found the job queue full: it
+/// waits (with read interest muted, so backpressure reaches the client's
+/// TCP window) for queue space until its deadline, then is shed.
+struct PendingJob {
+    job: Job,
+    request_id: u64,
+    deadline: Instant,
 }
 
-impl ConnectionRegistry {
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.sockets.lock().insert(id, clone);
-        // A connection registering after `disconnect_all` scanned the map
-        // (accepted moments before shutdown) closes itself.
-        if self.stopping.load(Ordering::SeqCst) {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        Some(id)
-    }
-
-    fn deregister(&self, id: u64) {
-        self.sockets.lock().remove(&id);
-    }
-
-    fn disconnect_all(&self) {
-        self.stopping.store(true, Ordering::SeqCst);
-        for socket in self.sockets.lock().values() {
-            let _ = socket.shutdown(Shutdown::Both);
-        }
-    }
+/// Per-connection state machine.
+struct Connection {
+    stream: TcpStream,
+    /// Blocking clone handed to workers so a reply-stall can disconnect.
+    peer: Arc<TcpStream>,
+    decoder: FrameDecoder,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+    out: VecDeque<OutSegment>,
+    /// Bytes of `out.front()` already written.
+    out_pos: usize,
+    pending: Option<PendingJob>,
+    /// Jobs admitted from this connection whose replies have not yet been
+    /// pushed (or deliberately dropped) by a worker.
+    outstanding: Arc<AtomicU64>,
+    /// The client half-closed (EOF) or sent bytes we refuse to parse; no
+    /// more requests will be read, but queued work still drains.
+    read_closed: bool,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+    /// Marked for removal (error, deliberate disconnect, or fully drained).
+    dead: bool,
 }
 
 /// A running scoring server.
@@ -384,23 +488,27 @@ impl ConnectionRegistry {
 pub struct ScoringServer {
     addr: std::net::SocketAddr,
     state: Arc<ServiceState>,
-    stop: Arc<AtomicBool>,
-    connections: Arc<ConnectionRegistry>,
-    accept_handle: Option<JoinHandle<()>>,
+    shared: Arc<IoShared>,
+    loops: Vec<Arc<IoLoopHandle>>,
+    io_handles: Vec<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     drain_timeout: Duration,
 }
 
 impl ScoringServer {
-    /// Bind `addr` (use port 0 for an ephemeral port) and start the accept
-    /// loop plus the worker pool.
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the I/O
+    /// loops plus the worker pool.
     pub fn spawn(addr: impl ToSocketAddrs, config: ServiceConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let state = ServiceState::new(&config)
             .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidInput, message))?;
         let state = Arc::new(state);
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(IoShared::default());
+
+        let loops = (0..config.effective_io_threads())
+            .map(|_| IoLoopHandle::new().map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
         // The vendored channel's receiver is single-consumer; workers take
@@ -412,37 +520,42 @@ impl ScoringServer {
             .map(|_| {
                 let state = Arc::clone(&state);
                 let job_rx = Arc::clone(&job_rx);
+                let shared = Arc::clone(&shared);
+                let loops = loops.clone();
                 let stall_timeout = config.reply_stall_timeout;
-                std::thread::spawn(move || worker_loop(&state, &job_rx, stall_timeout))
+                std::thread::spawn(move || {
+                    worker_loop(&state, &job_rx, stall_timeout, &shared, &loops)
+                })
             })
             .collect();
 
-        let connections = Arc::new(ConnectionRegistry::default());
-        let accept_handle = {
-            let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
-            let state = Arc::clone(&state);
-            let reply_depth = config.reply_queue_depth.max(1);
-            let admission_timeout = config.admission_timeout;
-            std::thread::spawn(move || {
-                accept_loop(
-                    &listener,
-                    job_tx,
-                    &stop,
-                    &connections,
-                    &state,
-                    reply_depth,
-                    admission_timeout,
-                )
+        let mut listener = Some(listener);
+        let io_handles = (0..loops.len())
+            .map(|index| {
+                let ctx = LoopCtx {
+                    index,
+                    handle: Arc::clone(&loops[index]),
+                    loops: loops.clone(),
+                    shared: Arc::clone(&shared),
+                    state: Arc::clone(&state),
+                    job_tx: job_tx.clone(),
+                    listener: if index == 0 { listener.take() } else { None },
+                    conns: HashMap::new(),
+                    next_token: 0,
+                    reply_depth: config.reply_queue_depth.max(1),
+                    admission_timeout: config.admission_timeout,
+                    scratch: vec![0u8; 16 * 1024],
+                };
+                std::thread::spawn(move || ctx.run())
             })
-        };
+            .collect();
 
         Ok(ScoringServer {
             addr,
             state,
-            stop,
-            connections,
-            accept_handle: Some(accept_handle),
+            shared,
+            loops,
+            io_handles,
             worker_handles,
             drain_timeout: config.drain_timeout,
         })
@@ -458,10 +571,18 @@ impl ScoringServer {
         self.state.stats()
     }
 
-    /// Block the calling thread for the server's lifetime (the accept loop
-    /// only exits on shutdown). `repro serve` parks on this.
+    /// Connections currently registered with the I/O loops. Returns to zero
+    /// once every client has disconnected and been cleaned up — the
+    /// overload regression tests pin that no shed or lost connection leaks
+    /// an entry.
+    pub fn live_connections(&self) -> usize {
+        self.shared.live_connections.load(Ordering::SeqCst)
+    }
+
+    /// Block the calling thread for the server's lifetime (the I/O loops
+    /// only exit on shutdown). `repro serve` parks on this.
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept_handle.take() {
+        for handle in self.io_handles.drain(..) {
             let _ = handle.join();
         }
     }
@@ -471,18 +592,16 @@ impl ScoringServer {
     /// [`ServiceConfig::drain_timeout`] and join every server thread.
     ///
     /// Queued work is still scored (responses to disconnected clients are
-    /// dropped at the writer), so counters in [`stats`](ScoringServer::stats)
-    /// reflect all accepted work.
+    /// dropped at the write path), so counters in
+    /// [`stats`](ScoringServer::stats) reflect all accepted work.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for handle in &self.loops {
+            let _ = handle.poller.notify();
         }
         // Drain phase: wait (bounded by the drain deadline) until every
         // admitted job has left the queue and been replied to, so clients
@@ -498,14 +617,20 @@ impl ScoringServer {
             }
             std::thread::sleep(Duration::from_millis(1));
         }
-        // Brief grace so connection writers can flush replies that are
-        // queued but not yet on the wire; best-effort only — the
-        // force-disconnect below is the correctness backstop.
+        // Brief grace so the I/O loops can flush replies that are queued
+        // but not yet on the wire; best-effort only — the force-disconnect
+        // below is the correctness backstop.
         std::thread::sleep(Duration::from_millis(20).min(self.drain_timeout));
-        // Force-disconnect clients that have not hung up; their reader
-        // threads exit, releasing the last job senders so workers drain the
-        // queue and observe disconnect.
-        self.connections.disconnect_all();
+        // Force-disconnect clients that have not hung up: the loops tear
+        // down their connection tables and exit, dropping the last job
+        // senders so workers drain the queue and observe disconnect.
+        self.shared.closing.store(true, Ordering::SeqCst);
+        for handle in &self.loops {
+            let _ = handle.poller.notify();
+        }
+        for handle in self.io_handles.drain(..) {
+            let _ = handle.join();
+        }
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
@@ -514,7 +639,7 @@ impl ScoringServer {
 
 impl Drop for ScoringServer {
     fn drop(&mut self) {
-        if self.accept_handle.is_some() {
+        if !self.io_handles.is_empty() {
             self.stop_and_join();
         }
     }
@@ -524,6 +649,8 @@ fn worker_loop(
     state: &ServiceState,
     jobs: &Mutex<Receiver<Job>>,
     stall_timeout: std::time::Duration,
+    shared: &IoShared,
+    loops: &[Arc<IoLoopHandle>],
 ) {
     loop {
         // Holding the lock across `recv` parks exactly one idle worker on the
@@ -538,6 +665,13 @@ fn worker_loop(
         // mid-handoff.
         state.inflight.fetch_add(1, Ordering::SeqCst);
         state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        // This dequeue freed a queue slot; wake the I/O loops if any
+        // connection is parked waiting for one.
+        if shared.parked.load(Ordering::SeqCst) > 0 {
+            for handle in loops {
+                let _ = handle.poller.notify();
+            }
+        }
         // One schedule draw per dequeued job: the Nth job a server handles
         // always gets the Nth fault decision, so chaos runs replay.
         let action = state
@@ -545,20 +679,29 @@ fn worker_loop(
             .as_ref()
             .map_or(FaultAction::None, FaultInjector::next_action);
         let response = respond_to_job(state, &job, action);
-        // A disconnected error means the connection writer is gone (client
-        // hung up mid-flight); the response is dropped, matching TCP
-        // semantics. A timeout means the client's reply buffer stayed full
-        // for the whole stall window — it is pipelining without reading —
-        // so disconnect it rather than let one slow reader wedge the shared
-        // pool.
-        use crossbeam_channel::SendTimeoutError;
-        let reply = Reply {
-            line: encode_line(&response),
-            fault: action.write_fault(),
+        let line = encode_line(&response);
+        // A disconnected error means the connection is gone (client hung up
+        // mid-flight); the response is dropped, matching TCP semantics. A
+        // timeout means the client's reply buffer stayed full for the whole
+        // stall window — it is pipelining without reading — so disconnect
+        // it rather than let one slow reader wedge the shared pool.
+        let outcome = match action.write_fault() {
+            // The response evaporates; clients need deadlines + retries.
+            Some(WriteFault::Drop) => Ok(()),
+            Some(WriteFault::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                job.reply
+                    .send_timeout(Reply { line, fault: None }, stall_timeout)
+            }
+            // Torn/disconnect faults reshape the bytes on the wire; the
+            // connection's write path applies them at flush time.
+            fault => job.reply.send_timeout(Reply { line, fault }, stall_timeout),
         };
-        if let Err(SendTimeoutError::Timeout) = job.reply.send_timeout(reply, stall_timeout) {
+        if let Err(SendTimeoutError::Timeout) = outcome {
             let _ = job.peer.shutdown(Shutdown::Both);
         }
+        state.latency.record(job.admitted.elapsed());
+        job.completion.complete();
         state.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -611,148 +754,533 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    job_tx: Sender<Job>,
-    stop: &AtomicBool,
-    connections: &Arc<ConnectionRegistry>,
-    state: &Arc<ServiceState>,
-    reply_depth: usize,
-    admission_timeout: std::time::Duration,
-) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            return; // drops job_tx; workers drain and exit
-        }
-        let Ok(stream) = stream else { continue };
-        let job_tx = job_tx.clone();
-        let connections = Arc::clone(connections);
-        let state = Arc::clone(state);
-        std::thread::spawn(move || {
-            let Some(id) = connections.register(&stream) else {
-                return;
-            };
-            handle_connection(stream, job_tx, &state, reply_depth, admission_timeout);
-            connections.deregister(id);
-        });
-    }
-}
-
-/// Per-connection plumbing: spawn the writer, then parse request lines and
-/// feed the shared job queue until the client disconnects.
-fn handle_connection(
-    stream: TcpStream,
-    job_tx: Sender<Job>,
-    state: &ServiceState,
-    reply_depth: usize,
-    admission_timeout: std::time::Duration,
-) {
-    let Ok(write_stream) = stream.try_clone() else {
-        return;
-    };
-    let Ok(peer) = stream.try_clone() else {
-        return;
-    };
-    let peer = Arc::new(peer);
-    // Writer capacity is independent of the job queue: it only buffers
-    // responses the client has not read yet.
-    let (reply_tx, reply_rx) = bounded::<Reply>(reply_depth);
-    let writer_handle = std::thread::spawn(move || writer_loop(write_stream, &reply_rx));
-
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = decode_line::<ScoreRequest>(&line).map_err(|message| {
-            ScoreResponse::failure(
-                salvage_request_id(&line),
-                format!("invalid request: {message}"),
-            )
-        });
-        let request_id = match &request {
-            Ok(request) => request.id,
-            Err(failure) => failure.id,
-        };
-        let job = Job {
-            request,
-            reply: reply_tx.clone(),
-            peer: Arc::clone(&peer),
-            admitted: Instant::now(),
-        };
-        // Count the job before handing it over so the depth can never read
-        // negative: increment → enqueue → (worker dequeues → decrement).
-        state.queue_depth.fetch_add(1, Ordering::SeqCst);
-        use crossbeam_channel::SendTimeoutError;
-        match job_tx.send_timeout(job, admission_timeout) {
-            Ok(()) => {}
-            Err(SendTimeoutError::Timeout) => {
-                // Queue stayed full for the whole admission window: shed the
-                // request with a typed error instead of stalling the reader
-                // (and with it the client's TCP window) indefinitely.
-                let depth = state.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
-                let shed = ScoreResponse::overloaded(request_id, depth as usize);
-                if reply_tx.send(Reply::clean(encode_line(&shed))).is_err() {
-                    break;
-                }
-            }
-            Err(SendTimeoutError::Disconnected) => {
-                state.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                break; // server shutting down
-            }
-        }
-    }
-    // Dropping our reply sender lets the writer exit once in-flight workers
-    // (each holding a clone) finish sending their responses.
-    drop(reply_tx);
-    let _ = writer_handle.join();
-}
-
-fn writer_loop(stream: TcpStream, replies: &Receiver<Reply>) {
-    let mut writer = BufWriter::new(&stream);
-    while let Ok(reply) = replies.recv() {
-        let bytes = reply.line.as_bytes();
-        let written = match reply.fault {
-            None => writer.write_all(bytes).and_then(|()| writer.flush()),
-            Some(WriteFault::Delay { millis }) => {
-                std::thread::sleep(Duration::from_millis(millis));
-                writer.write_all(bytes).and_then(|()| writer.flush())
-            }
-            // The response evaporates; clients need deadlines + retries.
-            Some(WriteFault::Drop) => Ok(()),
-            // Two flushes exercise the client's frame reassembly; the bytes
-            // on the wire are identical.
-            Some(WriteFault::Torn { split_percent }) => {
-                let split = fault_offset(bytes.len(), split_percent);
-                writer
-                    .write_all(&bytes[..split])
-                    .and_then(|()| writer.flush())
-                    .and_then(|()| writer.write_all(&bytes[split..]))
-                    .and_then(|()| writer.flush())
-            }
-            // A torn frame with no continuation: partial bytes, then a
-            // mid-request disconnect (both directions, so the reader tears
-            // the connection down too).
-            Some(WriteFault::Disconnect { truncate_percent }) => {
-                let cut =
-                    fault_offset(bytes.len(), truncate_percent).min(bytes.len().saturating_sub(1));
-                let _ = writer.write_all(&bytes[..cut]);
-                let _ = writer.flush();
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
-            }
-        };
-        if written.is_err() {
-            break;
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Write);
-}
-
 /// Scale a 0–99 fault percentage to a byte offset within a response line.
 fn fault_offset(len: usize, percent: u8) -> usize {
     len * usize::from(percent % 100) / 100
+}
+
+/// Everything one I/O loop thread owns: its registered connections, the
+/// shared handles, and the listener (loop 0 only).
+struct LoopCtx {
+    index: usize,
+    handle: Arc<IoLoopHandle>,
+    loops: Vec<Arc<IoLoopHandle>>,
+    shared: Arc<IoShared>,
+    state: Arc<ServiceState>,
+    job_tx: Sender<Job>,
+    listener: Option<TcpListener>,
+    conns: HashMap<usize, Connection>,
+    next_token: usize,
+    reply_depth: usize,
+    admission_timeout: Duration,
+    scratch: Vec<u8>,
+}
+
+impl LoopCtx {
+    fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if listener.set_nonblocking(true).is_err() {
+                return;
+            }
+            if self
+                .handle
+                .poller
+                .add(listener.as_raw_fd(), LISTENER_KEY, Interest::readable())
+                .is_err()
+            {
+                return;
+            }
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.next_timeout();
+            let _ = self.handle.poller.wait(&mut events, timeout);
+            if self.shared.closing.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                self.close_listener();
+            }
+            self.drain_inbox();
+            let completions: Vec<usize> = std::mem::take(&mut *self.handle.completions.lock());
+            for event in events.drain(..) {
+                if event.key == LISTENER_KEY {
+                    self.accept_ready();
+                } else {
+                    self.service(event.key);
+                }
+            }
+            for token in completions {
+                self.service(token);
+            }
+            // Parked requests retry on every wake: queue-space broadcasts,
+            // completions and deadline timeouts all land here.
+            let parked: Vec<usize> = self
+                .conns
+                .iter()
+                .filter(|(_, conn)| conn.pending.is_some())
+                .map(|(token, _)| *token)
+                .collect();
+            for token in parked {
+                self.service(token);
+            }
+        }
+        self.teardown_all();
+    }
+
+    /// The next `wait` parks until I/O, a wakeup, or the earliest parked
+    /// request's admission deadline.
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.conns
+            .values()
+            .filter_map(|conn| conn.pending.as_ref())
+            .map(|pending| pending.deadline.saturating_duration_since(now))
+            .min()
+    }
+
+    fn close_listener(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.handle.poller.delete(listener.as_raw_fd());
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        let incoming: Vec<TcpStream> = std::mem::take(&mut *self.handle.inbox.lock());
+        for stream in incoming {
+            self.register(stream);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = {
+                let Some(listener) = &self.listener else {
+                    return;
+                };
+                listener.accept()
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    let target =
+                        self.shared.next_loop.fetch_add(1, Ordering::Relaxed) % self.loops.len();
+                    if target == self.index {
+                        self.register(stream);
+                    } else {
+                        self.loops[target].inbox.lock().push(stream);
+                        let _ = self.loops[target].poller.notify();
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (e.g. the peer
+                // reset before we got to it): re-poll rather than spin.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if self.shared.closing.load(Ordering::SeqCst) {
+            return; // dropped: accepted moments before teardown
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let Ok(peer) = stream.try_clone() else { return };
+        let token = self.next_token;
+        if self
+            .handle
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::readable())
+            .is_err()
+        {
+            return;
+        }
+        self.next_token += 1;
+        let (reply_tx, reply_rx) = bounded::<Reply>(self.reply_depth);
+        self.conns.insert(
+            token,
+            Connection {
+                stream,
+                peer: Arc::new(peer),
+                decoder: FrameDecoder::new(),
+                reply_tx,
+                reply_rx,
+                out: VecDeque::new(),
+                out_pos: 0,
+                pending: None,
+                outstanding: Arc::new(AtomicU64::new(0)),
+                read_closed: false,
+                registered: Interest::readable(),
+                dead: false,
+            },
+        );
+        self.shared.live_connections.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Drive one connection's state machine as far as it will go without
+    /// blocking, then re-register interest or clean it up.
+    fn service(&mut self, token: usize) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return; // stale completion/event for an already-removed conn
+        };
+        self.drive(token, &mut conn);
+        if !conn.dead {
+            self.update_interest(token, &mut conn);
+        }
+        if conn.dead {
+            self.finalize(conn);
+        } else {
+            self.conns.insert(token, conn);
+        }
+    }
+
+    fn drive(&mut self, token: usize, conn: &mut Connection) {
+        self.pump_and_flush(conn);
+        if conn.dead {
+            return;
+        }
+        self.retry_pending(token, conn);
+        if conn.dead {
+            return;
+        }
+        self.read_ready(token, conn);
+        if conn.dead {
+            return;
+        }
+        // Flush anything the read path produced (shed responses).
+        self.pump_and_flush(conn);
+        if conn.dead {
+            return;
+        }
+        self.try_close(conn);
+    }
+
+    /// Move replies from the worker-facing channel into the write queue and
+    /// push queued bytes to the socket until it would block. Replies are
+    /// pumped one at a time — only when the queue is empty — so the bounded
+    /// reply channel stays the backpressure point the stall timeout watches.
+    fn pump_and_flush(&mut self, conn: &mut Connection) {
+        loop {
+            if conn.out.is_empty() {
+                match conn.reply_rx.try_recv() {
+                    Ok(reply) => enqueue_reply(conn, reply),
+                    Err(_) => break, // empty: nothing more to write now
+                }
+            }
+            let Some(front) = conn.out.front() else { break };
+            let remaining = &front.bytes[conn.out_pos..];
+            if remaining.is_empty() {
+                let segment = conn.out.pop_front().expect("front checked above");
+                conn.out_pos = 0;
+                if segment.shutdown_after {
+                    // Deliberate mid-reply disconnect (chaos fault): both
+                    // directions down, connection removed, later replies
+                    // dropped at the disconnected channel.
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    conn.dead = true;
+                    return;
+                }
+                continue;
+            }
+            match (&conn.stream).write(remaining) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(written) => conn.out_pos += written,
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-try a parked request: shed it past its deadline, admit it if the
+    /// queue has space, then resume decoding any frames buffered behind it.
+    fn retry_pending(&mut self, token: usize, conn: &mut Connection) {
+        let Some(pending) = &conn.pending else { return };
+        let request_id = pending.request_id;
+        let deadline = pending.deadline;
+        if Instant::now() >= deadline {
+            let pending = conn.pending.take().expect("pending checked above");
+            self.shared.parked.fetch_sub(1, Ordering::SeqCst);
+            drop(pending.job);
+            self.shed(conn, request_id);
+            self.process_frames(token, conn);
+            return;
+        }
+        let pending = conn.pending.take().expect("pending checked above");
+        match self.job_tx.try_send(pending.job) {
+            Ok(()) => {
+                self.shared.parked.fetch_sub(1, Ordering::SeqCst);
+                self.process_frames(token, conn);
+            }
+            Err(TrySendError::Full(job)) => {
+                conn.pending = Some(PendingJob {
+                    job,
+                    request_id,
+                    deadline,
+                });
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                self.shared.parked.fetch_sub(1, Ordering::SeqCst);
+                self.state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+                drop(job);
+                close_input(conn); // server shutting down
+            }
+        }
+    }
+
+    /// Answer a request the queue had no room for with a typed
+    /// `"overloaded"` error, queued straight onto the connection's write
+    /// queue (the shed never touched a worker).
+    fn shed(&self, conn: &mut Connection, request_id: u64) {
+        let depth = self.state.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+        let shed = ScoreResponse::overloaded(request_id, depth as usize);
+        conn.out.push_back(OutSegment::line(encode_line(&shed)));
+    }
+
+    /// Read until the socket would block, a request parks, or the write
+    /// backlog says to stop; decode and admit frames as they complete.
+    fn read_ready(&mut self, token: usize, conn: &mut Connection) {
+        if conn.read_closed || conn.pending.is_some() {
+            // Still drain frames already buffered (EOF tails included).
+            self.process_frames(token, conn);
+            return;
+        }
+        loop {
+            match (&conn.stream).read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(count) => {
+                    let chunk = &self.scratch[..count];
+                    conn.decoder.push(chunk);
+                    self.process_frames(token, conn);
+                    if conn.dead || conn.pending.is_some() || conn.read_closed {
+                        break;
+                    }
+                    // Backpressure: a client flooding faster than it reads
+                    // (e.g. shed storms) must not grow the write queue
+                    // without bound.
+                    if conn.out.len() >= self.reply_depth {
+                        break;
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        self.process_frames(token, conn);
+    }
+
+    /// Decode buffered frames into jobs until the input runs dry, a request
+    /// parks on the full queue, or the connection closes.
+    fn process_frames(&mut self, token: usize, conn: &mut Connection) {
+        loop {
+            if conn.dead || conn.pending.is_some() {
+                return;
+            }
+            let frame = match conn.decoder.next_frame() {
+                Some(frame) => frame,
+                None => {
+                    if !conn.read_closed {
+                        return;
+                    }
+                    // EOF: a trailing unterminated line still counts as a
+                    // request, exactly as `BufRead::lines` treated it.
+                    match conn.decoder.finish() {
+                        Some(frame) => frame,
+                        None => return,
+                    }
+                }
+            };
+            let Ok(line) = std::str::from_utf8(&frame) else {
+                // Undecodable bytes end request intake for this connection
+                // (the blocking reader's `lines()` did the same); admitted
+                // work still drains.
+                close_input(conn);
+                return;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = decode_line::<ScoreRequest>(line).map_err(|message| {
+                ScoreResponse::failure(
+                    salvage_request_id(line),
+                    format!("invalid request: {message}"),
+                )
+            });
+            let request_id = match &request {
+                Ok(request) => request.id,
+                Err(failure) => failure.id,
+            };
+            let job = Job {
+                request,
+                reply: conn.reply_tx.clone(),
+                peer: Arc::clone(&conn.peer),
+                admitted: Instant::now(),
+                completion: CompletionHandle {
+                    io_loop: Arc::clone(&self.handle),
+                    token,
+                    outstanding: Arc::clone(&conn.outstanding),
+                },
+            };
+            // Count the job before handing it over so the depth can never
+            // read negative: increment → enqueue → (worker dequeues →
+            // decrement). Parked jobs stay counted while they wait, exactly
+            // as the blocking reader counted them across `send_timeout`.
+            self.state.queue_depth.fetch_add(1, Ordering::SeqCst);
+            conn.outstanding.fetch_add(1, Ordering::SeqCst);
+            match self.job_tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    if self.admission_timeout.is_zero() {
+                        self.shed(conn, request_id);
+                    } else {
+                        conn.pending = Some(PendingJob {
+                            job,
+                            request_id,
+                            deadline: Instant::now() + self.admission_timeout,
+                        });
+                        self.shared.parked.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    close_input(conn); // server shutting down
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Close a fully drained connection: the client hung up, every admitted
+    /// job has been answered, and every reply byte is on the wire.
+    fn try_close(&mut self, conn: &mut Connection) {
+        let input_done =
+            conn.read_closed && conn.pending.is_none() && conn.decoder.buffered_len() == 0;
+        if !input_done {
+            return;
+        }
+        // Reading `outstanding == 0` *before* pumping means every reply this
+        // connection will ever get is already in the channel (workers push
+        // the reply before decrementing), so the pump below drains all of it.
+        if conn.outstanding.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        self.pump_and_flush(conn);
+        if conn.dead {
+            return;
+        }
+        if conn.out.is_empty() {
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            conn.dead = true;
+        }
+    }
+
+    fn update_interest(&self, token: usize, conn: &mut Connection) {
+        let want = Interest {
+            readable: !conn.read_closed
+                && conn.pending.is_none()
+                && conn.out.len() < self.reply_depth,
+            writable: !conn.out.is_empty(),
+        };
+        if want != conn.registered {
+            match self
+                .handle
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+            {
+                Ok(()) => conn.registered = want,
+                Err(_) => conn.dead = true,
+            }
+        }
+    }
+
+    /// Remove a connection: deregister, roll back any parked request's
+    /// counters, and drop the state (closing the socket and disconnecting
+    /// the reply channel, so in-flight workers drop their replies).
+    fn finalize(&mut self, mut conn: Connection) {
+        let _ = self.handle.poller.delete(conn.stream.as_raw_fd());
+        if let Some(pending) = conn.pending.take() {
+            self.shared.parked.fetch_sub(1, Ordering::SeqCst);
+            self.state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+            drop(pending.job);
+        }
+        self.shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Forced shutdown: disconnect every remaining connection and exit.
+    fn teardown_all(&mut self) {
+        self.close_listener();
+        let conns = std::mem::take(&mut self.conns);
+        for (_, conn) in conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.finalize(conn);
+        }
+    }
+}
+
+/// Expand one reply into write-queue segments, applying its wire fault.
+fn enqueue_reply(conn: &mut Connection, reply: Reply) {
+    let bytes = reply.line.into_bytes();
+    match reply.fault {
+        // Two segments flushed with separate writes exercise the client's
+        // frame reassembly; the bytes on the wire are identical.
+        Some(WriteFault::Torn { split_percent }) => {
+            let split = fault_offset(bytes.len(), split_percent);
+            conn.out.push_back(OutSegment {
+                bytes: Bytes::copy_from_slice(&bytes[..split]),
+                shutdown_after: false,
+            });
+            conn.out.push_back(OutSegment {
+                bytes: Bytes::copy_from_slice(&bytes[split..]),
+                shutdown_after: false,
+            });
+        }
+        // A torn frame with no continuation: partial bytes, then a
+        // mid-request disconnect.
+        Some(WriteFault::Disconnect { truncate_percent }) => {
+            let cut =
+                fault_offset(bytes.len(), truncate_percent).min(bytes.len().saturating_sub(1));
+            conn.out.push_back(OutSegment {
+                bytes: Bytes::copy_from_slice(&bytes[..cut]),
+                shutdown_after: true,
+            });
+        }
+        // Delay and Drop are applied worker-side (a sleep / no reply); a
+        // reply carrying them here is flushed clean.
+        None | Some(WriteFault::Delay { .. }) | Some(WriteFault::Drop) => {
+            conn.out.push_back(OutSegment {
+                bytes: Bytes::from(bytes),
+                shutdown_after: false,
+            });
+        }
+    }
+}
+
+/// Stop reading requests from a connection (server shutdown or undecodable
+/// input) while letting its admitted work drain; any bytes still buffered
+/// are discarded so they are never parsed as requests.
+fn close_input(conn: &mut Connection) {
+    conn.read_closed = true;
+    conn.decoder = FrameDecoder::new();
 }
 
 #[cfg(test)]
@@ -1081,12 +1609,21 @@ mod tests {
         Arc::new(stream)
     }
 
+    fn test_completion() -> CompletionHandle {
+        CompletionHandle {
+            io_loop: Arc::new(IoLoopHandle::new().unwrap()),
+            token: 0,
+            outstanding: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
     fn test_job(request: ScoreRequest, reply: Sender<Reply>) -> Job {
         Job {
             request: Ok(request),
             reply,
             peer: loopback_peer(),
             admitted: Instant::now(),
+            completion: test_completion(),
         }
     }
 
@@ -1178,5 +1715,77 @@ mod tests {
         assert!(response.ok);
         assert_eq!(response.stats.unwrap().requests, 0);
         assert_eq!(state.stats().requests, 0);
+    }
+
+    #[test]
+    fn io_thread_zero_is_clamped_to_one_loop() {
+        let config = ServiceConfig {
+            io_threads: 0,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(config.effective_io_threads(), 1);
+        assert_eq!(
+            ServiceConfig {
+                io_threads: 4,
+                ..ServiceConfig::default()
+            }
+            .effective_io_threads(),
+            4
+        );
+    }
+
+    #[test]
+    fn torn_replies_split_into_two_segments_with_identical_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let peer = Arc::new(stream.try_clone().unwrap());
+        let (reply_tx, reply_rx) = bounded::<Reply>(1);
+        let mut conn = Connection {
+            stream,
+            peer,
+            decoder: FrameDecoder::new(),
+            reply_tx,
+            reply_rx,
+            out: VecDeque::new(),
+            out_pos: 0,
+            pending: None,
+            outstanding: Arc::new(AtomicU64::new(0)),
+            read_closed: false,
+            registered: Interest::readable(),
+            dead: false,
+        };
+        enqueue_reply(
+            &mut conn,
+            Reply {
+                line: "0123456789\n".to_owned(),
+                fault: Some(WriteFault::Torn { split_percent: 40 }),
+            },
+        );
+        assert_eq!(conn.out.len(), 2);
+        let joined: Vec<u8> = conn
+            .out
+            .iter()
+            .flat_map(|segment| segment.bytes.iter().copied())
+            .collect();
+        assert_eq!(joined, b"0123456789\n");
+        assert!(conn.out.iter().all(|segment| !segment.shutdown_after));
+
+        conn.out.clear();
+        enqueue_reply(
+            &mut conn,
+            Reply {
+                line: "0123456789\n".to_owned(),
+                fault: Some(WriteFault::Disconnect {
+                    truncate_percent: 99,
+                }),
+            },
+        );
+        assert_eq!(conn.out.len(), 1);
+        let segment = conn.out.front().unwrap();
+        assert!(segment.shutdown_after);
+        assert!(
+            segment.bytes.len() < b"0123456789\n".len(),
+            "a disconnect fault never writes the full frame"
+        );
     }
 }

@@ -1,0 +1,157 @@
+//! Property tests for the nonblocking server's frame reassembly.
+//!
+//! The event loop receives arbitrary read chunks — TCP is free to split a
+//! frame at any byte, including mid-UTF-8-codepoint and mid-frame
+//! ("torn") — and the [`FrameDecoder`] must reassemble exactly the frames
+//! the blocking server's `BufRead::lines` reader saw. These properties
+//! drive randomly generated request batches through the decoder under
+//! adversarial chunkings and assert byte-identical reassembly against
+//! [`encode_line`].
+
+use proptest::prelude::*;
+use wfspeak_service::protocol::{encode_line, ScoreRequest};
+use wfspeak_service::FrameDecoder;
+
+/// Strategy producing request-shaped lines (what the server actually
+/// frames), including multi-byte UTF-8 in reference text and hypotheses so
+/// chunk splits can land inside a codepoint.
+fn request_lines() -> impl Strategy<Value = Vec<String>> {
+    let text = prop_oneof![
+        "[ -~]{0,24}",
+        // Multi-byte UTF-8: accented Latin, CJK, and non-BMP emoji.
+        proptest::collection::vec(
+            prop_oneof![
+                proptest::char::range('À', 'ω'),
+                proptest::char::range('一', '口'),
+                proptest::char::range('😀', '😏'),
+            ],
+            0..8
+        )
+        .prop_map(|chars| chars.into_iter().collect::<String>()),
+    ];
+    proptest::collection::vec((0u64..1000, text), 1..12).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(id, text)| {
+                encode_line(&ScoreRequest::by_text(
+                    id,
+                    &format!("reference {text}"),
+                    vec![text],
+                ))
+            })
+            .collect()
+    })
+}
+
+/// Cut points for the byte stream: a sorted subset of offsets where the
+/// stream is torn into separate `push` calls.
+fn chunkings(stream_len: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..stream_len.max(1), 0..16).prop_map(|mut cuts| {
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts
+    })
+}
+
+/// Feed `stream` to a decoder split at `cuts`, collecting every frame in
+/// order (with the EOF tail).
+fn reassemble(stream: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut start = 0;
+    for &cut in cuts.iter().chain(std::iter::once(&stream.len())) {
+        let cut = cut.min(stream.len());
+        if cut > start {
+            decoder.push(&stream[start..cut]);
+            start = cut;
+        }
+        while let Some(frame) = decoder.next_frame() {
+            frames.push(frame.to_vec());
+        }
+    }
+    if let Some(tail) = decoder.finish() {
+        frames.push(tail.to_vec());
+    }
+    frames
+}
+
+proptest! {
+    // Any chunking of a request stream — including splits inside UTF-8
+    // codepoints and mid-frame tears — reassembles into exactly the
+    // encoded lines, byte for byte, in order.
+    #[test]
+    fn arbitrary_chunk_boundaries_reassemble_byte_identically(
+        lines in request_lines(),
+        cuts in proptest::collection::vec(0usize..4096, 0..16),
+    ) {
+        let stream: Vec<u8> = lines.iter().flat_map(|line| line.bytes()).collect();
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % stream.len().max(1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let frames = reassemble(&stream, &cuts);
+        prop_assert_eq!(frames.len(), lines.len());
+        for (frame, line) in frames.iter().zip(&lines) {
+            // `encode_line` terminates with '\n'; the decoder strips it.
+            prop_assert_eq!(frame.as_slice(), line.trim_end_matches('\n').as_bytes());
+        }
+    }
+
+    // One byte at a time is the worst-case chunking; frames still come out
+    // whole and the decoder's buffer drains completely.
+    #[test]
+    fn byte_at_a_time_streaming_loses_nothing(lines in request_lines()) {
+        let stream: Vec<u8> = lines.iter().flat_map(|line| line.bytes()).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &stream {
+            decoder.push(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame() {
+                frames.push(frame.to_vec());
+            }
+        }
+        prop_assert!(decoder.finish().is_none(), "terminated lines leave no tail");
+        prop_assert_eq!(decoder.buffered_len(), 0);
+        prop_assert_eq!(frames.len(), lines.len());
+        for (frame, line) in frames.iter().zip(&lines) {
+            prop_assert_eq!(frame.as_slice(), line.trim_end_matches('\n').as_bytes());
+        }
+    }
+
+    // A torn final frame (no trailing newline) surfaces at EOF exactly
+    // like `BufRead::lines` yields a trailing unterminated line.
+    #[test]
+    fn torn_trailing_frames_surface_at_eof(
+        lines in request_lines(),
+        cuts in chunkings(4096),
+        truncate in 1usize..64,
+    ) {
+        let mut stream: Vec<u8> = lines.iter().flat_map(|line| line.bytes()).collect();
+        // Tear the final frame: drop 1..64 bytes from the end (always at
+        // least the trailing newline).
+        let cut_len = truncate.min(stream.len());
+        stream.truncate(stream.len() - cut_len);
+        let cuts: Vec<usize> = cuts.into_iter().map(|c| c % stream.len().max(1)).collect();
+        let mut sorted = cuts;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let frames = reassemble(&stream, &sorted);
+        // Expected: every line whose bytes fully survive, plus the torn
+        // remainder of the first affected line (if any bytes remain).
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        let mut consumed = 0usize;
+        for line in &lines {
+            let bytes = line.as_bytes();
+            if consumed + bytes.len() <= stream.len() {
+                expected.push(bytes[..bytes.len() - 1].to_vec());
+                consumed += bytes.len();
+            } else {
+                let remainder = &stream[consumed..];
+                if !remainder.is_empty() {
+                    expected.push(remainder.to_vec());
+                }
+                break;
+            }
+        }
+        prop_assert_eq!(frames, expected);
+    }
+}

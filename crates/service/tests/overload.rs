@@ -9,6 +9,23 @@ use wfspeak_corpus::references::configuration_reference;
 use wfspeak_corpus::WorkflowSystemId;
 use wfspeak_service::{ScoreRequest, ScoringClient, ScoringServer, ServiceConfig};
 
+/// Poll until the server's connection table holds exactly `expected`
+/// entries. Teardown is asynchronous — the event loop reaps a closed
+/// socket on its next readiness pass — so a disconnect is observed with a
+/// bounded wait, not a single read.
+fn wait_for_live_connections(server: &ScoringServer, expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.live_connections() != expected {
+        assert!(
+            Instant::now() < deadline,
+            "connection table stuck at {} entries (wanted {})",
+            server.live_connections(),
+            expected
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
 #[test]
 fn full_queue_sheds_with_typed_overloaded_error() {
     let config = ServiceConfig {
@@ -99,9 +116,12 @@ fn full_queue_sheds_with_typed_overloaded_error() {
     let stats = shed.stats().unwrap();
     assert_eq!(stats.queue_depth, 0);
 
+    // Shedding must not leak per-connection state: once every client
+    // hangs up, the connection table drains back to zero.
     busy.close();
     parked.close();
     shed.close();
+    wait_for_live_connections(&server, 0);
     server.shutdown();
 }
 
@@ -164,6 +184,10 @@ fn shed_clients_that_disconnect_immediately_leak_nothing() {
         impatient.close();
     }
 
+    // The impatient clients' connection-table entries are reaped as each
+    // dead socket is discovered — only the two live clients remain.
+    wait_for_live_connections(&server, 2);
+
     // The pinned and parked work is untouched by the churn.
     let slow = busy.recv().unwrap();
     assert!(slow.ok, "{:?}", slow.error);
@@ -182,8 +206,11 @@ fn shed_clients_that_disconnect_immediately_leak_nothing() {
     assert!(scored.ok, "{:?}", scored.error);
     assert_eq!(probe.stats().unwrap().queue_depth, 0);
 
+    // Every disconnect — the churned shed clients and the clean closes —
+    // returns its connection-table entry; nothing is left at rest.
     busy.close();
     parked.close();
     probe.close();
+    wait_for_live_connections(&server, 0);
     server.shutdown();
 }

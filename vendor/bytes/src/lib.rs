@@ -2,6 +2,10 @@
 //!
 //! [`Bytes`] is an immutable, cheaply cloneable byte buffer backed by an
 //! `Arc<[u8]>`; cloning shares the allocation like the real crate.
+//! [`BytesMut`] is the growable companion used for incremental frame
+//! assembly: bytes append at the tail, consumed bytes advance a start
+//! cursor instead of memmoving the remainder, and the buffer compacts
+//! lazily so sustained streaming costs amortised O(1) per byte.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -53,9 +57,121 @@ impl AsRef<[u8]> for Bytes {
     }
 }
 
+/// Growable byte buffer with an amortised-O(1) consume cursor.
+///
+/// Appending writes at the tail of the backing `Vec`; [`advance`] and
+/// [`split_to`] move a start cursor forward without shifting the unread
+/// remainder. The backing storage compacts (one `memmove`) only when the
+/// dead prefix outgrows the live bytes, so a long-lived network buffer
+/// neither leaks the dead prefix nor pays per-frame shifts.
+///
+/// [`advance`]: BytesMut::advance
+/// [`split_to`]: BytesMut::split_to
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when every appended byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `data` at the tail, compacting first if the dead prefix has
+    /// outgrown the live remainder.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        if self.start > 0 && self.start >= self.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Discard the first `count` unconsumed bytes.
+    ///
+    /// # Panics
+    /// Panics when `count` exceeds [`len`](BytesMut::len).
+    pub fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past the end of the buffer");
+        self.start += count;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Split off and return the first `at` unconsumed bytes as an immutable
+    /// [`Bytes`], leaving the remainder in place (no shifting).
+    ///
+    /// # Panics
+    /// Panics when `at` exceeds [`len`](BytesMut::len).
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split past the end of the buffer");
+        let front = Bytes::copy_from_slice(&self.buf[self.start..self.start + at]);
+        self.advance(at);
+        front
+    }
+
+    /// Consume the buffer into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+        }
+        Bytes::from(self.buf)
+    }
+
+    /// Drop every unconsumed byte.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            buf: data.to_vec(),
+            start: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Bytes;
+    use super::{Bytes, BytesMut};
 
     #[test]
     fn construction_and_slicing() {
@@ -65,5 +181,62 @@ mod tests {
         let c = b.clone();
         assert_eq!(b, c);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn bytes_mut_appends_and_consumes() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.extend_from_slice(b"hello ");
+        buf.extend_from_slice(b"world");
+        assert_eq!(&*buf, b"hello world");
+        let front = buf.split_to(6);
+        assert_eq!(&*front, b"hello ");
+        assert_eq!(&*buf, b"world");
+        buf.advance(5);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn advance_resets_when_everything_is_consumed() {
+        let mut buf = BytesMut::from(&b"abc"[..]);
+        buf.advance(3);
+        assert!(buf.is_empty());
+        buf.extend_from_slice(b"xyz");
+        assert_eq!(&*buf, b"xyz");
+    }
+
+    #[test]
+    fn compaction_keeps_the_live_suffix_intact() {
+        let mut buf = BytesMut::new();
+        // Interleave appends and consumes so the start cursor crosses the
+        // compaction threshold repeatedly.
+        let mut expected = Vec::new();
+        let mut consumed = 0usize;
+        for round in 0..64u8 {
+            let chunk = [round; 7];
+            buf.extend_from_slice(&chunk);
+            expected.extend_from_slice(&chunk);
+            let take = (round as usize) % 5;
+            let take = take.min(buf.len());
+            let front = buf.split_to(take);
+            assert_eq!(&*front, &expected[consumed..consumed + take]);
+            consumed += take;
+        }
+        assert_eq!(&*buf, &expected[consumed..]);
+    }
+
+    #[test]
+    fn freeze_returns_only_unconsumed_bytes() {
+        let mut buf = BytesMut::from(&b"prefix|payload"[..]);
+        buf.advance(7);
+        let frozen = buf.freeze();
+        assert_eq!(&*frozen, b"payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past the end")]
+    fn advance_past_the_end_panics() {
+        let mut buf = BytesMut::from(&b"ab"[..]);
+        buf.advance(3);
     }
 }

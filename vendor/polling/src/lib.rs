@@ -1,0 +1,638 @@
+//! Offline stand-in for `polling`.
+//!
+//! A minimal, level-triggered readiness API over the operating system's
+//! multiplexer: `epoll(7)` on Linux, `poll(2)` on other Unix systems. The
+//! surface mirrors the real `polling` crate loosely — register file
+//! descriptors with a `usize` key and an [`Interest`], park in
+//! [`Poller::wait`], and wake the parked thread from anywhere with
+//! [`Poller::notify`] — which is exactly what an I/O loop multiplexing many
+//! connections behind a worker pool needs.
+//!
+//! No `libc` crate is linked: the handful of syscall wrappers are declared
+//! directly as `extern "C"` prototypes, which resolve against the libc the
+//! Rust standard library already links on every Unix target.
+//!
+//! ```
+//! use polling::{Event, Interest, Poller};
+//! use std::io::Write;
+//! use std::net::{TcpListener, TcpStream};
+//! use std::os::unix::io::AsRawFd;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+//! let (server, _) = listener.accept().unwrap();
+//! server.set_nonblocking(true).unwrap();
+//!
+//! let poller = Poller::new().unwrap();
+//! poller
+//!     .add(server.as_raw_fd(), 7, Interest::readable())
+//!     .unwrap();
+//! client.write_all(b"ping").unwrap();
+//!
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, None).unwrap();
+//! assert!(events.iter().any(|e: &Event| e.key == 7 && e.readable));
+//! # poller.delete(server.as_raw_fd()).unwrap();
+//! ```
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Which readiness directions a registration listens for.
+///
+/// A registration with neither direction set stays valid — the descriptor
+/// still reports errors and hangups — which lets an I/O loop mute a
+/// connection (e.g. while it is parked on a full queue) without
+/// deregistering it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor becomes readable (or reaches EOF).
+    pub readable: bool,
+    /// Wake when the descriptor becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub fn readable() -> Self {
+        Interest {
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Writable only.
+    pub fn writable() -> Self {
+        Interest {
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Both directions.
+    pub fn both() -> Self {
+        Interest {
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Neither direction (errors and hangups still wake).
+    pub fn none() -> Self {
+        Interest::default()
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the descriptor was registered with.
+    pub key: usize,
+    /// The descriptor is readable (data, EOF, or a pending error).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up or the descriptor is in an error state; reads and
+    /// writes will surface the detail.
+    pub hangup: bool,
+}
+
+/// Convert a wait timeout to milliseconds for the kernel: `None` parks
+/// indefinitely (-1); sub-millisecond timeouts round up so a short deadline
+/// never busy-spins at zero.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) if t.is_zero() => 0,
+        Some(t) => {
+            let ms = t.as_millis().max(1);
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+fn last_os_error_or_retry(result: isize) -> Option<io::Error> {
+    if result >= 0 {
+        return None;
+    }
+    let error = io::Error::last_os_error();
+    if error.kind() == io::ErrorKind::Interrupted {
+        return None; // caller retries
+    }
+    Some(error)
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll backend: O(1) readiness with an `eventfd` notifier.
+
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// The key value reserved for the internal notifier; user registrations
+    /// with this key are rejected.
+    const NOTIFY_KEY: u64 = u64::MAX;
+
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Level-triggered epoll instance plus an `eventfd` wakeup channel.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        wake_fd: RawFd,
+        /// Collapses bursts of [`notify`](Poller::notify) calls into one
+        /// eventfd write while no wait is in progress.
+        notified: AtomicBool,
+    }
+
+    // The poller is registration- and notification-safe from any thread:
+    // epoll_ctl/epoll_wait/eventfd writes are all kernel-synchronised.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Poller {
+        /// Create a poller with its notifier registered.
+        pub fn new() -> io::Result<Self> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let wake_fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if wake_fd < 0 {
+                let error = io::Error::last_os_error();
+                unsafe { close(epfd) };
+                return Err(error);
+            }
+            let poller = Poller {
+                epfd,
+                wake_fd,
+                notified: AtomicBool::new(false),
+            };
+            poller.ctl(EPOLL_CTL_ADD, wake_fd, EPOLLIN, NOTIFY_KEY)?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            let mut event = EpollEvent { events, data };
+            let result = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+            if result < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Register `fd` under `key` with the given interest.
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            if key as u64 == NOTIFY_KEY {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved for the notifier",
+                ));
+            }
+            self.ctl(EPOLL_CTL_ADD, fd, interest_bits(interest), key as u64)
+        }
+
+        /// Change the interest set of an existing registration.
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest_bits(interest), key as u64)
+        }
+
+        /// Remove a registration.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Park until an event arrives, the timeout elapses, or another
+        /// thread calls [`notify`](Poller::notify). Events are appended to
+        /// `events` (cleared first); returns how many were delivered.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let count = loop {
+                let result = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        raw.as_mut_ptr(),
+                        raw.len() as i32,
+                        timeout_ms(timeout),
+                    )
+                };
+                match last_os_error_or_retry(result as isize) {
+                    None if result >= 0 => break result as usize,
+                    None => continue, // EINTR: retry
+                    Some(error) => return Err(error),
+                }
+            };
+            for entry in &raw[..count] {
+                // Field reads copy out of the (possibly packed) struct.
+                let data = entry.data;
+                let bits = entry.events;
+                if data == NOTIFY_KEY {
+                    self.drain_notifications();
+                    continue;
+                }
+                events.push(Event {
+                    key: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(events.len())
+        }
+
+        fn drain_notifications(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.wake_fd, buf.as_mut_ptr(), buf.len()) };
+            self.notified.store(false, Ordering::Release);
+        }
+
+        /// Wake the thread parked in [`wait`](Poller::wait) (or make the
+        /// next wait return immediately). Callable from any thread; bursts
+        /// coalesce.
+        pub fn notify(&self) -> io::Result<()> {
+            if self.notified.swap(true, Ordering::AcqRel) {
+                return Ok(()); // a wakeup is already pending
+            }
+            let one = 1u64.to_ne_bytes();
+            let result = unsafe { write(self.wake_fd, one.as_ptr(), one.len()) };
+            if result < 0 {
+                let error = io::Error::last_os_error();
+                // A full eventfd counter still wakes the waiter.
+                if error.kind() != io::ErrorKind::WouldBlock {
+                    return Err(error);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_fd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! `poll(2)` backend for non-Linux Unix: the registration table lives in
+    //! userspace and the pollfd array is rebuilt per wait. O(n) per wake,
+    //! which is fine at the connection counts this workspace drives on
+    //! non-Linux development machines.
+
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0x0004;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Userspace registration table driven through `poll(2)`, with a
+    /// self-pipe as the wakeup channel.
+    #[derive(Debug)]
+    pub struct Poller {
+        registry: Mutex<HashMap<RawFd, (usize, Interest)>>,
+        wake_read: RawFd,
+        wake_write: RawFd,
+        notified: AtomicBool,
+    }
+
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// Create a poller with its self-pipe notifier.
+        pub fn new() -> io::Result<Self> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let error = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(error);
+                }
+            }
+            Ok(Poller {
+                registry: Mutex::new(HashMap::new()),
+                wake_read: fds[0],
+                wake_write: fds[1],
+                notified: AtomicBool::new(false),
+            })
+        }
+
+        /// Register `fd` under `key` with the given interest.
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut registry = self.registry.lock().unwrap();
+            if registry.insert(fd, (key, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        /// Change the interest set of an existing registration.
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut registry = self.registry.lock().unwrap();
+            match registry.get_mut(&fd) {
+                Some(entry) => {
+                    *entry = (key, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Remove a registration.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.registry.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        /// Park until an event arrives, the timeout elapses, or another
+        /// thread calls [`notify`](Poller::notify).
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let (mut fds, keys): (Vec<PollFd>, Vec<usize>) = {
+                let registry = self.registry.lock().unwrap();
+                let mut fds = Vec::with_capacity(registry.len() + 1);
+                let mut keys = Vec::with_capacity(registry.len() + 1);
+                fds.push(PollFd {
+                    fd: self.wake_read,
+                    events: POLLIN,
+                    revents: 0,
+                });
+                keys.push(usize::MAX);
+                for (&fd, &(key, interest)) in registry.iter() {
+                    let mut bits = 0;
+                    if interest.readable {
+                        bits |= POLLIN;
+                    }
+                    if interest.writable {
+                        bits |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events: bits,
+                        revents: 0,
+                    });
+                    keys.push(key);
+                }
+                (fds, keys)
+            };
+            loop {
+                let result =
+                    unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms(timeout)) };
+                match last_os_error_or_retry(result as isize) {
+                    None if result >= 0 => break,
+                    None => continue,
+                    Some(error) => return Err(error),
+                }
+            }
+            for (entry, &key) in fds.iter().zip(&keys) {
+                if entry.revents == 0 {
+                    continue;
+                }
+                if key == usize::MAX {
+                    let mut buf = [0u8; 64];
+                    while unsafe { read(self.wake_read, buf.as_mut_ptr(), buf.len()) } > 0 {}
+                    self.notified.store(false, Ordering::Release);
+                    continue;
+                }
+                events.push(Event {
+                    key,
+                    readable: entry.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: entry.revents & POLLOUT != 0,
+                    hangup: entry.revents & (POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(events.len())
+        }
+
+        /// Wake the thread parked in [`wait`](Poller::wait).
+        pub fn notify(&self) -> io::Result<()> {
+            if self.notified.swap(true, Ordering::AcqRel) {
+                return Ok(());
+            }
+            let one = [1u8];
+            unsafe { write(self.wake_write, one.as_ptr(), one.len()) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_read);
+                close(self.wake_write);
+            }
+        }
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_events_fire_for_registered_keys() {
+        let (mut client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(server.as_raw_fd(), 42, Interest::readable())
+            .unwrap();
+
+        let mut events = Vec::new();
+        let count = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(count, 0, "idle socket reports nothing");
+
+        client.write_all(b"hello\n").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 42 && e.readable));
+        poller.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn interest_can_be_muted_and_restored() {
+        let (mut client, mut server) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 1, Interest::none()).unwrap();
+        client.write_all(b"pending").unwrap();
+
+        // Muted: data is waiting but no event is reported.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.key != 1 || !e.readable));
+
+        poller
+            .modify(server.as_raw_fd(), 1, Interest::both())
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events
+            .iter()
+            .find(|e| e.key == 1)
+            .expect("event after unmute");
+        assert!(event.readable && event.writable);
+
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf).unwrap(), 7);
+        poller.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_parked_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let start = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "notify must cut the wait short"
+        );
+        assert!(events.is_empty(), "notification is not a user event");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn notifications_coalesce_and_do_not_leak_into_later_waits() {
+        let poller = Poller::new().unwrap();
+        for _ in 0..64 {
+            poller.notify().unwrap();
+        }
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        // Drained: the next wait parks for its full (short) timeout.
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn writable_interest_reports_immediately_on_an_open_socket() {
+        let (_client, server) = pair();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(server.as_raw_fd(), 9, Interest::writable())
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 9 && e.writable));
+        poller.delete(server.as_raw_fd()).unwrap();
+    }
+}
