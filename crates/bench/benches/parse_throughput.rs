@@ -1,0 +1,16 @@
+//! `parse_throughput` — measure wyaml parse throughput over the generated
+//! configuration corpus (pre-rewrite baseline vs the rewritten owned and
+//! zero-copy entry points) and write the `BENCH_7.json` artifact.
+//!
+//! Like `execution_throughput` this is a one-shot measurement binary
+//! (`harness = false`): it prints the headline numbers and records the full
+//! report. `repro bench-parse` runs the same measurement, and
+//! `WFSPEAK_PARSE_PASSES` bounds the sweep (the CI smoke uses it). See the
+//! `wfspeak_bench` crate docs for the report schema.
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`) — ignored — and runs
+    // bench binaries with the package root as cwd, so anchor the artifact
+    // to the workspace root.
+    wfspeak_bench::run_parse_bench(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json"));
+}

@@ -77,6 +77,10 @@ Performance artifacts (rewrite tracked BENCH_N.json snapshots):
                    -> BENCH_6.json (honours WFSPEAK_CONNECTIONS_MAX as a
                    client-count bound)
         --io-threads N event-loop threads    [default: 1]
+    bench-parse    wyaml parse throughput over the generated configuration
+                   corpus: pre-rewrite baseline vs the zero-copy rewrite,
+                   plus per-category failure counts -> BENCH_7.json
+                   (honours WFSPEAK_PARSE_PASSES as a pass-count bound)
 
 Scoring service:
     serve          run the batch scoring server (newline-delimited JSON/TCP)
@@ -237,6 +241,10 @@ fn bench_scaling() {
 fn bench_connections(options: &CliOptions) -> Result<(), String> {
     wfspeak_bench::run_connection_bench("BENCH_6.json", options.io_threads);
     Ok(())
+}
+
+fn bench_parse() {
+    wfspeak_bench::run_parse_bench("BENCH_7.json");
 }
 
 fn json(benchmark: &Benchmark) {
@@ -771,7 +779,7 @@ fn main() {
 
     // Artifact subcommands: validate everything before running anything, so
     // a typo late in the list doesn't waste a full benchmark run.
-    const ARTIFACTS: [&str; 14] = [
+    const ARTIFACTS: [&str; 15] = [
         "run",
         "table1",
         "table2",
@@ -786,6 +794,7 @@ fn main() {
         "bench-evaluate",
         "bench-execute",
         "bench-scaling",
+        "bench-parse",
     ];
     let selections: Vec<&str> = if args.is_empty() {
         vec!["run"]
@@ -826,6 +835,7 @@ fn main() {
             "bench-evaluate" => bench_evaluate(),
             "bench-execute" => bench_execute(),
             "bench-scaling" => bench_scaling(),
+            "bench-parse" => bench_parse(),
             _ => unreachable!("validated above"),
         }
     }

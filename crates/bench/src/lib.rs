@@ -71,6 +71,21 @@
 //!   per-request throughput at ≥256 connections must beat the 4-client
 //!   figure, because the readiness loop amortises wakeups and keeps the
 //!   worker pool's queue from ever running dry.
+//! * **`BENCH_7.json`** ([`ParseBenchReport`], written by the
+//!   `parse_throughput` bench or `repro bench-parse`) — wyaml parse
+//!   throughput over the generated configuration corpus (180 artifacts
+//!   with the paper defaults: 3 configuration systems × 4 models × 5
+//!   trials × 3 prompt variants, code-extracted exactly as the execution
+//!   pipeline sees them).  Three parsers are timed over the same corpus:
+//!   the preserved pre-rewrite parser (`wfspeak_wyaml::baseline`), the
+//!   rewritten owned entry point (`wfspeak_wyaml::parse`) and the borrowed
+//!   zero-copy entry point (`wfspeak_wyaml::parse_document`).
+//!   `parsed_ok` and the per-`ErrorKind` `failure_categories` are
+//!   determinism checksums (same seed ⇒ same counts), and the
+//!   `speedup_*_vs_baseline` ratios are the trend signal the artifact
+//!   exists to track: the rewrite must stay ≥2× the pre-rewrite parser on
+//!   this corpus.  `passes` records the sweep size in force (the CI smoke
+//!   bounds it via `WFSPEAK_PARSE_PASSES`).
 //!
 //! Shared schema conventions:
 //!
@@ -387,6 +402,188 @@ pub fn run_execution_bench(path: &str) {
         report.unparsed,
         report.mean_runnability,
         report.mean_fidelity,
+    );
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("Wrote {path}\n"),
+        Err(e) => eprintln!("Could not write {path}: {e}\n"),
+    }
+}
+
+/// One failure category of the parse-bench corpus: a stable
+/// [`wfspeak_wyaml::ErrorKind`] code with the number of corpus artifacts
+/// whose parse fails with it.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParseFailureCount {
+    /// Stable kebab-case `ErrorKind` code (`tab-indent`, `duplicate-key`, …).
+    pub category: String,
+    /// Artifacts in the corpus that fail with this category.
+    pub count: usize,
+}
+
+/// Machine-readable parse-throughput report emitted as `BENCH_7.json` (see
+/// the crate docs for the schema conventions).
+#[derive(Debug, Clone, Serialize)]
+pub struct ParseBenchReport {
+    /// Report schema / sequence tag (`BENCH_7` for the parse bench).
+    pub bench_id: String,
+    /// Artifacts in the corpus (180 with the paper defaults).
+    pub artifacts: usize,
+    /// Total corpus size in bytes (exact workload counter).
+    pub total_bytes: usize,
+    /// Timed passes over the corpus, per parser.
+    pub passes: usize,
+    /// Corpus artifacts the parser accepts (determinism checksum: must not
+    /// drift between runs of the same seed).
+    pub parsed_ok: usize,
+    /// Per-`ErrorKind` counts over the rejected artifacts, most frequent
+    /// first, ties broken by category (checksum).
+    pub failure_categories: Vec<ParseFailureCount>,
+    /// Wall-clock seconds for all passes of the pre-rewrite parser
+    /// ([`wfspeak_wyaml::baseline`]).
+    pub baseline_wall_time_secs: f64,
+    /// Pre-rewrite parses per second.
+    pub baseline_parses_per_sec: f64,
+    /// Wall-clock seconds for the rewritten owned entry point
+    /// ([`wfspeak_wyaml::parse()`]: zero-copy parse + `into_owned`).
+    pub owned_wall_time_secs: f64,
+    /// Owned-entry-point parses per second.
+    pub owned_parses_per_sec: f64,
+    /// Wall-clock seconds for the borrowed entry point
+    /// ([`wfspeak_wyaml::parse_document`], no owned conversion).
+    pub zero_copy_wall_time_secs: f64,
+    /// Zero-copy parses per second — the headline number.
+    pub zero_copy_parses_per_sec: f64,
+    /// Zero-copy corpus throughput in MB/s.
+    pub zero_copy_mb_per_sec: f64,
+    /// `baseline_wall_time_secs / owned_wall_time_secs` — the apples-to-
+    /// apples speedup of the rewrite behind the unchanged owned API.
+    pub speedup_owned_vs_baseline: f64,
+    /// `baseline_wall_time_secs / zero_copy_wall_time_secs` — the speedup
+    /// when consumers use the borrowed document directly.
+    pub speedup_zero_copy_vs_baseline: f64,
+}
+
+impl ParseBenchReport {
+    /// Pretty JSON for the `BENCH_7.json` artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Measure wyaml parse throughput over the generated configuration corpus
+/// ([`wfspeak_core::Benchmark::configuration_corpus`]): `passes` timed
+/// passes each for the pre-rewrite baseline parser, the rewritten owned
+/// entry point and the borrowed zero-copy entry point, plus one untimed
+/// pass that records the accept count and per-`ErrorKind` failure
+/// categories as determinism checksums.
+pub fn measure_parse_throughput(passes: usize) -> ParseBenchReport {
+    use wfspeak_wyaml::{baseline, parse, parse_document};
+
+    let corpus = paper_benchmark().configuration_corpus();
+    let artifacts = corpus.len();
+    let total_bytes: usize = corpus.iter().map(String::len).sum();
+
+    // Checksum pass: outcome of the rewritten parser over the corpus.
+    let mut parsed_ok = 0usize;
+    let mut categories: Vec<(String, usize)> = Vec::new();
+    for doc in &corpus {
+        match parse(doc) {
+            Ok(_) => parsed_ok += 1,
+            Err(e) => {
+                let code = e.kind.code().to_owned();
+                match categories.iter_mut().find(|(c, _)| *c == code) {
+                    Some((_, n)) => *n += 1,
+                    None => categories.push((code, 1)),
+                }
+            }
+        }
+    }
+    categories.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // The three parsers are timed in interleaved passes (baseline, owned,
+    // zero-copy, repeat) so clock-frequency drift over the measurement
+    // cannot systematically favour one of them.
+    let time_pass = |parse_one: &dyn Fn(&str)| {
+        let start = Instant::now();
+        for doc in &corpus {
+            parse_one(doc);
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let mut baseline_wall = 0.0f64;
+    let mut owned_wall = 0.0f64;
+    let mut zero_copy_wall = 0.0f64;
+    for _ in 0..passes {
+        baseline_wall += time_pass(&|doc| {
+            std::hint::black_box(baseline::parse(doc).is_ok());
+        });
+        owned_wall += time_pass(&|doc| {
+            std::hint::black_box(parse(doc).is_ok());
+        });
+        zero_copy_wall += time_pass(&|doc| {
+            std::hint::black_box(parse_document(doc).is_ok());
+        });
+    }
+
+    let parses = (artifacts * passes) as f64;
+    ParseBenchReport {
+        bench_id: "BENCH_7".to_owned(),
+        artifacts,
+        total_bytes,
+        passes,
+        parsed_ok,
+        failure_categories: categories
+            .into_iter()
+            .map(|(category, count)| ParseFailureCount { category, count })
+            .collect(),
+        baseline_wall_time_secs: baseline_wall,
+        baseline_parses_per_sec: parses / baseline_wall,
+        owned_wall_time_secs: owned_wall,
+        owned_parses_per_sec: parses / owned_wall,
+        zero_copy_wall_time_secs: zero_copy_wall,
+        zero_copy_parses_per_sec: parses / zero_copy_wall,
+        zero_copy_mb_per_sec: (total_bytes * passes) as f64 / zero_copy_wall / 1e6,
+        speedup_owned_vs_baseline: baseline_wall / owned_wall,
+        speedup_zero_copy_vs_baseline: baseline_wall / zero_copy_wall,
+    }
+}
+
+/// Run the parse bench at its standard scale (400 passes; `WFSPEAK_PARSE_PASSES`
+/// overrides, so the CI smoke can run a bounded sweep), print the headline
+/// numbers and write the report to `path`. Shared by `repro bench-parse`
+/// and the `parse_throughput` bench binary so the two artifacts cannot
+/// drift.
+pub fn run_parse_bench(path: &str) {
+    let passes = std::env::var("WFSPEAK_PARSE_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&p: &usize| p > 0)
+        .unwrap_or(400);
+    let report = measure_parse_throughput(passes);
+    let failures: Vec<String> = report
+        .failure_categories
+        .iter()
+        .map(|f| format!("{}×{}", f.category, f.count))
+        .collect();
+    println!(
+        "Parse throughput: {} artifacts ({} bytes) × {} passes: baseline {:.0}/s, \
+         owned {:.0}/s ({:.2}×), zero-copy {:.0}/s ({:.2}×, {:.1} MB/s); \
+         {} parse OK, failures: {}",
+        report.artifacts,
+        report.total_bytes,
+        report.passes,
+        report.baseline_parses_per_sec,
+        report.owned_parses_per_sec,
+        report.speedup_owned_vs_baseline,
+        report.zero_copy_parses_per_sec,
+        report.speedup_zero_copy_vs_baseline,
+        report.zero_copy_mb_per_sec,
+        report.parsed_ok,
+        if failures.is_empty() {
+            "none".to_owned()
+        } else {
+            failures.join(", ")
+        },
     );
     match std::fs::write(path, report.to_json() + "\n") {
         Ok(()) => println!("Wrote {path}\n"),
@@ -1214,6 +1411,47 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench_id\": \"BENCH_4\""));
         assert!(json.contains("executions_per_sec"));
+    }
+
+    #[test]
+    fn parse_throughput_report_is_consistent() {
+        let report = measure_parse_throughput(2);
+        assert_eq!(report.passes, 2);
+        // 3 configuration systems × 4 models × 5 trials × 3 prompt
+        // variants: the corpus the acceptance criterion pins.
+        assert_eq!(report.artifacts, 180);
+        assert!(report.total_bytes > 0);
+        // Exact-tier Wilkins/ADIOS2 output parses; Henson scripts and
+        // degraded tiers populate the failure categories.
+        assert!(report.parsed_ok > 0, "well-formed artifacts must parse");
+        assert!(
+            !report.failure_categories.is_empty(),
+            "degraded artifacts must populate failure categories"
+        );
+        let failed: usize = report.failure_categories.iter().map(|f| f.count).sum();
+        assert_eq!(report.parsed_ok + failed, report.artifacts);
+        assert!(report.baseline_parses_per_sec > 0.0);
+        assert!(report.owned_parses_per_sec > 0.0);
+        assert!(report.zero_copy_parses_per_sec > 0.0);
+        // The outcome checksums are deterministic for a fixed seed.
+        let again = measure_parse_throughput(2);
+        assert_eq!(report.parsed_ok, again.parsed_ok);
+        assert_eq!(
+            report
+                .failure_categories
+                .iter()
+                .map(|f| (f.category.clone(), f.count))
+                .collect::<Vec<_>>(),
+            again
+                .failure_categories
+                .iter()
+                .map(|f| (f.category.clone(), f.count))
+                .collect::<Vec<_>>()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench_id\": \"BENCH_7\""));
+        assert!(json.contains("speedup_zero_copy_vs_baseline"));
+        assert!(json.contains("failure_categories"));
     }
 
     #[test]

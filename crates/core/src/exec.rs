@@ -192,6 +192,18 @@ impl ExecutionScore {
             DiagnosticKind::ParseError.code()
         })
     }
+
+    /// The `line` (and `column`, when the parser reported one) of the
+    /// diagnostic behind [`ExecutionScore::failure_kind`], or `None` when
+    /// the run completed or the stopping diagnostic carries no source
+    /// position (e.g. a sandbox cap).
+    pub fn failure_position(&self) -> Option<(usize, Option<usize>)> {
+        if self.completed {
+            return None;
+        }
+        let d = self.diagnostics.iter().find(|d| d.is_error())?;
+        d.line.map(|line| (line, d.column))
+    }
 }
 
 /// Run one raw model response through the full execution pipeline against a
@@ -489,6 +501,34 @@ impl ExecutedCell {
         self.trials.iter().filter(|s| !s.parsed).count()
     }
 
+    /// Per-`ErrorKind` categories of the cell's parse failures: one label
+    /// per distinct `(kind, position)` among trials whose artifact did not
+    /// parse — `tab-indent@2:1` when the parser reported an exact
+    /// `line:column`, the bare kind otherwise — with counts, most frequent
+    /// first (ties broken by label).  Empty when every trial parsed.
+    pub fn parse_failure_categories(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for trial in &self.trials {
+            if trial.parsed {
+                continue;
+            }
+            let Some(kind) = trial.failure_kind() else {
+                continue;
+            };
+            let label = match trial.failure_position() {
+                Some((line, Some(column))) => format!("{kind}@{line}:{column}"),
+                Some((line, None)) => format!("{kind}@{line}"),
+                None => kind.to_owned(),
+            };
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts
+    }
+
     /// Counts of failure kinds across the cell's trials, most frequent
     /// first (ties broken by code), using each trial's
     /// [`ExecutionScore::failure_kind`].  Empty when every trial completed.
@@ -553,25 +593,44 @@ impl ExecutionGrid {
 
     /// Render a fixed-width summary table: one line per cell with
     /// runnability, trace fidelity and completion counts, plus a grid-level
-    /// footer.
+    /// footer.  The final column breaks parse failures down into
+    /// per-`ErrorKind` categories with the offending `line:column`
+    /// ([`ExecutedCell::parse_failure_categories`]) instead of a flat
+    /// unparsed count; cells whose trials all parsed show `-`.
     pub fn render_summary(&self, title: &str) -> String {
         let mut out = String::new();
         out.push_str(title);
         out.push('\n');
         out.push_str(&format!(
-            "{:<10} {:<16} {:>9} {:>9} {:>10} {:>9}\n",
-            "system", "model", "runnable", "fidelity", "completed", "unparsed"
+            "{:<10} {:<16} {:>9} {:>9} {:>10}  {}\n",
+            "system", "model", "runnable", "fidelity", "completed", "parse failure"
         ));
         for cell in &self.cells {
+            let categories = cell.parse_failure_categories();
+            let breakdown = if categories.is_empty() {
+                "-".to_owned()
+            } else {
+                categories
+                    .iter()
+                    .map(|(label, n)| {
+                        if *n == 1 {
+                            label.clone()
+                        } else {
+                            format!("{label}×{n}")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
             out.push_str(&format!(
-                "{:<10} {:<16} {:>9.2} {:>9.2} {:>7}/{:<2} {:>9}\n",
+                "{:<10} {:<16} {:>9.2} {:>9.2} {:>7}/{:<2}  {}\n",
                 cell.row,
                 cell.model,
                 cell.mean_runnability(),
                 cell.mean_fidelity(),
                 cell.completed_trials(),
                 cell.trials.len(),
-                cell.unparsed_trials(),
+                breakdown,
             ));
         }
         out.push_str(&format!(
@@ -901,7 +960,69 @@ mod tests {
         assert!(summary.contains("Parsl"));
         assert!(summary.contains("PyCOMPSs"));
         assert!(summary.contains("o3"));
+        assert!(summary.contains("parse failure"));
         assert!(summary.contains("overall:"));
+    }
+
+    #[test]
+    fn parse_failures_carry_per_kind_positions() {
+        let pipeline = ExecutionPipeline::new();
+        let score = pipeline
+            .execute(
+                WorkflowSystemId::Wilkins,
+                WILKINS_3NODE,
+                "tasks:\n\t- func: p\n",
+            )
+            .unwrap();
+        assert!(!score.parsed);
+        assert_eq!(score.failure_kind(), Some("tab-indent"));
+        assert_eq!(score.failure_position(), Some((2, Some(1))));
+    }
+
+    #[test]
+    fn parse_failure_categories_group_kind_and_position() {
+        let pipeline = ExecutionPipeline::new();
+        let artifacts = [
+            "tasks:\n\t- func: p\n",
+            "tasks:\n\t- func: p\n",
+            "tasks: [1, 2\n",
+        ];
+        let trials: Vec<ExecutionScore> = artifacts
+            .iter()
+            .map(|a| {
+                pipeline
+                    .execute(WorkflowSystemId::Wilkins, WILKINS_3NODE, a)
+                    .unwrap()
+            })
+            .collect();
+        let cell = ExecutedCell {
+            row: "Wilkins".to_owned(),
+            model: "test".to_owned(),
+            trials,
+        };
+        assert_eq!(cell.unparsed_trials(), 3);
+        assert_eq!(
+            cell.parse_failure_categories(),
+            vec![
+                ("tab-indent@2:1".to_owned(), 2),
+                ("unterminated-flow@1:8".to_owned(), 1),
+            ]
+        );
+        // Parsed-but-failing trials never land in the parse-failure column.
+        let valid_but_capped = pipeline
+            .execute(
+                WorkflowSystemId::Wilkins,
+                WILKINS_3NODE,
+                "tasks:\n  - func: producer\n    nprocs: 5000\n",
+            )
+            .unwrap();
+        assert!(valid_but_capped.parsed);
+        let cell = ExecutedCell {
+            row: "Wilkins".to_owned(),
+            model: "test".to_owned(),
+            trials: vec![valid_but_capped],
+        };
+        assert!(cell.parse_failure_categories().is_empty());
     }
 
     #[test]

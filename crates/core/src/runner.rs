@@ -249,6 +249,36 @@ impl Benchmark {
         kind.row_labels().len() * self.clients.len()
     }
 
+    /// The configuration-artifact corpus the parse benchmark measures:
+    /// every generated configuration response — code-extracted, exactly as
+    /// the execution pipeline sees it — for the three configuration systems
+    /// × all models × all trials × the first three prompt variants, in
+    /// deterministic variant/system/model/trial order.  With the paper
+    /// defaults that is 3 × 3 × 4 × 5 = 180 artifacts: mostly well-formed
+    /// Wilkins/ADIOS2 YAML, plus Henson scripts and degraded-tier output
+    /// that exercise the parser's failure categories.
+    pub fn configuration_corpus(&self) -> Vec<String> {
+        let mut corpus = Vec::new();
+        for variant in &PromptVariant::ALL[..3] {
+            for system in WorkflowSystemId::configuration_systems() {
+                let prompt = configuration_prompt(system, *variant);
+                for client in &self.clients {
+                    for seed in self.config.trial_seeds() {
+                        let params = SamplingParams {
+                            temperature: self.config.temperature,
+                            top_p: self.config.top_p,
+                            seed,
+                        };
+                        let response =
+                            client.complete(&CompletionRequest::new(prompt.clone(), params));
+                        corpus.push(extract_code(&response.text));
+                    }
+                }
+            }
+        }
+        corpus
+    }
+
     /// Run one `(prompt, reference)` cell for one client over all trials,
     /// returning `(bleu, chrf)` per trial in seed order.  The reference
     /// arrives pre-tokenised and pre-counted as a [`PreparedPair`], so each

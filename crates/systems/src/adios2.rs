@@ -56,10 +56,10 @@ impl Adios2Config {
             Err(e) => {
                 report.push(
                     Diagnostic::error(
-                        DiagnosticKind::ParseError,
+                        DiagnosticKind::from_yaml_error(e.kind),
                         format!("{}: {}", e.kind, e.message),
                     )
-                    .at_position(e.line, e.column),
+                    .at_position(e.line(), Some(e.column())),
                 );
                 return (None, report);
             }
@@ -421,8 +421,9 @@ mod tests {
     #[test]
     fn parse_errors_carry_source_positions() {
         let (_, report) = Adios2Config::parse("---\n- IO: \"unterminated\n");
-        let diag = report.with_code("parse-error").next().unwrap();
+        let diag = report.with_code("unterminated-string").next().unwrap();
         assert_eq!(diag.line, Some(2));
-        assert!(diag.column.is_some());
+        // Column of the opening quote.
+        assert_eq!(diag.column, Some(7));
     }
 }

@@ -42,10 +42,23 @@ impl Severity {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiagnosticKind {
     // ---- parse stage: artifact text → spec ----
-    /// The artifact text failed to parse at all.
+    /// The artifact text failed to parse at all (uncategorised).
     ParseError,
     /// A line is not a legal construct of the config language.
     Syntax,
+    /// YAML indentation does not match any open block.
+    BadIndentation,
+    /// A tab character used in YAML block indentation.
+    TabIndent,
+    /// A quoted YAML scalar was not terminated.
+    UnterminatedString,
+    /// A YAML flow collection (`[...]` / `{...}`) was not closed.
+    UnterminatedFlow,
+    /// A mapping key appears twice in the same YAML mapping.
+    DuplicateKey,
+    /// Valid YAML outside the supported subset (anchors, tags, block
+    /// scalars, multiple documents).
+    UnsupportedYaml,
     /// The document parses but violates the system's config schema.
     Schema,
     /// A field name the system does not define.
@@ -122,6 +135,12 @@ impl DiagnosticKind {
     pub const ALL: &'static [DiagnosticKind] = &[
         DiagnosticKind::ParseError,
         DiagnosticKind::Syntax,
+        DiagnosticKind::BadIndentation,
+        DiagnosticKind::TabIndent,
+        DiagnosticKind::UnterminatedString,
+        DiagnosticKind::UnterminatedFlow,
+        DiagnosticKind::DuplicateKey,
+        DiagnosticKind::UnsupportedYaml,
         DiagnosticKind::Schema,
         DiagnosticKind::UnknownField,
         DiagnosticKind::MisplacedField,
@@ -162,6 +181,12 @@ impl DiagnosticKind {
         match self {
             DiagnosticKind::ParseError => "parse-error",
             DiagnosticKind::Syntax => "syntax",
+            DiagnosticKind::BadIndentation => "bad-indentation",
+            DiagnosticKind::TabIndent => "tab-indent",
+            DiagnosticKind::UnterminatedString => "unterminated-string",
+            DiagnosticKind::UnterminatedFlow => "unterminated-flow",
+            DiagnosticKind::DuplicateKey => "duplicate-key",
+            DiagnosticKind::UnsupportedYaml => "unsupported-yaml",
             DiagnosticKind::Schema => "schema",
             DiagnosticKind::UnknownField => "unknown-field",
             DiagnosticKind::MisplacedField => "misplaced-field",
@@ -204,6 +229,24 @@ impl DiagnosticKind {
             .iter()
             .copied()
             .find(|k| k.code() == code)
+    }
+
+    /// The diagnostic category for a YAML parse-failure kind.  Each parser
+    /// category maps onto the matching diagnostic so evaluation tables can
+    /// break "did not parse" down by cause; kinds without a dedicated
+    /// diagnostic fold into [`DiagnosticKind::Syntax`] / `ParseError`.
+    pub fn from_yaml_error(kind: wfspeak_wyaml::ErrorKind) -> DiagnosticKind {
+        use wfspeak_wyaml::ErrorKind as Y;
+        match kind {
+            Y::BadIndentation => DiagnosticKind::BadIndentation,
+            Y::TabIndent => DiagnosticKind::TabIndent,
+            Y::UnterminatedString => DiagnosticKind::UnterminatedString,
+            Y::UnterminatedFlow => DiagnosticKind::UnterminatedFlow,
+            Y::DuplicateKey => DiagnosticKind::DuplicateKey,
+            Y::Unsupported => DiagnosticKind::UnsupportedYaml,
+            Y::ExpectedMapping | Y::ExpectedSequence => DiagnosticKind::Syntax,
+            Y::Other => DiagnosticKind::ParseError,
+        }
     }
 }
 
@@ -549,6 +592,30 @@ mod tests {
             assert_eq!(DiagnosticKind::from_code(kind.code()), Some(*kind));
         }
         assert_eq!(DiagnosticKind::from_code("no-such-kind"), None);
+    }
+
+    #[test]
+    fn yaml_error_kinds_map_onto_diagnostic_categories() {
+        use wfspeak_wyaml::ErrorKind as Y;
+        // Every parser category maps to a diagnostic whose wire code equals
+        // the parser's own failure-category code (or a generic fallback).
+        for kind in Y::ALL {
+            let diag = DiagnosticKind::from_yaml_error(*kind);
+            match kind {
+                Y::ExpectedMapping | Y::ExpectedSequence => {
+                    assert_eq!(diag, DiagnosticKind::Syntax)
+                }
+                _ => assert_eq!(diag.code(), kind.code(), "{kind:?}"),
+            }
+        }
+        assert_eq!(
+            DiagnosticKind::from_yaml_error(Y::TabIndent),
+            DiagnosticKind::TabIndent
+        );
+        assert_eq!(
+            DiagnosticKind::from_yaml_error(Y::Other),
+            DiagnosticKind::ParseError
+        );
     }
 
     #[test]

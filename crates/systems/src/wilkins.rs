@@ -67,10 +67,10 @@ impl WilkinsConfig {
             Err(e) => {
                 report.push(
                     Diagnostic::error(
-                        DiagnosticKind::ParseError,
+                        DiagnosticKind::from_yaml_error(e.kind),
                         format!("{}: {}", e.kind, e.message),
                     )
-                    .at_position(e.line, e.column),
+                    .at_position(e.line(), Some(e.column())),
                 );
                 return (None, report);
             }
@@ -535,14 +535,21 @@ mod tests {
     }
 
     #[test]
-    fn invalid_yaml_is_a_parse_error() {
+    fn invalid_yaml_is_a_typed_parse_error() {
         let (config, report) = WilkinsConfig::parse("tasks:\n\t- func: x\n");
         assert!(config.is_none());
-        assert!(report.has_code("parse-error"));
-        // The diagnostic carries the real source position of the tab.
-        let diag = report.with_code("parse-error").next().unwrap();
+        // A tab in indentation surfaces as its own failure category, with
+        // the real source position of the tab.
+        assert!(report.has_code("tab-indent"));
+        let diag = report.with_code("tab-indent").next().unwrap();
         assert_eq!(diag.line, Some(2));
         assert_eq!(diag.column, Some(1));
+        // Duplicate keys and unterminated flow collections are categorised
+        // too, rather than folded into a flat parse-error bucket.
+        let (_, report) = WilkinsConfig::parse("tasks: 1\ntasks: 2\n");
+        assert!(report.has_code("duplicate-key"));
+        let (_, report) = WilkinsConfig::parse("tasks: [1, 2\n");
+        assert!(report.has_code("unterminated-flow"));
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The borrowed, span-carrying document model produced by
+//! [`parse_document`](crate::parse_document).
+//!
+//! Every node borrows from the source text where it can: plain scalars and
+//! quoted scalars without escapes are [`Cow::Borrowed`] slices of the input
+//! buffer (zero copies, zero allocations for the string data); only scalars
+//! that required unescaping (`"a\"b"`, `"line\nbreak"`) own their text.
+//! Every node also records the [`Span`] it was parsed from, and every
+//! mapping key is interned (see [`Interner`]) so duplicate detection and
+//! repeated-key accounting are symbol comparisons.
+//!
+//! [`Node::to_owned_value`] converts into the owned [`Value`] model, which
+//! is what the rest of the workspace consumes — the owned API is a thin
+//! layer over this one.
+
+use std::borrow::Cow;
+
+use crate::intern::{Interner, Symbol};
+use crate::span::Span;
+use crate::value::{Map, Value};
+
+/// A parsed value plus the source region it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node<'a> {
+    /// The value itself.
+    pub value: ValueRef<'a>,
+    /// Where in the source the value starts (first line of the construct).
+    pub span: Span,
+}
+
+impl<'a> Node<'a> {
+    /// Construct a node.
+    pub fn new(value: ValueRef<'a>, span: Span) -> Node<'a> {
+        Node { value, span }
+    }
+
+    /// Convert into the owned [`Value`] model (drops spans).
+    pub fn to_owned_value(&self) -> Value {
+        match &self.value {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(*b),
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Float(f) => Value::Float(*f),
+            ValueRef::Str(s) => Value::Str(s.clone().into_owned()),
+            ValueRef::Seq(items) => Value::Seq(items.iter().map(Node::to_owned_value).collect()),
+            ValueRef::Map(map) => {
+                // The parser rejected duplicate keys, so the entries can be
+                // collected without re-scanning for collisions.
+                Value::Map(Map::from_unique_entries(
+                    map.iter()
+                        .map(|e| (e.key.as_ref().to_owned(), e.node.to_owned_value()))
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    /// Borrowed-string view (only for [`ValueRef::Str`]).
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.value {
+            ValueRef::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Node<'a>]> {
+        match &self.value {
+            ValueRef::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    pub fn as_map(&self) -> Option<&MapRef<'a>> {
+        match &self.value {
+            ValueRef::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Shorthand for map lookup; `None` for non-map nodes.
+    pub fn get(&self, key: &str) -> Option<&Node<'a>> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// All spans in the subtree, pre-order (node before children, map keys
+    /// before their values).  Used by the span-ordering invariants.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        self.collect_spans(&mut out);
+        out
+    }
+
+    fn collect_spans(&self, out: &mut Vec<Span>) {
+        out.push(self.span);
+        match &self.value {
+            ValueRef::Seq(items) => {
+                for item in items {
+                    item.collect_spans(out);
+                }
+            }
+            ValueRef::Map(map) => {
+                for entry in map.iter() {
+                    out.push(entry.key_span);
+                    entry.node.collect_spans(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A borrowed YAML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueRef<'a> {
+    /// `null`, `~` or an empty scalar.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Float(f64),
+    /// String scalar; borrowed unless unescaping forced a copy.
+    Str(Cow<'a, str>),
+    /// Sequence (`- item` or `[a, b]`).
+    Seq(Vec<Node<'a>>),
+    /// Mapping (`key: value` or `{a: 1}`).
+    Map(MapRef<'a>),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Interpret a plain (unquoted) scalar, resolving null, booleans and
+    /// numbers exactly like [`Value::from_plain_scalar`] — but keeping
+    /// string payloads borrowed.
+    pub fn from_plain(s: &'a str) -> ValueRef<'a> {
+        let t = s.trim();
+        match t {
+            "" | "~" | "null" | "Null" | "NULL" => return ValueRef::Null,
+            "true" | "True" | "TRUE" => return ValueRef::Bool(true),
+            "false" | "False" | "FALSE" => return ValueRef::Bool(false),
+            _ => {}
+        }
+        // Numbers can only start with a digit, a sign or a dot (floats that
+        // pass the numeric-character filter below never start with `e`), so
+        // everything else is a string without attempting a numeric parse.
+        let first = t.as_bytes()[0];
+        if !(first.is_ascii_digit() || matches!(first, b'-' | b'+' | b'.')) {
+            return ValueRef::Str(Cow::Borrowed(t));
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return ValueRef::Int(i);
+        }
+        // Only treat as float if it looks numeric (avoid "1.0.0" or version
+        // strings being mangled).
+        if t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        {
+            if let Ok(f) = t.parse::<f64>() {
+                return ValueRef::Float(f);
+            }
+        }
+        ValueRef::Str(Cow::Borrowed(t))
+    }
+}
+
+/// One `key: value` entry of a [`MapRef`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryRef<'a> {
+    /// The key text (borrowed unless unescaping forced a copy).
+    pub key: Cow<'a, str>,
+    /// The key's interned symbol in the document's [`Interner`].
+    pub key_sym: Symbol,
+    /// Where the key sits in the source.
+    pub key_span: Span,
+    /// The entry's value.
+    pub node: Node<'a>,
+}
+
+/// An insertion-ordered borrowed mapping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MapRef<'a> {
+    entries: Vec<EntryRef<'a>>,
+}
+
+impl<'a> MapRef<'a> {
+    /// An empty map.
+    pub fn new() -> MapRef<'a> {
+        MapRef::default()
+    }
+
+    /// An empty map with room for a typical block mapping, so the first few
+    /// pushes never reallocate.
+    pub(crate) fn with_default_capacity() -> MapRef<'a> {
+        MapRef {
+            entries: Vec::with_capacity(4),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a key with this interned symbol is already present — the
+    /// duplicate check is a `u32` comparison, not a string comparison.
+    pub fn contains_symbol(&self, sym: Symbol) -> bool {
+        self.entries.iter().any(|e| e.key_sym == sym)
+    }
+
+    /// Append an entry.  The parser rejects duplicates before calling this,
+    /// so no replace-in-place logic is needed here.
+    pub fn push(&mut self, entry: EntryRef<'a>) {
+        self.entries.push(entry);
+    }
+
+    /// Look up a key by text.
+    pub fn get(&self, key: &str) -> Option<&Node<'a>> {
+        self.entries.iter().find(|e| e.key == key).map(|e| &e.node)
+    }
+
+    /// Iterate over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &EntryRef<'a>> {
+        self.entries.iter()
+    }
+}
+
+/// A whole parsed document: the root node plus the key interner it was
+/// parsed with.
+#[derive(Debug)]
+pub struct Document<'a> {
+    root: Node<'a>,
+    interner: Interner<'a>,
+}
+
+impl<'a> Document<'a> {
+    pub(crate) fn new(root: Node<'a>, interner: Interner<'a>) -> Document<'a> {
+        Document { root, interner }
+    }
+
+    /// The document's root node.
+    pub fn root(&self) -> &Node<'a> {
+        &self.root
+    }
+
+    /// The key interner: one symbol per *distinct* mapping key in the
+    /// document, however many times it repeats.
+    pub fn interner(&self) -> &Interner<'a> {
+        &self.interner
+    }
+
+    /// Convert into the owned [`Value`] model.
+    pub fn into_owned(self) -> Value {
+        self.root.to_owned_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_resolution_matches_owned_model() {
+        for raw in ["null", "~", "", "true", "False", "42", "-7", "3.5", "x.h5"] {
+            let borrowed = Node::new(ValueRef::from_plain(raw), Span::point(1, 1));
+            assert_eq!(
+                borrowed.to_owned_value(),
+                Value::from_plain_scalar(raw),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_strings_stay_borrowed() {
+        let source = String::from("  outfile.h5  ");
+        match ValueRef::from_plain(&source) {
+            ValueRef::Str(Cow::Borrowed(s)) => assert_eq!(s, "outfile.h5"),
+            other => panic!("expected borrowed str, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_lookup_and_duplicate_symbol_check() {
+        let mut interner = Interner::new();
+        let sym = interner.intern(Cow::Borrowed("a"));
+        let mut m = MapRef::new();
+        assert!(!m.contains_symbol(sym));
+        m.push(EntryRef {
+            key: Cow::Borrowed("a"),
+            key_sym: sym,
+            key_span: Span::point(1, 1),
+            node: Node::new(ValueRef::Int(1), Span::point(1, 4)),
+        });
+        assert!(m.contains_symbol(sym));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a").unwrap().to_owned_value(), Value::Int(1));
+        assert!(m.get("b").is_none());
+    }
+
+    #[test]
+    fn spans_collect_in_document_order() {
+        let mut interner = Interner::new();
+        let sym = interner.intern(Cow::Borrowed("k"));
+        let mut m = MapRef::new();
+        m.push(EntryRef {
+            key: Cow::Borrowed("k"),
+            key_sym: sym,
+            key_span: Span::point(1, 1),
+            node: Node::new(ValueRef::Int(1), Span::point(1, 4)),
+        });
+        let root = Node::new(ValueRef::Map(m), Span::point(1, 1));
+        let spans = root.spans();
+        assert_eq!(spans.len(), 3);
+        let positions: Vec<_> = spans.iter().map(Span::position).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted);
+    }
+}

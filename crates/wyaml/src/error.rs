@@ -1,12 +1,20 @@
-//! Parse errors with line/column information.
+//! Parse errors.  Every error carries a full [`Span`] — an exact 1-based
+//! `line:column` pointing at a real character of the input — so failure
+//! categories in the evaluation tables can be pinned to source positions
+//! instead of a flat "did not parse".
 
+use crate::span::Span;
 use std::fmt;
 
 /// Category of parse failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorKind {
     /// Indentation does not match any open block.
     BadIndentation,
+    /// A tab character used in block indentation.  Tabs have no defined
+    /// width in YAML indentation; silently counting them as one column
+    /// would nest the document differently than it reads.
+    TabIndent,
     /// A mapping entry was expected (`key: value`).
     ExpectedMapping,
     /// A sequence entry was expected (`- item`).
@@ -18,16 +26,48 @@ pub enum ErrorKind {
     /// The construct is valid YAML but outside the supported subset
     /// (anchors, tags, block scalars, multiple documents).
     Unsupported,
-    /// Mapping key appears twice in the same block.
+    /// Mapping key appears twice in the same (block or flow) mapping.
     DuplicateKey,
     /// Anything else.
     Other,
+}
+
+impl ErrorKind {
+    /// Every kind, for exhaustive category accounting.
+    pub const ALL: &'static [ErrorKind] = &[
+        ErrorKind::BadIndentation,
+        ErrorKind::TabIndent,
+        ErrorKind::ExpectedMapping,
+        ErrorKind::ExpectedSequence,
+        ErrorKind::UnterminatedString,
+        ErrorKind::UnterminatedFlow,
+        ErrorKind::Unsupported,
+        ErrorKind::DuplicateKey,
+        ErrorKind::Other,
+    ];
+
+    /// Stable kebab-case identifier: the failure-category label used by the
+    /// benches and mapped into the systems diagnostic vocabulary.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::BadIndentation => "bad-indentation",
+            ErrorKind::TabIndent => "tab-indent",
+            ErrorKind::ExpectedMapping => "expected-mapping",
+            ErrorKind::ExpectedSequence => "expected-sequence",
+            ErrorKind::UnterminatedString => "unterminated-string",
+            ErrorKind::UnterminatedFlow => "unterminated-flow",
+            ErrorKind::Unsupported => "unsupported-yaml",
+            ErrorKind::DuplicateKey => "duplicate-key",
+            ErrorKind::Other => "parse-error",
+        }
+    }
 }
 
 impl fmt::Display for ErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             ErrorKind::BadIndentation => "bad indentation",
+            ErrorKind::TabIndent => "tab in indentation",
             ErrorKind::ExpectedMapping => "expected a `key: value` mapping entry",
             ErrorKind::ExpectedSequence => "expected a `- item` sequence entry",
             ErrorKind::UnterminatedString => "unterminated quoted string",
@@ -40,58 +80,52 @@ impl fmt::Display for ErrorKind {
     }
 }
 
-/// A parse error, carrying the 1-based source line (and column, when the
-/// parser can pin one down) where it occurred.
+/// A parse error at an exact source position.
+///
+/// There is no way to construct an `Error` without a column: every error
+/// site in the parser must pin down exactly which character it is pointing
+/// at (the pre-rewrite parser's optional column left most failures with a
+/// bare line number).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     /// Error category.
     pub kind: ErrorKind,
-    /// 1-based line number in the source text.
-    pub line: usize,
-    /// 1-based byte column in the source line, when known.
-    pub column: Option<usize>,
+    /// Exact source region: 1-based line and byte column of the offending
+    /// character.
+    pub span: Span,
     /// Human-readable detail.
     pub message: String,
 }
 
 impl Error {
-    /// Construct an error at a specific line.
-    pub fn new(kind: ErrorKind, line: usize, message: impl Into<String>) -> Self {
-        Error {
-            kind,
-            line,
-            column: None,
-            message: message.into(),
-        }
-    }
-
-    /// Construct an error at a specific line and column.
+    /// Construct an error pointing at `line:column` (both 1-based).
     pub fn at(kind: ErrorKind, line: usize, column: usize, message: impl Into<String>) -> Self {
+        Error::with_span(kind, Span::point(line, column), message)
+    }
+
+    /// Construct an error over an explicit span.
+    pub fn with_span(kind: ErrorKind, span: Span, message: impl Into<String>) -> Self {
         Error {
             kind,
-            line,
-            column: Some(column),
+            span,
             message: message.into(),
         }
     }
 
-    /// Attach a 1-based column to this error.
-    pub fn with_column(mut self, column: usize) -> Self {
-        self.column = Some(column);
-        self
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.span.line
+    }
+
+    /// 1-based byte column of the error.
+    pub fn column(&self) -> usize {
+        self.span.column
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.column {
-            Some(col) => write!(
-                f,
-                "line {}, column {}: {}: {}",
-                self.line, col, self.kind, self.message
-            ),
-            None => write!(f, "line {}: {}: {}", self.line, self.kind, self.message),
-        }
+        write!(f, "{}: {}: {}", self.span, self.kind, self.message)
     }
 }
 
@@ -102,39 +136,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_includes_line_kind_and_message() {
-        let e = Error::new(ErrorKind::BadIndentation, 7, "unexpected indent of 3");
+    fn display_includes_position_kind_and_message() {
+        let e = Error::at(ErrorKind::BadIndentation, 7, 3, "unexpected indent of 3");
         let s = format!("{e}");
         assert!(s.contains("line 7"));
+        assert!(s.contains("column 3"));
         assert!(s.contains("bad indentation"));
         assert!(s.contains("unexpected indent of 3"));
     }
 
     #[test]
-    fn display_includes_column_when_known() {
+    fn accessors_expose_the_span() {
         let e = Error::at(ErrorKind::UnterminatedString, 3, 12, "missing closing `\"`");
-        let s = format!("{e}");
-        assert!(s.contains("line 3"));
-        assert!(s.contains("column 12"));
-        let bare = Error::new(ErrorKind::Other, 1, "x");
-        assert!(!format!("{bare}").contains("column"));
-        assert_eq!(bare.clone().with_column(4).column, Some(4));
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 12);
+        assert_eq!(e.span, Span::point(3, 12));
+        let wide = Error::with_span(ErrorKind::Other, Span::new(2, 4, 6), "x");
+        assert_eq!((wide.line(), wide.column(), wide.span.len), (2, 4, 6));
     }
 
     #[test]
-    fn error_kinds_have_distinct_messages() {
-        let kinds = [
-            ErrorKind::BadIndentation,
-            ErrorKind::ExpectedMapping,
-            ErrorKind::ExpectedSequence,
-            ErrorKind::UnterminatedString,
-            ErrorKind::UnterminatedFlow,
-            ErrorKind::Unsupported,
-            ErrorKind::DuplicateKey,
-            ErrorKind::Other,
-        ];
-        let mut messages: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+    fn error_kinds_have_distinct_messages_and_codes() {
+        let mut messages: Vec<String> = ErrorKind::ALL.iter().map(|k| k.to_string()).collect();
+        messages.sort();
         messages.dedup();
-        assert_eq!(messages.len(), kinds.len());
+        assert_eq!(messages.len(), ErrorKind::ALL.len());
+        let mut codes: Vec<&str> = ErrorKind::ALL.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), ErrorKind::ALL.len());
     }
 }

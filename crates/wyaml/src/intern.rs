@@ -1,0 +1,115 @@
+//! A small string interner for mapping keys.
+//!
+//! Workflow configuration files repeat the same handful of keys over and
+//! over (`tasks`, `func`, `nprocs`, `filename`, `dsets`, …).  The parser
+//! interns every mapping key it sees into one table per document, so
+//!
+//! * duplicate-key detection inside a mapping compares `u32` symbols
+//!   instead of re-comparing strings, and
+//! * callers of the borrowed API can ask how many *distinct* keys a
+//!   document uses ([`Interner::len`]) and resolve any
+//!   [`Symbol`] back to its text without touching the nodes.
+//!
+//! Keys that are plain (or quoted without escapes) are interned as
+//! borrowed slices of the input; only keys that required unescaping
+//! (`"a\"b"`) store an owned copy.
+
+use std::borrow::Cow;
+
+/// An interned key: a dense index into the document's [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The symbol's dense index (0-based, in first-seen order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// FNV-1a over the key bytes.  Keys are short and a document only ever
+/// holds a handful of distinct ones, so a cheap hash plus a linear scan of
+/// packed `u64`s beats a general-purpose hash map on this workload.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Interns mapping keys for one parsed document.
+///
+/// `hashes[i]` is the FNV-1a hash of `strings[i]`; lookup scans the hash
+/// column and only compares text on a hash hit.
+#[derive(Debug, Default)]
+pub struct Interner<'a> {
+    strings: Vec<Cow<'a, str>>,
+    hashes: Vec<u64>,
+}
+
+impl<'a> Interner<'a> {
+    /// An empty interner.
+    pub fn new() -> Interner<'a> {
+        Interner::default()
+    }
+
+    /// Intern `key`, returning the same [`Symbol`] for equal text no matter
+    /// how (or where) it appeared in the document.
+    pub fn intern(&mut self, key: Cow<'a, str>) -> Symbol {
+        let hash = fnv1a(key.as_bytes());
+        for (i, &existing) in self.hashes.iter().enumerate() {
+            if existing == hash && self.strings[i] == key {
+                return Symbol(i as u32);
+            }
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(key);
+        self.hashes.push(hash);
+        sym
+    }
+
+    /// The text behind a symbol.  Symbols are only valid for the interner
+    /// that produced them.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct keys interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_text_interns_to_one_symbol() {
+        let mut i = Interner::new();
+        let a = i.intern(Cow::Borrowed("tasks"));
+        let b = i.intern(Cow::Owned("tasks".to_owned()));
+        let c = i.intern(Cow::Borrowed("func"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "tasks");
+        assert_eq!(i.resolve(c), "func");
+    }
+
+    #[test]
+    fn symbols_are_dense_in_first_seen_order() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern(Cow::Borrowed("a")).index(), 0);
+        assert_eq!(i.intern(Cow::Borrowed("b")).index(), 1);
+        assert_eq!(i.intern(Cow::Borrowed("a")).index(), 0);
+    }
+}

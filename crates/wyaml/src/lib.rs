@@ -1,4 +1,5 @@
-//! `wfspeak-wyaml` — a minimal, from-scratch YAML-subset parser and emitter.
+//! `wfspeak-wyaml` — a minimal, from-scratch YAML-subset parser and emitter
+//! built around a zero-copy, span-carrying document model.
 //!
 //! Workflow systems such as Wilkins and ADIOS2 describe workflow graphs in
 //! small, regular YAML documents (block mappings, block sequences, scalars,
@@ -17,27 +18,86 @@
 //! * a deterministic emitter that round-trips parsed documents.
 //!
 //! Out of scope (and rejected with an error where detectable): anchors,
-//! aliases, tags, multi-document streams, block scalars (`|`, `>`).
+//! aliases, tags, multi-document streams, block scalars (`|`, `>`), tabs in
+//! block indentation ([`ErrorKind::TabIndent`]).
+//!
+//! # The borrowed document model
+//!
+//! [`parse_document`] is the primary entry point.  It returns a
+//! [`Document`]`<'a>` that **borrows from the input `&'a str`**:
+//!
+//! * Plain scalars, single-quoted scalars, and double-quoted scalars
+//!   without escape sequences are `Cow::Borrowed` slices of the original
+//!   buffer — parsing a well-formed document allocates only the tree
+//!   structure, never the string data.
+//! * `Cow::Owned` appears in exactly one case: a double-quoted scalar (or
+//!   key) whose body contains a backslash, where unescaping must build a
+//!   new string (`"line\nbreak"` → `line<newline>break`).
+//! * Every mapping key is interned into a per-document [`Interner`]: equal
+//!   key text yields the same [`Symbol`], so duplicate-key detection is a
+//!   `u32` comparison and callers can count distinct keys without walking
+//!   the tree.
+//! * Every node and mapping key carries a [`Span`] (`line`, `column`,
+//!   `len`; 1-based line and byte column), and every [`Error`] points at an
+//!   exact `line:column` of a real input character.
+//!
+//! The owned [`Value`]/[`Map`] model is a thin layer on top:
+//! [`parse()`] is `parse_document(src).map(Document::into_owned)`, so
+//! consumers that do not care about lifetimes or spans keep a plain owned
+//! API.
+//!
+//! The pre-rewrite owned parser is preserved in [`baseline`] for
+//! differential testing and for measuring the zero-copy parser's speedup
+//! inside one benchmark artifact.
 //!
 //! # Example
 //!
 //! ```
-//! use wfspeak_wyaml::{parse, Value};
+//! use wfspeak_wyaml::{parse, parse_document, Value};
 //!
-//! let doc = parse("tasks:\n  - func: producer\n    nprocs: 3\n").unwrap();
+//! let src = "tasks:\n  - func: producer\n    nprocs: 3\n";
+//!
+//! // Owned API — what most of the workspace uses.
+//! let doc = parse(src).unwrap();
 //! let tasks = doc.get("tasks").unwrap().as_seq().unwrap();
 //! assert_eq!(tasks[0].get("func").unwrap().as_str(), Some("producer"));
 //! assert_eq!(tasks[0].get("nprocs").unwrap().as_i64(), Some(3));
+//!
+//! // Borrowed API — zero-copy scalars plus spans.
+//! let doc = parse_document(src).unwrap();
+//! let func = doc.root().get("tasks").unwrap().as_seq().unwrap()[0]
+//!     .get("func")
+//!     .unwrap();
+//! assert_eq!(func.as_str(), Some("producer"));
+//! assert_eq!((func.span.line, func.span.column), (2, 11));
+//! assert_eq!(doc.interner().len(), 3); // tasks, func, nprocs
+//! ```
+//!
+//! Errors carry exact positions:
+//!
+//! ```
+//! use wfspeak_wyaml::{parse, ErrorKind};
+//!
+//! let err = parse("a:\n\tb: 1\n").unwrap_err();
+//! assert_eq!(err.kind, ErrorKind::TabIndent);
+//! assert_eq!((err.line(), err.column()), (2, 1));
 //! ```
 
+pub mod baseline;
+pub mod borrowed;
 pub mod emit;
 pub mod error;
+pub mod intern;
 pub mod parse;
+pub mod span;
 pub mod value;
 
+pub use borrowed::{Document, EntryRef, MapRef, Node, ValueRef};
 pub use emit::{emit, emit_value};
 pub use error::{Error, ErrorKind};
-pub use parse::parse;
+pub use intern::{Interner, Symbol};
+pub use parse::{parse, parse_document};
+pub use span::Span;
 pub use value::{Map, Value};
 
 #[cfg(test)]
@@ -85,5 +145,19 @@ tasks:
         let dsets = outports[0].get("dsets").unwrap().as_seq().unwrap();
         assert_eq!(dsets[0].get("name").unwrap().as_str(), Some("/group1/grid"));
         assert_eq!(dsets[0].get("memory").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn baseline_and_zero_copy_agree_on_the_happy_path() {
+        let src = "\
+io:
+  name: SimulationOutput
+  engine:
+    type: SST
+variables:
+  - name: array
+    shape: [4, 50]
+";
+        assert_eq!(parse(src).unwrap(), baseline::parse(src).unwrap());
     }
 }

@@ -1,21 +1,57 @@
-//! The block-structured parser for the supported YAML subset.
+//! The zero-copy, span-carrying parser for the supported YAML subset.
+//!
+//! [`parse_document`] is the primary entry point: it borrows the input
+//! `&str` and produces a [`Document`] of [`Node`]s whose scalars are
+//! `Cow::Borrowed` slices of the original buffer wherever the text needs no
+//! unescaping, and whose mapping keys are interned into a per-document
+//! [`crate::Interner`].  [`parse()`] is the owned convenience wrapper the
+//! rest of the workspace uses: `parse_document(..).into_owned()`.
+//!
+//! The parser is line-oriented: `preprocess` slices the source into
+//! `(indent, content, line-number)` triples (no per-line allocation — each
+//! `Line` is a `Copy` of two slices' worth of metadata), then a recursive
+//! descent over those lines builds block mappings and sequences, handing
+//! inline text to the scalar/flow sub-parsers.  Every node records the
+//! [`Span`] it started at, and every [`Error`] carries an exact 1-based
+//! `line:column` pointing at a real character of the input.
 
+use std::borrow::Cow;
+
+use crate::borrowed::{Document, EntryRef, MapRef, Node, ValueRef};
 use crate::error::{Error, ErrorKind};
-use crate::value::{Map, Value};
+use crate::intern::Interner;
+use crate::span::Span;
+use crate::value::Value;
 
-/// Parse a YAML-subset document into a [`Value`].
+/// Parse a YAML-subset document into an owned [`Value`].
 ///
 /// An empty document (only comments/blank lines) parses to [`Value::Null`].
+/// This is a thin layer over [`parse_document`] + [`Document::into_owned`].
 pub fn parse(source: &str) -> Result<Value, Error> {
+    parse_document(source).map(Document::into_owned)
+}
+
+/// Parse a YAML-subset document into the borrowed, span-carrying model.
+///
+/// The returned [`Document`] borrows from `source`: plain scalars and
+/// quoted scalars without escape sequences are slices of the input buffer.
+pub fn parse_document(source: &str) -> Result<Document<'_>, Error> {
     let lines = preprocess(source)?;
     if lines.is_empty() {
-        return Ok(Value::Null);
+        return Ok(Document::new(
+            Node::new(ValueRef::Null, Span::new(1, 1, 0)),
+            Interner::new(),
+        ));
     }
-    let mut parser = Parser { lines, pos: 0 };
+    let mut parser = Parser {
+        lines,
+        pos: 0,
+        interner: Interner::new(),
+    };
     let root_indent = parser.lines[0].indent;
-    let value = parser.parse_node(root_indent)?;
+    let root = parser.parse_node(root_indent)?;
     if parser.pos < parser.lines.len() {
-        let line = &parser.lines[parser.pos];
+        let line = parser.lines[parser.pos];
         return Err(Error::at(
             ErrorKind::BadIndentation,
             line.number,
@@ -23,27 +59,30 @@ pub fn parse(source: &str) -> Result<Value, Error> {
             format!("unexpected content `{}` after document root", line.text),
         ));
     }
-    Ok(value)
+    Ok(Document::new(root, parser.interner))
 }
 
-#[derive(Debug, Clone)]
-struct Line {
+/// One significant source line: its indent width, its content (indent and
+/// comment stripped) and its 1-based line number.  `Copy` slices — the
+/// preprocessing pass allocates nothing per line.
+#[derive(Debug, Clone, Copy)]
+struct Line<'a> {
     indent: usize,
-    text: String,
+    text: &'a str,
     number: usize,
 }
 
-fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
-    let mut out = Vec::new();
+fn preprocess(source: &str) -> Result<Vec<Line<'_>>, Error> {
+    let mut out = Vec::with_capacity(source.len() / 16 + 1);
     let mut seen_doc_marker = false;
     for (idx, raw) in source.lines().enumerate() {
         let number = idx + 1;
         let stripped = strip_comment(raw);
         let text = stripped.trim_end();
-        if text.trim().is_empty() {
+        let trimmed = text.trim_start();
+        if trimmed.is_empty() {
             continue;
         }
-        let trimmed = text.trim_start();
         if trimmed == "---" {
             if seen_doc_marker || !out.is_empty() {
                 return Err(Error::at(
@@ -59,21 +98,18 @@ fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
         if trimmed == "..." {
             break;
         }
-        let indent_str: String = text
-            .chars()
-            .take_while(|c| *c == ' ' || *c == '\t')
-            .collect();
-        if let Some(tab) = indent_str.find('\t') {
+        let indent_end = text.len() - text.trim_start_matches([' ', '\t']).len();
+        if let Some(tab) = text[..indent_end].find('\t') {
             return Err(Error::at(
-                ErrorKind::BadIndentation,
+                ErrorKind::TabIndent,
                 number,
                 tab + 1,
-                "tabs are not allowed in indentation",
+                "tab character in indentation (indent with spaces)",
             ));
         }
         out.push(Line {
-            indent: indent_str.len(),
-            text: trimmed.to_owned(),
+            indent: indent_end,
+            text: trimmed,
             number,
         });
     }
@@ -83,6 +119,11 @@ fn preprocess(source: &str) -> Result<Vec<Line>, Error> {
 /// Remove a trailing `#` comment that is not inside a quoted scalar.
 fn strip_comment(line: &str) -> &str {
     let bytes = line.as_bytes();
+    // Fast path: most lines carry no `#` at all, and the quote tracking
+    // below only exists to decide whether a `#` is a comment.
+    if !bytes.contains(&b'#') {
+        return line;
+    }
     let mut in_single = false;
     let mut in_double = false;
     let mut i = 0;
@@ -105,39 +146,44 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-struct Parser {
-    lines: Vec<Line>,
+struct Parser<'a> {
+    lines: Vec<Line<'a>>,
     pos: usize,
+    interner: Interner<'a>,
 }
 
-impl Parser {
-    fn current(&self) -> Option<&Line> {
-        self.lines.get(self.pos)
+impl<'a> Parser<'a> {
+    fn current(&self) -> Option<Line<'a>> {
+        self.lines.get(self.pos).copied()
     }
 
     /// Parse the node starting at the current line, which must sit at
     /// exactly `indent`.
-    fn parse_node(&mut self, indent: usize) -> Result<Value, Error> {
+    fn parse_node(&mut self, indent: usize) -> Result<Node<'a>, Error> {
         let line = match self.current() {
-            Some(l) => l.clone(),
-            None => return Ok(Value::Null),
+            Some(l) => l,
+            None => return Ok(Node::new(ValueRef::Null, Span::new(1, 1, 0))),
         };
         if line.text.starts_with('-')
             && (line.text == "-" || line.text.starts_with("- ") || line.text == "---")
         {
             self.parse_sequence(indent)
-        } else if find_mapping_colon(&line.text).is_some() {
+        } else if find_mapping_colon(line.text).is_some() {
             self.parse_mapping(indent)
         } else {
             // Single scalar document / nested scalar.
             self.pos += 1;
-            parse_scalar(&line.text, line.number, line.indent + 1)
+            parse_scalar(line.text, line.number, line.indent + 1, &mut self.interner)
         }
     }
 
-    fn parse_mapping(&mut self, indent: usize) -> Result<Value, Error> {
-        let mut map = Map::new();
-        while let Some(line) = self.current().cloned() {
+    fn parse_mapping(&mut self, indent: usize) -> Result<Node<'a>, Error> {
+        let span = match self.current() {
+            Some(l) => Span::new(l.number, l.indent + 1, l.text.len()),
+            None => Span::new(1, indent + 1, 0),
+        };
+        let mut map = MapRef::with_default_capacity();
+        while let Some(line) = self.current() {
             if line.indent < indent {
                 break;
             }
@@ -152,7 +198,7 @@ impl Parser {
             if line.text.starts_with("- ") || line.text == "-" {
                 break;
             }
-            let colon = find_mapping_colon(&line.text).ok_or_else(|| {
+            let colon = find_mapping_colon(line.text).ok_or_else(|| {
                 Error::at(
                     ErrorKind::ExpectedMapping,
                     line.number,
@@ -172,7 +218,8 @@ impl Parser {
                 ));
             }
             let key = unquote_key(raw_key);
-            if map.contains_key(&key) {
+            let key_sym = self.interner.intern(key.clone());
+            if map.contains_symbol(key_sym) {
                 return Err(Error::at(
                     ErrorKind::DuplicateKey,
                     line.number,
@@ -180,13 +227,15 @@ impl Parser {
                     format!("key `{key}` already defined in this mapping"),
                 ));
             }
+            let key_span = Span::new(line.number, line.indent + 1, raw_key.len());
             let after = &line.text[colon + 1..];
-            let rest = after.trim();
+            let after_start = after.trim_start();
+            let rest = after_start.trim_end();
             // Column of the value's first character: indent + key text up to
             // the colon + the colon itself + leading whitespace, 1-based.
-            let value_col = line.indent + colon + 1 + (after.len() - after.trim_start().len()) + 1;
+            let value_col = line.indent + colon + 1 + (after.len() - after_start.len()) + 1;
             self.pos += 1;
-            let value = if rest.is_empty() {
+            let node = if rest.is_empty() {
                 match self.current() {
                     Some(next) if next.indent > indent => {
                         let child_indent = next.indent;
@@ -200,19 +249,28 @@ impl Parser {
                     {
                         self.parse_sequence(indent)?
                     }
-                    _ => Value::Null,
+                    _ => Node::new(ValueRef::Null, Span::new(line.number, value_col, 0)),
                 }
             } else {
-                parse_scalar(rest, line.number, value_col)?
+                parse_scalar(rest, line.number, value_col, &mut self.interner)?
             };
-            map.insert(key, value);
+            map.push(EntryRef {
+                key,
+                key_sym,
+                key_span,
+                node,
+            });
         }
-        Ok(Value::Map(map))
+        Ok(Node::new(ValueRef::Map(map), span))
     }
 
-    fn parse_sequence(&mut self, indent: usize) -> Result<Value, Error> {
-        let mut items = Vec::new();
-        while let Some(line) = self.current().cloned() {
+    fn parse_sequence(&mut self, indent: usize) -> Result<Node<'a>, Error> {
+        let span = match self.current() {
+            Some(l) => Span::new(l.number, l.indent + 1, l.text.len()),
+            None => Span::new(1, indent + 1, 0),
+        };
+        let mut items = Vec::with_capacity(4);
+        while let Some(line) = self.current() {
             if line.indent != indent || !(line.text.starts_with("- ") || line.text == "-") {
                 if line.indent > indent {
                     return Err(Error::at(
@@ -234,35 +292,55 @@ impl Parser {
             };
             if content.is_empty() {
                 self.pos += 1;
-                let value = match self.current() {
+                let node = match self.current() {
                     Some(next) if next.indent > indent => {
                         let child_indent = next.indent;
                         self.parse_node(child_indent)?
                     }
-                    _ => Value::Null,
+                    _ => Node::new(ValueRef::Null, Span::new(line.number, indent + 2, 0)),
                 };
-                items.push(value);
+                items.push(node);
             } else {
                 // Inline content: re-home it at the content column so a
                 // mapping started on the dash line can continue on the
-                // following lines.
+                // following lines.  `content` is a subslice of the line, so
+                // this is a pointer-width rewrite, not a reallocation.
                 let content_indent = indent + (line.text.len() - content.len());
                 self.lines[self.pos] = Line {
                     indent: content_indent,
-                    text: content.to_owned(),
+                    text: content,
                     number: line.number,
                 };
-                let value = self.parse_node(content_indent)?;
-                items.push(value);
+                let node = self.parse_node(content_indent)?;
+                items.push(node);
             }
         }
-        Ok(Value::Seq(items))
+        Ok(Node::new(ValueRef::Seq(items), span))
     }
 }
 
 /// Locate the colon that separates a mapping key from its value: the first
 /// `:` outside quotes that is followed by a space or ends the line.
 fn find_mapping_colon(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    // Fast path: until the first quote, bracket or escape, no state
+    // tracking is needed — a `:` followed by whitespace (or end of line) is
+    // the mapping colon, and any other byte just advances.
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' | b'"' | b'[' | b']' | b'{' | b'}' | b'\\' => {
+                return find_mapping_colon_tracked(text)
+            }
+            b':' if i + 1 == bytes.len() || bytes[i + 1].is_ascii_whitespace() => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The full quote/bracket-tracking scan behind [`find_mapping_colon`], used
+/// once a line contains syntax the fast path cannot skip over.
+fn find_mapping_colon_tracked(text: &str) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut in_single = false;
     let mut in_double = false;
@@ -292,33 +370,38 @@ fn find_mapping_colon(text: &str) -> Option<usize> {
     None
 }
 
-fn unquote_key(key: &str) -> String {
+fn unquote_key(key: &str) -> Cow<'_, str> {
     let k = key.trim();
     // A double-quoted key must be unescaped the way quoted scalars are
     // (`"a\"b"` is the key `a"b`), but only when the opening quote's real
     // closing quote is the final character — otherwise the quotes are
     // literal content of a plain key.
     if k.len() >= 2 && k.starts_with('"') && find_closing_quote(k) == Some(k.len() - 1) {
-        if let Ok(Value::Str(s)) = parse_quoted(k, 0, 1) {
+        if let Ok(s) = parse_quoted(k, 0, 1) {
             return s;
         }
     }
     if k.len() >= 2 && k.starts_with('\'') && k.ends_with('\'') {
-        return k[1..k.len() - 1].to_owned();
+        return Cow::Borrowed(&k[1..k.len() - 1]);
     }
     if k.starts_with('"') && k.ends_with('"') && k.len() >= 2 {
-        return k[1..k.len() - 1].to_owned();
+        return Cow::Borrowed(&k[1..k.len() - 1]);
     }
-    k.to_owned()
+    Cow::Borrowed(k)
 }
 
 /// Parse an inline scalar or flow collection.  `col` is the 1-based byte
 /// column of `text`'s first character in the source line.
-fn parse_scalar(text: &str, line: usize, col: usize) -> Result<Value, Error> {
+fn parse_scalar<'a>(
+    text: &'a str,
+    line: usize,
+    col: usize,
+    interner: &mut Interner<'a>,
+) -> Result<Node<'a>, Error> {
     let t = text.trim();
     let col = col + (text.len() - text.trim_start().len());
     if t.starts_with('[') || t.starts_with('{') {
-        let (value, rest) = parse_flow(t, line, col)?;
+        let (node, rest) = parse_flow(t, line, col, interner)?;
         if !rest.trim().is_empty() {
             return Err(Error::at(
                 ErrorKind::Other,
@@ -327,10 +410,11 @@ fn parse_scalar(text: &str, line: usize, col: usize) -> Result<Value, Error> {
                 format!("trailing content `{rest}` after flow collection"),
             ));
         }
-        return Ok(value);
+        return Ok(node);
     }
     if t.starts_with('"') || t.starts_with('\'') {
-        return parse_quoted(t, line, col);
+        let s = parse_quoted(t, line, col)?;
+        return Ok(Node::new(ValueRef::Str(s), Span::new(line, col, t.len())));
     }
     if t == "|" || t == ">" || t.starts_with("| ") || t.starts_with("> ") {
         return Err(Error::at(
@@ -348,21 +432,41 @@ fn parse_scalar(text: &str, line: usize, col: usize) -> Result<Value, Error> {
             "anchors, aliases and tags are not supported",
         ));
     }
-    Ok(Value::from_plain_scalar(t))
+    Ok(Node::new(
+        ValueRef::from_plain(t),
+        Span::new(line, col, t.len()),
+    ))
 }
 
-fn parse_quoted(t: &str, line: usize, col: usize) -> Result<Value, Error> {
+/// Decode the quoted scalar starting at `t[0]`, borrowing when the text
+/// needs no unescaping.  Content after the closing quote is ignored (block
+/// context); flow contexts slice `t` to the closing quote before calling.
+fn parse_quoted<'a>(t: &'a str, line: usize, col: usize) -> Result<Cow<'a, str>, Error> {
     let quote = t.chars().next().unwrap();
-    let inner = &t[1..];
-    let mut out = String::new();
+    let Some(end) = find_closing_quote(t) else {
+        return Err(Error::at(
+            ErrorKind::UnterminatedString,
+            line,
+            col,
+            format!("missing closing `{quote}`"),
+        ));
+    };
+    let inner = &t[1..end];
+    if quote == '"' && inner.contains('\\') {
+        Ok(Cow::Owned(unescape_double(inner)))
+    } else {
+        Ok(Cow::Borrowed(inner))
+    }
+}
+
+/// Resolve the backslash escapes of a double-quoted scalar body.  Only
+/// called when `inner` actually contains a backslash — the escape-free case
+/// borrows instead.
+fn unescape_double(inner: &str) -> String {
+    let mut out = String::with_capacity(inner.len());
     let mut chars = inner.chars();
-    let mut closed = false;
     while let Some(c) = chars.next() {
-        if c == quote {
-            closed = true;
-            break;
-        }
-        if quote == '"' && c == '\\' {
+        if c == '\\' {
             match chars.next() {
                 Some('n') => out.push('\n'),
                 Some('t') => out.push('\t'),
@@ -372,38 +476,36 @@ fn parse_quoted(t: &str, line: usize, col: usize) -> Result<Value, Error> {
                     out.push('\\');
                     out.push(other);
                 }
-                None => break,
+                None => out.push('\\'),
             }
         } else {
             out.push(c);
         }
     }
-    if !closed {
-        return Err(Error::at(
-            ErrorKind::UnterminatedString,
-            line,
-            col,
-            format!("missing closing `{quote}`"),
-        ));
-    }
-    Ok(Value::Str(out))
+    out
 }
 
 /// Parse a flow collection starting at the beginning of `t`, returning the
-/// value and the remaining unparsed text.  `col` is the 1-based column of
+/// node and the remaining unparsed text.  `col` is the 1-based column of
 /// `t`'s first character; error columns are derived from how much of `t`
 /// was consumed when the problem surfaced.
-fn parse_flow(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> {
+fn parse_flow<'a>(
+    t: &'a str,
+    line: usize,
+    col: usize,
+    interner: &mut Interner<'a>,
+) -> Result<(Node<'a>, &'a str), Error> {
     let col = col + (t.len() - t.trim_start().len());
     let t = t.trim_start();
     // Column of a suffix of `t` still waiting to be parsed.
     let col_of = |rest: &str| col + (t.len() - rest.len());
-    if let Some(rest) = t.strip_prefix('[') {
+    if let Some(first) = t.strip_prefix('[') {
         let mut items = Vec::new();
-        let mut rest = rest.trim_start();
+        let mut rest = first.trim_start();
         loop {
             if let Some(r) = rest.strip_prefix(']') {
-                return Ok((Value::Seq(items), r));
+                let span = Span::new(line, col, col_of(r) - col);
+                return Ok((Node::new(ValueRef::Seq(items), span), r));
             }
             if rest.is_empty() {
                 return Err(Error::at(
@@ -413,7 +515,7 @@ fn parse_flow(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> 
                     "missing `]`",
                 ));
             }
-            let (item, r) = parse_flow_item(rest, line, col_of(rest))?;
+            let (item, r) = parse_flow_item(rest, line, col_of(rest), interner)?;
             items.push(item);
             rest = r.trim_start();
             if let Some(r) = rest.strip_prefix(',') {
@@ -430,12 +532,13 @@ fn parse_flow(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> 
             }
         }
     }
-    if let Some(rest) = t.strip_prefix('{') {
-        let mut map = Map::new();
-        let mut rest = rest.trim_start();
+    if let Some(first) = t.strip_prefix('{') {
+        let mut map = MapRef::new();
+        let mut rest = first.trim_start();
         loop {
             if let Some(r) = rest.strip_prefix('}') {
-                return Ok((Value::Map(map), r));
+                let span = Span::new(line, col, col_of(r) - col);
+                return Ok((Node::new(ValueRef::Map(map), span), r));
             }
             if rest.is_empty() {
                 return Err(Error::at(
@@ -454,22 +557,40 @@ fn parse_flow(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> 
                 )
             })?;
             let raw_key = rest[..colon].trim();
+            let key_col = col_of(rest);
             let key = if raw_key.starts_with('"') || raw_key.starts_with('\'') {
-                match parse_quoted(raw_key, line, col_of(rest))? {
-                    Value::Str(s) => s,
-                    _ => unreachable!("parse_quoted always yields a string"),
-                }
+                parse_quoted(raw_key, line, key_col)?
             } else {
                 unquote_key(raw_key)
             };
+            let key_sym = interner.intern(key.clone());
+            if map.contains_symbol(key_sym) {
+                return Err(Error::at(
+                    ErrorKind::DuplicateKey,
+                    line,
+                    key_col,
+                    format!("key `{key}` already defined in this flow mapping"),
+                ));
+            }
+            let key_span = Span::new(line, key_col, raw_key.len());
             let after = rest[colon + 1..].trim_start();
             if after.starts_with('}') {
-                map.insert(key, Value::Null);
+                map.push(EntryRef {
+                    key,
+                    key_sym,
+                    key_span,
+                    node: Node::new(ValueRef::Null, Span::new(line, col_of(after), 0)),
+                });
                 rest = after;
                 continue;
             }
-            let (val, r) = parse_flow_item(after, line, col_of(after))?;
-            map.insert(key, val);
+            let (val, r) = parse_flow_item(after, line, col_of(after), interner)?;
+            map.push(EntryRef {
+                key,
+                key_sym,
+                key_span,
+                node: val,
+            });
             rest = r.trim_start();
             if let Some(r) = rest.strip_prefix(',') {
                 rest = r.trim_start();
@@ -491,19 +612,25 @@ fn parse_flow(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> 
     ))
 }
 
-fn parse_flow_item(t: &str, line: usize, col: usize) -> Result<(Value, &str), Error> {
+fn parse_flow_item<'a>(
+    t: &'a str,
+    line: usize,
+    col: usize,
+    interner: &mut Interner<'a>,
+) -> Result<(Node<'a>, &'a str), Error> {
     let col = col + (t.len() - t.trim_start().len());
     let t = t.trim_start();
     if t.starts_with('[') || t.starts_with('{') {
-        return parse_flow(t, line, col);
+        return parse_flow(t, line, col, interner);
     }
     if t.starts_with('"') || t.starts_with('\'') {
         let quote = t.chars().next().unwrap();
         // Find the closing quote, honouring backslash escapes so a scalar
         // like `"a\"b"` does not terminate at the escaped quote.
         if let Some(end) = find_closing_quote(t) {
-            let value = parse_quoted(&t[..=end], line, col)?;
-            return Ok((value, &t[end + 1..]));
+            let s = parse_quoted(&t[..=end], line, col)?;
+            let node = Node::new(ValueRef::Str(s), Span::new(line, col, end + 1));
+            return Ok((node, &t[end + 1..]));
         }
         return Err(Error::at(
             ErrorKind::UnterminatedString,
@@ -514,7 +641,8 @@ fn parse_flow_item(t: &str, line: usize, col: usize) -> Result<(Value, &str), Er
     }
     // Plain flow scalar ends at ',', ']' or '}'.
     let end = t.find([',', ']', '}']).unwrap_or(t.len());
-    Ok((Value::from_plain_scalar(&t[..end]), &t[end..]))
+    let node = Node::new(ValueRef::from_plain(&t[..end]), Span::new(line, col, end));
+    Ok((node, &t[end..]))
 }
 
 /// Byte index of the quote closing the quoted scalar that starts at `t[0]`,
@@ -550,6 +678,7 @@ fn find_flow_colon(t: &str) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Map;
 
     #[test]
     fn empty_and_comment_only_documents_are_null() {
@@ -725,13 +854,45 @@ mod tests {
     fn duplicate_keys_rejected() {
         let err = parse("a: 1\na: 2\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::DuplicateKey);
-        assert_eq!(err.line, 2);
+        assert_eq!(err.line(), 2);
     }
 
     #[test]
-    fn tabs_in_indentation_rejected() {
+    fn duplicate_keys_rejected_in_nested_block_mappings() {
+        let err = parse("outer:\n  inner:\n    a: 1\n    a: 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateKey);
+        assert_eq!((err.line(), err.column()), (4, 5));
+        // Also inside mappings that are sequence items.
+        let err = parse("tasks:\n  - func: x\n    func: y\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateKey);
+        assert_eq!(err.line(), 3);
+        // Same key in *sibling* mappings is fine.
+        assert!(parse("a:\n  k: 1\nb:\n  k: 2\n").is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_in_flow_mappings() {
+        // Regression: the old parser silently kept the last value.
+        let err = parse("m: {a: 1, a: 2}\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateKey);
+        // Column of the second `a`.
+        assert_eq!((err.line(), err.column()), (1, 11));
+        // Nested flow mappings check their own scope only.
+        assert!(parse("m: {a: {a: 1}}\n").is_ok());
+        let err = parse("m: {o: {x: 1, x: 2}}\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateKey);
+        assert_eq!((err.line(), err.column()), (1, 15));
+    }
+
+    #[test]
+    fn tabs_in_indentation_are_a_typed_error() {
         let err = parse("a:\n\tb: 1\n").unwrap_err();
-        assert_eq!(err.kind, ErrorKind::BadIndentation);
+        assert_eq!(err.kind, ErrorKind::TabIndent);
+        // Column of the tab itself, including tabs after spaces.
+        assert_eq!((err.line(), err.column()), (2, 1));
+        let err = parse("a:\n  \tb: 1\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TabIndent);
+        assert_eq!((err.line(), err.column()), (2, 3));
     }
 
     #[test]
@@ -739,7 +900,7 @@ mod tests {
         let err = parse("a: \"oops\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::UnterminatedString);
         // Column points at the opening quote.
-        assert_eq!(err.column, Some(4));
+        assert_eq!(err.column(), 4);
     }
 
     #[test]
@@ -747,29 +908,29 @@ mod tests {
         let err = parse("a: [1, 2\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::UnterminatedFlow);
         // Column points at the opening bracket.
-        assert_eq!(err.column, Some(4));
+        assert_eq!(err.column(), 4);
     }
 
     #[test]
     fn errors_carry_columns() {
         // Duplicate key: column of the key on the offending line.
         let err = parse("a: 1\na: 2\n").unwrap_err();
-        assert_eq!((err.line, err.column), (2, Some(1)));
+        assert_eq!((err.line(), err.column()), (2, 1));
         // Bad indentation: column of the over-indented content.
         let err = parse("a: 1\n   b: 2\n").unwrap_err();
-        assert_eq!((err.line, err.column), (2, Some(4)));
+        assert_eq!((err.line(), err.column()), (2, 4));
         // Tab in indentation: column of the tab itself.
         let err = parse("a:\n\tb: 1\n").unwrap_err();
-        assert_eq!((err.line, err.column), (2, Some(1)));
+        assert_eq!((err.line(), err.column()), (2, 1));
         // Unterminated string in a nested value: column of its quote.
         let err = parse("outer:\n  inner: \"x\n").unwrap_err();
-        assert_eq!((err.line, err.column), (2, Some(10)));
+        assert_eq!((err.line(), err.column()), (2, 10));
         // Stray closer in a flow sequence: column of the junk.
         let err = parse("a: [1}, 2]\n").unwrap_err();
-        assert_eq!((err.line, err.column), (1, Some(6)));
+        assert_eq!((err.line(), err.column()), (1, 6));
         // Block scalar: column of the indicator.
         let err = parse("a: |\n  text\n").unwrap_err();
-        assert_eq!((err.line, err.column), (1, Some(4)));
+        assert_eq!((err.line(), err.column()), (1, 4));
     }
 
     #[test]
@@ -804,7 +965,7 @@ mod tests {
     fn bad_indentation_in_mapping_rejected() {
         let err = parse("a: 1\n   b: 2\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadIndentation);
-        assert_eq!(err.line, 2);
+        assert_eq!(err.line(), 2);
     }
 
     #[test]
@@ -874,5 +1035,135 @@ variables:
             doc.lookup_path("variables/0/shape/1"),
             Some(&Value::Int(50))
         );
+    }
+
+    // ---- zero-copy / span behaviour ------------------------------------
+
+    /// True when `slice` points into `buffer`'s allocation.
+    fn is_slice_of(slice: &str, buffer: &str) -> bool {
+        let b = buffer.as_ptr() as usize;
+        let s = slice.as_ptr() as usize;
+        s >= b && s + slice.len() <= b + buffer.len()
+    }
+
+    #[test]
+    fn plain_scalars_borrow_from_the_source_buffer() {
+        let src = "name: workflow\npath: /group1/grid\nitems: [alpha, beta]\n".to_owned();
+        let doc = parse_document(&src).unwrap();
+        for path in ["name", "path"] {
+            let node = doc.root().get(path).unwrap();
+            match &node.value {
+                ValueRef::Str(Cow::Borrowed(s)) => assert!(is_slice_of(s, &src), "{path}"),
+                other => panic!("expected borrowed scalar for `{path}`, got {other:?}"),
+            }
+        }
+        let items = doc.root().get("items").unwrap().as_seq().unwrap();
+        for item in items {
+            match &item.value {
+                ValueRef::Str(Cow::Borrowed(s)) => assert!(is_slice_of(s, &src)),
+                other => panic!("expected borrowed flow scalar, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_scalars_borrow_unless_escaped() {
+        let src = "a: \"plain text\"\nb: 'single'\nc: \"needs\\nunescape\"\n".to_owned();
+        let doc = parse_document(&src).unwrap();
+        match &doc.root().get("a").unwrap().value {
+            ValueRef::Str(Cow::Borrowed(s)) => {
+                assert_eq!(*s, "plain text");
+                assert!(is_slice_of(s, &src));
+            }
+            other => panic!("expected borrowed double-quoted scalar, got {other:?}"),
+        }
+        match &doc.root().get("b").unwrap().value {
+            ValueRef::Str(Cow::Borrowed(s)) => assert!(is_slice_of(s, &src)),
+            other => panic!("expected borrowed single-quoted scalar, got {other:?}"),
+        }
+        match &doc.root().get("c").unwrap().value {
+            ValueRef::Str(Cow::Owned(s)) => assert_eq!(s, "needs\nunescape"),
+            other => panic!("expected owned unescaped scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mapping_keys_are_interned_once() {
+        let src = "\
+tasks:
+  - func: producer
+    nprocs: 3
+  - func: consumer
+    nprocs: 1
+";
+        let doc = parse_document(src).unwrap();
+        // Distinct keys: tasks, func, nprocs — `func`/`nprocs` repeat but
+        // intern to one symbol each.
+        assert_eq!(doc.interner().len(), 3);
+        let tasks = doc.root().get("tasks").unwrap().as_seq().unwrap();
+        let sym_of = |n: &Node<'_>, key: &str| {
+            n.as_map()
+                .unwrap()
+                .iter()
+                .find(|e| e.key == key)
+                .unwrap()
+                .key_sym
+        };
+        assert_eq!(sym_of(&tasks[0], "func"), sym_of(&tasks[1], "func"));
+        assert_ne!(sym_of(&tasks[0], "func"), sym_of(&tasks[0], "nprocs"));
+        assert_eq!(doc.interner().resolve(sym_of(&tasks[0], "func")), "func");
+    }
+
+    #[test]
+    fn nodes_carry_spans() {
+        let src = "a: 1\nb:\n  - x\n  - y\nc: [1, 2]\n";
+        let doc = parse_document(src).unwrap();
+        let root = doc.root();
+        assert_eq!(root.span.position(), (1, 1));
+        assert_eq!(root.get("a").unwrap().span, Span::new(1, 4, 1));
+        let b = root.get("b").unwrap();
+        assert_eq!(b.span.position(), (3, 3));
+        assert_eq!(b.as_seq().unwrap()[1].span.position(), (4, 5));
+        let c = root.get("c").unwrap();
+        assert_eq!(c.span, Span::new(5, 4, 6));
+        assert_eq!(c.as_seq().unwrap()[0].span.position(), (5, 5));
+        assert_eq!(c.as_seq().unwrap()[1].span.position(), (5, 8));
+        let key_spans: Vec<Span> = root.as_map().unwrap().iter().map(|e| e.key_span).collect();
+        assert_eq!(key_spans[0], Span::new(1, 1, 1));
+        assert_eq!(key_spans[1], Span::new(2, 1, 1));
+        assert_eq!(key_spans[2], Span::new(5, 1, 1));
+    }
+
+    #[test]
+    fn spans_are_in_document_order() {
+        let src = "\
+tasks:
+  - func: producer
+    nprocs: 3
+    outports:
+      - filename: outfile.h5
+        dsets: [a, b]
+meta: {owner: sim, level: 2}
+";
+        let doc = parse_document(src).unwrap();
+        let spans = doc.root().spans();
+        let positions: Vec<_> = spans.iter().map(Span::position).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted, "pre-order spans must be non-decreasing");
+    }
+
+    #[test]
+    fn owned_and_borrowed_apis_agree() {
+        let src = "\
+io:
+  engine: {type: SST, params: [1, 2.5, true, null]}
+  name: \"Simulation Output\"
+tasks:
+  - func: producer
+";
+        let via_borrowed = parse_document(src).unwrap().into_owned();
+        let via_owned = parse(src).unwrap();
+        assert_eq!(via_borrowed, via_owned);
     }
 }

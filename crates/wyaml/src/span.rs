@@ -1,0 +1,72 @@
+//! Source positions: every parsed node and every parse error carries a
+//! [`Span`] pinning down exactly where in the input it came from.
+
+use std::fmt;
+
+/// A contiguous region of the source text: the 1-based line and byte column
+/// of its first character, plus its byte length on that line.
+///
+/// Block collections extend over multiple lines; their span covers the
+/// construct's *first* line (the `- ` dash or the first `key:`), which is
+/// what an error message or editor jump target wants.  Columns are byte
+/// offsets into the source line (the supported configuration subset is
+/// ASCII-dominated, and byte columns are what editors and `line:col` links
+/// consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// 1-based byte column of the first character.
+    pub column: usize,
+    /// Byte length of the region on its first line (0 for synthesised
+    /// nodes such as the empty-document null).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` bytes starting at `line:column`.
+    pub fn new(line: usize, column: usize, len: usize) -> Span {
+        Span { line, column, len }
+    }
+
+    /// A single-character span at `line:column` — the shape parse errors
+    /// use to point at the offending character.
+    pub fn point(line: usize, column: usize) -> Span {
+        Span::new(line, column, 1)
+    }
+
+    /// The `(line, column)` pair, for ordering spans in document order.
+    pub fn position(&self) -> (usize, usize) {
+        (self.line, self.column)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_is_one_character_wide() {
+        let s = Span::point(3, 7);
+        assert_eq!((s.line, s.column, s.len), (3, 7, 1));
+        assert_eq!(s.position(), (3, 7));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(format!("{}", Span::new(2, 5, 4)), "line 2, column 5");
+    }
+
+    #[test]
+    fn spans_order_by_position() {
+        let a = Span::new(1, 9, 2);
+        let b = Span::new(2, 1, 2);
+        assert!(a.position() < b.position());
+    }
+}

@@ -28,6 +28,21 @@ impl Map {
         self.entries.is_empty()
     }
 
+    /// Build a map from entries whose keys are already known to be
+    /// distinct, skipping [`Map::insert`]'s duplicate scan.  Used by the
+    /// borrowed tree's owned conversion, where the parser has already
+    /// rejected duplicate keys.
+    pub(crate) fn from_unique_entries(entries: Vec<(String, Value)>) -> Map {
+        debug_assert!(
+            entries
+                .iter()
+                .enumerate()
+                .all(|(i, (k, _))| entries[..i].iter().all(|(other, _)| other != k)),
+            "from_unique_entries requires distinct keys"
+        );
+        Map { entries }
+    }
+
     /// Insert a key/value pair.  If the key already exists its value is
     /// replaced in place (original position retained).
     pub fn insert(&mut self, key: impl Into<String>, value: Value) {

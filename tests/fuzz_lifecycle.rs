@@ -62,6 +62,27 @@ fn check_artifact(artifact: &str) -> Result<(), proptest::test_runner::TestCaseE
                 "{system}: no spec and no diagnostics for {artifact:?}"
             );
         }
+        // Span invariant: any positioned diagnostic must index a real
+        // character of the artifact it was parsed from — a line within the
+        // document and a column within that line.
+        let lines: Vec<&str> = artifact.lines().collect();
+        for d in &report.diagnostics {
+            let Some(line) = d.line else { continue };
+            prop_assert!(
+                line >= 1 && line <= lines.len(),
+                "{system}: diagnostic line {line} out of range 1..={} for {artifact:?} ({d})",
+                lines.len()
+            );
+            if let Some(column) = d.column {
+                let text = lines[line - 1];
+                prop_assert!(
+                    column >= 1 && column <= text.len(),
+                    "{system}: diagnostic column {column} out of range 1..={} on line {text:?} \
+                     for {artifact:?} ({d})",
+                    text.len()
+                );
+            }
+        }
 
         // The composed pipeline scores the same artifact without panicking
         // and keeps the runnability ladder monotone.

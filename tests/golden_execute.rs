@@ -70,12 +70,22 @@ fn execute_snapshot_has_the_expected_shape() {
     );
     // The diagnostics rollup must prove the execute path surfaces at
     // least three distinct machine-readable failure kinds.
-    for kind in ["parse-error", "unknown-field", "unknown-directive"] {
+    for kind in ["bad-indentation", "unknown-field", "unknown-directive"] {
         assert!(
             golden.contains(&format!("{kind}×")),
             "snapshot is missing the {kind} diagnostic kind"
         );
     }
+    // The summary table replaces the flat unparsed count with typed
+    // parse-failure categories carrying the offending line:column.
+    assert!(
+        golden.contains("parse failure"),
+        "snapshot is missing the parse-failure column"
+    );
+    assert!(
+        golden.contains("bad-indentation@5:7"),
+        "snapshot is missing a positioned parse-failure category"
+    );
     // Paper row order within each table.
     let rows: Vec<usize> = ["ADIOS2", "Henson", "Parsl", "PyCOMPSs", "Wilkins"]
         .iter()
